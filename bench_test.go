@@ -1,0 +1,364 @@
+// Package repro benchmarks regenerate every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each benchmark runs the
+// same pipeline as cmd/nurdbench at a bench-friendly scale and reports the
+// headline quantity of that experiment as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// both exercises the full system and prints the reproduced results. Figures
+// that derive from the accuracy pass (4-9) share one cached evaluation per
+// trace; Table 3 and Figures 2-3 time the full 23-method replay itself.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/gbt"
+	"repro/internal/nurd"
+	"repro/internal/predictor"
+	"repro/internal/sched"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+const (
+	benchSeed = 42
+	benchJobs = 3
+)
+
+// cachedEval memoizes one full accuracy pass per trace for the scheduling
+// figures, which only re-derive JCT numbers from its plans.
+var (
+	evalOnce    sync.Once
+	googleEval  *experiments.Evaluation
+	alibabaEval *experiments.Evaluation
+	evalErr     error
+)
+
+func sharedEvals(b *testing.B) (*experiments.Evaluation, *experiments.Evaluation) {
+	b.Helper()
+	evalOnce.Do(func() {
+		facs := predictor.AllFactories()
+		googleEval, evalErr = experiments.Run(
+			experiments.GoogleSpec(benchJobs, benchSeed), facs, simulator.DefaultConfig(), benchSeed)
+		if evalErr != nil {
+			return
+		}
+		alibabaEval, evalErr = experiments.Run(
+			experiments.AlibabaSpec(benchJobs, benchSeed), facs, simulator.DefaultConfig(), benchSeed)
+	})
+	if evalErr != nil {
+		b.Fatal(evalErr)
+	}
+	return googleEval, alibabaEval
+}
+
+func nurdF1(ev *experiments.Evaluation) float64 {
+	for _, m := range ev.Methods {
+		if m.Name == "NURD" {
+			return m.Avg().F1
+		}
+	}
+	return 0
+}
+
+// BenchmarkFig1 regenerates the latency-distribution illustration (two
+// profiles, histogram + threshold position).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(trace.ModeGoogle, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 runs the full Table 3 pipeline: all 23 methods replayed
+// over Google-like and Alibaba-like jobs. Reports NURD's averaged F1 on each
+// trace.
+func BenchmarkTable3(b *testing.B) {
+	facs := predictor.AllFactories()
+	var g, a *experiments.Evaluation
+	var err error
+	for i := 0; i < b.N; i++ {
+		g, err = experiments.Run(experiments.GoogleSpec(benchJobs, benchSeed), facs,
+			simulator.DefaultConfig(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err = experiments.Run(experiments.AlibabaSpec(benchJobs, benchSeed), facs,
+			simulator.DefaultConfig(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(nurdF1(g), "nurd-f1-google")
+	b.ReportMetric(nurdF1(a), "nurd-f1-alibaba")
+}
+
+// BenchmarkFig2 regenerates the Google F1-vs-normalized-time series (the
+// accuracy pass plus the timeline aggregation). Reports NURD's final-time F1.
+func BenchmarkFig2(b *testing.B) {
+	facs := predictor.AllFactories()
+	var ev *experiments.Evaluation
+	var err error
+	for i := 0; i < b.N; i++ {
+		ev, err = experiments.Run(experiments.GoogleSpec(benchJobs, benchSeed), facs,
+			simulator.DefaultConfig(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = experiments.TimelineSeries(ev)
+	}
+	for _, m := range ev.Methods {
+		if m.Name == "NURD" {
+			b.ReportMetric(m.AvgF1At(10), "nurd-f1-final")
+		}
+	}
+}
+
+// BenchmarkFig3 is Figure 2's Alibaba counterpart.
+func BenchmarkFig3(b *testing.B) {
+	facs := predictor.AllFactories()
+	var ev *experiments.Evaluation
+	var err error
+	for i := 0; i < b.N; i++ {
+		ev, err = experiments.Run(experiments.AlibabaSpec(benchJobs, benchSeed), facs,
+			simulator.DefaultConfig(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = experiments.TimelineSeries(ev)
+	}
+	for _, m := range ev.Methods {
+		if m.Name == "NURD" {
+			b.ReportMetric(m.AvgF1At(10), "nurd-f1-final")
+		}
+	}
+}
+
+// benchReduction measures one JCT-reduction figure from the cached
+// evaluation and reports NURD's reduction percentage.
+func benchReduction(b *testing.B, ev *experiments.Evaluation, machines int) {
+	var names []string
+	var red []float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		names, red, err = experiments.Reduction(ev, machines)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, n := range names {
+		if n == "NURD" {
+			b.ReportMetric(red[i], "nurd-reduction-pct")
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the unlimited-machine JCT reductions (Google).
+func BenchmarkFig4(b *testing.B) {
+	g, _ := sharedEvals(b)
+	b.ResetTimer()
+	benchReduction(b, g, 0)
+}
+
+// BenchmarkFig5 regenerates the unlimited-machine JCT reductions (Alibaba).
+func BenchmarkFig5(b *testing.B) {
+	_, a := sharedEvals(b)
+	b.ResetTimer()
+	benchReduction(b, a, 0)
+}
+
+var sweepCounts = []int{100, 300, 500, 700, 900}
+
+// BenchmarkFig6 regenerates the machine-count sweep (Google).
+func BenchmarkFig6(b *testing.B) {
+	g, _ := sharedEvals(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.MachineSweep(g, sweepCounts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the machine-count sweep (Alibaba).
+func BenchmarkFig7(b *testing.B) {
+	_, a := sharedEvals(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.MachineSweep(a, sweepCounts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the over-machines average (Google); reports
+// NURD's averaged reduction.
+func BenchmarkFig8(b *testing.B) {
+	g, _ := sharedEvals(b)
+	b.ResetTimer()
+	var names []string
+	var avg []float64
+	for i := 0; i < b.N; i++ {
+		var sweep [][]float64
+		var err error
+		names, sweep, err = experiments.MachineSweep(g, sweepCounts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = experiments.AverageOverMachines(sweep)
+	}
+	for i, n := range names {
+		if n == "NURD" {
+			b.ReportMetric(avg[i], "nurd-avg-reduction-pct")
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the over-machines average (Alibaba).
+func BenchmarkFig9(b *testing.B) {
+	_, a := sharedEvals(b)
+	b.ResetTimer()
+	var names []string
+	var avg []float64
+	for i := 0; i < b.N; i++ {
+		var sweep [][]float64
+		var err error
+		names, sweep, err = experiments.MachineSweep(a, sweepCounts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = experiments.AverageOverMachines(sweep)
+	}
+	for i, n := range names {
+		if n == "NURD" {
+			b.ReportMetric(avg[i], "nurd-avg-reduction-pct")
+		}
+	}
+}
+
+// --- Component micro-benchmarks (ablation-level costs) ---
+
+func benchJob(b *testing.B) *trace.Job {
+	b.Helper()
+	cfg := trace.DefaultGoogleConfig(benchSeed)
+	cfg.MinTasks, cfg.MaxTasks = 300, 300
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gen.Next()
+}
+
+// BenchmarkTraceGen measures synthetic job generation throughput.
+func BenchmarkTraceGen(b *testing.B) {
+	cfg := trace.DefaultGoogleConfig(benchSeed)
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	tasks := 0
+	for i := 0; i < b.N; i++ {
+		tasks += gen.Next().NumTasks()
+	}
+	b.ReportMetric(float64(tasks)/float64(b.N), "tasks/job")
+}
+
+// BenchmarkNURDCheckpoint measures one NURD checkpoint update+predict cycle
+// (the per-checkpoint online cost of Algorithm 1).
+func BenchmarkNURDCheckpoint(b *testing.B) {
+	job := benchJob(b)
+	sim, err := simulator.New(job, simulator.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp := sim.At(3, nil)
+	if len(cp.FinishedX) == 0 || len(cp.RunningX) == 0 {
+		b.Skip("degenerate checkpoint")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := nurd.New(nurd.DefaultConfig())
+		if err := m.Init(cp.FinishedX, cp.RunningX); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Update(cp.FinishedX, cp.FinishedY, cp.RunningX); err != nil {
+			b.Fatal(err)
+		}
+		for _, x := range cp.RunningX {
+			if _, err := m.Predict(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkGBTFit measures the latency-model refit, the dominant cost inside
+// NURD and GBTR.
+func BenchmarkGBTFit(b *testing.B) {
+	rng := stats.NewRNG(benchSeed)
+	n, d := 500, 15
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = make([]float64, d)
+		for j := range X[i] {
+			X[i][j] = rng.Normal(0, 1)
+		}
+		y[i] = X[i][0]*3 + X[i][1] + rng.Normal(0, 0.2)
+	}
+	cfg := gbt.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gbt.FitRegressor(X, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullReplayNURD measures a complete 10-checkpoint online replay of
+// one 300-task job through NURD.
+func BenchmarkFullReplayNURD(b *testing.B) {
+	job := benchJob(b)
+	sim, err := simulator.New(job, simulator.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		res, err := simulator.Evaluate(sim, predictor.NewNURD(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1 = res.Final.F1()
+	}
+	b.ReportMetric(f1, "f1")
+}
+
+// BenchmarkSchedulerMitigated measures the event-driven mitigation scheduler
+// on a 5000-task job with 500 machines.
+func BenchmarkSchedulerMitigated(b *testing.B) {
+	rng := stats.NewRNG(benchSeed)
+	n := 5000
+	lat := make([]float64, n)
+	for i := range lat {
+		lat[i] = rng.Exponential(0.1)
+	}
+	plan := make(map[int]float64)
+	for i := 0; i < n/10; i++ {
+		plan[rng.Intn(n)] = rng.Uniform(1, 5)
+	}
+	pool := []float64{5, 8, 10, 12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Mitigated(lat, plan, pool, sched.Config{Machines: 500, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Command nurdbench regenerates the paper's evaluation: Table 3 and Figures
+// 1-9, on the synthetic Google-like and Alibaba-like workloads.
+//
+// Usage:
+//
+//	nurdbench -exp all -jobs 20 -seed 42
+//	nurdbench -exp table3
+//	nurdbench -exp fig6 -machines 100,200,400,800
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/predictor"
+	"repro/internal/simulator"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: schema|fig1|table3|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|all")
+		jobs     = flag.Int("jobs", 20, "jobs per trace dataset")
+		seed     = flag.Uint64("seed", 42, "master RNG seed")
+		machines = flag.String("machines", "100,200,300,400,500,600,700,800,900,1000", "machine counts for fig6-9")
+	)
+	flag.Parse()
+	if err := run(*exp, *jobs, *seed, *machines); err != nil {
+		fmt.Fprintln(os.Stderr, "nurdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, jobs int, seed uint64, machineList string) error {
+	var machineCounts []int
+	for _, f := range strings.Split(machineList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad machine count %q", f)
+		}
+		machineCounts = append(machineCounts, v)
+	}
+
+	switch exp {
+	case "schema":
+		fmt.Println("Table 1 — Google trace features:")
+		for _, f := range trace.GoogleFeatures {
+			fmt.Println("  ", f)
+		}
+		fmt.Println("Table 2 — Alibaba trace features:")
+		for _, f := range trace.AlibabaFeatures {
+			fmt.Println("  ", f)
+		}
+		return nil
+	case "fig1":
+		out, err := experiments.Fig1(trace.ModeGoogle, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 1 — latency distributions (normalized):")
+		fmt.Println(out)
+		return nil
+	case "ablation":
+		fmt.Fprintf(os.Stderr, "running NURD ablation sweeps over %d Google-like jobs...\n", jobs)
+		out, err := experiments.DefaultAblations(jobs, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== NURD design-choice ablations ===")
+		fmt.Println(out)
+		return nil
+	}
+
+	needG := map[string]bool{"table3": true, "fig2": true, "fig4": true, "fig6": true, "fig8": true, "all": true}
+	needA := map[string]bool{"table3": true, "fig3": true, "fig5": true, "fig7": true, "fig9": true, "all": true}
+	if !needG[exp] && !needA[exp] {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+
+	facs := predictor.AllFactories()
+	simCfg := simulator.DefaultConfig()
+	var gev, aev *experiments.Evaluation
+	var err error
+	if needG[exp] {
+		fmt.Fprintf(os.Stderr, "running %d Google-like jobs x %d methods...\n", jobs, len(facs))
+		gev, err = experiments.Run(experiments.GoogleSpec(jobs, seed), facs, simCfg, seed)
+		if err != nil {
+			return err
+		}
+	}
+	if needA[exp] {
+		fmt.Fprintf(os.Stderr, "running %d Alibaba-like jobs x %d methods...\n", jobs, len(facs))
+		aev, err = experiments.Run(experiments.AlibabaSpec(jobs, seed), facs, simCfg, seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	show := func(name string) bool { return exp == name || exp == "all" }
+
+	if show("table3") {
+		fmt.Println("=== Table 3 — averaged prediction results ===")
+		var evs []*experiments.Evaluation
+		if gev != nil {
+			evs = append(evs, gev)
+		}
+		if aev != nil {
+			evs = append(evs, aev)
+		}
+		fmt.Println(experiments.Table3(evs))
+		for _, ev := range evs {
+			name, f1 := experiments.BestBaselineF1(ev, "NURD", "NURD-NC")
+			nurdF1 := 0.0
+			for _, m := range ev.Methods {
+				if m.Name == "NURD" {
+					nurdF1 = m.Avg().F1
+				}
+			}
+			fmt.Printf("%s: NURD F1 %.2f vs best baseline %s %.2f (margin %+.0f pts)\n",
+				ev.Spec.Label, nurdF1, name, f1, 100*(nurdF1-f1))
+		}
+		fmt.Println()
+	}
+	if show("fig2") && gev != nil {
+		fmt.Println("=== Figure 2 — F1 vs normalized time (Google) ===")
+		fmt.Println(experiments.TimelineSeries(gev))
+	}
+	if show("fig3") && aev != nil {
+		fmt.Println("=== Figure 3 — F1 vs normalized time (Alibaba) ===")
+		fmt.Println(experiments.TimelineSeries(aev))
+	}
+	if show("fig4") && gev != nil {
+		names, red, err := experiments.Reduction(gev, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== Figure 4 — JCT reduction, unlimited machines (Google) ===")
+		fmt.Println(experiments.RenderBars(names, red))
+	}
+	if show("fig5") && aev != nil {
+		names, red, err := experiments.Reduction(aev, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== Figure 5 — JCT reduction, unlimited machines (Alibaba) ===")
+		fmt.Println(experiments.RenderBars(names, red))
+	}
+	var gsweep, asweep [][]float64
+	var gnames, anames []string
+	if (show("fig6") || show("fig8")) && gev != nil {
+		gnames, gsweep, err = experiments.MachineSweep(gev, machineCounts)
+		if err != nil {
+			return err
+		}
+	}
+	if (show("fig7") || show("fig9")) && aev != nil {
+		anames, asweep, err = experiments.MachineSweep(aev, machineCounts)
+		if err != nil {
+			return err
+		}
+	}
+	if show("fig6") && gsweep != nil {
+		fmt.Println("=== Figure 6 — JCT reduction vs machine count (Google) ===")
+		fmt.Println(experiments.RenderSweep(gnames, machineCounts, gsweep))
+	}
+	if show("fig7") && asweep != nil {
+		fmt.Println("=== Figure 7 — JCT reduction vs machine count (Alibaba) ===")
+		fmt.Println(experiments.RenderSweep(anames, machineCounts, asweep))
+	}
+	if show("fig8") && gsweep != nil {
+		fmt.Println("=== Figure 8 — JCT reduction averaged over machine counts (Google) ===")
+		fmt.Println(experiments.RenderBars(gnames, experiments.AverageOverMachines(gsweep)))
+	}
+	if show("fig9") && asweep != nil {
+		fmt.Println("=== Figure 9 — JCT reduction averaged over machine counts (Alibaba) ===")
+		fmt.Println(experiments.RenderBars(anames, experiments.AverageOverMachines(asweep)))
+	}
+	return nil
+}

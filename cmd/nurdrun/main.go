@@ -1,0 +1,89 @@
+// Command nurdrun replays one trace CSV (see cmd/tracegen) through NURD and
+// prints the online prediction log: per checkpoint, which tasks were newly
+// flagged, plus the final confusion statistics.
+//
+// Usage:
+//
+//	nurdrun -trace /tmp/traces/google-job-1.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/predictor"
+	"repro/internal/simulator"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		path = flag.String("trace", "", "trace CSV written by tracegen (required)")
+		seed = flag.Uint64("seed", 42, "RNG seed")
+		ckpt = flag.Int("checkpoints", 10, "number of prediction checkpoints")
+	)
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*path, *seed, *ckpt); err != nil {
+		fmt.Fprintln(os.Stderr, "nurdrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, seed uint64, checkpoints int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	job, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	cfg := simulator.DefaultConfig()
+	cfg.Checkpoints = checkpoints
+	sim, err := simulator.New(job, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job: %d tasks, tau_stra (p90 latency) = %.2f, %d true stragglers\n",
+		job.NumTasks(), sim.TauStra(), sim.NumStragglers())
+
+	p := predictor.NewNURD(seed)
+	res, err := simulator.Evaluate(sim, p)
+	if err != nil {
+		return err
+	}
+	// Group flags by checkpoint for the log.
+	byCk := make(map[int][]int)
+	for id, k := range res.PredictedAt {
+		byCk[k] = append(byCk[k], id)
+	}
+	truth := sim.Truth()
+	for k := 1; k <= checkpoints; k++ {
+		flagged := byCk[k]
+		if len(flagged) == 0 {
+			continue
+		}
+		fmt.Printf("checkpoint %2d (t=%.1f): flagged %d task(s):", k, float64(k)/float64(checkpoints), len(flagged))
+		for _, id := range flagged {
+			mark := "FP"
+			if truth[id] {
+				mark = "TP"
+			}
+			fmt.Printf(" %d(%s)", id, mark)
+		}
+		fmt.Println()
+	}
+	c := res.Final
+	fmt.Printf("final: TPR=%.2f FPR=%.2f FNR=%.2f F1=%.2f (%s)\n",
+		c.TPR(), c.FPR(), c.FNR(), c.F1(), c.String())
+	if m := p.Model(); m != nil {
+		fmt.Printf("rho=%.3f delta=%.3f\n", m.Rho(), m.Delta())
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+// Alibaba-trace scenario: the low-dimensional regime — only 4 monitored
+// features per instance (cpu_avg, cpu_max, mem_avg, mem_max), where every
+// method's accuracy drops and the margin between NURD and the baselines
+// narrows, as in the paper's Alibaba column.
+//
+//	go run ./examples/alibabatrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/predictor"
+	"repro/internal/simulator"
+	"repro/internal/trace"
+)
+
+func main() {
+	fmt.Println("Alibaba instance features (paper Table 2):")
+	for _, f := range trace.AlibabaFeatures {
+		fmt.Println("  ", f)
+	}
+	fmt.Println()
+
+	facs := []predictor.Factory{
+		{Name: "GBTR", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return predictor.NewGBTR(seed)
+		}},
+		{Name: "IFOREST", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return predictor.NewOutlier("IFOREST", 0.1, seed)
+		}},
+		{Name: "PU-BG", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return predictor.NewPUBG(seed)
+		}},
+		{Name: "CoxPH", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return predictor.NewCoxPH()
+		}},
+		{Name: "NURD-NC", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return predictor.NewNURDNC(seed)
+		}},
+		{Name: "NURD", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return predictor.NewNURD(seed)
+		}},
+	}
+	ev, err := experiments.Run(experiments.AlibabaSpec(8, 99), facs, simulator.DefaultConfig(), 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Alibaba-like workload, 8 jobs, averaged rates:")
+	fmt.Println(experiments.Table3([]*experiments.Evaluation{ev}))
+}

@@ -1,0 +1,46 @@
+// Google-trace scenario: a small head-to-head of NURD against the paper's
+// strongest baselines (GBTR, LOF, PU-EN, Grabit, Wrangler) on Google-like
+// 15-feature jobs — a miniature of Table 3's Google column.
+//
+//	go run ./examples/googletrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/predictor"
+	"repro/internal/simulator"
+)
+
+func main() {
+	facs := []predictor.Factory{
+		{Name: "GBTR", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return predictor.NewGBTR(seed)
+		}},
+		{Name: "LOF", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return predictor.NewOutlier("LOF", 0.1, seed)
+		}},
+		{Name: "PU-EN", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return predictor.NewPUEN(seed)
+		}},
+		{Name: "Grabit", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return predictor.NewGrabit(seed)
+		}},
+		{Name: "Wrangler", New: func(s *simulator.Sim, seed uint64) simulator.Predictor {
+			return predictor.NewWrangler(s, seed)
+		}},
+		{Name: "NURD", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return predictor.NewNURD(seed)
+		}},
+	}
+	ev, err := experiments.Run(experiments.GoogleSpec(8, 2024), facs, simulator.DefaultConfig(), 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Google-like workload, 8 jobs, averaged rates:")
+	fmt.Println(experiments.Table3([]*experiments.Evaluation{ev}))
+	fmt.Println("F1 over normalized time (how early each method catches stragglers):")
+	fmt.Println(experiments.TimelineSeries(ev))
+}

@@ -1,0 +1,65 @@
+// Transfer-learning scenario (the paper's §8 future work): a stream of
+// similar jobs arrives over time; TransferNURD archives each job's fitted
+// models and uses the nearest archived job to cover the next job's
+// cold-start window, where plain NURD must defer predictions.
+//
+//	go run ./examples/transfer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/nurd"
+	"repro/internal/predictor"
+	"repro/internal/simulator"
+	"repro/internal/trace"
+)
+
+func main() {
+	cfg := trace.DefaultGoogleConfig(13)
+	cfg.FarFraction = 0.3 // mostly near-profile jobs: slow starters, where cold-start transfer matters
+	cfg.MinTasks, cfg.MaxTasks = 200, 260
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	store := nurd.NewTransferStore()
+	tl := predictor.NewNURDTransfer(store, 42)
+
+	fmt.Println("job stream: plain NURD vs transfer-augmented NURD")
+	fmt.Printf("%-5s %-8s %-22s %-22s %s\n", "job", "archive", "NURD (TPR/FPR/F1)", "NURD-TL (TPR/FPR/F1)", "earliest TL flag")
+	for i := 0; i < 6; i++ {
+		job := gen.Next()
+		sim, err := simulator.New(job, simulator.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		plain, err := simulator.Evaluate(sim, predictor.NewNURD(uint64(i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		archived := store.Len()
+		tlRes, err := simulator.Evaluate(sim, tl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		first := 0
+		for _, k := range tlRes.PredictedAt {
+			if first == 0 || k < first {
+				first = k
+			}
+		}
+		firstStr := "-"
+		if first > 0 {
+			firstStr = fmt.Sprintf("checkpoint %d", first)
+		}
+		p, q := plain.Final, tlRes.Final
+		fmt.Printf("%-5d %-8d %.2f/%.2f/%.2f        %.2f/%.2f/%.2f        %s\n",
+			i+1, archived,
+			p.TPR(), p.FPR(), p.F1(),
+			q.TPR(), q.FPR(), q.F1(), firstStr)
+	}
+	fmt.Printf("\narchive now holds %d jobs\n", store.Len())
+}

@@ -1,0 +1,172 @@
+package censored
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTobitRecoversSlopeUnderCensoring(t *testing.T) {
+	// y* = 2 + 3x + eps; right-censor at 6. A plain fit on censored data
+	// would flatten the slope; Tobit should keep it near 3.
+	rng := stats.NewRNG(1)
+	n := 800
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	cens := make([]bool, n)
+	const cpoint = 6.0
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 3
+		X[i] = []float64{x}
+		v := 2 + 3*x + rng.Normal(0, 0.5)
+		if v > cpoint {
+			y[i] = cpoint
+			cens[i] = true
+		} else {
+			y[i] = v
+		}
+	}
+	m, err := FitTobit(X, y, cens, DefaultTobitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slope check via two predictions.
+	slope := (m.Predict([]float64{2}) - m.Predict([]float64{1}))
+	if math.Abs(slope-3) > 0.5 {
+		t.Fatalf("tobit slope %v, want ~3", slope)
+	}
+	// The model must predict beyond the censoring point in the censored
+	// region.
+	if p := m.Predict([]float64{2.8}); p <= cpoint {
+		t.Fatalf("prediction %v does not extrapolate past censor point %v", p, cpoint)
+	}
+}
+
+func TestTobitAllUncensoredMatchesRegression(t *testing.T) {
+	rng := stats.NewRNG(2)
+	n := 400
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	cens := make([]bool, n)
+	for i := 0; i < n; i++ {
+		x := rng.Normal(0, 1)
+		X[i] = []float64{x}
+		y[i] = 5 - 2*x + rng.Normal(0, 0.2)
+	}
+	m, err := FitTobit(X, y, cens, DefaultTobitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict([]float64{0}); math.Abs(p-5) > 0.2 {
+		t.Fatalf("intercept %v, want ~5", p)
+	}
+	slope := m.Predict([]float64{1}) - m.Predict([]float64{0})
+	if math.Abs(slope+2) > 0.2 {
+		t.Fatalf("slope %v, want ~-2", slope)
+	}
+}
+
+func TestTobitErrors(t *testing.T) {
+	if _, err := FitTobit(nil, nil, nil, DefaultTobitConfig()); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := FitTobit([][]float64{{1}}, []float64{1}, []bool{true}, DefaultTobitConfig()); err == nil {
+		t.Fatal("expected error when everything is censored")
+	}
+	if _, err := FitTobit([][]float64{{1}}, []float64{1, 2}, []bool{false}, DefaultTobitConfig()); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+// coxData builds survival data where feature x multiplies the hazard:
+// higher x means earlier events.
+func coxData(n int, seed uint64) (X [][]float64, dur []float64, ev []bool) {
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		x := rng.Float64()*2 - 1
+		hazard := math.Exp(1.5 * x)
+		d := rng.Exponential(hazard)
+		censorAt := rng.Exponential(0.3)
+		X = append(X, []float64{x})
+		if d <= censorAt {
+			dur = append(dur, d)
+			ev = append(ev, true)
+		} else {
+			dur = append(dur, censorAt)
+			ev = append(ev, false)
+		}
+	}
+	return
+}
+
+func TestCoxPHRecoversRiskDirection(t *testing.T) {
+	X, dur, ev := coxData(800, 3)
+	m, err := FitCoxPH(X, dur, ev, DefaultCoxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher x => higher hazard => higher risk score.
+	if m.RiskScore([]float64{1}) <= m.RiskScore([]float64{-1}) {
+		t.Fatal("risk score direction wrong")
+	}
+	// And roughly exponential in x with rate ~1.5 (in standardized units
+	// the sign is what matters; check monotonic ordering).
+	r1 := m.RiskScore([]float64{-0.5})
+	r2 := m.RiskScore([]float64{0})
+	r3 := m.RiskScore([]float64{0.5})
+	if !(r1 < r2 && r2 < r3) {
+		t.Fatalf("risk not monotone: %v %v %v", r1, r2, r3)
+	}
+}
+
+func TestCoxPHSurvivalProperties(t *testing.T) {
+	X, dur, ev := coxData(500, 4)
+	m, err := FitCoxPH(X, dur, ev, DefaultCoxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3}
+	prev := 1.0
+	for _, tt := range []float64{0, 0.5, 1, 2, 4, 8} {
+		s := m.Survival(tt, x)
+		if s < 0 || s > 1 {
+			t.Fatalf("survival %v out of [0,1]", s)
+		}
+		if s > prev+1e-12 {
+			t.Fatalf("survival increased over time at t=%v", tt)
+		}
+		prev = s
+	}
+	// High-risk tasks must have lower survival at a fixed horizon.
+	if m.Survival(1, []float64{1}) >= m.Survival(1, []float64{-1}) {
+		t.Fatal("high-hazard point should have lower survival")
+	}
+}
+
+func TestCoxPHErrors(t *testing.T) {
+	if _, err := FitCoxPH(nil, nil, nil, DefaultCoxConfig()); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := FitCoxPH([][]float64{{1}}, []float64{1}, []bool{false}, DefaultCoxConfig()); err == nil {
+		t.Fatal("expected error with zero events")
+	}
+	if _, err := FitCoxPH([][]float64{{1}}, []float64{1, 2}, []bool{true}, DefaultCoxConfig()); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestCoxPHBaselineHazardMonotone(t *testing.T) {
+	X, dur, ev := coxData(300, 5)
+	m, err := FitCoxPH(X, dur, ev, DefaultCoxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, h := range m.cumH0 {
+		if h < prev {
+			t.Fatal("cumulative baseline hazard decreased")
+		}
+		prev = h
+	}
+}

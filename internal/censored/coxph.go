@@ -1,0 +1,191 @@
+package censored
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/vecmath"
+)
+
+// CoxConfig controls CoxPH partial-likelihood maximization.
+type CoxConfig struct {
+	Iters int
+	LR    float64
+	L2    float64
+}
+
+// DefaultCoxConfig returns optimizer settings adequate for trace-scale data.
+func DefaultCoxConfig() CoxConfig {
+	return CoxConfig{Iters: 200, LR: 0.2, L2: 1e-3}
+}
+
+// CoxPH is a fitted proportional-hazards model: hazard(t|x) =
+// h0(t)·exp(w·x), with the Breslow estimator for the cumulative baseline
+// hazard H0.
+type CoxPH struct {
+	W    []float64
+	mean []float64
+	std  []float64
+	// baseline cumulative hazard as a step function over event times.
+	times []float64
+	cumH0 []float64
+}
+
+// FitCoxPH fits the model on (duration, event) observations: event[i] is
+// true when the task finished at duration[i] (an observed event) and false
+// when it is still running (right-censored at duration[i]). Gradient ascent
+// on the Breslow partial likelihood.
+func FitCoxPH(X [][]float64, duration []float64, event []bool, cfg CoxConfig) (*CoxPH, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("censored: empty training set")
+	}
+	if len(duration) != n || len(event) != n {
+		return nil, fmt.Errorf("censored: shape mismatch (%d rows, %d durations, %d events)",
+			n, len(duration), len(event))
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 200
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.2
+	}
+	nevents := 0
+	for _, e := range event {
+		if e {
+			nevents++
+		}
+	}
+	if nevents == 0 {
+		return nil, fmt.Errorf("censored: coxph requires at least one event")
+	}
+	mean, std := vecmath.ColumnStats(X)
+	Z := vecmath.Standardize(X, mean, std)
+	d := len(Z[0])
+
+	// Sort rows by duration ascending; risk set at an event time is the
+	// suffix of rows with duration >= that time.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return duration[order[a]] < duration[order[b]] })
+
+	w := make([]float64, d)
+	gw := make([]float64, d)
+	riskSum := make([]float64, d)
+	lr := cfg.LR
+	prevLL := math.Inf(-1)
+	for it := 0; it < cfg.Iters; it++ {
+		// Suffix sums over the sorted order: S0 = sum exp(w·z),
+		// S1_j = sum z_j exp(w·z).
+		for j := range gw {
+			gw[j] = 0
+		}
+		ll := 0.0
+		S0 := 0.0
+		for j := range riskSum {
+			riskSum[j] = 0
+		}
+		// Walk from the largest duration down, maintaining the risk set.
+		for k := n - 1; k >= 0; k-- {
+			i := order[k]
+			e := math.Exp(clamp(vecmath.Dot(w, Z[i]), -30, 30))
+			S0 += e
+			for j := 0; j < d; j++ {
+				riskSum[j] += e * Z[i][j]
+			}
+			if event[i] {
+				ll += vecmath.Dot(w, Z[i]) - math.Log(S0)
+				for j := 0; j < d; j++ {
+					gw[j] += Z[i][j] - riskSum[j]/S0
+				}
+			}
+		}
+		for j := 0; j < d; j++ {
+			ll -= 0.5 * cfg.L2 * w[j] * w[j]
+			gw[j] -= cfg.L2 * w[j]
+		}
+		if ll < prevLL {
+			lr *= 0.5
+			if lr < 1e-7 {
+				break
+			}
+		}
+		prevLL = ll
+		inv := 1 / float64(nevents)
+		for j := 0; j < d; j++ {
+			w[j] += lr * gw[j] * inv
+		}
+	}
+
+	m := &CoxPH{W: w, mean: mean, std: std}
+	m.fitBaseline(Z, duration, event, order)
+	return m, nil
+}
+
+// fitBaseline computes the Breslow cumulative baseline hazard.
+func (m *CoxPH) fitBaseline(Z [][]float64, duration []float64, event []bool, order []int) {
+	n := len(Z)
+	// Risk denominator at each position (suffix sums of exp(w·z)).
+	suffix := make([]float64, n+1)
+	for k := n - 1; k >= 0; k-- {
+		i := order[k]
+		suffix[k] = suffix[k+1] + math.Exp(clamp(vecmath.Dot(m.W, Z[i]), -30, 30))
+	}
+	cum := 0.0
+	for k := 0; k < n; k++ {
+		i := order[k]
+		if !event[i] {
+			continue
+		}
+		if suffix[k] > 0 {
+			cum += 1 / suffix[k]
+		}
+		m.times = append(m.times, duration[i])
+		m.cumH0 = append(m.cumH0, cum)
+	}
+}
+
+// RiskScore returns exp(w·x), the relative hazard for raw features x.
+func (m *CoxPH) RiskScore(x []float64) float64 {
+	z := 0.0
+	for j := range m.W {
+		z += m.W[j] * (x[j] - m.mean[j]) / m.std[j]
+	}
+	return math.Exp(clamp(z, -30, 30))
+}
+
+// Survival returns S(t|x) = exp(-H0(t)·exp(w·x)).
+func (m *CoxPH) Survival(t float64, x []float64) float64 {
+	h0 := m.cumHazardAt(t)
+	return math.Exp(-h0 * m.RiskScore(x))
+}
+
+func (m *CoxPH) cumHazardAt(t float64) float64 {
+	// Largest event time <= t (step function).
+	lo, hi := 0, len(m.times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.times[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return m.cumH0[lo-1]
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,155 @@
+// Package censored implements the censored- and survival-regression
+// baselines of the paper's Table 3: the linear Tobit model (Tobin 1958) and
+// the Cox proportional-hazards model (Cox 1972) with a Breslow baseline
+// hazard. (Grabit, the boosted Tobit, lives in package gbt as FitTobit.)
+package censored
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linmodel"
+	"repro/internal/stats"
+	"repro/internal/vecmath"
+)
+
+// TobitConfig controls Tobit MLE.
+type TobitConfig struct {
+	// Iters bounds the gradient-ascent steps.
+	Iters int
+	// LR is the initial step size.
+	LR float64
+	// L2 regularizes the weights.
+	L2 float64
+}
+
+// DefaultTobitConfig returns MLE settings adequate for trace-scale data.
+func DefaultTobitConfig() TobitConfig {
+	return TobitConfig{Iters: 300, LR: 0.1, L2: 1e-3}
+}
+
+// Tobit is a fitted linear censored-Gaussian regression y* = w·x + b + eps,
+// observed as y = y* when uncensored and as the censoring point otherwise
+// (right censoring).
+type Tobit struct {
+	W     []float64
+	B     float64
+	Sigma float64
+	mean  []float64
+	std   []float64
+}
+
+// FitTobit estimates the Tobit model by maximizing the censored-Gaussian
+// log-likelihood with gradient ascent, initialized from a ridge fit on the
+// uncensored rows. censored[i] marks right-censored rows whose y[i] is the
+// censoring threshold (latency observed so far).
+func FitTobit(X [][]float64, y []float64, censoredFlags []bool, cfg TobitConfig) (*Tobit, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("censored: empty training set")
+	}
+	if len(y) != n || len(censoredFlags) != n {
+		return nil, fmt.Errorf("censored: shape mismatch (%d rows, %d targets, %d flags)",
+			n, len(y), len(censoredFlags))
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 300
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.1
+	}
+	mean, std := vecmath.ColumnStats(X)
+	Z := vecmath.Standardize(X, mean, std)
+	d := len(Z[0])
+
+	// Initialize from ridge on uncensored rows.
+	var uncX [][]float64
+	var uncY []float64
+	for i, c := range censoredFlags {
+		if !c {
+			uncX = append(uncX, Z[i])
+			uncY = append(uncY, y[i])
+		}
+	}
+	if len(uncX) == 0 {
+		return nil, fmt.Errorf("censored: tobit requires at least one uncensored row")
+	}
+	w, b, err := linmodel.Ridge(uncX, uncY, cfg.L2)
+	if err != nil {
+		w = make([]float64, d)
+		b = stats.Mean(uncY)
+	}
+	sigma := stats.StdDev(uncY)
+	if sigma <= 0 {
+		sigma = 1
+	}
+	logSigma := math.Log(sigma)
+
+	gw := make([]float64, d)
+	lr := cfg.LR
+	prevLL := math.Inf(-1)
+	for it := 0; it < cfg.Iters; it++ {
+		sigma = math.Exp(logSigma)
+		s2 := sigma * sigma
+		for j := range gw {
+			gw[j] = 0
+		}
+		gb, gls := 0.0, 0.0
+		ll := 0.0
+		for i := 0; i < n; i++ {
+			f := vecmath.Dot(w, Z[i]) + b
+			if !censoredFlags[i] {
+				r := y[i] - f
+				ll += -0.5*r*r/s2 - logSigma
+				gf := r / s2
+				for j := 0; j < d; j++ {
+					gw[j] += gf * Z[i][j]
+				}
+				gb += gf
+				gls += r*r/s2 - 1
+			} else {
+				z := (y[i] - f) / sigma
+				surv := 1 - stats.NormalCDF(z)
+				if surv < 1e-300 {
+					surv = 1e-300
+				}
+				ll += math.Log(surv)
+				lam := stats.NormalPDF(z) / surv
+				gf := lam / sigma
+				for j := 0; j < d; j++ {
+					gw[j] += gf * Z[i][j]
+				}
+				gb += gf
+				gls += lam * z
+			}
+		}
+		// L2 penalty on weights.
+		for j := 0; j < d; j++ {
+			ll -= 0.5 * cfg.L2 * w[j] * w[j]
+			gw[j] -= cfg.L2 * w[j]
+		}
+		if ll < prevLL {
+			lr *= 0.5
+			if lr < 1e-7 {
+				break
+			}
+		}
+		prevLL = ll
+		inv := 1 / float64(n)
+		for j := 0; j < d; j++ {
+			w[j] += lr * gw[j] * inv
+		}
+		b += lr * gb * inv
+		logSigma += lr * gls * inv * 0.1 // slower sigma adaptation for stability
+	}
+	return &Tobit{W: w, B: b, Sigma: math.Exp(logSigma), mean: mean, std: std}, nil
+}
+
+// Predict returns the latent-latency estimate w·x + b for x (raw features).
+func (m *Tobit) Predict(x []float64) float64 {
+	f := m.B
+	for j := range m.W {
+		f += m.W[j] * (x[j] - m.mean[j]) / m.std[j]
+	}
+	return f
+}

@@ -1,0 +1,137 @@
+// Package cluster implements k-means++ clustering, the substrate for the
+// CBLOF outlier detector and the locality partitioning in LSCP.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/vecmath"
+)
+
+// KMeansResult holds a fitted clustering.
+type KMeansResult struct {
+	Centers [][]float64
+	// Assign maps each input row to its cluster index.
+	Assign []int
+	// Sizes holds per-cluster member counts.
+	Sizes []int
+	// Inertia is the total within-cluster squared distance.
+	Inertia float64
+}
+
+// KMeans clusters X into k groups using k-means++ seeding and Lloyd
+// iterations. It returns an error if X is empty or k < 1; if k exceeds the
+// number of distinct points the surplus clusters come back empty-but-valid
+// (size 0).
+func KMeans(X [][]float64, k int, maxIter int, rng *stats.RNG) (*KMeansResult, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty input")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k must be >= 1, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	d := len(X[0])
+
+	// k-means++ seeding.
+	centers := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centers = append(centers, append([]float64(nil), X[first]...))
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = vecmath.SqDist(X[i], centers[0])
+	}
+	for len(centers) < k {
+		total := 0.0
+		for _, dd := range minDist {
+			total += dd
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, dd := range minDist {
+				acc += dd
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), X[pick]...)
+		centers = append(centers, c)
+		for i := range minDist {
+			if dd := vecmath.SqDist(X[i], c); dd < minDist[i] {
+				minDist[i] = dd
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	sizes := make([]int, k)
+	sums := make([][]float64, k)
+	for c := range sums {
+		sums[c] = make([]float64, d)
+	}
+	inertia := 0.0
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		inertia = 0
+		for i, x := range X {
+			best, bestD := 0, vecmath.SqDist(x, centers[0])
+			for c := 1; c < k; c++ {
+				if dd := vecmath.SqDist(x, centers[c]); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			inertia += bestD
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		for c := 0; c < k; c++ {
+			sizes[c] = 0
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
+		}
+		for i, x := range X {
+			c := assign[i]
+			sizes[c]++
+			for j, v := range x {
+				sums[c][j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if sizes[c] == 0 {
+				continue // keep previous center for empty clusters
+			}
+			inv := 1 / float64(sizes[c])
+			for j := range centers[c] {
+				centers[c][j] = sums[c][j] * inv
+			}
+		}
+	}
+	// Final size recount (assignments may have changed on last pass).
+	for c := range sizes {
+		sizes[c] = 0
+	}
+	for _, c := range assign {
+		sizes[c]++
+	}
+	return &KMeansResult{Centers: centers, Assign: assign, Sizes: sizes, Inertia: inertia}, nil
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/vecmath"
+)
+
+// threeBlobs returns well-separated clusters around (0,0), (10,0), (0,10).
+func threeBlobs(perCluster int, seed uint64) [][]float64 {
+	rng := stats.NewRNG(seed)
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	var X [][]float64
+	for _, c := range centers {
+		for i := 0; i < perCluster; i++ {
+			X = append(X, []float64{c[0] + rng.Normal(0, 0.5), c[1] + rng.Normal(0, 0.5)})
+		}
+	}
+	return X
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	X := threeBlobs(50, 1)
+	res, err := KMeans(X, 3, 50, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 3 {
+		t.Fatalf("%d centers", len(res.Centers))
+	}
+	// Each true blob center must be close to some found center.
+	for _, want := range [][]float64{{0, 0}, {10, 0}, {0, 10}} {
+		best := 1e18
+		for _, c := range res.Centers {
+			if d := vecmath.Dist(want, c); d < best {
+				best = d
+			}
+		}
+		if best > 1 {
+			t.Fatalf("no center near %v (closest %v away)", want, best)
+		}
+	}
+	// Assignments within a blob agree.
+	for b := 0; b < 3; b++ {
+		first := res.Assign[b*50]
+		for i := 1; i < 50; i++ {
+			if res.Assign[b*50+i] != first {
+				t.Fatalf("blob %d split across clusters", b)
+			}
+		}
+	}
+}
+
+func TestKMeansSizesSum(t *testing.T) {
+	X := threeBlobs(30, 3)
+	res, err := KMeans(X, 3, 50, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != len(X) {
+		t.Fatalf("sizes sum %d, want %d", total, len(X))
+	}
+}
+
+func TestKMeansKGreaterThanN(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	res, err := KMeans(X, 10, 10, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 2 {
+		t.Fatalf("k should clamp to n: %d centers", len(res.Centers))
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	X := threeBlobs(10, 6)
+	res, err := KMeans(X, 1, 20, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := vecmath.Centroid(X)
+	if vecmath.Dist(res.Centers[0], c) > 1e-9 {
+		t.Fatalf("k=1 center %v should equal centroid %v", res.Centers[0], c)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 2, 10, stats.NewRNG(1)); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := KMeans([][]float64{{1}}, 0, 10, stats.NewRNG(1)); err == nil {
+		t.Fatal("expected error on k=0")
+	}
+}
+
+func TestKMeansInertiaImprovesOverRandom(t *testing.T) {
+	X := threeBlobs(40, 8)
+	res, err := KMeans(X, 3, 50, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inertia with the true structure is tiny compared to k=1.
+	res1, err := KMeans(X, 1, 50, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia >= res1.Inertia/10 {
+		t.Fatalf("k=3 inertia %v should be far below k=1 inertia %v", res.Inertia, res1.Inertia)
+	}
+}

@@ -1,0 +1,211 @@
+// Package dataset provides the tabular data container shared by the learning
+// packages: a dense feature matrix with optional targets, plus CSV
+// round-tripping, scaling, and splitting utilities.
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/stats"
+	"repro/internal/vecmath"
+)
+
+// Dataset is a dense design matrix X with an optional target vector Y and
+// optional column names. Rows of X all share the same width.
+type Dataset struct {
+	Names []string
+	X     [][]float64
+	Y     []float64
+}
+
+// New constructs a Dataset and validates its shape. Y may be nil (unlabeled
+// data); if non-nil it must match the number of rows.
+func New(names []string, X [][]float64, Y []float64) (*Dataset, error) {
+	if len(X) > 0 {
+		d := len(X[0])
+		for i, row := range X {
+			if len(row) != d {
+				return nil, fmt.Errorf("dataset: row %d has %d columns, want %d", i, len(row), d)
+			}
+		}
+		if names != nil && len(names) != d {
+			return nil, fmt.Errorf("dataset: %d names for %d columns", len(names), d)
+		}
+	}
+	if Y != nil && len(Y) != len(X) {
+		return nil, fmt.Errorf("dataset: %d targets for %d rows", len(Y), len(X))
+	}
+	return &Dataset{Names: names, X: X, Y: Y}, nil
+}
+
+// NumRows returns the number of rows.
+func (d *Dataset) NumRows() int { return len(d.X) }
+
+// NumCols returns the number of feature columns (0 for an empty dataset).
+func (d *Dataset) NumCols() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Clone returns a deep copy.
+func (d *Dataset) Clone() *Dataset {
+	var names []string
+	if d.Names != nil {
+		names = append([]string(nil), d.Names...)
+	}
+	var y []float64
+	if d.Y != nil {
+		y = append([]float64(nil), d.Y...)
+	}
+	return &Dataset{Names: names, X: vecmath.Clone(d.X), Y: y}
+}
+
+// Subset returns a new Dataset with the given row indices (rows are deep
+// copied so the subset is independent of the parent).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	X := make([][]float64, len(idx))
+	var Y []float64
+	if d.Y != nil {
+		Y = make([]float64, len(idx))
+	}
+	for k, i := range idx {
+		row := make([]float64, len(d.X[i]))
+		copy(row, d.X[i])
+		X[k] = row
+		if Y != nil {
+			Y[k] = d.Y[i]
+		}
+	}
+	return &Dataset{Names: d.Names, X: X, Y: Y}
+}
+
+// Split partitions the dataset into two at a fraction (0 < frac < 1) after
+// shuffling with rng. Returns (first, second) with first holding
+// round(frac*n) rows.
+func (d *Dataset) Split(frac float64, rng *stats.RNG) (*Dataset, *Dataset, error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, nil, errors.New("dataset: Split requires 0 < frac < 1")
+	}
+	n := d.NumRows()
+	perm := rng.Perm(n)
+	k := int(frac*float64(n) + 0.5)
+	if k == 0 {
+		k = 1
+	}
+	if k == n {
+		k = n - 1
+	}
+	return d.Subset(perm[:k]), d.Subset(perm[k:]), nil
+}
+
+// Scaler standardizes columns to zero mean and unit variance, remembering
+// the training statistics so new rows can be transformed consistently.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler learns column statistics from X.
+func FitScaler(X [][]float64) *Scaler {
+	mean, std := vecmath.ColumnStats(X)
+	return &Scaler{Mean: mean, Std: std}
+}
+
+// Transform standardizes X (returns a new matrix).
+func (s *Scaler) Transform(X [][]float64) [][]float64 {
+	return vecmath.Standardize(X, s.Mean, s.Std)
+}
+
+// TransformRow standardizes one row.
+func (s *Scaler) TransformRow(x []float64) []float64 {
+	return vecmath.StandardizeRow(x, s.Mean, s.Std)
+}
+
+// WriteCSV serializes the dataset. If the dataset has targets, a final
+// column named "y" is appended.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	ncol := d.NumCols()
+	header := make([]string, 0, ncol+1)
+	if d.Names != nil {
+		header = append(header, d.Names...)
+	} else {
+		for j := 0; j < ncol; j++ {
+			header = append(header, fmt.Sprintf("x%d", j))
+		}
+	}
+	if d.Y != nil {
+		header = append(header, "y")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, 0, ncol+1)
+	for i, row := range d.X {
+		rec = rec[:0]
+		for _, v := range row {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if d.Y != nil {
+			rec = append(rec, strconv.FormatFloat(d.Y[i], 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. If the header's last column
+// is "y" it is treated as the target.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	hasY := len(header) > 0 && header[len(header)-1] == "y"
+	ncol := len(header)
+	if hasY {
+		ncol--
+	}
+	var X [][]float64
+	var Y []float64
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading row: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: row has %d fields, want %d", len(rec), len(header))
+		}
+		row := make([]float64, ncol)
+		for j := 0; j < ncol; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: parsing %q: %w", rec[j], err)
+			}
+			row[j] = v
+		}
+		X = append(X, row)
+		if hasY {
+			v, err := strconv.ParseFloat(rec[ncol], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: parsing target %q: %w", rec[ncol], err)
+			}
+			Y = append(Y, v)
+		}
+	}
+	names := append([]string(nil), header[:ncol]...)
+	return New(names, X, Y)
+}

@@ -1,0 +1,188 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestNewValidatesShapes(t *testing.T) {
+	if _, err := New(nil, [][]float64{{1, 2}, {1}}, nil); err == nil {
+		t.Fatal("expected ragged-row error")
+	}
+	if _, err := New([]string{"a"}, [][]float64{{1, 2}}, nil); err == nil {
+		t.Fatal("expected name-count error")
+	}
+	if _, err := New(nil, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected target-count error")
+	}
+	d, err := New([]string{"a", "b"}, [][]float64{{1, 2}}, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 1 || d.NumCols() != 2 {
+		t.Fatalf("shape %dx%d", d.NumRows(), d.NumCols())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d, _ := New(nil, [][]float64{{1, 2}}, []float64{3})
+	c := d.Clone()
+	c.X[0][0] = 99
+	c.Y[0] = 99
+	if d.X[0][0] != 1 || d.Y[0] != 3 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d, _ := New(nil, [][]float64{{1}, {2}, {3}}, []float64{10, 20, 30})
+	s := d.Subset([]int{2, 0})
+	if s.NumRows() != 2 || s.X[0][0] != 3 || s.Y[1] != 10 {
+		t.Fatalf("bad subset %+v", s)
+	}
+	s.X[0][0] = 99
+	if d.X[2][0] != 3 {
+		t.Fatal("subset aliases parent")
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	n := 100
+	X := make([][]float64, n)
+	Y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{float64(i)}
+		Y[i] = float64(i)
+	}
+	d, _ := New(nil, X, Y)
+	a, b, err := d.Split(0.3, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows()+b.NumRows() != n {
+		t.Fatalf("split lost rows: %d + %d", a.NumRows(), b.NumRows())
+	}
+	if a.NumRows() != 30 {
+		t.Fatalf("first split %d rows, want 30", a.NumRows())
+	}
+	seen := map[float64]bool{}
+	for _, y := range append(append([]float64{}, a.Y...), b.Y...) {
+		if seen[y] {
+			t.Fatalf("row %v duplicated", y)
+		}
+		seen[y] = true
+	}
+}
+
+func TestSplitRejectsBadFrac(t *testing.T) {
+	d, _ := New(nil, [][]float64{{1}, {2}}, nil)
+	if _, _, err := d.Split(0, stats.NewRNG(1)); err == nil {
+		t.Fatal("expected error for frac=0")
+	}
+	if _, _, err := d.Split(1, stats.NewRNG(1)); err == nil {
+		t.Fatal("expected error for frac=1")
+	}
+}
+
+func TestScaler(t *testing.T) {
+	X := [][]float64{{0, 100}, {10, 100}, {20, 100}}
+	s := FitScaler(X)
+	Z := s.Transform(X)
+	if math.Abs(Z[0][0]+Z[2][0]) > 1e-12 {
+		t.Fatalf("transform not centered: %v", Z)
+	}
+	row := s.TransformRow([]float64{10, 100})
+	if math.Abs(row[0]) > 1e-12 || math.Abs(row[1]) > 1e-12 {
+		t.Fatalf("row transform %v", row)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d, _ := New([]string{"f1", "f2"}, [][]float64{{1.5, -2}, {0.25, 1e-9}}, []float64{3, 4})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 2 || got.NumCols() != 2 {
+		t.Fatalf("shape %dx%d", got.NumRows(), got.NumCols())
+	}
+	if got.Names[0] != "f1" || got.Y[1] != 4 || got.X[1][1] != 1e-9 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestCSVRoundTripUnlabeled(t *testing.T) {
+	d, _ := New(nil, [][]float64{{7}}, nil)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Y != nil {
+		t.Fatalf("expected no targets, got %v", got.Y)
+	}
+	if got.X[0][0] != 7 {
+		t.Fatalf("value mismatch %v", got.X)
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,notanumber\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(20)
+		d := 1 + rng.Intn(5)
+		X := make([][]float64, n)
+		Y := make([]float64, n)
+		for i := range X {
+			X[i] = make([]float64, d)
+			for j := range X[i] {
+				X[i][j] = rng.Normal(0, 100)
+			}
+			Y[i] = rng.Normal(0, 100)
+		}
+		ds, err := New(nil, X, Y)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range X {
+			if got.Y[i] != Y[i] {
+				return false
+			}
+			for j := range X[i] {
+				if got.X[i][j] != X[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,326 @@
+// Package gbt implements gradient-boosted regression trees with pluggable
+// second-order (Newton) losses. Three losses are provided:
+//
+//   - squared error, used for the GBTR baseline and NURD's latency model h_t
+//     (Chen & Guestrin 2016 in spirit, exact greedy splits);
+//   - logistic loss, used for binary classifiers (XGBOD's meta-learner and an
+//     optional propensity-score model);
+//   - Tobit loss with right-censoring, the Grabit model of Sigrist &
+//     Hirnschall (2019).
+//
+// Trees are grown on negative gradients; leaf values are then replaced by
+// Newton steps -G/(H+lambda), which reduces to the mean residual for squared
+// loss.
+package gbt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/tree"
+)
+
+// Config controls boosting.
+type Config struct {
+	// NumTrees is the number of boosting rounds.
+	NumTrees int
+	// LearningRate shrinks each tree's contribution.
+	LearningRate float64
+	// Subsample, if in (0,1), fits each tree on a random row subset.
+	Subsample float64
+	// Lambda is the L2 regularization added to leaf Hessians.
+	Lambda float64
+	// Tree holds the base-learner growth parameters.
+	Tree tree.Config
+	// Seed drives row/column subsampling.
+	Seed uint64
+}
+
+// DefaultConfig returns the boosting parameters used across the evaluation
+// (small trees, moderate shrinkage — tuned once as in paper §6).
+func DefaultConfig() Config {
+	return Config{
+		NumTrees:     50,
+		LearningRate: 0.1,
+		Subsample:    1.0,
+		Lambda:       1.0,
+		Tree:         tree.Config{MaxDepth: 3, MinLeaf: 3, MinSplit: 6},
+	}
+}
+
+func (c *Config) normalize() {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 50
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Lambda < 0 {
+		c.Lambda = 0
+	}
+	if c.Tree.MaxDepth <= 0 {
+		c.Tree = tree.Config{MaxDepth: 3, MinLeaf: 3, MinSplit: 6}
+	}
+}
+
+// Model is a fitted boosted ensemble. Raw output is
+// init + lr * sum_i tree_i(x); interpretation (latency, log-odds) depends on
+// the loss used at fit time.
+type Model struct {
+	Init  float64
+	LR    float64
+	Trees []*tree.Regressor
+	// Logistic records whether Predict output is a log-odds score.
+	Logistic bool
+}
+
+// Predict returns the raw ensemble output for x.
+func (m *Model) Predict(x []float64) float64 {
+	f := m.Init
+	for _, t := range m.Trees {
+		f += m.LR * t.Predict(x)
+	}
+	return f
+}
+
+// PredictBatch returns raw outputs for all rows of X.
+func (m *Model) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// FeatureImportance returns per-feature split frequencies over the
+// ensemble, normalized to sum to 1 (all zeros if no splits occurred).
+// ncols must match the training width.
+func (m *Model) FeatureImportance(ncols int) []float64 {
+	imp := make([]float64, ncols)
+	for _, t := range m.Trees {
+		t.AddFeatureImportance(imp)
+	}
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// PredictProb maps the raw output through the logistic function; it is only
+// meaningful for models fitted with FitClassifier.
+func (m *Model) PredictProb(x []float64) float64 {
+	return sigmoid(m.Predict(x))
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// lossFuncs supplies per-sample gradient and Hessian of the loss at the
+// current predictions f.
+type lossFuncs func(f []float64, g, h []float64)
+
+// fitNewton runs the shared boosting loop.
+func fitNewton(X [][]float64, n int, init float64, loss lossFuncs, cfg Config) (*Model, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("gbt: empty training set")
+	}
+	cfg.normalize()
+	rng := stats.NewRNG(cfg.Seed ^ 0x9bdb)
+	m := &Model{Init: init, LR: cfg.LearningRate}
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = init
+	}
+	g := make([]float64, n)
+	h := make([]float64, n)
+	negG := make([]float64, n)
+	for round := 0; round < cfg.NumTrees; round++ {
+		loss(f, g, h)
+		for i := range g {
+			negG[i] = -g[i]
+		}
+		// Row subsampling.
+		trainX := X
+		trainT := negG
+		var rows []int
+		if cfg.Subsample > 0 && cfg.Subsample < 1 {
+			k := int(cfg.Subsample*float64(n) + 0.5)
+			if k < 1 {
+				k = 1
+			}
+			rows = rng.Sample(n, k)
+			trainX = make([][]float64, k)
+			trainT = make([]float64, k)
+			for j, r := range rows {
+				trainX[j] = X[r]
+				trainT[j] = negG[r]
+			}
+		}
+		tcfg := cfg.Tree
+		if tcfg.RNG == nil && tcfg.FeatureFrac > 0 && tcfg.FeatureFrac < 1 {
+			tcfg.RNG = rng.Split()
+		}
+		tr, err := tree.Fit(trainX, trainT, nil, tcfg)
+		if err != nil {
+			return nil, err
+		}
+		// Newton leaf refit over the FULL data: value_j = -G_j/(H_j+lambda).
+		leafG := map[int]float64{}
+		leafH := map[int]float64{}
+		for i := 0; i < n; i++ {
+			leaf := tr.LeafIndex(X[i])
+			leafG[leaf] += g[i]
+			leafH[leaf] += h[i]
+		}
+		tr.AdjustLeaves(func(leaf int, old float64) float64 {
+			G, H := leafG[leaf], leafH[leaf]
+			if H+cfg.Lambda <= 0 {
+				return 0
+			}
+			return -G / (H + cfg.Lambda)
+		})
+		for i := 0; i < n; i++ {
+			f[i] += cfg.LearningRate * tr.Predict(X[i])
+		}
+		m.Trees = append(m.Trees, tr)
+	}
+	return m, nil
+}
+
+// FitRegressor fits a squared-loss boosted regressor (the GBTR baseline).
+func FitRegressor(X [][]float64, y []float64, cfg Config) (*Model, error) {
+	if len(y) != len(X) {
+		return nil, fmt.Errorf("gbt: %d targets for %d rows", len(y), len(X))
+	}
+	init := stats.Mean(y)
+	loss := func(f []float64, g, h []float64) {
+		for i := range f {
+			g[i] = f[i] - y[i]
+			h[i] = 1
+		}
+	}
+	return fitNewton(X, len(X), init, loss, cfg)
+}
+
+// FitClassifier fits a logistic-loss boosted classifier. y must be 0/1.
+func FitClassifier(X [][]float64, y []float64, cfg Config) (*Model, error) {
+	if len(y) != len(X) {
+		return nil, fmt.Errorf("gbt: %d targets for %d rows", len(y), len(X))
+	}
+	pos := 0.0
+	for _, v := range y {
+		if v != 0 && v != 1 {
+			return nil, fmt.Errorf("gbt: classifier target must be 0/1, got %v", v)
+		}
+		pos += v
+	}
+	p := (pos + 1) / (float64(len(y)) + 2) // Laplace-smoothed base rate
+	init := math.Log(p / (1 - p))
+	loss := func(f []float64, g, h []float64) {
+		for i := range f {
+			pi := sigmoid(f[i])
+			g[i] = pi - y[i]
+			h[i] = math.Max(pi*(1-pi), 1e-6)
+		}
+	}
+	m, err := fitNewton(X, len(X), init, loss, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.Logistic = true
+	return m, nil
+}
+
+// FitTobit fits the Grabit model: gradient-boosted trees under a censored
+// Gaussian (Tobit) likelihood. censored[i] marks right-censored rows, whose
+// y[i] is the censoring point (the latency observed so far), not the true
+// value. sigma is the Gaussian noise scale; pass 0 to estimate it from the
+// uncensored residual spread around the mean.
+func FitTobit(X [][]float64, y []float64, censored []bool, sigma float64, cfg Config) (*Model, error) {
+	if len(y) != len(X) || len(censored) != len(X) {
+		return nil, fmt.Errorf("gbt: tobit shape mismatch (%d rows, %d targets, %d flags)",
+			len(X), len(y), len(censored))
+	}
+	var unc []float64
+	for i, c := range censored {
+		if !c {
+			unc = append(unc, y[i])
+		}
+	}
+	if len(unc) == 0 {
+		return nil, fmt.Errorf("gbt: tobit requires at least one uncensored row")
+	}
+	// Standardize targets so the loss Hessians are O(1) and the leaf
+	// regularizer Lambda acts at a scale-free magnitude; predictions are
+	// mapped back to the original scale after fitting.
+	shift := stats.Mean(unc)
+	spread := stats.StdDev(unc)
+	if spread <= 0 {
+		spread = 1
+	}
+	ys := make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = (v - shift) / spread
+	}
+	if sigma <= 0 {
+		sigma = 1 // std of standardized uncensored targets
+	} else {
+		sigma /= spread
+	}
+	s2 := sigma * sigma
+	loss := func(f []float64, g, h []float64) {
+		for i := range f {
+			if !censored[i] {
+				g[i] = (f[i] - ys[i]) / s2
+				h[i] = 1 / s2
+				continue
+			}
+			// Right-censored at c=ys[i]: nll = -log(1 - Phi((c-f)/sigma)).
+			z := (ys[i] - f[i]) / sigma
+			lam := hazard(z)
+			g[i] = -lam / sigma
+			hh := lam * (lam - z) / s2
+			if hh < 1e-9 {
+				hh = 1e-9
+			}
+			h[i] = hh
+		}
+	}
+	m, err := fitNewton(X, len(X), 0, loss, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Map the ensemble back to the original target scale.
+	m.Init = m.Init*spread + shift
+	for _, t := range m.Trees {
+		t.ScaleLeaves(spread)
+	}
+	return m, nil
+}
+
+// hazard returns phi(z)/(1-Phi(z)) with care at the tails (the inverse Mills
+// ratio of -z).
+func hazard(z float64) float64 {
+	if z > 8 {
+		// Asymptotic: lambda(z) ~ z for large z.
+		return z
+	}
+	denom := 1 - stats.NormalCDF(z)
+	if denom < 1e-300 {
+		return z
+	}
+	return stats.NormalPDF(z) / denom
+}

@@ -1,0 +1,225 @@
+package gbt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// makeRegressionData builds y = 3*x0 - 2*x1 + noise.
+func makeRegressionData(n int, noise float64, seed uint64) ([][]float64, []float64) {
+	rng := stats.NewRNG(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64() * 4, rng.Float64() * 4}
+		y[i] = 3*X[i][0] - 2*X[i][1] + rng.Normal(0, noise)
+	}
+	return X, y
+}
+
+func mse(m *Model, X [][]float64, y []float64) float64 {
+	s := 0.0
+	for i, x := range X {
+		d := m.Predict(x) - y[i]
+		s += d * d
+	}
+	return s / float64(len(X))
+}
+
+func TestRegressorLearns(t *testing.T) {
+	X, y := makeRegressionData(500, 0.1, 1)
+	cfg := DefaultConfig()
+	m, err := FitRegressor(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := stats.Variance(y)
+	if got := mse(m, X, y); got > base*0.1 {
+		t.Fatalf("train MSE %v vs target variance %v: model did not learn", got, base)
+	}
+}
+
+func TestRegressorMoreTreesHelp(t *testing.T) {
+	X, y := makeRegressionData(400, 0.1, 2)
+	few := DefaultConfig()
+	few.NumTrees = 5
+	many := DefaultConfig()
+	many.NumTrees = 80
+	mf, err := FitRegressor(X, y, few)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := FitRegressor(X, y, many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse(mm, X, y) >= mse(mf, X, y) {
+		t.Fatal("more boosting rounds should reduce training error")
+	}
+}
+
+func TestRegressorSubsample(t *testing.T) {
+	X, y := makeRegressionData(300, 0.2, 3)
+	cfg := DefaultConfig()
+	cfg.Subsample = 0.7
+	m, err := FitRegressor(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mse(m, X, y); got > stats.Variance(y)*0.3 {
+		t.Fatalf("subsampled model failed to learn: MSE %v", got)
+	}
+}
+
+func TestRegressorDeterministic(t *testing.T) {
+	X, y := makeRegressionData(200, 0.1, 4)
+	cfg := DefaultConfig()
+	cfg.Subsample = 0.8
+	cfg.Seed = 99
+	a, err := FitRegressor(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitRegressor(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		x := X[i]
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same seed produced different models")
+		}
+	}
+}
+
+func TestClassifierSeparable(t *testing.T) {
+	rng := stats.NewRNG(5)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Normal(0, 1), rng.Normal(0, 1)}
+		X = append(X, x)
+		if x[0]+x[1] > 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	m, err := FitClassifier(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range X {
+		p := m.PredictProb(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+		if (p >= 0.5) == (y[i] == 1) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.95 {
+		t.Fatalf("classifier accuracy %v on separable data", acc)
+	}
+	if !m.Logistic {
+		t.Fatal("classifier should mark Logistic output")
+	}
+}
+
+func TestClassifierRejectsBadLabels(t *testing.T) {
+	if _, err := FitClassifier([][]float64{{1}}, []float64{0.5}, DefaultConfig()); err == nil {
+		t.Fatal("expected error for non-binary target")
+	}
+}
+
+func TestTobitRecoversCensoredSignal(t *testing.T) {
+	// True latency = 10 + 5*x. Censor everything above c (right censoring):
+	// plain regression on (y -> min(y, c)) is biased low; the Tobit loss
+	// should recover higher predictions for large x.
+	rng := stats.NewRNG(6)
+	n := 600
+	X := make([][]float64, n)
+	yTrue := make([]float64, n)
+	yObs := make([]float64, n)
+	cens := make([]bool, n)
+	const c = 14.0
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 2
+		X[i] = []float64{x}
+		yTrue[i] = 10 + 5*x + rng.Normal(0, 0.5)
+		if yTrue[i] > c {
+			yObs[i] = c
+			cens[i] = true
+		} else {
+			yObs[i] = yTrue[i]
+		}
+	}
+	cfg := DefaultConfig()
+	tob, err := FitTobit(X, yObs, cens, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := FitRegressor(X, yObs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At x = 1.9 the true mean is 19.5, far above the censor point.
+	xq := []float64{1.9}
+	if tob.Predict(xq) <= naive.Predict(xq) {
+		t.Fatalf("tobit (%v) should exceed naive censored regression (%v) in the censored region",
+			tob.Predict(xq), naive.Predict(xq))
+	}
+	if tob.Predict(xq) <= c {
+		t.Fatalf("tobit prediction %v did not extrapolate past the censor point %v", tob.Predict(xq), c)
+	}
+}
+
+func TestTobitErrors(t *testing.T) {
+	if _, err := FitTobit([][]float64{{1}}, []float64{1}, []bool{true}, 0, DefaultConfig()); err == nil {
+		t.Fatal("expected error when all rows are censored")
+	}
+	if _, err := FitTobit([][]float64{{1}}, []float64{1, 2}, []bool{false}, 0, DefaultConfig()); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestFitRegressorEmpty(t *testing.T) {
+	if _, err := FitRegressor(nil, nil, DefaultConfig()); err == nil {
+		t.Fatal("expected error for empty training set")
+	}
+}
+
+func TestHazardTails(t *testing.T) {
+	// hazard(z) must be positive, increasing, and ~z for large z.
+	prev := 0.0
+	for _, z := range []float64{-3, -1, 0, 1, 3, 6, 10} {
+		h := hazard(z)
+		if h <= 0 {
+			t.Fatalf("hazard(%v) = %v", z, h)
+		}
+		if h < prev {
+			t.Fatalf("hazard not increasing at %v", z)
+		}
+		prev = h
+	}
+	if h := hazard(12); math.Abs(h-12) > 1 {
+		t.Fatalf("hazard tail approximation off: hazard(12)=%v", h)
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	X, y := makeRegressionData(100, 0.1, 7)
+	m, err := FitRegressor(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := m.PredictBatch(X)
+	for i, x := range X {
+		if batch[i] != m.Predict(x) {
+			t.Fatalf("batch[%d] mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package knnindex
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/vecmath"
+)
+
+func randPoints(n, d int, seed uint64) [][]float64 {
+	rng := stats.NewRNG(seed)
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = make([]float64, d)
+		for j := range X[i] {
+			X[i][j] = rng.Normal(0, 1)
+		}
+	}
+	return X
+}
+
+// bruteKNN is the reference implementation.
+func bruteKNN(points [][]float64, q []float64, k, exclude int) []Neighbor {
+	var all []Neighbor
+	for i, p := range points {
+		if i == exclude {
+			continue
+		}
+		all = append(all, Neighbor{Index: i, Dist: vecmath.Dist(q, p)})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Dist < all[b].Dist })
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	X := randPoints(200, 3, 1)
+	ix, err := New(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(2)
+	for trial := 0; trial < 50; trial++ {
+		q := []float64{rng.Normal(0, 1), rng.Normal(0, 1), rng.Normal(0, 1)}
+		k := 1 + rng.Intn(10)
+		got := ix.Query(q, k, -1)
+		want := bruteKNN(X, q, k, -1)
+		if len(got) != len(want) {
+			t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-12 {
+				t.Fatalf("trial %d neighbor %d: dist %v vs %v", trial, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestQueryExcludesSelf(t *testing.T) {
+	X := randPoints(50, 2, 3)
+	ix, _ := New(X)
+	for i := range X {
+		for _, nb := range ix.Query(X[i], 5, i) {
+			if nb.Index == i {
+				t.Fatalf("self index %d returned despite exclusion", i)
+			}
+		}
+	}
+}
+
+func TestQueryAscendingOrder(t *testing.T) {
+	X := randPoints(100, 4, 4)
+	ix, _ := New(X)
+	nb := ix.Query(X[0], 20, 0)
+	for i := 1; i < len(nb); i++ {
+		if nb[i].Dist < nb[i-1].Dist {
+			t.Fatalf("neighbors not sorted at %d", i)
+		}
+	}
+}
+
+func TestQueryKClamped(t *testing.T) {
+	X := randPoints(5, 2, 5)
+	ix, _ := New(X)
+	if got := ix.Query(X[0], 100, -1); len(got) != 5 {
+		t.Fatalf("expected 5 neighbors, got %d", len(got))
+	}
+	if got := ix.Query(X[0], 100, 0); len(got) != 4 {
+		t.Fatalf("expected 4 neighbors with exclusion, got %d", len(got))
+	}
+	if got := ix.Query(X[0], 0, -1); got != nil {
+		t.Fatalf("k=0 should return nil, got %v", got)
+	}
+}
+
+func TestKDist(t *testing.T) {
+	X := [][]float64{{0}, {1}, {3}, {7}}
+	ix, _ := New(X)
+	if d := ix.KDist([]float64{0}, 2, 0); d != 3 {
+		t.Fatalf("KDist = %v, want 3 (neighbors at 1 and 3)", d)
+	}
+}
+
+func TestNewEmptyErrors(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("expected error on empty point set")
+	}
+}
+
+func TestQueryPropertyAgainstBrute(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 2 + rng.Intn(60)
+		d := 1 + rng.Intn(4)
+		X := randPoints(n, d, seed^0xabc)
+		ix, err := New(X)
+		if err != nil {
+			return false
+		}
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.Normal(0, 2)
+		}
+		k := 1 + rng.Intn(n)
+		got := ix.Query(q, k, -1)
+		want := bruteKNN(X, q, k, -1)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package linmodel implements the linear models used by the reproduction:
+// L2-regularized logistic regression (NURD's propensity-score estimator g_t
+// and the PU-EN base classifier), a Pegasos-style linear SVM (Wrangler and
+// PU-BG), and ridge regression (Tobit initialization and the PCA detector's
+// helper solves).
+package linmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/vecmath"
+)
+
+// LogisticConfig controls logistic-regression training.
+type LogisticConfig struct {
+	// L2 is the ridge penalty on weights (not the intercept).
+	L2 float64
+	// LR is the initial gradient-descent step size.
+	LR float64
+	// Iters is the number of full-batch gradient steps.
+	Iters int
+	// Tol stops early when the gradient norm falls below it.
+	Tol float64
+	// ClassWeight, if non-nil, maps label (0 or 1) to a sample weight.
+	ClassWeight map[int]float64
+	// Balanced, when true and ClassWeight is nil, weights each class by
+	// n/(2*n_class) so a skewed split does not dominate the intercept.
+	Balanced bool
+}
+
+// DefaultLogisticConfig returns settings adequate for the low-dimensional
+// feature spaces in the traces (d <= 15).
+func DefaultLogisticConfig() LogisticConfig {
+	return LogisticConfig{L2: 1e-3, LR: 0.5, Iters: 200, Tol: 1e-6}
+}
+
+// Logistic is a fitted logistic-regression model over standardized inputs.
+type Logistic struct {
+	W    []float64
+	B    float64
+	Mean []float64
+	Std  []float64
+}
+
+// FitLogistic trains P(y=1|x) with full-batch gradient descent with simple
+// backtracking on the step size. y must be 0/1. Features are standardized
+// internally; callers pass raw features.
+func FitLogistic(X [][]float64, y []float64, cfg LogisticConfig) (*Logistic, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("linmodel: empty training set")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("linmodel: %d labels for %d rows", len(y), n)
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 200
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.5
+	}
+	mean, std := vecmath.ColumnStats(X)
+	Z := vecmath.Standardize(X, mean, std)
+	d := len(Z[0])
+	w := make([]float64, d)
+	b := 0.0
+	if cfg.ClassWeight == nil && cfg.Balanced {
+		n1 := 0.0
+		for _, v := range y {
+			n1 += v
+		}
+		n0 := float64(n) - n1
+		if n0 > 0 && n1 > 0 {
+			cfg.ClassWeight = map[int]float64{
+				0: float64(n) / (2 * n0),
+				1: float64(n) / (2 * n1),
+			}
+		}
+	}
+	sw := make([]float64, n)
+	totW := 0.0
+	for i := range sw {
+		sw[i] = 1
+		if cfg.ClassWeight != nil {
+			if cw, ok := cfg.ClassWeight[int(y[i])]; ok {
+				sw[i] = cw
+			}
+		}
+		totW += sw[i]
+	}
+	gw := make([]float64, d)
+	lr := cfg.LR
+	prevLoss := math.Inf(1)
+	for it := 0; it < cfg.Iters; it++ {
+		for j := range gw {
+			gw[j] = 0
+		}
+		gb := 0.0
+		loss := 0.0
+		for i := 0; i < n; i++ {
+			z := vecmath.Dot(w, Z[i]) + b
+			p := sigmoid(z)
+			e := (p - y[i]) * sw[i]
+			for j := 0; j < d; j++ {
+				gw[j] += e * Z[i][j]
+			}
+			gb += e
+			loss += sw[i] * logLoss(y[i], z)
+		}
+		for j := 0; j < d; j++ {
+			gw[j] = gw[j]/totW + cfg.L2*w[j]
+			loss += 0.5 * cfg.L2 * w[j] * w[j]
+		}
+		gb /= totW
+		gnorm := math.Abs(gb)
+		for j := 0; j < d; j++ {
+			gnorm += math.Abs(gw[j])
+		}
+		if gnorm < cfg.Tol {
+			break
+		}
+		// Crude backtracking: if loss went up, halve the step and continue.
+		if loss > prevLoss {
+			lr *= 0.5
+			if lr < 1e-6 {
+				break
+			}
+		}
+		prevLoss = loss
+		for j := 0; j < d; j++ {
+			w[j] -= lr * gw[j]
+		}
+		b -= lr * gb
+	}
+	return &Logistic{W: w, B: b, Mean: mean, Std: std}, nil
+}
+
+// Prob returns P(y=1|x).
+func (m *Logistic) Prob(x []float64) float64 {
+	z := m.B
+	for j := range m.W {
+		z += m.W[j] * (x[j] - m.Mean[j]) / m.Std[j]
+	}
+	return sigmoid(z)
+}
+
+// ProbBatch returns P(y=1|x) for each row.
+func (m *Logistic) ProbBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Prob(x)
+	}
+	return out
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// logLoss returns the logistic loss of label y in {0,1} at logit z,
+// computed stably.
+func logLoss(y, z float64) float64 {
+	// loss = log(1+exp(z)) - y*z
+	var lse float64
+	if z > 0 {
+		lse = z + math.Log1p(math.Exp(-z))
+	} else {
+		lse = math.Log1p(math.Exp(z))
+	}
+	return lse - y*z
+}
+
+// Ridge solves min ||Xw + b - y||^2 + l2*||w||^2 in closed form via the
+// normal equations (intercept unpenalized, handled by centering).
+func Ridge(X [][]float64, y []float64, l2 float64) (w []float64, b float64, err error) {
+	n := len(X)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("linmodel: empty training set")
+	}
+	d := len(X[0])
+	xm := vecmath.Centroid(X)
+	ym := stats.Mean(y)
+	// A = Xc' Xc + l2 I ; rhs = Xc' yc
+	A := make([][]float64, d)
+	for i := range A {
+		A[i] = make([]float64, d)
+	}
+	rhs := make([]float64, d)
+	for r := 0; r < n; r++ {
+		yc := y[r] - ym
+		for i := 0; i < d; i++ {
+			xi := X[r][i] - xm[i]
+			rhs[i] += xi * yc
+			for j := i; j < d; j++ {
+				A[i][j] += xi * (X[r][j] - xm[j])
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			A[j][i] = A[i][j]
+		}
+		A[i][i] += l2 + 1e-9
+	}
+	w, err = vecmath.SolveSPD(A, rhs)
+	if err != nil {
+		return nil, 0, err
+	}
+	b = ym - vecmath.Dot(w, xm)
+	return w, b, nil
+}

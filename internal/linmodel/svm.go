@@ -1,0 +1,119 @@
+package linmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/vecmath"
+)
+
+// SVMConfig controls linear-SVM training.
+type SVMConfig struct {
+	// Lambda is the Pegasos regularization strength (larger = more
+	// regularized).
+	Lambda float64
+	// Epochs is the number of passes over the data.
+	Epochs int
+	// Seed drives the sampling order.
+	Seed uint64
+	// ClassWeight, if non-nil, maps label (0 or 1) to a hinge-loss weight,
+	// used to compensate class imbalance.
+	ClassWeight map[int]float64
+}
+
+// DefaultSVMConfig returns Pegasos settings adequate for trace-scale data.
+func DefaultSVMConfig() SVMConfig {
+	return SVMConfig{Lambda: 1e-3, Epochs: 20}
+}
+
+// SVM is a fitted linear support-vector classifier over standardized
+// features. Labels at fit time are 0/1; Decision returns the signed margin
+// and Predict thresholds it at zero.
+type SVM struct {
+	W    []float64
+	B    float64
+	Mean []float64
+	Std  []float64
+}
+
+// FitSVM trains a linear SVM with the Pegasos stochastic subgradient method
+// (Shalev-Shwartz et al. 2011), the solver style used by Wrangler's linear
+// classifier. y must be 0/1.
+func FitSVM(X [][]float64, y []float64, cfg SVMConfig) (*SVM, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("linmodel: empty training set")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("linmodel: %d labels for %d rows", len(y), n)
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 1e-3
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 20
+	}
+	mean, std := vecmath.ColumnStats(X)
+	Z := vecmath.Standardize(X, mean, std)
+	d := len(Z[0])
+	w := make([]float64, d)
+	b := 0.0
+	rng := stats.NewRNG(cfg.Seed ^ 0x5eed)
+	t := 1
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(n)
+		for _, i := range perm {
+			eta := 1 / (cfg.Lambda * float64(t))
+			t++
+			yi := 2*y[i] - 1 // {-1,+1}
+			cw := 1.0
+			if cfg.ClassWeight != nil {
+				if v, ok := cfg.ClassWeight[int(y[i])]; ok {
+					cw = v
+				}
+			}
+			margin := yi * (vecmath.Dot(w, Z[i]) + b)
+			// Regularization shrink.
+			scale := 1 - eta*cfg.Lambda
+			if scale < 0 {
+				scale = 0
+			}
+			for j := 0; j < d; j++ {
+				w[j] *= scale
+			}
+			if margin < 1 {
+				c := eta * cw * yi
+				for j := 0; j < d; j++ {
+					w[j] += c * Z[i][j]
+				}
+				b += c
+			}
+		}
+	}
+	return &SVM{W: w, B: b, Mean: mean, Std: std}, nil
+}
+
+// Decision returns the signed distance-like margin for x; positive means
+// class 1.
+func (m *SVM) Decision(x []float64) float64 {
+	z := m.B
+	for j := range m.W {
+		z += m.W[j] * (x[j] - m.Mean[j]) / m.Std[j]
+	}
+	return z
+}
+
+// Predict returns 1 if the margin is positive, else 0.
+func (m *SVM) Predict(x []float64) int {
+	if m.Decision(x) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// PlattProb squashes the margin through a logistic link as a cheap
+// probability surrogate (fixed slope; adequate for vote averaging in PU-BG).
+func (m *SVM) PlattProb(x []float64) float64 {
+	return 1 / (1 + math.Exp(-m.Decision(x)))
+}

@@ -1,0 +1,253 @@
+package nurd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// split builds a finished/running partition with the running centroid
+// shifted by gap along every axis.
+func split(nFin, nRun, d int, gap float64, seed uint64) (fin, run [][]float64, finY []float64) {
+	rng := stats.NewRNG(seed)
+	for i := 0; i < nFin; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = 1 + rng.Normal(0, 0.3)
+		}
+		fin = append(fin, row)
+		finY = append(finY, 10+rng.Normal(0, 1))
+	}
+	for i := 0; i < nRun; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = 1 + gap + rng.Normal(0, 0.3)
+		}
+		run = append(run, row)
+	}
+	return
+}
+
+func TestInitRequiresBothSets(t *testing.T) {
+	m := New(DefaultConfig())
+	if err := m.Init(nil, [][]float64{{1}}); err == nil {
+		t.Fatal("expected error with empty finished set")
+	}
+	if err := m.Init([][]float64{{1}}, nil); err == nil {
+		t.Fatal("expected error with empty running set")
+	}
+}
+
+func TestRhoDecreasesWithGap(t *testing.T) {
+	finNear, runNear, _ := split(50, 50, 4, 0.1, 1)
+	finFar, runFar, _ := split(50, 50, 4, 3.0, 1)
+	mNear := New(DefaultConfig())
+	if err := mNear.Init(finNear, runNear); err != nil {
+		t.Fatal(err)
+	}
+	mFar := New(DefaultConfig())
+	if err := mFar.Init(finFar, runFar); err != nil {
+		t.Fatal(err)
+	}
+	if mFar.Rho() >= mNear.Rho() {
+		t.Fatalf("rho should shrink with centroid gap: far %v >= near %v", mFar.Rho(), mNear.Rho())
+	}
+}
+
+func TestDeltaMonotoneInRho(t *testing.T) {
+	// delta = alpha/(1+rho): positive and decreasing in rho.
+	fin1, run1, _ := split(50, 50, 3, 0.2, 2)
+	fin2, run2, _ := split(50, 50, 3, 4.0, 2)
+	a := New(DefaultConfig())
+	b := New(DefaultConfig())
+	if err := a.Init(fin1, run1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Init(fin2, run2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Delta() <= 0 || b.Delta() <= 0 {
+		t.Fatalf("delta must be positive: %v %v", a.Delta(), b.Delta())
+	}
+	if b.Rho() < a.Rho() && b.Delta() < a.Delta() {
+		t.Fatalf("delta not decreasing in rho: rho %v->%v delta %v->%v",
+			a.Rho(), b.Rho(), a.Delta(), b.Delta())
+	}
+}
+
+func TestUpdateBeforeInitFails(t *testing.T) {
+	m := New(DefaultConfig())
+	if err := m.Update([][]float64{{1}}, []float64{1}, [][]float64{{2}}); err == nil {
+		t.Fatal("expected error before Init")
+	}
+}
+
+func TestPredictBeforeUpdateFails(t *testing.T) {
+	fin, run, _ := split(20, 20, 2, 1, 3)
+	m := New(DefaultConfig())
+	if err := m.Init(fin, run); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict(run[0]); err == nil {
+		t.Fatal("expected error before Update")
+	}
+}
+
+func TestWeightBounds(t *testing.T) {
+	fin, run, finY := split(80, 40, 4, 2, 4)
+	cfg := DefaultConfig()
+	m := New(cfg)
+	if err := m.Init(fin, run); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(fin, finY, run); err != nil {
+		t.Fatal(err)
+	}
+	check := func(x []float64) {
+		p, err := m.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Weight < cfg.Epsilon-1e-12 || p.Weight > 1+1e-12 {
+			t.Fatalf("weight %v outside [eps, 1]", p.Weight)
+		}
+		if p.Adjusted < p.Latency-1e-9 {
+			t.Fatalf("adjusted %v below raw %v: weighting must only dilate", p.Adjusted, p.Latency)
+		}
+		if p.Propensity < 0 || p.Propensity > 1 {
+			t.Fatalf("propensity %v out of range", p.Propensity)
+		}
+	}
+	for _, x := range fin[:10] {
+		check(x)
+	}
+	for _, x := range run[:10] {
+		check(x)
+	}
+}
+
+func TestDissimilarTasksDilatedMore(t *testing.T) {
+	// Running tasks far from the finished cluster must receive smaller
+	// weights (greater dilation) than tasks resembling finished ones.
+	fin, run, finY := split(100, 50, 4, 3, 5)
+	m := New(DefaultConfig())
+	if err := m.Init(fin, run); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(fin, finY, run); err != nil {
+		t.Fatal(err)
+	}
+	pFin, err := m.Predict(fin[0]) // looks finished
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRun, err := m.Predict(run[0]) // looks like the shifted running group
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pRun.Weight >= pFin.Weight {
+		t.Fatalf("shifted task weight %v >= finished-like weight %v", pRun.Weight, pFin.Weight)
+	}
+	if pRun.Adjusted/pRun.Latency <= pFin.Adjusted/pFin.Latency {
+		t.Fatal("shifted task should be dilated more")
+	}
+}
+
+func TestNCDisablesCalibration(t *testing.T) {
+	fin, run, finY := split(60, 30, 3, 1, 6)
+	cfg := DefaultConfig()
+	cfg.Calibrate = false
+	m := New(cfg)
+	if err := m.Init(fin, run); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(fin, finY, run); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Predict(run[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without calibration w = clip(z): given z in (eps, 1) the weight equals
+	// the propensity exactly.
+	want := p.Propensity
+	if want > 1 {
+		want = 1
+	}
+	if want < cfg.Epsilon {
+		want = cfg.Epsilon
+	}
+	if math.Abs(p.Weight-want) > 1e-12 {
+		t.Fatalf("NC weight %v != clipped propensity %v", p.Weight, want)
+	}
+}
+
+func TestIsStragglerThreshold(t *testing.T) {
+	fin, run, finY := split(60, 30, 3, 2, 7)
+	m := New(DefaultConfig())
+	if err := m.Init(fin, run); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(fin, finY, run); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := m.Predict(run[0])
+	below, err := m.IsStraggler(run[0], p.Adjusted+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below {
+		t.Fatal("threshold above adjusted prediction must not flag")
+	}
+	above, err := m.IsStraggler(run[0], p.Adjusted-1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !above {
+		t.Fatal("threshold below adjusted prediction must flag")
+	}
+}
+
+func TestLogFeaturesMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		a, b = math.Abs(a), math.Abs(b)
+		la := logFeatures([]float64{a})[0]
+		lb := logFeatures([]float64{b})[0]
+		if a < b {
+			return la <= lb
+		}
+		return la >= lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightInvariantProperty(t *testing.T) {
+	fin, run, finY := split(60, 40, 3, 1.5, 8)
+	m := New(DefaultConfig())
+	if err := m.Init(fin, run); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(fin, finY, run); err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(9)
+	f := func(seed uint64) bool {
+		x := []float64{rng.Normal(1, 2), rng.Normal(1, 2), rng.Normal(1, 2)}
+		p, err := m.Predict(x)
+		if err != nil {
+			return false
+		}
+		return p.Weight >= 0.05-1e-12 && p.Weight <= 1+1e-12 &&
+			!math.IsNaN(p.Adjusted) && !math.IsInf(p.Adjusted, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package nurd
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/vecmath"
+)
+
+// The paper's §8 sketches transfer learning as future work: "apply transfer
+// learning to incorporate knowledge from other jobs to improve predictions".
+// TransferStore implements that extension. After each job finishes, its
+// fitted NURD models are archived together with a normalized feature
+// signature; when a new job is still too young to train on (the cold-start
+// window where plain NURD must defer), the most similar archived job's
+// models stand in, with latency predictions rescaled by the ratio of the
+// jobs' early median latencies. Once the new job accumulates enough of its
+// own finished tasks, NURD switches to its per-job models exactly as in
+// Algorithm 1 — transfer only fills the cold start.
+type TransferStore struct {
+	mu      sync.Mutex
+	entries []transferEntry
+	// MaxEntries bounds the archive (oldest evicted first). Zero means 64.
+	MaxEntries int
+}
+
+type transferEntry struct {
+	signature []float64 // direction (unit) of the warmup feature centroid
+	scale     float64   // early median finished latency of the source job
+	model     *Model    // fitted models from the end of the source job
+}
+
+// NewTransferStore returns an empty archive.
+func NewTransferStore() *TransferStore {
+	return &TransferStore{MaxEntries: 64}
+}
+
+// Len reports the number of archived jobs.
+func (ts *TransferStore) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.entries)
+}
+
+// Archive stores a finished job's fitted model. centroid is the job's
+// feature centroid (any consistent checkpoint); scale is its early median
+// finished latency, used to rescale transferred predictions. Models without
+// a fitted latency predictor are ignored.
+func (ts *TransferStore) Archive(m *Model, centroid []float64, scale float64) {
+	if m == nil || m.h == nil || len(centroid) == 0 || scale <= 0 {
+		return
+	}
+	sig := unit(centroid)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.entries = append(ts.entries, transferEntry{signature: sig, scale: scale, model: m})
+	max := ts.MaxEntries
+	if max <= 0 {
+		max = 64
+	}
+	if len(ts.entries) > max {
+		ts.entries = ts.entries[len(ts.entries)-max:]
+	}
+}
+
+// Nearest returns the archived model whose signature has the highest cosine
+// similarity with centroid, along with the latency rescaling factor
+// newScale/sourceScale, or ok=false when the archive is empty or no entry
+// matches the feature width.
+func (ts *TransferStore) Nearest(centroid []float64, newScale float64) (m *Model, rescale float64, ok bool) {
+	if len(centroid) == 0 || newScale <= 0 {
+		return nil, 0, false
+	}
+	sig := unit(centroid)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	best := -math.MaxFloat64
+	for _, e := range ts.entries {
+		if len(e.signature) != len(sig) {
+			continue
+		}
+		if cos := vecmath.Dot(sig, e.signature); cos > best {
+			best = cos
+			m = e.model
+			rescale = newScale / e.scale
+		}
+	}
+	return m, rescale, m != nil
+}
+
+func unit(v []float64) []float64 {
+	n := vecmath.Norm2(v)
+	out := make([]float64, len(v))
+	if n <= 0 {
+		return out
+	}
+	for i, x := range v {
+		out[i] = x / n
+	}
+	return out
+}
+
+// TransferPredict evaluates one running task with an archived model,
+// rescaling the latency prediction into the new job's units. The
+// propensity/weighting machinery is the source job's — the transferred
+// model can only approximate it, which is why transfer serves the
+// cold-start window rather than replacing per-job training.
+func TransferPredict(src *Model, rescale float64, x []float64) (Prediction, error) {
+	if src == nil || src.h == nil {
+		return Prediction{}, fmt.Errorf("nurd: transfer source has no fitted model")
+	}
+	p, err := src.Predict(x)
+	if err != nil {
+		return Prediction{}, err
+	}
+	p.Latency *= rescale
+	p.Adjusted *= rescale
+	return p, nil
+}

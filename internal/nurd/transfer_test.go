@@ -1,0 +1,125 @@
+package nurd
+
+import (
+	"math"
+	"testing"
+)
+
+func fittedModel(t *testing.T, gap float64, seed uint64) (*Model, [][]float64) {
+	t.Helper()
+	fin, run, finY := split(80, 40, 4, gap, seed)
+	m := New(DefaultConfig())
+	if err := m.Init(fin, run); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(fin, finY, run); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([][]float64{}, fin...), run...)
+	return m, all
+}
+
+func TestTransferStoreEmpty(t *testing.T) {
+	ts := NewTransferStore()
+	if ts.Len() != 0 {
+		t.Fatal("new store not empty")
+	}
+	if _, _, ok := ts.Nearest([]float64{1, 2, 3, 4}, 10); ok {
+		t.Fatal("empty store returned a match")
+	}
+}
+
+func TestTransferArchiveAndNearest(t *testing.T) {
+	ts := NewTransferStore()
+	mA, _ := fittedModel(t, 3, 1)
+	mB, _ := fittedModel(t, 3, 2)
+	// Two source jobs with very different signatures.
+	ts.Archive(mA, []float64{1, 0, 0, 0}, 10)
+	ts.Archive(mB, []float64{0, 0, 0, 1}, 20)
+	if ts.Len() != 2 {
+		t.Fatalf("store size %d", ts.Len())
+	}
+	got, rescale, ok := ts.Nearest([]float64{0.9, 0.1, 0, 0}, 30)
+	if !ok {
+		t.Fatal("no match")
+	}
+	if got != mA {
+		t.Fatal("nearest picked the wrong source")
+	}
+	if math.Abs(rescale-3) > 1e-12 {
+		t.Fatalf("rescale %v, want 30/10", rescale)
+	}
+	got, rescale, ok = ts.Nearest([]float64{0, 0, 0.1, 0.9}, 40)
+	if !ok || got != mB || math.Abs(rescale-2) > 1e-12 {
+		t.Fatalf("second lookup wrong: ok=%v rescale=%v", ok, rescale)
+	}
+}
+
+func TestTransferArchiveIgnoresUnfitted(t *testing.T) {
+	ts := NewTransferStore()
+	ts.Archive(New(DefaultConfig()), []float64{1}, 10) // no fitted h
+	ts.Archive(nil, []float64{1}, 10)
+	mA, _ := fittedModel(t, 2, 3)
+	ts.Archive(mA, nil, 10)                  // no centroid
+	ts.Archive(mA, []float64{1, 2, 3, 4}, 0) // no scale
+	if ts.Len() != 0 {
+		t.Fatalf("store accepted invalid entries: %d", ts.Len())
+	}
+}
+
+func TestTransferEviction(t *testing.T) {
+	ts := NewTransferStore()
+	ts.MaxEntries = 3
+	m, _ := fittedModel(t, 2, 4)
+	for i := 0; i < 10; i++ {
+		ts.Archive(m, []float64{1, 2, 3, 4}, float64(i+1))
+	}
+	if ts.Len() != 3 {
+		t.Fatalf("eviction failed: %d entries", ts.Len())
+	}
+	// Latest entries survive: nearest rescale uses scale 10, 9, or 8.
+	_, rescale, ok := ts.Nearest([]float64{1, 2, 3, 4}, 10)
+	if !ok || rescale > 10.0/8+1e-9 {
+		t.Fatalf("old entries survived eviction: rescale %v", rescale)
+	}
+}
+
+func TestTransferPredictRescales(t *testing.T) {
+	m, all := fittedModel(t, 2, 5)
+	x := all[0]
+	base, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := TransferPredict(m, 2.5, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tp.Latency-2.5*base.Latency) > 1e-9 {
+		t.Fatalf("latency not rescaled: %v vs %v", tp.Latency, base.Latency)
+	}
+	if math.Abs(tp.Adjusted-2.5*base.Adjusted) > 1e-9 {
+		t.Fatalf("adjusted not rescaled")
+	}
+	if tp.Weight != base.Weight {
+		t.Fatalf("weight must not change under transfer")
+	}
+}
+
+func TestTransferPredictUnfitted(t *testing.T) {
+	if _, err := TransferPredict(New(DefaultConfig()), 1, []float64{1}); err == nil {
+		t.Fatal("expected error for unfitted source")
+	}
+	if _, err := TransferPredict(nil, 1, []float64{1}); err == nil {
+		t.Fatal("expected error for nil source")
+	}
+}
+
+func TestTransferWidthMismatchSkipped(t *testing.T) {
+	ts := NewTransferStore()
+	m, _ := fittedModel(t, 2, 6)
+	ts.Archive(m, []float64{1, 2, 3, 4}, 5)
+	if _, _, ok := ts.Nearest([]float64{1, 2}, 5); ok {
+		t.Fatal("width-mismatched entry should not match")
+	}
+}

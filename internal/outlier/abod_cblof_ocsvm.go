@@ -1,0 +1,335 @@
+package outlier
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/knnindex"
+	"repro/internal/stats"
+	"repro/internal/vecmath"
+)
+
+// ABOD is the angle-based outlier detector of Kriegel, Schubert & Zimek
+// (2008), in its FastABOD form: the variance of the distance-weighted angles
+// between a point and pairs of its k nearest neighbors. Outliers sit at the
+// border of the data cloud, so they see other points under a small,
+// low-variance range of angles; the reported score is the negated variance
+// so larger means more anomalous.
+type ABOD struct {
+	scaledFit
+	K     int
+	index *knnindex.Index
+}
+
+// NewABOD constructs a FastABOD detector with neighborhood size k.
+func NewABOD(k int) *ABOD {
+	if k < 3 {
+		k = 10
+	}
+	return &ABOD{K: k}
+}
+
+// Name implements Detector.
+func (d *ABOD) Name() string { return "ABOD" }
+
+// Fit implements Detector.
+func (d *ABOD) Fit(X [][]float64) error {
+	if err := d.fitScaler(X); err != nil {
+		return err
+	}
+	ix, err := knnindex.New(d.transform(X))
+	if err != nil {
+		return err
+	}
+	d.index = ix
+	return nil
+}
+
+// Scores implements Detector.
+func (d *ABOD) Scores(X [][]float64) []float64 {
+	Z := d.transform(X)
+	out := make([]float64, len(Z))
+	for i, z := range Z {
+		out[i] = -d.abof(z)
+	}
+	return out
+}
+
+// abof computes the angle-based outlier factor (variance of weighted
+// cosines over neighbor pairs).
+func (d *ABOD) abof(q []float64) float64 {
+	nb := d.index.Query(q, d.K, -1)
+	if len(nb) < 2 {
+		return 0
+	}
+	var vals, weights []float64
+	for a := 0; a < len(nb); a++ {
+		pa := vecmath.Sub(d.index.Point(nb[a].Index), q)
+		na := vecmath.Norm2(pa)
+		if na < 1e-12 {
+			continue
+		}
+		for b := a + 1; b < len(nb); b++ {
+			pb := vecmath.Sub(d.index.Point(nb[b].Index), q)
+			nbn := vecmath.Norm2(pb)
+			if nbn < 1e-12 {
+				continue
+			}
+			cos := vecmath.Dot(pa, pb) / (na * na * nbn * nbn)
+			w := 1 / (na * nbn)
+			vals = append(vals, cos)
+			weights = append(weights, w)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	// Weighted variance.
+	sw, swx, swx2 := 0.0, 0.0, 0.0
+	for i, v := range vals {
+		w := weights[i]
+		sw += w
+		swx += w * v
+		swx2 += w * v * v
+	}
+	mean := swx / sw
+	return swx2/sw - mean*mean
+}
+
+// CBLOF is the cluster-based local outlier factor of He, Xu & Deng (2003):
+// k-means clusters are split into large and small by the alpha/beta rule,
+// and each point is scored by its distance to the nearest large cluster's
+// centroid.
+type CBLOF struct {
+	scaledFit
+	K     int
+	Alpha float64
+	Beta  float64
+	Seed  uint64
+	// large holds the centroids of clusters classified as large.
+	large [][]float64
+}
+
+// NewCBLOF constructs a CBLOF detector with k clusters and the paper's
+// alpha (fraction of points in large clusters) and beta (size ratio) rules.
+func NewCBLOF(k int, alpha, beta float64, seed uint64) *CBLOF {
+	if k < 2 {
+		k = 8
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.9
+	}
+	if beta <= 1 {
+		beta = 5
+	}
+	return &CBLOF{K: k, Alpha: alpha, Beta: beta, Seed: seed}
+}
+
+// Name implements Detector.
+func (d *CBLOF) Name() string { return "CBLOF" }
+
+// Fit implements Detector.
+func (d *CBLOF) Fit(X [][]float64) error {
+	if err := d.fitScaler(X); err != nil {
+		return err
+	}
+	Z := d.transform(X)
+	rng := stats.NewRNG(d.Seed ^ 0xcb10f)
+	res, err := cluster.KMeans(Z, d.K, 50, rng)
+	if err != nil {
+		return err
+	}
+	// Sort cluster indices by size descending.
+	order := make([]int, len(res.Sizes))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && res.Sizes[order[j]] > res.Sizes[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	n := len(Z)
+	// Find the boundary: smallest prefix holding alpha of points, or where
+	// the size ratio jumps by beta.
+	boundary := len(order)
+	acc := 0
+	for i, c := range order {
+		acc += res.Sizes[c]
+		if float64(acc) >= d.Alpha*float64(n) {
+			boundary = i + 1
+			break
+		}
+		if i+1 < len(order) && res.Sizes[order[i+1]] > 0 &&
+			float64(res.Sizes[c])/float64(res.Sizes[order[i+1]]) >= d.Beta {
+			boundary = i + 1
+			break
+		}
+	}
+	if boundary < 1 {
+		boundary = 1
+	}
+	d.large = d.large[:0]
+	for _, c := range order[:boundary] {
+		if res.Sizes[c] > 0 {
+			d.large = append(d.large, res.Centers[c])
+		}
+	}
+	if len(d.large) == 0 {
+		d.large = append(d.large, vecmath.Centroid(Z))
+	}
+	return nil
+}
+
+// Scores implements Detector.
+func (d *CBLOF) Scores(X [][]float64) []float64 {
+	Z := d.transform(X)
+	out := make([]float64, len(Z))
+	for i, z := range Z {
+		best := math.Inf(1)
+		for _, c := range d.large {
+			if dd := vecmath.Dist(z, c); dd < best {
+				best = dd
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// OCSVM is a one-class SVM (Schölkopf et al. 2001) with a Gaussian kernel,
+// approximated by random Fourier features (Rahimi & Recht 2007) and trained
+// by stochastic subgradient descent on the nu-formulation: find (w, rho)
+// separating the lifted data from the origin; the anomaly score is
+// rho - w·phi(x). The kernel bandwidth follows the median-distance
+// heuristic.
+type OCSVM struct {
+	scaledFit
+	Nu     float64
+	Epochs int
+	Seed   uint64
+	// NumFeatures is the random Fourier feature dimension.
+	NumFeatures int
+	w           []float64
+	rho         float64
+	// Random Fourier projection: phi(x) = sqrt(2/D) cos(Wx + b).
+	proj  [][]float64
+	phase []float64
+}
+
+// NewOCSVM constructs a one-class SVM with the given nu (upper bound on the
+// training outlier fraction).
+func NewOCSVM(nu float64, epochs int, seed uint64) *OCSVM {
+	if nu <= 0 || nu >= 1 {
+		nu = 0.1
+	}
+	if epochs <= 0 {
+		epochs = 30
+	}
+	return &OCSVM{Nu: nu, Epochs: epochs, Seed: seed, NumFeatures: 64}
+}
+
+// Name implements Detector.
+func (d *OCSVM) Name() string { return "OCSVM" }
+
+// Fit implements Detector.
+func (d *OCSVM) Fit(X [][]float64) error {
+	if err := d.fitScaler(X); err != nil {
+		return err
+	}
+	Zraw := d.transform(X)
+	n := len(Zraw)
+	dim := len(Zraw[0])
+	rng := stats.NewRNG(d.Seed ^ 0x0c57)
+
+	// Bandwidth: median pairwise distance over a subsample.
+	var dists []float64
+	sub := n
+	if sub > 64 {
+		sub = 64
+	}
+	idx := rng.Sample(n, sub)
+	for a := 0; a < len(idx); a++ {
+		for b := a + 1; b < len(idx); b++ {
+			dists = append(dists, vecmath.Dist(Zraw[idx[a]], Zraw[idx[b]]))
+		}
+	}
+	gamma := 1.0
+	if len(dists) > 0 {
+		med := stats.Median(dists)
+		if med > 1e-9 {
+			gamma = 1 / (2 * med * med)
+		}
+	}
+	// Random Fourier features for exp(-gamma ||x-y||^2).
+	D := d.NumFeatures
+	d.proj = make([][]float64, D)
+	d.phase = make([]float64, D)
+	for f := 0; f < D; f++ {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.Normal(0, math.Sqrt(2*gamma))
+		}
+		d.proj[f] = row
+		d.phase[f] = rng.Uniform(0, 2*math.Pi)
+	}
+	Z := make([][]float64, n)
+	for i, z := range Zraw {
+		Z[i] = d.lift(z)
+	}
+	d.w = make([]float64, D)
+	d.rho = 0
+	// Stochastic subgradient descent on the nu-formulation
+	//   J = lambda/2 ||w||^2 + (1/(nu n)) sum_i max(0, rho - w.x_i) - rho,
+	// using the per-sample estimate (1/nu) max(0, rho - w.x_i) for the sum.
+	const lambda = 0.1
+	t := 1
+	for epoch := 0; epoch < d.Epochs; epoch++ {
+		perm := rng.Perm(n)
+		for _, i := range perm {
+			eta := 1 / (lambda * float64(t))
+			if eta > 0.5 {
+				eta = 0.5
+			}
+			t++
+			margin := vecmath.Dot(d.w, Z[i]) - d.rho
+			shrink := 1 - eta*lambda
+			if shrink < 0 {
+				shrink = 0
+			}
+			for j := range d.w {
+				d.w[j] *= shrink
+			}
+			if margin < 0 {
+				c := eta / d.Nu
+				for j := range d.w {
+					d.w[j] += c * Z[i][j]
+				}
+				d.rho -= c
+			}
+			d.rho += eta // gradient of the -rho term
+		}
+	}
+	return nil
+}
+
+// lift maps a standardized point into random-Fourier-feature space.
+func (d *OCSVM) lift(z []float64) []float64 {
+	D := len(d.proj)
+	out := make([]float64, D)
+	scale := math.Sqrt(2 / float64(D))
+	for f := 0; f < D; f++ {
+		out[f] = scale * math.Cos(vecmath.Dot(d.proj[f], z)+d.phase[f])
+	}
+	return out
+}
+
+// Scores implements Detector.
+func (d *OCSVM) Scores(X [][]float64) []float64 {
+	Z := d.transform(X)
+	out := make([]float64, len(Z))
+	for i, z := range Z {
+		out[i] = d.rho - vecmath.Dot(d.w, d.lift(z))
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+package outlier
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/vecmath"
+)
+
+// HBOS is the histogram-based outlier score of Goldstein & Dengel (2012):
+// per-feature equal-width histograms, score = sum over features of
+// log(1/density).
+type HBOS struct {
+	scaledFit
+	Bins int
+	// edges[j] and dens[j] describe feature j's histogram.
+	edges [][]float64
+	dens  [][]float64
+}
+
+// NewHBOS constructs an HBOS detector with the given bin count per feature.
+func NewHBOS(bins int) *HBOS {
+	if bins < 2 {
+		bins = 10
+	}
+	return &HBOS{Bins: bins}
+}
+
+// Name implements Detector.
+func (d *HBOS) Name() string { return "HBOS" }
+
+// Fit implements Detector.
+func (d *HBOS) Fit(X [][]float64) error {
+	if err := d.fitScaler(X); err != nil {
+		return err
+	}
+	Z := d.transform(X)
+	dim := len(Z[0])
+	d.edges = make([][]float64, dim)
+	d.dens = make([][]float64, dim)
+	col := make([]float64, len(Z))
+	for j := 0; j < dim; j++ {
+		for i := range Z {
+			col[i] = Z[i][j]
+		}
+		edges, counts := stats.Histogram(col, d.Bins)
+		dens := make([]float64, len(counts))
+		n := float64(len(Z))
+		for b, c := range counts {
+			// Laplace smoothing keeps log finite for empty bins.
+			dens[b] = (float64(c) + 0.5) / (n + 0.5*float64(len(counts)))
+		}
+		d.edges[j] = edges
+		d.dens[j] = dens
+	}
+	return nil
+}
+
+// Scores implements Detector.
+func (d *HBOS) Scores(X [][]float64) []float64 {
+	Z := d.transform(X)
+	out := make([]float64, len(Z))
+	for i, z := range Z {
+		s := 0.0
+		for j, v := range z {
+			s += math.Log(1 / d.binDensity(j, v))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func (d *HBOS) binDensity(j int, v float64) float64 {
+	edges := d.edges[j]
+	nb := len(d.dens[j])
+	lo, hi := edges[0], edges[len(edges)-1]
+	w := (hi - lo) / float64(nb)
+	if w <= 0 {
+		return 1
+	}
+	b := int((v - lo) / w)
+	if b < 0 {
+		b = 0
+	}
+	if b >= nb {
+		b = nb - 1
+	}
+	dens := d.dens[j][b]
+	// Out-of-range values get the smallest density seen, scaled down by how
+	// far outside they are, so the score keeps growing with distance.
+	if v < lo || v > hi {
+		excess := math.Max(lo-v, v-hi) / (hi - lo + 1e-12)
+		dens = dens / (1 + excess*10)
+	}
+	return math.Max(dens, 1e-9)
+}
+
+// PCA is the principal-component outlier detector of Shyu et al. (2003):
+// reconstruction error from the components that retain `Retain` of the
+// variance, plus a minor-component Mahalanobis term.
+type PCA struct {
+	scaledFit
+	Retain float64
+	// vectors/values are the eigenpairs of the training covariance.
+	vectors [][]float64
+	values  []float64
+	kept    int
+}
+
+// NewPCA constructs a PCA detector retaining the given variance fraction in
+// the "major" subspace (e.g. 0.9).
+func NewPCA(retain float64) *PCA {
+	if retain <= 0 || retain >= 1 {
+		retain = 0.9
+	}
+	return &PCA{Retain: retain}
+}
+
+// Name implements Detector.
+func (d *PCA) Name() string { return "PCA" }
+
+// Fit implements Detector.
+func (d *PCA) Fit(X [][]float64) error {
+	if err := d.fitScaler(X); err != nil {
+		return err
+	}
+	Z := d.transform(X)
+	cov := vecmath.Covariance(Z)
+	values, vectors := vecmath.SymEigen(cov)
+	d.values = values
+	d.vectors = vectors
+	total := 0.0
+	for _, v := range values {
+		if v > 0 {
+			total += v
+		}
+	}
+	acc := 0.0
+	d.kept = len(values)
+	for i, v := range values {
+		if v > 0 {
+			acc += v
+		}
+		if total > 0 && acc/total >= d.Retain {
+			d.kept = i + 1
+			break
+		}
+	}
+	return nil
+}
+
+// Scores implements Detector: sum over minor components of the squared
+// standardized projection (variance-weighted reconstruction error).
+func (d *PCA) Scores(X [][]float64) []float64 {
+	Z := d.transform(X)
+	out := make([]float64, len(Z))
+	for i, z := range Z {
+		s := 0.0
+		for c := d.kept; c < len(d.vectors); c++ {
+			proj := vecmath.Dot(z, d.vectors[c])
+			lam := d.values[c]
+			if lam < 1e-9 {
+				lam = 1e-9
+			}
+			s += proj * proj / lam
+		}
+		// Degenerate case: all components kept; fall back to full
+		// Mahalanobis so the detector still ranks points.
+		if d.kept == len(d.vectors) {
+			for c := 0; c < len(d.vectors); c++ {
+				proj := vecmath.Dot(z, d.vectors[c])
+				lam := d.values[c]
+				if lam < 1e-9 {
+					lam = 1e-9
+				}
+				s += proj * proj / lam
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MCD estimates a robust covariance by the minimum covariance determinant
+// (Hardin & Rocke 2004, FAST-MCD style with random restarts and C-steps) and
+// scores points by robust Mahalanobis distance.
+type MCD struct {
+	scaledFit
+	// Support is the fraction of points the robust fit covers.
+	Support float64
+	Seed    uint64
+	mean    []float64
+	prec    [][]float64 // inverse covariance
+}
+
+// NewMCD constructs an MCD detector covering the given support fraction.
+func NewMCD(support float64, seed uint64) *MCD {
+	if support <= 0.5 || support > 1 {
+		support = 0.75
+	}
+	return &MCD{Support: support, Seed: seed}
+}
+
+// Name implements Detector.
+func (d *MCD) Name() string { return "MCD" }
+
+// Fit implements Detector.
+func (d *MCD) Fit(X [][]float64) error {
+	if err := d.fitScaler(X); err != nil {
+		return err
+	}
+	Z := d.transform(X)
+	n := len(Z)
+	dim := len(Z[0])
+	h := int(d.Support * float64(n))
+	if h < dim+1 {
+		h = dim + 1
+	}
+	if h > n {
+		h = n
+	}
+	rng := stats.NewRNG(d.Seed ^ 0x3cd)
+
+	bestDet := math.Inf(1)
+	var bestMean []float64
+	var bestCov [][]float64
+
+	restarts := 5
+	for r := 0; r < restarts; r++ {
+		// Start from a random (dim+1)-subset, then C-steps.
+		subset := rng.Sample(n, minInt(h, n))
+		for step := 0; step < 10; step++ {
+			sub := make([][]float64, len(subset))
+			for i, idx := range subset {
+				sub[i] = Z[idx]
+			}
+			mean := vecmath.Centroid(sub)
+			cov := vecmath.Covariance(sub)
+			prec, err := vecmath.Inverse(cov)
+			if err != nil {
+				break
+			}
+			// Mahalanobis distances for all points; keep h smallest.
+			ds := make([]mdPair, n)
+			for i, z := range Z {
+				ds[i] = mdPair{i, mahalanobis(z, mean, prec)}
+			}
+			sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+			newSubset := make([]int, h)
+			for i := 0; i < h; i++ {
+				newSubset[i] = ds[i].idx
+			}
+			if equalInts(newSubset, subset) {
+				subset = newSubset
+				break
+			}
+			subset = newSubset
+		}
+		sub := make([][]float64, len(subset))
+		for i, idx := range subset {
+			sub[i] = Z[idx]
+		}
+		mean := vecmath.Centroid(sub)
+		cov := vecmath.Covariance(sub)
+		det := logDetSPD(cov)
+		if det < bestDet {
+			bestDet = det
+			bestMean = mean
+			bestCov = cov
+		}
+	}
+	if bestMean == nil {
+		bestMean = vecmath.Centroid(Z)
+		bestCov = vecmath.Covariance(Z)
+	}
+	prec, err := vecmath.Inverse(bestCov)
+	if err != nil {
+		// Regularize heavily as a last resort.
+		for i := range bestCov {
+			bestCov[i][i] += 1e-3
+		}
+		prec, err = vecmath.Inverse(bestCov)
+		if err != nil {
+			return err
+		}
+	}
+	d.mean = bestMean
+	d.prec = prec
+	return nil
+}
+
+// Scores implements Detector.
+func (d *MCD) Scores(X [][]float64) []float64 {
+	Z := d.transform(X)
+	out := make([]float64, len(Z))
+	for i, z := range Z {
+		out[i] = mahalanobis(z, d.mean, d.prec)
+	}
+	return out
+}
+
+func mahalanobis(x, mean []float64, prec [][]float64) float64 {
+	diff := vecmath.Sub(x, mean)
+	v := vecmath.MatVec(prec, diff)
+	s := vecmath.Dot(diff, v)
+	if s < 0 {
+		s = 0
+	}
+	return math.Sqrt(s)
+}
+
+func logDetSPD(A [][]float64) float64 {
+	L, err := vecmath.Cholesky(A)
+	if err != nil {
+		return math.Inf(1)
+	}
+	s := 0.0
+	for i := range L {
+		s += math.Log(L[i][i])
+	}
+	return 2 * s
+}
+
+// mdPair pairs a row index with its Mahalanobis distance during C-steps.
+type mdPair struct {
+	idx int
+	d   float64
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int]struct{}, len(a))
+	for _, v := range a {
+		seen[v] = struct{}{}
+	}
+	for _, v := range b {
+		if _, ok := seen[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+package outlier
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// IForest is the isolation forest of Liu, Ting & Zhou (2008): an ensemble of
+// random isolation trees; anomalies isolate in fewer splits, so the score is
+// 2^(-E[pathLen]/c(n)).
+type IForest struct {
+	scaledFit
+	NumTrees   int
+	SampleSize int
+	Seed       uint64
+	trees      []*isoTree
+	c          float64
+}
+
+// NewIForest constructs an isolation forest with the given ensemble size and
+// subsample size (clamped to the data size at fit time).
+func NewIForest(numTrees, sampleSize int, seed uint64) *IForest {
+	if numTrees < 1 {
+		numTrees = 100
+	}
+	if sampleSize < 2 {
+		sampleSize = 256
+	}
+	return &IForest{NumTrees: numTrees, SampleSize: sampleSize, Seed: seed}
+}
+
+// Name implements Detector.
+func (d *IForest) Name() string { return "IFOREST" }
+
+type isoNode struct {
+	feature     int
+	threshold   float64
+	left, right int32
+	size        int // leaf: number of training points that landed here
+}
+
+type isoTree struct {
+	nodes []isoNode
+}
+
+// Fit implements Detector.
+func (d *IForest) Fit(X [][]float64) error {
+	if err := d.fitScaler(X); err != nil {
+		return err
+	}
+	Z := d.transform(X)
+	n := len(Z)
+	ss := d.SampleSize
+	if ss > n {
+		ss = n
+	}
+	maxDepth := int(math.Ceil(math.Log2(float64(ss)))) + 1
+	rng := stats.NewRNG(d.Seed ^ 0x1f02e57)
+	d.trees = d.trees[:0]
+	for t := 0; t < d.NumTrees; t++ {
+		idx := rng.Sample(n, ss)
+		sub := make([][]float64, ss)
+		for i, j := range idx {
+			sub[i] = Z[j]
+		}
+		tr := &isoTree{}
+		buildIsoTree(tr, sub, 0, maxDepth, rng)
+		d.trees = append(d.trees, tr)
+	}
+	d.c = avgPathLength(float64(ss))
+	return nil
+}
+
+// buildIsoTree grows the subtree over pts and returns its node index.
+func buildIsoTree(tr *isoTree, pts [][]float64, depth, maxDepth int, rng *stats.RNG) int32 {
+	id := int32(len(tr.nodes))
+	tr.nodes = append(tr.nodes, isoNode{feature: -1, size: len(pts)})
+	if depth >= maxDepth || len(pts) <= 1 {
+		return id
+	}
+	dim := len(pts[0])
+	// Pick a random feature with spread; give up after a few tries.
+	var feat int
+	var lo, hi float64
+	found := false
+	for try := 0; try < dim; try++ {
+		feat = rng.Intn(dim)
+		lo, hi = pts[0][feat], pts[0][feat]
+		for _, p := range pts[1:] {
+			if p[feat] < lo {
+				lo = p[feat]
+			}
+			if p[feat] > hi {
+				hi = p[feat]
+			}
+		}
+		if hi > lo {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return id
+	}
+	thr := rng.Uniform(lo, hi)
+	var left, right [][]float64
+	for _, p := range pts {
+		if p[feat] < thr {
+			left = append(left, p)
+		} else {
+			right = append(right, p)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return id
+	}
+	l := buildIsoTree(tr, left, depth+1, maxDepth, rng)
+	r := buildIsoTree(tr, right, depth+1, maxDepth, rng)
+	nd := &tr.nodes[id]
+	nd.feature = feat
+	nd.threshold = thr
+	nd.left = l
+	nd.right = r
+	return id
+}
+
+// pathLength returns the isolation depth of x, with the standard c(size)
+// adjustment at non-singleton leaves.
+func (tr *isoTree) pathLength(x []float64) float64 {
+	i := int32(0)
+	depth := 0.0
+	for {
+		nd := &tr.nodes[i]
+		if nd.feature < 0 {
+			return depth + avgPathLength(float64(nd.size))
+		}
+		if x[nd.feature] < nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+		depth++
+	}
+}
+
+// avgPathLength is c(n), the average path length of an unsuccessful BST
+// search among n points.
+func avgPathLength(n float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return 2*(math.Log(n-1)+0.5772156649) - 2*(n-1)/n
+}
+
+// Scores implements Detector.
+func (d *IForest) Scores(X [][]float64) []float64 {
+	Z := d.transform(X)
+	out := make([]float64, len(Z))
+	for i, z := range Z {
+		sum := 0.0
+		for _, tr := range d.trees {
+			sum += tr.pathLength(z)
+		}
+		e := sum / float64(len(d.trees))
+		out[i] = math.Pow(2, -e/d.c)
+	}
+	return out
+}

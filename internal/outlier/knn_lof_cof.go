@@ -1,0 +1,260 @@
+package outlier
+
+import (
+	"math"
+
+	"repro/internal/knnindex"
+)
+
+// KNN scores a point by its distance to its k-th nearest training neighbor
+// (Ramaswamy, Rastogi & Shim 2000, the "largest" variant).
+type KNN struct {
+	scaledFit
+	K     int
+	index *knnindex.Index
+}
+
+// NewKNN constructs a KNN detector with neighborhood size k.
+func NewKNN(k int) *KNN {
+	if k < 1 {
+		k = 5
+	}
+	return &KNN{K: k}
+}
+
+// Name implements Detector.
+func (d *KNN) Name() string { return "KNN" }
+
+// Fit implements Detector.
+func (d *KNN) Fit(X [][]float64) error {
+	if err := d.fitScaler(X); err != nil {
+		return err
+	}
+	ix, err := knnindex.New(d.transform(X))
+	if err != nil {
+		return err
+	}
+	d.index = ix
+	return nil
+}
+
+// Scores implements Detector.
+func (d *KNN) Scores(X [][]float64) []float64 {
+	Z := d.transform(X)
+	out := make([]float64, len(Z))
+	for i, z := range Z {
+		out[i] = d.index.KDist(z, d.K, -1)
+	}
+	return out
+}
+
+// LOF is the local outlier factor of Breunig et al. (2000): the ratio of a
+// point's local reachability density to that of its neighbors.
+type LOF struct {
+	scaledFit
+	K     int
+	index *knnindex.Index
+	// lrd[i] is the local reachability density of training point i.
+	lrd []float64
+	// kdist[i] is the k-distance of training point i.
+	kdist []float64
+}
+
+// NewLOF constructs an LOF detector with neighborhood size k.
+func NewLOF(k int) *LOF {
+	if k < 1 {
+		k = 10
+	}
+	return &LOF{K: k}
+}
+
+// Name implements Detector.
+func (d *LOF) Name() string { return "LOF" }
+
+// Fit implements Detector.
+func (d *LOF) Fit(X [][]float64) error {
+	if err := d.fitScaler(X); err != nil {
+		return err
+	}
+	Z := d.transform(X)
+	ix, err := knnindex.New(Z)
+	if err != nil {
+		return err
+	}
+	d.index = ix
+	n := len(Z)
+	d.kdist = make([]float64, n)
+	neighbors := make([][]knnindex.Neighbor, n)
+	for i, z := range Z {
+		nb := ix.Query(z, d.K, i)
+		neighbors[i] = nb
+		if len(nb) > 0 {
+			d.kdist[i] = nb[len(nb)-1].Dist
+		}
+	}
+	d.lrd = make([]float64, n)
+	for i := range Z {
+		d.lrd[i] = d.lrdOf(neighbors[i])
+	}
+	return nil
+}
+
+// lrdOf computes local reachability density given a neighbor list.
+func (d *LOF) lrdOf(nb []knnindex.Neighbor) float64 {
+	if len(nb) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, m := range nb {
+		reach := m.Dist
+		if d.kdist[m.Index] > reach {
+			reach = d.kdist[m.Index]
+		}
+		sum += reach
+	}
+	if sum == 0 {
+		return math.Inf(1)
+	}
+	return float64(len(nb)) / sum
+}
+
+// Scores implements Detector. Values near 1 are inliers; larger is more
+// anomalous.
+func (d *LOF) Scores(X [][]float64) []float64 {
+	Z := d.transform(X)
+	out := make([]float64, len(Z))
+	for i, z := range Z {
+		nb := d.index.Query(z, d.K, -1)
+		lrdQ := d.lrdOf(nb)
+		if len(nb) == 0 {
+			out[i] = 1
+			continue
+		}
+		if math.IsInf(lrdQ, 1) {
+			out[i] = 1 // duplicated point: maximally dense, inlier
+			continue
+		}
+		sum := 0.0
+		for _, m := range nb {
+			sum += d.lrd[m.Index]
+		}
+		out[i] = sum / (float64(len(nb)) * lrdQ)
+	}
+	return out
+}
+
+// COF is the connectivity-based outlier factor of Tang et al. (2002): it
+// replaces LOF's density with the average chaining distance along a
+// set-based nearest path, better suited to low-density linear patterns.
+type COF struct {
+	scaledFit
+	K     int
+	index *knnindex.Index
+	// acd[i] is the average chaining distance of training point i.
+	acd []float64
+}
+
+// NewCOF constructs a COF detector with neighborhood size k.
+func NewCOF(k int) *COF {
+	if k < 1 {
+		k = 10
+	}
+	return &COF{K: k}
+}
+
+// Name implements Detector.
+func (d *COF) Name() string { return "COF" }
+
+// Fit implements Detector.
+func (d *COF) Fit(X [][]float64) error {
+	if err := d.fitScaler(X); err != nil {
+		return err
+	}
+	Z := d.transform(X)
+	ix, err := knnindex.New(Z)
+	if err != nil {
+		return err
+	}
+	d.index = ix
+	d.acd = make([]float64, len(Z))
+	for i, z := range Z {
+		d.acd[i] = d.chainingDistance(z, i)
+	}
+	return nil
+}
+
+// chainingDistance builds the set-based nearest path over the point's k
+// neighborhood and returns the weighted average of the connecting edges.
+func (d *COF) chainingDistance(q []float64, exclude int) float64 {
+	nb := d.index.Query(q, d.K, exclude)
+	if len(nb) == 0 {
+		return 0
+	}
+	// Greedy SBN path: start from q, repeatedly connect the unvisited
+	// neighborhood point closest to the visited set.
+	pts := make([][]float64, 0, len(nb)+1)
+	pts = append(pts, q)
+	remaining := make([][]float64, len(nb))
+	for i, m := range nb {
+		remaining[i] = d.index.Point(m.Index)
+	}
+	r := len(nb)
+	var costs []float64
+	for len(remaining) > 0 {
+		bestI, bestD := -1, math.Inf(1)
+		for i, p := range remaining {
+			for _, v := range pts {
+				dd := dist(p, v)
+				if dd < bestD {
+					bestD = dd
+					bestI = i
+				}
+			}
+		}
+		costs = append(costs, bestD)
+		pts = append(pts, remaining[bestI])
+		remaining[bestI] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+	}
+	// Average chaining distance: weight earlier edges more
+	// (2*(r+1-i)/(r*(r+1)) per the paper).
+	acd := 0.0
+	rr := float64(r)
+	for i, c := range costs {
+		w := 2 * (rr + 1 - float64(i+1)) / (rr * (rr + 1))
+		acd += w * c
+	}
+	return acd
+}
+
+// Scores implements Detector: COF = acd(q) * k / sum(acd of neighbors).
+func (d *COF) Scores(X [][]float64) []float64 {
+	Z := d.transform(X)
+	out := make([]float64, len(Z))
+	for i, z := range Z {
+		nb := d.index.Query(z, d.K, -1)
+		if len(nb) == 0 {
+			out[i] = 1
+			continue
+		}
+		sum := 0.0
+		for _, m := range nb {
+			sum += d.acd[m.Index]
+		}
+		if sum == 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = d.chainingDistance(z, -1) * float64(len(nb)) / sum
+	}
+	return out
+}
+
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		dd := a[i] - b[i]
+		s += dd * dd
+	}
+	return math.Sqrt(s)
+}

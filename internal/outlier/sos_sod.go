@@ -1,0 +1,284 @@
+package outlier
+
+import (
+	"math"
+
+	"repro/internal/knnindex"
+	"repro/internal/vecmath"
+)
+
+// SOS is stochastic outlier selection (Janssens et al. 2012): each training
+// point distributes binding probability to others through an adaptive
+// Gaussian affinity tuned to a target perplexity; a query's outlier
+// probability is the product over points of (1 - binding probability to the
+// query), which is high when nothing binds to it.
+type SOS struct {
+	scaledFit
+	Perplexity float64
+	train      [][]float64
+	// beta[i] is the precision (1/2sigma^2) tuned for training point i.
+	beta []float64
+	// denom[i] caches sum_j exp(-d2(i,j)*beta[i]) over the training set so
+	// query scoring is O(n) per query instead of O(n^2).
+	denom []float64
+}
+
+// NewSOS constructs an SOS detector with the given perplexity.
+func NewSOS(perplexity float64) *SOS {
+	if perplexity <= 1 {
+		perplexity = 4.5
+	}
+	return &SOS{Perplexity: perplexity}
+}
+
+// Name implements Detector.
+func (d *SOS) Name() string { return "SOS" }
+
+// Fit implements Detector.
+func (d *SOS) Fit(X [][]float64) error {
+	if err := d.fitScaler(X); err != nil {
+		return err
+	}
+	d.train = d.transform(X)
+	n := len(d.train)
+	d.beta = make([]float64, n)
+	target := math.Log(math.Min(d.Perplexity, float64(n-1)))
+	d2 := make([]float64, n)
+	for i := range d.train {
+		for j := range d.train {
+			if i == j {
+				d2[j] = math.Inf(1)
+				continue
+			}
+			d2[j] = vecmath.SqDist(d.train[i], d.train[j])
+		}
+		d.beta[i] = tuneBeta(d2, target)
+	}
+	d.denom = make([]float64, n)
+	for i := range d.train {
+		s := 0.0
+		for j := range d.train {
+			if i == j {
+				continue
+			}
+			s += math.Exp(-vecmath.SqDist(d.train[i], d.train[j]) * d.beta[i])
+		}
+		d.denom[i] = s
+	}
+	return nil
+}
+
+// tuneBeta binary-searches the precision achieving entropy = target over the
+// affinity distribution defined by squared distances d2.
+func tuneBeta(d2 []float64, target float64) float64 {
+	beta := 1.0
+	lo, hi := 0.0, math.Inf(1)
+	for iter := 0; iter < 50; iter++ {
+		// Compute entropy at current beta.
+		sum := 0.0
+		sumDP := 0.0
+		for _, dd := range d2 {
+			if math.IsInf(dd, 1) {
+				continue
+			}
+			p := math.Exp(-dd * beta)
+			sum += p
+			sumDP += dd * p
+		}
+		var h float64
+		if sum <= 0 {
+			h = 0
+		} else {
+			h = math.Log(sum) + beta*sumDP/sum
+		}
+		diff := h - target
+		if math.Abs(diff) < 1e-5 {
+			break
+		}
+		if diff > 0 {
+			lo = beta
+			if math.IsInf(hi, 1) {
+				beta *= 2
+			} else {
+				beta = (beta + hi) / 2
+			}
+		} else {
+			hi = beta
+			beta = (beta + lo) / 2
+		}
+	}
+	return beta
+}
+
+// Scores implements Detector: P(outlier) = prod_i (1 - b_i(query)), the
+// probability that NO training point binds to the query — high for isolated
+// points, low for well-embedded ones.
+func (d *SOS) Scores(X [][]float64) []float64 {
+	Z := d.transform(X)
+	out := make([]float64, len(Z))
+	for qi, q := range Z {
+		logP := 0.0
+		for i, t := range d.train {
+			dq := vecmath.SqDist(t, q)
+			if dq == 0 {
+				// The query is this training point itself (self-affinity is
+				// excluded in SOS).
+				continue
+			}
+			// Binding distribution for point i over {train \ i} + query.
+			aq := math.Exp(-dq * d.beta[i])
+			sum := aq + d.denom[i]
+			if sum <= 0 {
+				continue
+			}
+			b := aq / sum
+			if b >= 1 {
+				b = 1 - 1e-12
+			}
+			logP += math.Log1p(-b)
+		}
+		out[qi] = math.Exp(logP)
+	}
+	return out
+}
+
+// SOD is subspace outlier detection (Kriegel et al. 2009): a reference set
+// is chosen by shared-nearest-neighbor similarity, a relevant axis-parallel
+// subspace is derived from per-dimension variances, and the score is the
+// normalized distance to the reference mean within that subspace.
+type SOD struct {
+	scaledFit
+	// KNN is the neighborhood used for the SNN similarity.
+	KNN int
+	// Ref is the reference-set size.
+	Ref int
+	// Alpha scales the variance threshold selecting relevant dimensions.
+	Alpha float64
+	index *knnindex.Index
+	// snnList[i] holds training point i's k-nearest neighbor indices.
+	snnList [][]int
+}
+
+// NewSOD constructs an SOD detector.
+func NewSOD(knn, ref int, alpha float64) *SOD {
+	if knn < 2 {
+		knn = 10
+	}
+	if ref < 2 {
+		ref = 8
+	}
+	if ref > knn {
+		ref = knn
+	}
+	if alpha <= 0 {
+		alpha = 0.8
+	}
+	return &SOD{KNN: knn, Ref: ref, Alpha: alpha}
+}
+
+// Name implements Detector.
+func (d *SOD) Name() string { return "SOD" }
+
+// Fit implements Detector.
+func (d *SOD) Fit(X [][]float64) error {
+	if err := d.fitScaler(X); err != nil {
+		return err
+	}
+	Z := d.transform(X)
+	ix, err := knnindex.New(Z)
+	if err != nil {
+		return err
+	}
+	d.index = ix
+	d.snnList = make([][]int, len(Z))
+	for i, z := range Z {
+		nb := ix.Query(z, d.KNN, i)
+		ids := make([]int, len(nb))
+		for j, m := range nb {
+			ids[j] = m.Index
+		}
+		d.snnList[i] = ids
+	}
+	return nil
+}
+
+// Scores implements Detector.
+func (d *SOD) Scores(X [][]float64) []float64 {
+	Z := d.transform(X)
+	out := make([]float64, len(Z))
+	for qi, q := range Z {
+		out[qi] = d.score(q)
+	}
+	return out
+}
+
+func (d *SOD) score(q []float64) float64 {
+	// Query's k nearest neighbors.
+	nb := d.index.Query(q, d.KNN, -1)
+	if len(nb) == 0 {
+		return 0
+	}
+	qSet := make(map[int]struct{}, len(nb))
+	for _, m := range nb {
+		qSet[m.Index] = struct{}{}
+	}
+	// SNN similarity between q and each candidate = |overlap of neighbor
+	// lists|; reference set = top Ref candidates.
+	type cand struct {
+		idx, snn int
+	}
+	cands := make([]cand, 0, len(nb))
+	for _, m := range nb {
+		overlap := 0
+		for _, j := range d.snnList[m.Index] {
+			if _, ok := qSet[j]; ok {
+				overlap++
+			}
+		}
+		cands = append(cands, cand{m.Index, overlap})
+	}
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].snn > cands[j-1].snn; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	refN := d.Ref
+	if refN > len(cands) {
+		refN = len(cands)
+	}
+	ref := make([][]float64, refN)
+	for i := 0; i < refN; i++ {
+		ref[i] = d.index.Point(cands[i].idx)
+	}
+	mean := vecmath.Centroid(ref)
+	dim := len(mean)
+	// Per-dimension variance of the reference set.
+	vars := make([]float64, dim)
+	for _, p := range ref {
+		for j := 0; j < dim; j++ {
+			dv := p[j] - mean[j]
+			vars[j] += dv * dv
+		}
+	}
+	tot := 0.0
+	for j := range vars {
+		vars[j] /= float64(refN)
+		tot += vars[j]
+	}
+	avg := tot / float64(dim)
+	// Relevant subspace: dimensions with low reference variance.
+	sub := 0
+	sum := 0.0
+	for j := 0; j < dim; j++ {
+		if vars[j] < d.Alpha*avg {
+			dv := q[j] - mean[j]
+			sum += dv * dv
+			sub++
+		}
+	}
+	if sub == 0 {
+		// No constrained subspace: use full-space normalized distance.
+		return vecmath.Dist(q, mean) / math.Sqrt(float64(dim))
+	}
+	return math.Sqrt(sum / float64(sub))
+}

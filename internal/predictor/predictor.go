@@ -1,0 +1,250 @@
+// Package predictor adapts every method in the paper's Table 3 to the
+// online protocol of package simulator: NURD and NURD-NC (package nurd), the
+// supervised GBTR baseline, the fourteen outlier detectors, the two PU
+// learners, the three censored/survival regressors, and Wrangler.
+//
+// Each adapter is stateful per job; the harness constructs a fresh instance
+// per (job, method) pair through Factory.New.
+package predictor
+
+import (
+	"fmt"
+
+	"repro/internal/gbt"
+	"repro/internal/nurd"
+	"repro/internal/simulator"
+)
+
+// Factory constructs a predictor for one job replay. Oracle-assisted
+// methods (Wrangler) inspect the Sim; honest online methods ignore it.
+type Factory struct {
+	// Name is the method label (Table 3 row).
+	Name string
+	// New builds a fresh predictor for the given job replay.
+	New func(s *simulator.Sim, seed uint64) simulator.Predictor
+}
+
+// AllFactories returns every method in the paper's Table 3, in table order.
+func AllFactories() []Factory {
+	fs := []Factory{
+		{Name: "GBTR", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return NewGBTR(seed)
+		}},
+	}
+	for _, name := range OutlierNames() {
+		name := name
+		fs = append(fs, Factory{Name: name, New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return NewOutlier(name, 0.1, seed)
+		}})
+	}
+	fs = append(fs,
+		Factory{Name: "PU-EN", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return NewPUEN(seed)
+		}},
+		Factory{Name: "PU-BG", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return NewPUBG(seed)
+		}},
+		Factory{Name: "Tobit", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return NewTobit()
+		}},
+		Factory{Name: "Grabit", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return NewGrabit(seed)
+		}},
+		Factory{Name: "CoxPH", New: func(_ *simulator.Sim, seed uint64) simulator.Predictor {
+			return NewCoxPH()
+		}},
+		Factory{Name: "Wrangler", New: func(s *simulator.Sim, seed uint64) simulator.Predictor {
+			return NewWrangler(s, seed)
+		}},
+		Factory{Name: "NURD-NC", New: func(s *simulator.Sim, seed uint64) simulator.Predictor {
+			p := NewNURDNC(seed)
+			p.confirm = confirmFor(s)
+			return p
+		}},
+		Factory{Name: "NURD", New: func(s *simulator.Sim, seed uint64) simulator.Predictor {
+			p := NewNURD(seed)
+			p.confirm = confirmFor(s)
+			return p
+		}},
+	)
+	return fs
+}
+
+// confirmFor selects the confirmation requirement per dataset, mirroring
+// the paper's per-dataset hyperparameter tuning (§6): with the 15-feature
+// Google schema the models are sharp enough that borderline verdicts are
+// worth double-checking (confirm = 2 suppresses measurement-noise false
+// positives); with the 4-feature Alibaba schema verdicts sharpen only as
+// the job progresses and waiting a checkpoint forfeits most of the
+// mitigation benefit, so flags fire on first crossing (confirm = 1).
+func confirmFor(s *simulator.Sim) int {
+	if s != nil && len(s.Job.Schema) <= 4 {
+		return 1
+	}
+	return 2
+}
+
+// NURDPredictor adapts nurd.Model to the online protocol. Because the
+// monitored features carry per-checkpoint measurement noise, a termination
+// (irreversible under the protocol) requires Confirm consecutive positive
+// verdicts; stragglers stay positive across checkpoints while noise-driven
+// borderline positives flicker and are suppressed.
+type NURDPredictor struct {
+	cfg     nurd.Config
+	seed    uint64
+	model   *nurd.Model
+	name    string
+	confirm int
+	// streak counts consecutive positive verdicts per task ID.
+	streak map[int]int
+	// flagged counts terminations issued so far (for the flag budget).
+	flagged int
+}
+
+// NewNURD returns the full method with calibration.
+func NewNURD(seed uint64) *NURDPredictor {
+	cfg := nurd.DefaultConfig()
+	cfg.Seed = seed
+	return &NURDPredictor{cfg: cfg, seed: seed, name: "NURD", confirm: 2}
+}
+
+// NewNURDNC returns the no-calibration ablation (w = z).
+func NewNURDNC(seed uint64) *NURDPredictor {
+	cfg := nurd.DefaultConfig()
+	cfg.Calibrate = false
+	cfg.Seed = seed
+	return &NURDPredictor{cfg: cfg, seed: seed, name: "NURD-NC", confirm: 2}
+}
+
+// NewNURDWith returns an adapter with a custom configuration (ablations).
+// confirm is the consecutive-positive count required to terminate (1 =
+// immediate, the literal Algorithm 1).
+func NewNURDWith(name string, cfg nurd.Config, confirm int) *NURDPredictor {
+	if confirm < 1 {
+		confirm = 1
+	}
+	return &NURDPredictor{cfg: cfg, seed: cfg.Seed, name: name, confirm: confirm}
+}
+
+// Name implements simulator.Predictor.
+func (p *NURDPredictor) Name() string { return p.name }
+
+// Reset implements simulator.Predictor.
+func (p *NURDPredictor) Reset() {
+	p.model = nil
+	p.streak = nil
+	p.flagged = 0
+}
+
+// Model exposes the underlying nurd.Model after the first checkpoint
+// (diagnostics and tests).
+func (p *NURDPredictor) Model() *nurd.Model { return p.model }
+
+// Predict implements simulator.Predictor.
+func (p *NURDPredictor) Predict(cp *simulator.Checkpoint) ([]bool, error) {
+	if len(cp.FinishedX) == 0 {
+		return make([]bool, len(cp.RunningIDs)), nil
+	}
+	// Defer until the training set can support the two models.
+	total := len(cp.FinishedX) + len(cp.RunningX)
+	if p.cfg.MinFinishedFrac > 0 &&
+		float64(len(cp.FinishedX)) < p.cfg.MinFinishedFrac*float64(total) {
+		return make([]bool, len(cp.RunningIDs)), nil
+	}
+	if p.model == nil {
+		p.model = nurd.New(p.cfg)
+		if err := p.model.Init(cp.FinishedX, cp.RunningX); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.model.Update(cp.FinishedX, cp.FinishedY, cp.RunningX); err != nil {
+		return nil, err
+	}
+	if p.streak == nil {
+		p.streak = make(map[int]int)
+	}
+	// Annealed decision threshold: early in the job the only hard fact
+	// about a running task is latency >= tau_run, far below tau_stra, so a
+	// positive verdict is a long extrapolation and the bar is raised; as
+	// tau_run approaches tau_stra the bar anneals down to the paper's
+	// literal test (adjusted >= tau_stra).
+	anneal := 1.0
+	if cp.TauStra > 0 && cp.TauRun < cp.TauStra {
+		anneal = 1 + annealKappa*(1-cp.TauRun/cp.TauStra)
+	}
+	bar := cp.TauStra * anneal
+	type cand struct {
+		idx    int
+		margin float64
+	}
+	var cands []cand
+	for i, x := range cp.RunningX {
+		pr, err := p.model.Predict(x)
+		if err != nil {
+			return nil, err
+		}
+		id := cp.RunningIDs[i]
+		switch {
+		case pr.Adjusted >= strongMargin*bar:
+			// Far over the bar: candidate immediately.
+			cands = append(cands, cand{i, pr.Adjusted / bar})
+		case pr.Adjusted >= bar:
+			// Borderline: require consecutive confirmation so measurement
+			// noise cannot trigger an irreversible termination.
+			p.streak[id]++
+			if p.streak[id] >= p.confirm {
+				cands = append(cands, cand{i, pr.Adjusted / bar})
+			}
+		default:
+			p.streak[id] = 0
+		}
+	}
+	out := make([]bool, len(cp.RunningX))
+	for _, c := range cands {
+		out[c.idx] = true
+		p.flagged++
+	}
+	return out, nil
+}
+
+// annealKappa controls how much the decision bar is raised while the
+// censoring horizon is still far below tau_stra.
+const annealKappa = 1.0
+
+// strongMargin is the adjusted-latency multiple of the annealed bar above
+// which a verdict skips confirmation.
+const strongMargin = 1.3
+
+// GBTR is the supervised baseline: gradient-boosted regression fit on
+// finished tasks only, with no reweighting; a running task is flagged when
+// its raw latency prediction crosses tau_stra.
+type GBTR struct {
+	seed uint64
+}
+
+// NewGBTR constructs the baseline.
+func NewGBTR(seed uint64) *GBTR { return &GBTR{seed: seed} }
+
+// Name implements simulator.Predictor.
+func (p *GBTR) Name() string { return "GBTR" }
+
+// Reset implements simulator.Predictor.
+func (p *GBTR) Reset() {}
+
+// Predict implements simulator.Predictor.
+func (p *GBTR) Predict(cp *simulator.Checkpoint) ([]bool, error) {
+	if len(cp.FinishedX) == 0 {
+		return make([]bool, len(cp.RunningIDs)), nil
+	}
+	cfg := gbt.DefaultConfig()
+	cfg.Seed = p.seed
+	m, err := gbt.FitRegressor(cp.FinishedX, cp.FinishedY, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("gbtr: %w", err)
+	}
+	out := make([]bool, len(cp.RunningX))
+	for i, x := range cp.RunningX {
+		out[i] = m.Predict(x) >= cp.TauStra
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package predictor
+
+import (
+	"repro/internal/nurd"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+	"repro/internal/vecmath"
+)
+
+// TransferNURD is the paper's §8 transfer-learning extension wired into the
+// online protocol. It behaves exactly like NURD once the current job has
+// enough finished tasks; during the cold-start window (where plain NURD
+// defers) it borrows the most feature-similar archived job's models from a
+// shared TransferStore, rescaling latency predictions by the ratio of early
+// median latencies. When a replay ends (the next Reset), the fitted models
+// are archived for future jobs.
+type TransferNURD struct {
+	*NURDPredictor
+	store *nurd.TransferStore
+	// job signature accumulated during the current replay.
+	centroid []float64
+	scale    float64
+}
+
+// NewNURDTransfer wraps NURD with the shared archive. All TransferNURD
+// instances sharing one store learn from each other's jobs.
+func NewNURDTransfer(store *nurd.TransferStore, seed uint64) *TransferNURD {
+	base := NewNURD(seed)
+	base.name = "NURD-TL"
+	return &TransferNURD{NURDPredictor: base, store: store}
+}
+
+// Name implements simulator.Predictor.
+func (p *TransferNURD) Name() string { return p.name }
+
+// Reset implements simulator.Predictor: the previous job's fitted models
+// are archived before state clears.
+func (p *TransferNURD) Reset() {
+	if p.model != nil && p.centroid != nil && p.scale > 0 {
+		p.store.Archive(p.model, p.centroid, p.scale)
+	}
+	p.centroid = nil
+	p.scale = 0
+	p.NURDPredictor.Reset()
+}
+
+// Predict implements simulator.Predictor.
+func (p *TransferNURD) Predict(cp *simulator.Checkpoint) ([]bool, error) {
+	// Track the job signature from the richest checkpoint seen so far.
+	all := make([][]float64, 0, len(cp.FinishedX)+len(cp.RunningX))
+	all = append(all, cp.FinishedX...)
+	all = append(all, cp.RunningX...)
+	if len(all) > 0 {
+		p.centroid = vecmath.Centroid(all)
+	}
+	if len(cp.FinishedY) > 0 && p.scale == 0 {
+		p.scale = stats.Median(cp.FinishedY)
+	}
+
+	// Cold-start window: plain NURD would defer; borrow an archived model.
+	total := len(cp.FinishedX) + len(cp.RunningX)
+	starved := len(cp.FinishedX) == 0 ||
+		(p.cfg.MinFinishedFrac > 0 &&
+			float64(len(cp.FinishedX)) < p.cfg.MinFinishedFrac*float64(total))
+	if starved && p.scale > 0 && p.centroid != nil {
+		if src, rescale, ok := p.store.Nearest(p.centroid, p.scale); ok {
+			return p.transferVerdicts(cp, src, rescale)
+		}
+	}
+	return p.NURDPredictor.Predict(cp)
+}
+
+// transferVerdicts applies an archived model to the running set, under the
+// same annealed bar as the native path but with a stricter margin (the
+// transferred model is an approximation, so only clear verdicts fire).
+func (p *TransferNURD) transferVerdicts(cp *simulator.Checkpoint, src *nurd.Model, rescale float64) ([]bool, error) {
+	anneal := 1.0
+	if cp.TauStra > 0 && cp.TauRun < cp.TauStra {
+		anneal = 1 + annealKappa*(1-cp.TauRun/cp.TauStra)
+	}
+	// Transferred verdicts carry cross-job uncertainty: raise the bar by an
+	// extra factor.
+	bar := cp.TauStra * anneal * transferMargin
+	out := make([]bool, len(cp.RunningX))
+	for i, x := range cp.RunningX {
+		pr, err := nurd.TransferPredict(src, rescale, x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pr.Adjusted >= bar
+	}
+	return out, nil
+}
+
+// transferMargin is the extra decision margin applied to transferred
+// (cross-job) predictions.
+const transferMargin = 1.5

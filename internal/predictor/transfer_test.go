@@ -1,0 +1,107 @@
+package predictor
+
+import (
+	"testing"
+
+	"repro/internal/nurd"
+	"repro/internal/simulator"
+	"repro/internal/trace"
+)
+
+// streamSims builds a stream of similar jobs (same generator).
+func streamSims(t *testing.T, n int, seed uint64) []*simulator.Sim {
+	t.Helper()
+	cfg := trace.DefaultGoogleConfig(seed)
+	cfg.FarFraction = 1 // similar bimodal jobs: the transfer-friendly case
+	cfg.MinTasks, cfg.MaxTasks = 150, 200
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims := make([]*simulator.Sim, n)
+	for i := range sims {
+		sim, err := simulator.New(gen.Next(), simulator.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sims[i] = sim
+	}
+	return sims
+}
+
+func TestTransferNURDRunsAndArchives(t *testing.T) {
+	store := nurd.NewTransferStore()
+	p := NewNURDTransfer(store, 7)
+	sims := streamSims(t, 3, 31)
+	for i, sim := range sims {
+		res, err := simulator.Evaluate(sim, p)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		total := res.Final.TP + res.Final.FP + res.Final.TN + res.Final.FN
+		if total != sim.Job.NumTasks() {
+			t.Fatalf("job %d: confusion covers %d of %d", i, total, sim.Job.NumTasks())
+		}
+	}
+	// Evaluate calls Reset at the start of each replay, so after three jobs
+	// at least the first two are archived.
+	if store.Len() < 2 {
+		t.Fatalf("archive holds %d jobs, want >= 2", store.Len())
+	}
+	if p.Name() != "NURD-TL" {
+		t.Fatalf("name %q", p.Name())
+	}
+}
+
+func TestTransferNURDNoWorseThanPlain(t *testing.T) {
+	// Across a stream of similar jobs, transfer fills the cold-start window
+	// and must not hurt aggregate accuracy.
+	sims := streamSims(t, 5, 37)
+	store := nurd.NewTransferStore()
+	tl := NewNURDTransfer(store, 3)
+	var plainF1, tlF1 float64
+	for i, sim := range sims {
+		rp, err := simulator.Evaluate(sim, NewNURD(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := simulator.Evaluate(sim, tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainF1 += rp.Final.F1()
+		tlF1 += rt.Final.F1()
+	}
+	if tlF1 < plainF1-0.5 {
+		t.Fatalf("transfer severely degraded accuracy: %.2f vs %.2f (sum over 5 jobs)",
+			tlF1, plainF1)
+	}
+}
+
+func TestTransferNURDColdStartUsesArchive(t *testing.T) {
+	// Seed the archive with a fitted job, then present a checkpoint in the
+	// cold-start window: unlike plain NURD (which defers everything), the
+	// transfer predictor may flag strong candidates. At minimum it must not
+	// error and must return the right shape.
+	sims := streamSims(t, 2, 41)
+	store := nurd.NewTransferStore()
+	tl := NewNURDTransfer(store, 5)
+	if _, err := simulator.Evaluate(sims[0], tl); err != nil {
+		t.Fatal(err)
+	}
+	tl.Reset() // archives job 0
+	if store.Len() == 0 {
+		t.Fatal("archive empty after first job")
+	}
+	cp := sims[1].At(1, nil)
+	if len(cp.RunningIDs) == 0 {
+		t.Skip("first checkpoint has no running tasks")
+	}
+	out, err := tl.Predict(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(cp.RunningIDs) {
+		t.Fatalf("%d verdicts for %d running", len(out), len(cp.RunningIDs))
+	}
+}

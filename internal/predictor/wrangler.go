@@ -1,0 +1,100 @@
+package predictor
+
+import (
+	"fmt"
+
+	"repro/internal/linmodel"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+)
+
+// Wrangler reproduces the Yadwadkar et al. (2014) baseline under the
+// advantage the paper grants it (§6): unlike every other method, Wrangler is
+// allowed an offline training sample containing true straggler labels — 2/3
+// of each class — with stragglers oversampled to balance the classes, fed to
+// a linear SVM. At each checkpoint it simply classifies the running tasks.
+type Wrangler struct {
+	seed uint64
+	sim  *simulator.Sim
+	svm  *linmodel.SVM
+}
+
+// NewWrangler constructs the oracle-assisted baseline for one job replay.
+func NewWrangler(s *simulator.Sim, seed uint64) *Wrangler {
+	return &Wrangler{seed: seed, sim: s}
+}
+
+// Name implements simulator.Predictor.
+func (p *Wrangler) Name() string { return "Wrangler" }
+
+// Reset implements simulator.Predictor.
+func (p *Wrangler) Reset() { p.svm = nil }
+
+// train builds the offline oversampled training set and fits the SVM.
+func (p *Wrangler) train() error {
+	job := p.sim.Job
+	truth := p.sim.Truth()
+	rng := stats.NewRNG(p.seed ^ 0x37a)
+	var posIdx, negIdx []int
+	for i, t := range truth {
+		if t {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	if len(posIdx) == 0 || len(negIdx) == 0 {
+		return fmt.Errorf("wrangler: job %d has a degenerate class split (%d/%d)",
+			job.ID, len(posIdx), len(negIdx))
+	}
+	take := func(idx []int) []int {
+		k := (2*len(idx) + 2) / 3
+		if k < 1 {
+			k = 1
+		}
+		sel := rng.Sample(len(idx), k)
+		out := make([]int, k)
+		for i, s := range sel {
+			out[i] = idx[s]
+		}
+		return out
+	}
+	pos := take(posIdx)
+	neg := take(negIdx)
+	var X [][]float64
+	var y []float64
+	for _, i := range neg {
+		X = append(X, job.ObservedFeatures(i, 0))
+		y = append(y, 0)
+	}
+	// Oversample stragglers with replacement past parity (1.5x the
+	// negatives), reproducing the recall-over-precision bias the paper
+	// observes in Wrangler's oversampling.
+	for len(X) < len(neg)+3*len(neg)/2 {
+		i := pos[rng.Intn(len(pos))]
+		X = append(X, job.ObservedFeatures(i, 0))
+		y = append(y, 1)
+	}
+	cfg := linmodel.DefaultSVMConfig()
+	cfg.Seed = p.seed
+	svm, err := linmodel.FitSVM(X, y, cfg)
+	if err != nil {
+		return fmt.Errorf("wrangler: %w", err)
+	}
+	p.svm = svm
+	return nil
+}
+
+// Predict implements simulator.Predictor.
+func (p *Wrangler) Predict(cp *simulator.Checkpoint) ([]bool, error) {
+	if p.svm == nil {
+		if err := p.train(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]bool, len(cp.RunningX))
+	for i, x := range cp.RunningX {
+		out[i] = p.svm.Predict(x) == 1
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+// Package sched implements the paper's straggler-mitigation schedulers
+// (§5): Algorithm 2 (more machines than tasks: terminate a predicted
+// straggler and relaunch it immediately) and Algorithm 3 (fewer machines
+// than tasks: a relaunch waits until a machine is free). Both are realized
+// by one event-driven list scheduler; the relaunched copy's completion time
+// is resampled from the job's observed execution times (§7.3).
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Plan describes the mitigation decisions for one job: for each flagged
+// task, the elapsed runtime at which the predictor flagged it. Tasks absent
+// from the map run to natural completion.
+type Plan map[int]float64
+
+// Config controls the mitigation simulation.
+type Config struct {
+	// Machines bounds parallelism; 0 means unlimited (Algorithm 2).
+	Machines int
+	// Seed drives the relaunch resampling.
+	Seed uint64
+}
+
+// JCT returns the job completion time (makespan) of running the given task
+// latencies on m machines with FIFO list scheduling and no mitigation.
+// m = 0 means unlimited machines (every task starts at time zero).
+func JCT(latencies []float64, m int) float64 {
+	if len(latencies) == 0 {
+		return 0
+	}
+	if m <= 0 || m >= len(latencies) {
+		max := latencies[0]
+		for _, l := range latencies[1:] {
+			if l > max {
+				max = l
+			}
+		}
+		return max
+	}
+	// FIFO onto the earliest-free machine.
+	free := make(machineHeap, m)
+	heap.Init(&free)
+	makespan := 0.0
+	for _, l := range latencies {
+		t := heap.Pop(&free).(float64)
+		end := t + l
+		heap.Push(&free, end)
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan
+}
+
+// Mitigated simulates the job with the mitigation plan applied and returns
+// the resulting completion time. A flagged task runs for its flagged
+// elapsed time, is terminated, and a fresh copy (with latency resampled
+// uniformly from the job's sub-threshold execution times) is enqueued; the
+// copy starts as soon as a machine is free (immediately when machines are
+// unlimited). resamplePool supplies the candidate relaunch latencies
+// (typically the job's non-straggler latencies); it must be non-empty.
+func Mitigated(latencies []float64, plan Plan, pool []float64, cfg Config) (float64, error) {
+	n := len(latencies)
+	if n == 0 {
+		return 0, nil
+	}
+	if len(pool) == 0 {
+		return 0, fmt.Errorf("sched: empty resample pool")
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0x5c4ed)
+	m := cfg.Machines
+	if m <= 0 {
+		m = n + len(plan) // effectively unlimited
+	}
+
+	// Work items: original tasks ready at time 0; relaunched copies become
+	// ready at their termination times.
+	pending := &workHeap{}
+	heap.Init(pending)
+	seq := 0
+	for i := 0; i < n; i++ {
+		l := latencies[i]
+		if e, ok := plan[i]; ok && e < l {
+			// Runs e, gets terminated; the copy is pushed when termination
+			// is simulated below (we know its ready time only after the
+			// start time is assigned, so carry e in run with final=false).
+			heap.Push(pending, workItem{ready: 0, run: e, final: false, seq: seq})
+		} else {
+			heap.Push(pending, workItem{ready: 0, run: l, final: true, seq: seq})
+		}
+		seq++
+	}
+
+	free := make(machineHeap, 0, m)
+	for i := 0; i < m; i++ {
+		heap.Push(&free, 0.0)
+	}
+	makespan := 0.0
+	for pending.Len() > 0 {
+		it := heap.Pop(pending).(workItem)
+		mt := heap.Pop(&free).(float64)
+		start := it.ready
+		if mt > start {
+			start = mt
+		}
+		end := start + it.run
+		heap.Push(&free, end)
+		if it.final {
+			if end > makespan {
+				makespan = end
+			}
+			continue
+		}
+		// Termination: enqueue the relaunched copy, ready at the
+		// termination instant.
+		newLat := pool[rng.Intn(len(pool))]
+		heap.Push(pending, workItem{ready: end, run: newLat, final: true, seq: seq})
+		seq++
+	}
+	return makespan, nil
+}
+
+// ReductionPct returns the percentage reduction of mitigated vs baseline.
+func ReductionPct(baseline, mitigated float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return 100 * (baseline - mitigated) / baseline
+}
+
+// SubThresholdPool returns the latencies strictly below tau, the relaunch
+// resampling pool ("existing execution times" of ordinary tasks). If all
+// latencies are above tau it falls back to the full set.
+func SubThresholdPool(latencies []float64, tau float64) []float64 {
+	var pool []float64
+	for _, l := range latencies {
+		if l < tau {
+			pool = append(pool, l)
+		}
+	}
+	if len(pool) == 0 {
+		pool = append(pool, latencies...)
+	}
+	sort.Float64s(pool)
+	return pool
+}
+
+// machineHeap is a min-heap of machine free times.
+type machineHeap []float64
+
+func (h machineHeap) Len() int            { return len(h) }
+func (h machineHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h machineHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *machineHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *machineHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// workItem is one machine occupancy: an original task run (possibly cut
+// short by termination) or a relaunched copy.
+type workItem struct {
+	ready float64 // earliest start time
+	run   float64 // machine occupancy duration
+	final bool    // completion of this item completes the task
+	seq   int     // submission order, the FIFO tiebreak for equal ready times
+}
+
+// workHeap orders work items by (ready time, submission order) so the
+// discipline matches the FIFO baseline in JCT.
+type workHeap []workItem
+
+func (h workHeap) Len() int { return len(h) }
+func (h workHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].seq < h[j].seq
+}
+func (h workHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *workHeap) Push(x interface{}) { *h = append(*h, x.(workItem)) }
+func (h *workHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

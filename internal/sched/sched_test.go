@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestJCTUnlimited(t *testing.T) {
+	lat := []float64{3, 7, 2}
+	if got := JCT(lat, 0); got != 7 {
+		t.Fatalf("unlimited JCT %v, want 7", got)
+	}
+	if got := JCT(lat, 10); got != 7 {
+		t.Fatalf("m>n JCT %v, want 7", got)
+	}
+}
+
+func TestJCTSingleMachine(t *testing.T) {
+	lat := []float64{3, 7, 2}
+	if got := JCT(lat, 1); got != 12 {
+		t.Fatalf("1-machine JCT %v, want 12", got)
+	}
+}
+
+func TestJCTTwoMachines(t *testing.T) {
+	// FIFO: m1 gets 4 (ends 4), m2 gets 2 (ends 2), m2 takes 6 (ends 8).
+	lat := []float64{4, 2, 6}
+	if got := JCT(lat, 2); got != 8 {
+		t.Fatalf("2-machine JCT %v, want 8", got)
+	}
+}
+
+func TestJCTEmpty(t *testing.T) {
+	if got := JCT(nil, 3); got != 0 {
+		t.Fatalf("empty JCT %v", got)
+	}
+}
+
+func TestJCTMonotoneInMachines(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 5 + rng.Intn(40)
+		lat := make([]float64, n)
+		for i := range lat {
+			lat[i] = rng.Exponential(0.5) + 0.1
+		}
+		prev := math.Inf(1)
+		for _, m := range []int{1, 2, 4, 8, 0} {
+			j := JCT(lat, m)
+			if j > prev+1e-9 {
+				return false
+			}
+			prev = j
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMitigatedPerfectPlanReducesJCT(t *testing.T) {
+	// One extreme straggler flagged very early; the relaunch resamples from
+	// short latencies, so the makespan must collapse.
+	lat := []float64{10, 12, 11, 100}
+	plan := Plan{3: 5} // terminate the straggler after 5 time units
+	pool := []float64{10, 11, 12}
+	got, err := Mitigated(lat, plan, pool, Config{Machines: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Straggler restarts at t=5 with latency <= 12: completes by 17.
+	if got > 17+1e-9 {
+		t.Fatalf("mitigated JCT %v, want <= 17", got)
+	}
+	if base := JCT(lat, 0); got >= base {
+		t.Fatalf("mitigation did not help: %v >= %v", got, base)
+	}
+}
+
+func TestMitigatedEmptyPlanEqualsBaseline(t *testing.T) {
+	lat := []float64{5, 9, 3, 14}
+	for _, m := range []int{0, 1, 2} {
+		got, err := Mitigated(lat, nil, []float64{1}, Config{Machines: m, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := JCT(lat, m); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("m=%d: mitigated-without-plan %v != baseline %v", m, got, want)
+		}
+	}
+}
+
+func TestMitigatedFalsePositiveCanHurt(t *testing.T) {
+	// Flagging the longest task late and relaunching with an equally long
+	// copy extends its completion: elapsed + new >= original.
+	lat := []float64{10, 20}
+	plan := Plan{1: 19} // terminated just before finishing
+	pool := []float64{20}
+	got, err := Mitigated(lat, plan, pool, Config{Machines: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= JCT(lat, 0) {
+		t.Fatalf("late FP relaunch should extend JCT: %v <= %v", got, JCT(lat, 0))
+	}
+}
+
+func TestMitigatedPlanBeyondLatencyIgnored(t *testing.T) {
+	// A flag at elapsed >= latency never fires (task finished first).
+	lat := []float64{5, 8}
+	plan := Plan{0: 9}
+	got, err := Mitigated(lat, plan, []float64{1}, Config{Machines: 0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 8 {
+		t.Fatalf("JCT %v, want 8", got)
+	}
+}
+
+func TestMitigatedEmptyPoolErrors(t *testing.T) {
+	if _, err := Mitigated([]float64{1}, Plan{0: 0.5}, nil, Config{}); err == nil {
+		t.Fatal("expected empty-pool error")
+	}
+}
+
+func TestMitigatedLimitedMachinesQueueing(t *testing.T) {
+	// 2 machines, 3 tasks; flagging nothing: JCT matches baseline even
+	// through the event-driven path.
+	lat := []float64{4, 2, 6}
+	got, err := Mitigated(lat, nil, []float64{1}, Config{Machines: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 8 {
+		t.Fatalf("limited-machine JCT %v, want 8", got)
+	}
+}
+
+func TestReductionPct(t *testing.T) {
+	if got := ReductionPct(100, 75); got != 25 {
+		t.Fatalf("reduction %v, want 25", got)
+	}
+	if got := ReductionPct(0, 10); got != 0 {
+		t.Fatalf("zero-baseline reduction %v", got)
+	}
+	if got := ReductionPct(100, 120); got != -20 {
+		t.Fatalf("negative reduction %v, want -20", got)
+	}
+}
+
+func TestSubThresholdPool(t *testing.T) {
+	lat := []float64{1, 5, 9, 20}
+	pool := SubThresholdPool(lat, 9)
+	if len(pool) != 2 || pool[0] != 1 || pool[1] != 5 {
+		t.Fatalf("pool %v", pool)
+	}
+	// Degenerate: everything above threshold falls back to the full set.
+	pool = SubThresholdPool(lat, 0.5)
+	if len(pool) != 4 {
+		t.Fatalf("fallback pool %v", pool)
+	}
+}
+
+func TestMitigatedDeterministic(t *testing.T) {
+	rng := stats.NewRNG(6)
+	lat := make([]float64, 50)
+	for i := range lat {
+		lat[i] = rng.Exponential(0.2)
+	}
+	plan := Plan{3: 1, 17: 2, 42: 0.5}
+	pool := SubThresholdPool(lat, stats.Quantile(lat, 0.9))
+	a, err := Mitigated(lat, plan, pool, Config{Machines: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mitigated(lat, plan, pool, Config{Machines: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different JCT: %v vs %v", a, b)
+	}
+}
+
+func TestMitigatedEarlyFlagBeatsLateFlagProperty(t *testing.T) {
+	// For a true straggler, flagging earlier can never hurt (same resample
+	// stream): completion = flagTime + newLat.
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		lat := []float64{10, 11, 12, 100}
+		e1 := rng.Uniform(1, 40)
+		e2 := e1 + rng.Uniform(1, 40)
+		pool := []float64{10}
+		early, err := Mitigated(lat, Plan{3: e1}, pool, Config{Seed: 1})
+		if err != nil {
+			return false
+		}
+		late, err := Mitigated(lat, Plan{3: e2}, pool, Config{Seed: 1})
+		if err != nil {
+			return false
+		}
+		return early <= late+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

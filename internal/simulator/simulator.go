@@ -1,0 +1,268 @@
+// Package simulator replays a trace job as an online stream of monitoring
+// checkpoints, exactly as the paper's evaluation methodology describes (§6):
+// at each checkpoint a predictor sees the features of every task, the true
+// latencies of tasks that have already finished, and nothing else. The
+// package also implements the paper's accuracy protocol (§7.1): a task
+// predicted positive is terminated and never re-evaluated; a task predicted
+// negative is re-evaluated at the next checkpoint while it runs.
+package simulator
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Config controls the replay.
+type Config struct {
+	// Checkpoints is the number of prediction checkpoints T (the paper
+	// samples 10 normalized time points).
+	Checkpoints int
+	// WarmFrac is the fraction of tasks that must finish before prediction
+	// starts (the paper waits for 4%).
+	WarmFrac float64
+	// StragglerQuantile defines tau_stra (the paper uses p90 = 0.9).
+	StragglerQuantile float64
+}
+
+// DefaultConfig returns the paper's evaluation settings.
+func DefaultConfig() Config {
+	return Config{Checkpoints: 10, WarmFrac: 0.04, StragglerQuantile: 0.9}
+}
+
+// Sim replays one job.
+type Sim struct {
+	Job *trace.Job
+	Cfg Config
+
+	tauStra float64
+	// tauRun[k] is the latency horizon of checkpoint k, k=0..Checkpoints;
+	// tauRun[0] is the warmup horizon.
+	tauRun []float64
+	truth  []bool // per-task straggler ground truth
+}
+
+// New validates and prepares a replay of job.
+func New(job *trace.Job, cfg Config) (*Sim, error) {
+	if job.NumTasks() == 0 {
+		return nil, fmt.Errorf("simulator: job %d has no tasks", job.ID)
+	}
+	if cfg.Checkpoints < 1 {
+		return nil, fmt.Errorf("simulator: need >= 1 checkpoint, got %d", cfg.Checkpoints)
+	}
+	if cfg.WarmFrac <= 0 || cfg.WarmFrac >= 0.5 {
+		return nil, fmt.Errorf("simulator: WarmFrac must be in (0, 0.5), got %v", cfg.WarmFrac)
+	}
+	if cfg.StragglerQuantile <= cfg.WarmFrac || cfg.StragglerQuantile >= 1 {
+		return nil, fmt.Errorf("simulator: StragglerQuantile must be in (WarmFrac, 1), got %v",
+			cfg.StragglerQuantile)
+	}
+	lat := job.Latencies()
+	sorted := append([]float64(nil), lat...)
+	sort.Float64s(sorted)
+	tauStra := quantileSorted(sorted, cfg.StragglerQuantile)
+
+	s := &Sim{Job: job, Cfg: cfg, tauStra: tauStra}
+	s.truth = make([]bool, len(lat))
+	for i, l := range lat {
+		s.truth[i] = l >= tauStra
+	}
+	// Checkpoint horizons: evenly spaced in wall-clock time across the full
+	// job duration (normalized time k/T, the x-axis of Figures 2-3), as in
+	// the paper's trace replay. Tasks are dispatched at their recorded
+	// Start times, so a task is finished at horizon tau when
+	// Start+Latency <= tau and running when Start <= tau < Start+Latency.
+	// The warmup horizon (index 0) is the moment the initial WarmFrac of
+	// tasks has completed. A straggler that finishes before any checkpoint
+	// flags it is a permanent false negative — early prediction is what the
+	// protocol rewards.
+	ends := make([]float64, len(job.Tasks))
+	for i := range job.Tasks {
+		ends[i] = job.Tasks[i].Start + job.Tasks[i].Latency
+	}
+	sort.Float64s(ends)
+	makespan := ends[len(ends)-1]
+	T := cfg.Checkpoints
+	s.tauRun = make([]float64, T+1)
+	s.tauRun[0] = quantileSorted(ends, cfg.WarmFrac)
+	for k := 1; k <= T; k++ {
+		s.tauRun[k] = makespan * float64(k) / float64(T)
+	}
+	return s, nil
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 1 {
+		return s[0]
+	}
+	h := q * float64(n-1)
+	lo := int(h)
+	if lo >= n-1 {
+		return s[n-1]
+	}
+	frac := h - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// TauStra returns the job's straggler latency threshold.
+func (s *Sim) TauStra() float64 { return s.tauStra }
+
+// TauRun returns the wall-clock horizon of checkpoint k (0 = warmup).
+func (s *Sim) TauRun(k int) float64 { return s.tauRun[k] }
+
+// Truth returns per-task straggler ground truth (latency >= tau_stra).
+func (s *Sim) Truth() []bool { return s.truth }
+
+// NumStragglers counts the true stragglers.
+func (s *Sim) NumStragglers() int {
+	n := 0
+	for _, t := range s.truth {
+		if t {
+			n++
+		}
+	}
+	return n
+}
+
+// Checkpoint is the information a predictor may legally see at step k.
+type Checkpoint struct {
+	// Index is the checkpoint number, 1..T (0 is reserved for warmup).
+	Index int
+	// Norm is Index/T, the normalized-time x-axis of Figures 2-3.
+	Norm float64
+	// TauRun is the wall-clock horizon: every task whose start+latency is
+	// at most TauRun has finished.
+	TauRun float64
+	// TauStra is the straggler latency threshold (operator-specified).
+	TauStra float64
+	// StragglerQuantile is the quantile defining TauStra (e.g. 0.9): by
+	// construction roughly a (1-StragglerQuantile) fraction of tasks
+	// straggle, which budget-aware predictors may exploit.
+	StragglerQuantile float64
+	// FinishedIDs / FinishedX / FinishedY describe tasks that have
+	// completed: their observed features and true latencies.
+	FinishedIDs []int
+	FinishedX   [][]float64
+	FinishedY   []float64
+	// RunningIDs / RunningX describe tasks dispatched but not yet finished
+	// (excluding any the caller has already terminated); RunningElapsed
+	// holds each one's elapsed execution time — its latency is known to be
+	// at least this (the censoring point for censored regression).
+	RunningIDs     []int
+	RunningX       [][]float64
+	RunningElapsed []float64
+}
+
+// At materializes checkpoint k (0..T), excluding tasks whose IDs appear in
+// terminated (predicted stragglers are terminated per the protocol and
+// never rejoin either set).
+func (s *Sim) At(k int, terminated map[int]bool) *Checkpoint {
+	tau := s.tauRun[k]
+	cp := &Checkpoint{
+		Index:             k,
+		Norm:              float64(k) / float64(s.Cfg.Checkpoints),
+		TauRun:            tau,
+		TauStra:           s.tauStra,
+		StragglerQuantile: s.Cfg.StragglerQuantile,
+	}
+	for i := range s.Job.Tasks {
+		if terminated != nil && terminated[i] {
+			continue
+		}
+		t := &s.Job.Tasks[i]
+		if t.Start > tau {
+			continue // not yet dispatched: invisible at this checkpoint
+		}
+		x := s.Job.ObservedFeatures(i, k)
+		if t.Start+t.Latency <= tau {
+			cp.FinishedIDs = append(cp.FinishedIDs, i)
+			cp.FinishedX = append(cp.FinishedX, x)
+			cp.FinishedY = append(cp.FinishedY, t.Latency)
+		} else {
+			cp.RunningIDs = append(cp.RunningIDs, i)
+			cp.RunningX = append(cp.RunningX, x)
+			cp.RunningElapsed = append(cp.RunningElapsed, tau-t.Start)
+		}
+	}
+	return cp
+}
+
+// Predictor is an online straggler predictor: given a checkpoint, it
+// returns one verdict per running task (true = straggler). Implementations
+// must look only at the checkpoint's contents.
+type Predictor interface {
+	// Name returns the method label used in tables and figures.
+	Name() string
+	// Reset clears state before replaying a new job.
+	Reset()
+	// Predict returns a verdict for each entry of cp.RunningIDs.
+	Predict(cp *Checkpoint) ([]bool, error)
+}
+
+// Result summarizes one predictor's replay of one job.
+type Result struct {
+	// Final is the end-of-job confusion matrix over all tasks.
+	Final metrics.Confusion
+	// PerCheckpoint[k-1] is the cumulative confusion after checkpoint k.
+	PerCheckpoint []metrics.Confusion
+	// PredictedAt maps task ID -> checkpoint index at which it was
+	// predicted to straggle (only predicted-positive tasks appear).
+	PredictedAt map[int]int
+}
+
+// Evaluate replays the job through p under the paper's protocol and
+// accumulates confusion statistics.
+func Evaluate(s *Sim, p Predictor) (*Result, error) {
+	p.Reset()
+	T := s.Cfg.Checkpoints
+	res := &Result{PredictedAt: make(map[int]int)}
+	terminated := make(map[int]bool)
+	warm := int(s.Cfg.WarmFrac*float64(s.Job.NumTasks())) + 1
+	for k := 1; k <= T; k++ {
+		cp := s.At(k, terminated)
+		// Prediction starts once the warmup fraction has finished (§6:
+		// "we first wait for 4% of the entire tasks to complete").
+		if len(cp.FinishedIDs) >= warm && len(cp.RunningIDs) > 0 {
+			verdicts, err := p.Predict(cp)
+			if err != nil {
+				return nil, fmt.Errorf("simulator: %s at checkpoint %d: %w", p.Name(), k, err)
+			}
+			if len(verdicts) != len(cp.RunningIDs) {
+				return nil, fmt.Errorf("simulator: %s returned %d verdicts for %d running tasks",
+					p.Name(), len(verdicts), len(cp.RunningIDs))
+			}
+			for i, v := range verdicts {
+				if v {
+					id := cp.RunningIDs[i]
+					terminated[id] = true
+					res.PredictedAt[id] = k
+				}
+			}
+		}
+		res.PerCheckpoint = append(res.PerCheckpoint, s.confusionOf(terminated))
+	}
+	res.Final = s.confusionOf(terminated)
+	return res, nil
+}
+
+// confusionOf scores the predicted-positive set against ground truth.
+func (s *Sim) confusionOf(predicted map[int]bool) metrics.Confusion {
+	var c metrics.Confusion
+	for i, isStraggler := range s.truth {
+		p := predicted[i]
+		switch {
+		case p && isStraggler:
+			c.TP++
+		case p && !isStraggler:
+			c.FP++
+		case !p && isStraggler:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}

@@ -1,0 +1,166 @@
+// Package trace models datacenter jobs, tasks, and their monitored features,
+// and generates the synthetic Google-like and Alibaba-like workloads that
+// stand in for the production traces evaluated in the paper (see DESIGN.md
+// for the substitution rationale).
+//
+// A Job is a set of Tasks; each Task has a true final latency and a feature
+// vector observed (with measurement noise) at monitoring checkpoints. A task
+// whose latency is at or above the job's p90 latency is a straggler — the
+// positive, minority class.
+package trace
+
+// GoogleFeatures is the 15-feature schema of the Google 2011 cluster traces
+// (the paper's Table 1).
+var GoogleFeatures = []string{
+	"MCU",    // mean CPU usage
+	"MAXCPU", // maximum CPU usage
+	"SCPU",   // sampled CPU usage
+	"CMU",    // canonical memory usage
+	"AMU",    // assigned memory usage
+	"MAXMU",  // maximum memory usage
+	"UPC",    // unmapped page cache memory usage
+	"TPC",    // total page cache memory usage
+	"MIO",    // mean disk I/O time
+	"MAXIO",  // maximum disk I/O time
+	"MDK",    // mean local disk space used
+	"CPI",    // cycles per instruction
+	"MAI",    // memory accesses per instruction
+	"EV",     // number of times task is evicted
+	"FL",     // number of times task fails
+}
+
+// AlibabaFeatures is the 4-feature schema of the Alibaba traces (the
+// paper's Table 2).
+var AlibabaFeatures = []string{
+	"cpu_avg", // average CPU numbers of instance running
+	"cpu_max", // maximum CPU numbers of instance running
+	"mem_avg", // average normalized memory of instance running
+	"mem_max", // maximum normalized memory of instance running
+}
+
+// Index positions into GoogleFeatures, used by the generator.
+const (
+	gMCU = iota
+	gMAXCPU
+	gSCPU
+	gCMU
+	gAMU
+	gMAXMU
+	gUPC
+	gTPC
+	gMIO
+	gMAXIO
+	gMDK
+	gCPI
+	gMAI
+	gEV
+	gFL
+)
+
+// Cause labels why a task straggles; None marks ordinary tasks. Causes are
+// ground-truth metadata used by the generator and tests, never exposed to
+// predictors.
+type Cause uint8
+
+// Straggler causes modeled by the generator, following the taxonomy in the
+// straggler-diagnosis literature (e.g. Hound, SIGMETRICS'18): slow/degraded
+// machines, co-located resource contention, and input-data skew.
+const (
+	CauseNone Cause = iota
+	CauseSlowNode
+	CauseContention
+	CauseSkew
+)
+
+// String returns the cause label.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseSlowNode:
+		return "slow-node"
+	case CauseContention:
+		return "contention"
+	case CauseSkew:
+		return "data-skew"
+	default:
+		return "unknown"
+	}
+}
+
+// Task is one sub-computation of a Job.
+type Task struct {
+	// ID is the task's index within its job.
+	ID int
+	// Start is the wall-clock time the task was dispatched (production jobs
+	// schedule tasks in waves, not all at once).
+	Start float64
+	// Latency is the true execution duration (revealed to learners only
+	// once the task finishes); the task completes at Start+Latency.
+	Latency float64
+	// Features is the task's latent feature vector; observations add
+	// per-checkpoint measurement noise via Job.ObservedFeatures.
+	Features []float64
+	// TrueCause is generator ground truth (diagnostics only).
+	TrueCause Cause
+}
+
+// Job is a collection of tasks monitored together.
+type Job struct {
+	// ID identifies the job.
+	ID uint64
+	// Schema names the feature columns.
+	Schema []string
+	// Tasks holds the job's tasks, index == Task.ID.
+	Tasks []Task
+	// Profile records which generator regime produced the job.
+	Profile Profile
+	// noiseSeed drives per-checkpoint observation noise.
+	noiseSeed uint64
+}
+
+// Profile identifies the latency-distribution regime of a job, matching the
+// two shapes in the paper's Figure 1.
+type Profile uint8
+
+const (
+	// ProfileFar: the p90 threshold sits below half the max latency
+	// (Figure 1 left) — stragglers are far outliers, typically strongly
+	// feature-shifted; the centroid ratio rho tends to be <= 1.
+	ProfileFar Profile = iota
+	// ProfileNear: the p90 threshold sits above half the max latency
+	// (Figure 1 right) — latency spreads widely, stragglers look similar
+	// to the bulk; rho tends to be > 1.
+	ProfileNear
+)
+
+// String returns the profile label.
+func (p Profile) String() string {
+	if p == ProfileFar {
+		return "far"
+	}
+	return "near"
+}
+
+// NumTasks returns the task count.
+func (j *Job) NumTasks() int { return len(j.Tasks) }
+
+// Latencies returns a copy of all true task latencies.
+func (j *Job) Latencies() []float64 {
+	out := make([]float64, len(j.Tasks))
+	for i := range j.Tasks {
+		out[i] = j.Tasks[i].Latency
+	}
+	return out
+}
+
+// Makespan returns the completion time of the last task (max Start+Latency).
+func (j *Job) Makespan() float64 {
+	m := 0.0
+	for i := range j.Tasks {
+		if e := j.Tasks[i].Start + j.Tasks[i].Latency; e > m {
+			m = e
+		}
+	}
+	return m
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes a job: header (task_id, features..., latency, cause),
+// one row per task.
+func (j *Job) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"task_id", "start"}, j.Schema...)
+	header = append(header, "latency", "cause")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, 0, len(header))
+	for i := range j.Tasks {
+		t := &j.Tasks[i]
+		rec = rec[:0]
+		rec = append(rec, strconv.Itoa(t.ID), strconv.FormatFloat(t.Start, 'g', -1, 64))
+		for _, v := range t.Features {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		rec = append(rec, strconv.FormatFloat(t.Latency, 'g', -1, 64), t.TrueCause.String())
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a job written by WriteCSV.
+func ReadCSV(r io.Reader) (*Job, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(header) < 5 || header[0] != "task_id" || header[1] != "start" ||
+		header[len(header)-2] != "latency" || header[len(header)-1] != "cause" {
+		return nil, fmt.Errorf("trace: unexpected header %v", header)
+	}
+	schema := append([]string(nil), header[2:len(header)-2]...)
+	j := &Job{Schema: schema, noiseSeed: 1}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading row: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("trace: row has %d fields, want %d", len(rec), len(header))
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: parsing task_id %q: %w", rec[0], err)
+		}
+		start, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: parsing start %q: %w", rec[1], err)
+		}
+		feats := make([]float64, len(schema))
+		for k := range schema {
+			v, err := strconv.ParseFloat(rec[2+k], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: parsing feature %q: %w", rec[2+k], err)
+			}
+			feats[k] = v
+		}
+		lat, err := strconv.ParseFloat(rec[len(rec)-2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: parsing latency %q: %w", rec[len(rec)-2], err)
+		}
+		j.Tasks = append(j.Tasks, Task{
+			ID:        id,
+			Start:     start,
+			Latency:   lat,
+			Features:  feats,
+			TrueCause: parseCause(rec[len(rec)-1]),
+		})
+	}
+	return j, nil
+}
+
+func parseCause(s string) Cause {
+	switch s {
+	case "slow-node":
+		return CauseSlowNode
+	case "contention":
+		return CauseContention
+	case "data-skew":
+		return CauseSkew
+	default:
+		return CauseNone
+	}
+}

@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a, err := NewGenerator(DefaultGoogleConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewGenerator(DefaultGoogleConfig(42))
+	ja, jb := a.Next(), b.Next()
+	if ja.NumTasks() != jb.NumTasks() {
+		t.Fatal("same seed, different task counts")
+	}
+	for i := range ja.Tasks {
+		if ja.Tasks[i].Latency != jb.Tasks[i].Latency {
+			t.Fatalf("task %d latency differs", i)
+		}
+		if ja.Tasks[i].Start != jb.Tasks[i].Start {
+			t.Fatalf("task %d start differs", i)
+		}
+		for k := range ja.Tasks[i].Features {
+			if ja.Tasks[i].Features[k] != jb.Tasks[i].Features[k] {
+				t.Fatalf("task %d feature %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestGeneratorTaskCountBounds(t *testing.T) {
+	cfg := DefaultGoogleConfig(7)
+	cfg.MinTasks, cfg.MaxTasks = 120, 150
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		n := gen.Next().NumTasks()
+		if n < 120 || n > 150 {
+			t.Fatalf("task count %d outside [120,150]", n)
+		}
+	}
+}
+
+func TestGoogleSchemaWidth(t *testing.T) {
+	gen, _ := NewGenerator(DefaultGoogleConfig(1))
+	job := gen.Next()
+	if len(job.Schema) != 15 {
+		t.Fatalf("google schema %d features, want 15", len(job.Schema))
+	}
+	for i := range job.Tasks {
+		if len(job.Tasks[i].Features) != 15 {
+			t.Fatalf("task %d has %d features", i, len(job.Tasks[i].Features))
+		}
+	}
+}
+
+func TestAlibabaSchemaWidth(t *testing.T) {
+	gen, _ := NewGenerator(DefaultAlibabaConfig(1))
+	job := gen.Next()
+	if len(job.Schema) != 4 {
+		t.Fatalf("alibaba schema %d features, want 4", len(job.Schema))
+	}
+	for i := range job.Tasks {
+		if len(job.Tasks[i].Features) != 4 {
+			t.Fatalf("task %d has %d features", i, len(job.Tasks[i].Features))
+		}
+	}
+}
+
+func TestLatenciesPositive(t *testing.T) {
+	for _, cfg := range []GenConfig{DefaultGoogleConfig(3), DefaultAlibabaConfig(3)} {
+		gen, _ := NewGenerator(cfg)
+		for i := 0; i < 5; i++ {
+			job := gen.Next()
+			for _, task := range job.Tasks {
+				if task.Latency <= 0 {
+					t.Fatalf("non-positive latency %v", task.Latency)
+				}
+				if task.Start < 0 {
+					t.Fatalf("negative start %v", task.Start)
+				}
+			}
+		}
+	}
+}
+
+func TestProfilesDifferInThresholdGeometry(t *testing.T) {
+	// Far-profile jobs should mostly have p90 below half the max latency;
+	// near-profile jobs mostly above (the paper's Figure 1 regimes).
+	ratioOf := func(far float64, seed uint64) float64 {
+		cfg := DefaultGoogleConfig(seed)
+		cfg.FarFraction = far
+		gen, _ := NewGenerator(cfg)
+		hits, total := 0, 0
+		for i := 0; i < 15; i++ {
+			job := gen.Next()
+			lat := job.Latencies()
+			sort.Float64s(lat)
+			p90 := lat[int(0.9*float64(len(lat)-1))]
+			if p90 < 0.5*lat[len(lat)-1] {
+				hits++
+			}
+			total++
+		}
+		return float64(hits) / float64(total)
+	}
+	farRatio := ratioOf(1, 11)
+	nearRatio := ratioOf(0, 11)
+	if farRatio < 0.8 {
+		t.Fatalf("only %.0f%% of far jobs have p90 < max/2", farRatio*100)
+	}
+	if nearRatio > 0.4 {
+		t.Fatalf("%.0f%% of near jobs have p90 < max/2, want mostly above", nearRatio*100)
+	}
+}
+
+func TestStragglerFractionNearTenPercent(t *testing.T) {
+	gen, _ := NewGenerator(DefaultGoogleConfig(13))
+	totalCaused, totalTasks := 0, 0
+	for i := 0; i < 20; i++ {
+		job := gen.Next()
+		for _, task := range job.Tasks {
+			if task.TrueCause != CauseNone {
+				totalCaused++
+			}
+			totalTasks++
+		}
+	}
+	frac := float64(totalCaused) / float64(totalTasks)
+	if frac < 0.07 || frac > 0.16 {
+		t.Fatalf("cause fraction %v, want near 0.10-0.12", frac)
+	}
+}
+
+func TestObservedFeaturesDeterministicAndNoisy(t *testing.T) {
+	gen, _ := NewGenerator(DefaultGoogleConfig(17))
+	job := gen.Next()
+	a := job.ObservedFeatures(3, 5)
+	b := job.ObservedFeatures(3, 5)
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatal("observation not deterministic in (task, checkpoint)")
+		}
+	}
+	c := job.ObservedFeatures(3, 6)
+	same := true
+	for k := range a {
+		if a[k] != c[k] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("observations identical across checkpoints; noise missing")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	gen, _ := NewGenerator(DefaultGoogleConfig(19))
+	job := gen.Next()
+	var buf bytes.Buffer
+	if err := job.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTasks() != job.NumTasks() {
+		t.Fatalf("task count %d vs %d", got.NumTasks(), job.NumTasks())
+	}
+	for i := range job.Tasks {
+		if got.Tasks[i].Latency != job.Tasks[i].Latency ||
+			got.Tasks[i].Start != job.Tasks[i].Start ||
+			got.Tasks[i].TrueCause != job.Tasks[i].TrueCause {
+			t.Fatalf("task %d mismatch after round trip", i)
+		}
+		for k := range job.Tasks[i].Features {
+			if got.Tasks[i].Features[k] != job.Tasks[i].Features[k] {
+				t.Fatalf("task %d feature %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsBadHeader(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewReader([]byte("nope,x\n1,2\n"))); err == nil {
+		t.Fatal("expected header error")
+	}
+}
+
+func TestGeneratorConfigValidation(t *testing.T) {
+	bad := DefaultGoogleConfig(1)
+	bad.MinTasks = 5
+	if _, err := NewGenerator(bad); err == nil {
+		t.Fatal("expected MinTasks error")
+	}
+	bad = DefaultGoogleConfig(1)
+	bad.MaxTasks = bad.MinTasks - 1
+	if _, err := NewGenerator(bad); err == nil {
+		t.Fatal("expected MaxTasks error")
+	}
+	bad = DefaultGoogleConfig(1)
+	bad.FarFraction = 1.5
+	if _, err := NewGenerator(bad); err == nil {
+		t.Fatal("expected FarFraction error")
+	}
+}
+
+func TestMakespanAtLeastMaxLatency(t *testing.T) {
+	gen, _ := NewGenerator(DefaultGoogleConfig(23))
+	job := gen.Next()
+	maxLat := 0.0
+	for _, task := range job.Tasks {
+		if task.Latency > maxLat {
+			maxLat = task.Latency
+		}
+	}
+	if job.Makespan() < maxLat {
+		t.Fatalf("makespan %v below max latency %v", job.Makespan(), maxLat)
+	}
+}
+
+func TestCauseStrings(t *testing.T) {
+	want := map[Cause]string{
+		CauseNone: "none", CauseSlowNode: "slow-node",
+		CauseContention: "contention", CauseSkew: "data-skew",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("cause %d string %q, want %q", c, c.String(), s)
+		}
+		if parseCause(s) != c {
+			t.Fatalf("parseCause(%q) != %v", s, c)
+		}
+	}
+}
+
+func TestFeaturesNonNegativeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := DefaultGoogleConfig(seed)
+		cfg.MinTasks, cfg.MaxTasks = 50, 60
+		cfg.MinTasks = 50
+		gen, err := NewGenerator(cfg)
+		if err != nil {
+			return false
+		}
+		job := gen.Next()
+		for _, task := range job.Tasks {
+			for _, v := range task.Features {
+				if v < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package tree implements CART-style regression trees used as the base
+// learner for gradient boosting (package gbt) and for the isolation forest
+// detector. Splits minimize within-node squared error; growth is bounded by
+// depth and minimum leaf size.
+package tree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Config controls tree growth.
+type Config struct {
+	// MaxDepth bounds tree depth; a depth-0 tree is a single leaf.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in each leaf.
+	MinLeaf int
+	// MinSplit is the minimum number of samples required to attempt a split.
+	MinSplit int
+	// FeatureFrac, if in (0,1), considers a random subset of features at each
+	// split (column subsampling). Requires RNG.
+	FeatureFrac float64
+	// RNG drives feature subsampling; may be nil when FeatureFrac is 0 or 1.
+	RNG *stats.RNG
+}
+
+// DefaultConfig returns the growth parameters used by the boosting defaults.
+func DefaultConfig() Config {
+	return Config{MaxDepth: 3, MinLeaf: 5, MinSplit: 10}
+}
+
+func (c *Config) normalize() {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 1
+	}
+	if c.MinSplit < 2*c.MinLeaf {
+		c.MinSplit = 2 * c.MinLeaf
+	}
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature   int
+	threshold float64
+	value     float64 // leaf prediction
+	left      int32   // child indices into Regressor.nodes
+	right     int32
+}
+
+// Regressor is a fitted regression tree.
+type Regressor struct {
+	nodes []node
+	ncols int
+}
+
+// Fit grows a regression tree on X, y (optionally with per-sample weights;
+// pass nil for uniform). It returns an error for empty or mismatched input.
+func Fit(X [][]float64, y []float64, w []float64, cfg Config) (*Regressor, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("tree: empty training set")
+	}
+	if len(y) != len(X) {
+		return nil, fmt.Errorf("tree: %d targets for %d rows", len(y), len(X))
+	}
+	if w != nil && len(w) != len(X) {
+		return nil, fmt.Errorf("tree: %d weights for %d rows", len(w), len(X))
+	}
+	cfg.normalize()
+	t := &Regressor{ncols: len(X[0])}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &builder{X: X, y: y, w: w, cfg: cfg, tree: t}
+	b.grow(idx, 0)
+	return t, nil
+}
+
+type builder struct {
+	X    [][]float64
+	y    []float64
+	w    []float64
+	cfg  Config
+	tree *Regressor
+}
+
+func (b *builder) weight(i int) float64 {
+	if b.w == nil {
+		return 1
+	}
+	return b.w[i]
+}
+
+// grow recursively builds the subtree over idx and returns its node index.
+func (b *builder) grow(idx []int, depth int) int32 {
+	sumW, sumWY := 0.0, 0.0
+	for _, i := range idx {
+		wi := b.weight(i)
+		sumW += wi
+		sumWY += wi * b.y[i]
+	}
+	mean := 0.0
+	if sumW > 0 {
+		mean = sumWY / sumW
+	}
+	id := int32(len(b.tree.nodes))
+	b.tree.nodes = append(b.tree.nodes, node{feature: -1, value: mean})
+
+	if depth >= b.cfg.MaxDepth || len(idx) < b.cfg.MinSplit {
+		return id
+	}
+	feat, thr, ok := b.bestSplit(idx, sumW, sumWY)
+	if !ok {
+		return id
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
+		return id
+	}
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	n := &b.tree.nodes[id]
+	n.feature = feat
+	n.threshold = thr
+	n.left = l
+	n.right = r
+	return id
+}
+
+// bestSplit scans candidate features for the split minimizing weighted SSE.
+func (b *builder) bestSplit(idx []int, totW, totWY float64) (feat int, thr float64, ok bool) {
+	ncols := b.tree.ncols
+	features := make([]int, ncols)
+	for j := range features {
+		features[j] = j
+	}
+	if b.cfg.FeatureFrac > 0 && b.cfg.FeatureFrac < 1 && b.cfg.RNG != nil {
+		k := int(b.cfg.FeatureFrac*float64(ncols) + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		features = b.cfg.RNG.Sample(ncols, k)
+	}
+
+	bestGain := 1e-12
+	type pair struct {
+		x, y, w float64
+	}
+	buf := make([]pair, len(idx))
+	for _, j := range features {
+		for k, i := range idx {
+			buf[k] = pair{x: b.X[i][j], y: b.y[i], w: b.weight(i)}
+		}
+		sort.Slice(buf, func(a, c int) bool { return buf[a].x < buf[c].x })
+		// Prefix sums over the sorted order.
+		leftW, leftWY := 0.0, 0.0
+		for k := 0; k < len(buf)-1; k++ {
+			leftW += buf[k].w
+			leftWY += buf[k].w * buf[k].y
+			if buf[k].x == buf[k+1].x {
+				continue
+			}
+			if k+1 < b.cfg.MinLeaf || len(buf)-k-1 < b.cfg.MinLeaf {
+				continue
+			}
+			rightW := totW - leftW
+			rightWY := totWY - leftWY
+			if leftW <= 0 || rightW <= 0 {
+				continue
+			}
+			// Gain = sum(w y)^2/W reduction relative to parent.
+			gain := leftWY*leftWY/leftW + rightWY*rightWY/rightW - totWY*totWY/totW
+			if gain > bestGain {
+				bestGain = gain
+				feat = j
+				thr = (buf[k].x + buf[k+1].x) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// Predict returns the tree's prediction for x.
+func (t *Regressor) Predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// PredictBatch predicts for each row of X.
+func (t *Regressor) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = t.Predict(x)
+	}
+	return out
+}
+
+// NumNodes reports the node count (for tests and diagnostics).
+func (t *Regressor) NumNodes() int { return len(t.nodes) }
+
+// Depth returns the maximum depth of the tree (a lone leaf has depth 0).
+func (t *Regressor) Depth() int {
+	var rec func(i int32) int
+	rec = func(i int32) int {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return 0
+		}
+		l, r := rec(n.left), rec(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return rec(0)
+}
+
+// AdjustLeaves replaces each leaf value with fn(leafIndex, currentValue).
+// Gradient boosting with non-squared losses uses this to apply per-leaf
+// Newton steps after growing the tree on gradients.
+func (t *Regressor) AdjustLeaves(fn func(leaf int, value float64) float64) {
+	leaf := 0
+	for i := range t.nodes {
+		if t.nodes[i].feature < 0 {
+			t.nodes[i].value = fn(leaf, t.nodes[i].value)
+			leaf++
+		}
+	}
+}
+
+// AddFeatureImportance accumulates each feature's split count into imp
+// (a crude but standard importance measure; callers normalize).
+func (t *Regressor) AddFeatureImportance(imp []float64) {
+	for i := range t.nodes {
+		if f := t.nodes[i].feature; f >= 0 && f < len(imp) {
+			imp[f]++
+		}
+	}
+}
+
+// ScaleLeaves multiplies every leaf value by c (used to undo target
+// standardization after boosting with a scale-sensitive loss).
+func (t *Regressor) ScaleLeaves(c float64) {
+	for i := range t.nodes {
+		if t.nodes[i].feature < 0 {
+			t.nodes[i].value *= c
+		}
+	}
+}
+
+// LeafIndex returns the ordinal (in node-array order) of the leaf x falls
+// into, for use with AdjustLeaves.
+func (t *Regressor) LeafIndex(x []float64) int {
+	// Map node index -> leaf ordinal.
+	target := int32(0)
+	for {
+		n := &t.nodes[target]
+		if n.feature < 0 {
+			break
+		}
+		if x[n.feature] <= n.threshold {
+			target = n.left
+		} else {
+			target = n.right
+		}
+	}
+	leaf := 0
+	for i := int32(0); i < target; i++ {
+		if t.nodes[i].feature < 0 {
+			leaf++
+		}
+	}
+	return leaf
+}

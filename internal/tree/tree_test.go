@@ -1,0 +1,242 @@
+package tree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestFitConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{5, 5, 5, 5}
+	tr, err := Fit(X, y, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{2.5}); got != 5 {
+		t.Fatalf("constant prediction %v, want 5", got)
+	}
+	if tr.NumNodes() != 1 {
+		t.Fatalf("constant tree should be a single leaf, has %d nodes", tr.NumNodes())
+	}
+}
+
+func TestFitRecoversStep(t *testing.T) {
+	// y = 0 for x<5, y = 10 for x>=5: one split suffices.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 40; i++ {
+		x := float64(i) / 4
+		X = append(X, []float64{x})
+		if x < 5 {
+			y = append(y, 0)
+		} else {
+			y = append(y, 10)
+		}
+	}
+	tr, err := Fit(X, y, nil, Config{MaxDepth: 2, MinLeaf: 1, MinSplit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{1}); math.Abs(got) > 1e-9 {
+		t.Fatalf("left prediction %v, want 0", got)
+	}
+	if got := tr.Predict([]float64{9}); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("right prediction %v, want 10", got)
+	}
+}
+
+func TestFitPicksInformativeFeature(t *testing.T) {
+	rng := stats.NewRNG(1)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		noise := rng.Normal(0, 1)
+		signal := rng.Float64()
+		X = append(X, []float64{noise, signal})
+		if signal > 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+	}
+	tr, err := Fit(X, y, nil, Config{MaxDepth: 1, MinLeaf: 5, MinSplit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must follow feature 1, not feature 0.
+	if tr.Predict([]float64{0, 0.9}) < 0.5 {
+		t.Fatal("tree failed to split on the informative feature")
+	}
+	if tr.Predict([]float64{0, 0.1}) > -0.5 {
+		t.Fatal("tree failed to split on the informative feature")
+	}
+}
+
+func TestDepthBound(t *testing.T) {
+	rng := stats.NewRNG(2)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		x := rng.Float64()
+		X = append(X, []float64{x})
+		y = append(y, math.Sin(10*x))
+	}
+	for _, depth := range []int{1, 2, 4} {
+		tr, err := Fit(X, y, nil, Config{MaxDepth: depth, MinLeaf: 1, MinSplit: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tr.Depth(); d > depth {
+			t.Fatalf("depth %d exceeds bound %d", d, depth)
+		}
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	rng := stats.NewRNG(3)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		x := rng.Float64()
+		X = append(X, []float64{x})
+		y = append(y, x)
+	}
+	tr, err := Fit(X, y, nil, Config{MaxDepth: 10, MinLeaf: 20, MinSplit: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With MinLeaf 20 over 100 points, at most 5 leaves.
+	leaves := 0
+	tr.AdjustLeaves(func(leaf int, v float64) float64 {
+		leaves++
+		return v
+	})
+	if leaves > 5 {
+		t.Fatalf("%d leaves violate MinLeaf=20 over n=100", leaves)
+	}
+}
+
+func TestWeightedFitPullsPrediction(t *testing.T) {
+	// Two clusters at the same x: weights decide the leaf mean.
+	X := [][]float64{{1}, {1}, {1}}
+	y := []float64{0, 0, 9}
+	w := []float64{1, 1, 2}
+	tr, err := Fit(X, y, w, Config{MaxDepth: 1, MinLeaf: 1, MinSplit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted mean = (0+0+18)/4 = 4.5.
+	if got := tr.Predict([]float64{1}); math.Abs(got-4.5) > 1e-9 {
+		t.Fatalf("weighted mean %v, want 4.5", got)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, nil, DefaultConfig()); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, nil, DefaultConfig()); err == nil {
+		t.Fatal("expected error on length mismatch")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1}, []float64{1, 2}, DefaultConfig()); err == nil {
+		t.Fatal("expected error on weight mismatch")
+	}
+}
+
+func TestLeafIndexConsistentWithAdjust(t *testing.T) {
+	rng := stats.NewRNG(4)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		X = append(X, x)
+		y = append(y, x[0]+2*x[1])
+	}
+	tr, err := Fit(X, y, nil, Config{MaxDepth: 3, MinLeaf: 5, MinSplit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tag each leaf with its ordinal, then check LeafIndex agrees with the
+	// value found by Predict.
+	tr.AdjustLeaves(func(leaf int, v float64) float64 { return float64(leaf) })
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		if got, want := tr.LeafIndex(x), int(tr.Predict(x)); got != want {
+			t.Fatalf("LeafIndex %d != tagged leaf %d", got, want)
+		}
+	}
+}
+
+func TestScaleLeaves(t *testing.T) {
+	X := [][]float64{{0}, {1}}
+	y := []float64{2, 4}
+	tr, err := Fit(X, y, nil, Config{MaxDepth: 1, MinLeaf: 1, MinSplit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Predict([]float64{0})
+	tr.ScaleLeaves(3)
+	if got := tr.Predict([]float64{0}); math.Abs(got-3*before) > 1e-12 {
+		t.Fatalf("scaled prediction %v, want %v", got, 3*before)
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	rng := stats.NewRNG(5)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64()}
+		X = append(X, x)
+		y = append(y, x[0]*x[0])
+	}
+	tr, err := Fit(X, y, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := tr.PredictBatch(X)
+	for i, x := range X {
+		if batch[i] != tr.Predict(x) {
+			t.Fatalf("batch[%d] mismatch", i)
+		}
+	}
+}
+
+func TestPredictionsWithinTargetRangeProperty(t *testing.T) {
+	// Leaf values are means of training targets, so predictions can never
+	// leave the training range.
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 10 + rng.Intn(100)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range X {
+			X[i] = []float64{rng.Normal(0, 1), rng.Normal(0, 1)}
+			y[i] = rng.Normal(0, 10)
+			if y[i] < lo {
+				lo = y[i]
+			}
+			if y[i] > hi {
+				hi = y[i]
+			}
+		}
+		tr, err := Fit(X, y, nil, Config{MaxDepth: 4, MinLeaf: 1, MinSplit: 2})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			p := tr.Predict([]float64{rng.Normal(0, 3), rng.Normal(0, 3)})
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+package vecmath
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPosDef is returned by Cholesky when the matrix is not (numerically)
+// positive definite.
+var ErrNotPosDef = errors.New("vecmath: matrix not positive definite")
+
+// Cholesky computes the lower-triangular factor L of A = L Lᵀ. A must be
+// symmetric positive definite; a small jitter can be added by the caller to
+// regularize near-singular matrices.
+func Cholesky(A [][]float64) ([][]float64, error) {
+	n := len(A)
+	L := make([][]float64, n)
+	for i := range L {
+		L[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := A[i][j]
+			for k := 0; k < j; k++ {
+				sum -= L[i][k] * L[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrNotPosDef
+				}
+				L[i][i] = math.Sqrt(sum)
+			} else {
+				L[i][j] = sum / L[j][j]
+			}
+		}
+	}
+	return L, nil
+}
+
+// CholeskySolve solves A x = b given the Cholesky factor L of A.
+func CholeskySolve(L [][]float64, b []float64) []float64 {
+	n := len(L)
+	// Forward solve L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= L[i][k] * y[k]
+		}
+		y[i] = s / L[i][i]
+	}
+	// Back solve Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= L[k][i] * x[k]
+		}
+		x[i] = s / L[i][i]
+	}
+	return x
+}
+
+// SolveSPD solves A x = b for symmetric positive definite A, adding a tiny
+// ridge jitter and retrying if the factorization fails. It returns an error
+// only if the system remains unsolvable after regularization.
+func SolveSPD(A [][]float64, b []float64) ([]float64, error) {
+	jitter := 0.0
+	for attempt := 0; attempt < 6; attempt++ {
+		M := A
+		if jitter > 0 {
+			M = Clone(A)
+			for i := range M {
+				M[i][i] += jitter
+			}
+		}
+		L, err := Cholesky(M)
+		if err == nil {
+			return CholeskySolve(L, b), nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, ErrNotPosDef
+}
+
+// Inverse returns the inverse of a symmetric positive definite matrix A via
+// its Cholesky factorization, with the same automatic jitter as SolveSPD.
+func Inverse(A [][]float64) ([][]float64, error) {
+	n := len(A)
+	inv := make([][]float64, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for k := range e {
+			e[k] = 0
+		}
+		e[j] = 1
+		col, err := SolveSPD(A, e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if inv[i] == nil {
+				inv[i] = make([]float64, n)
+			}
+			inv[i][j] = col[i]
+		}
+	}
+	return inv, nil
+}
+
+// SymEigen computes all eigenvalues and eigenvectors of a symmetric matrix
+// using the cyclic Jacobi rotation method. Eigenvalues are returned in
+// descending order; eigenvectors are the corresponding columns of V flattened
+// into rows (vectors[i] is the eigenvector for values[i]).
+func SymEigen(A [][]float64) (values []float64, vectors [][]float64) {
+	n := len(A)
+	a := Clone(A)
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(a[p][q]) < 1e-18 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := a[k][p], a[k][q]
+					a[k][p] = c*akp - s*akq
+					a[k][q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a[p][k], a[q][k]
+					a[p][k] = c*apk - s*aqk
+					a[q][k] = s*apk + c*aqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	// Extract, sort descending by eigenvalue.
+	values = make([]float64, n)
+	vectors = make([][]float64, n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+		values[i] = a[i][i]
+	}
+	// insertion sort indices by value descending (n is small).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && values[order[j]] > values[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	sorted := make([]float64, n)
+	for r, idx := range order {
+		sorted[r] = values[idx]
+		vec := make([]float64, n)
+		for k := 0; k < n; k++ {
+			vec[k] = v[k][idx]
+		}
+		vectors[r] = vec
+	}
+	return sorted, vectors
+}
