@@ -19,6 +19,7 @@ import (
 	"repro/internal/nurd"
 	"repro/internal/predictor"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/simulator"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -339,6 +340,52 @@ func BenchmarkFullReplayNURD(b *testing.B) {
 		f1 = res.Final.F1()
 	}
 	b.ReportMetric(f1, "f1")
+}
+
+// BenchmarkServeThroughput measures the online serving path end to end:
+// several jobs' monitoring streams ingested concurrently into a
+// serve.Server running per-job NURD models, the heavy-traffic scenario of
+// cmd/nurdserve. Reports sustained events/s and the mean refit latency.
+func BenchmarkServeThroughput(b *testing.B) {
+	const numJobs = 4
+	gen, err := trace.NewGenerator(trace.DefaultGoogleConfig(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := gen.Jobs(numJobs)
+	sims := make([]*simulator.Sim, numJobs)
+	streams := make([][]serve.Event, numJobs)
+	totalEvents := 0
+	for i, j := range jobs {
+		if sims[i], err = simulator.New(j, simulator.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+		streams[i] = serve.JobEvents(j, sims[i])
+		totalEvents += len(streams[i])
+	}
+	b.ResetTimer()
+	var lastServer *serve.Server
+	for i := 0; i < b.N; i++ {
+		sv := serve.NewServer(serve.DefaultConfig())
+		var wg sync.WaitGroup
+		for ji := range jobs {
+			if err := sv.StartJob(serve.SpecFor(sims[ji], benchSeed+uint64(ji)), nil); err != nil {
+				b.Fatal(err)
+			}
+			wg.Add(1)
+			go func(ji int) {
+				defer wg.Done()
+				if err := sv.IngestBatch(streams[ji]); err != nil {
+					b.Error(err)
+				}
+			}(ji)
+		}
+		wg.Wait()
+		lastServer = sv
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalEvents)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(lastServer.Stats().RefitMean().Microseconds())/1e3, "refit-mean-ms")
 }
 
 // BenchmarkSchedulerMitigated measures the event-driven mitigation scheduler

@@ -1,0 +1,107 @@
+// Serving walkthrough: run the online straggler-prediction service on a
+// handful of concurrent jobs — register jobs, stream their task lifecycle
+// events from separate goroutines, query running tasks mid-flight, and read
+// the per-job reports and server-wide stats at the end.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/simulator"
+	"repro/internal/trace"
+)
+
+func main() {
+	// 1. A small burst of Google-like jobs, as if several users submitted
+	// work to the same cluster.
+	const numJobs = 4
+	gen, err := trace.NewGenerator(trace.DefaultGoogleConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs := gen.Jobs(numJobs)
+	sims := make([]*simulator.Sim, numJobs)
+	for i, j := range jobs {
+		if sims[i], err = simulator.New(j, simulator.DefaultConfig()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 2. One server for all of them. The default configuration shards jobs
+	// across the available cores and builds each job a NURD predictor from
+	// its spec (seed, schema-dependent confirmation rule).
+	sv := serve.NewServer(serve.DefaultConfig())
+	for i := range jobs {
+		spec := serve.SpecFor(sims[i], uint64(i)) // control-plane metadata + predictor seed
+		if err := sv.StartJob(spec, nil); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("job %d: %d tasks, tau_stra=%.1f, horizon=%.1f, %d checkpoints\n",
+			spec.JobID, spec.NumTasks, spec.TauStra, spec.Horizon, spec.Checkpoints)
+	}
+
+	// 3. Stream every job concurrently: starts, per-checkpoint feature
+	// heartbeats, finishes, in time order — the event shape a monitoring
+	// pipeline delivers.
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, e := range serve.JobEvents(jobs[i], sims[i]) {
+				if err := sv.Ingest(e); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(i)
+	}
+
+	// 4. While streams are in flight, poll one job's first few tasks —
+	// queries are answered from the job's live model at any time.
+	time.Sleep(20 * time.Millisecond)
+	if vs, err := sv.Query(jobs[0].ID, []int{0, 1, 2}); err == nil {
+		for _, v := range vs {
+			state := "pending"
+			switch {
+			case v.Flagged:
+				state = fmt.Sprintf("terminated@cp%d", v.FlaggedAt)
+			case v.Finished:
+				state = "finished"
+			case v.Known:
+				state = "running"
+			}
+			extra := ""
+			if v.Prediction != nil {
+				extra = fmt.Sprintf(" adjusted=%.1f w=%.2f", v.Prediction.Adjusted, v.Prediction.Weight)
+			}
+			fmt.Printf("  mid-flight query job %d task %d: %s straggler=%v%s\n",
+				jobs[0].ID, v.TaskID, state, v.Straggler, extra)
+		}
+	}
+	wg.Wait()
+
+	// 5. End-of-job accounting: the terminated set per job, scored against
+	// ground truth exactly like the offline protocol.
+	for i := range jobs {
+		rep, err := sv.Report(jobs[i].ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := rep.Confusion(sims[i].Truth())
+		flagged := make([]int, 0, len(rep.PredictedAt))
+		for id := range rep.PredictedAt {
+			flagged = append(flagged, id)
+		}
+		sort.Ints(flagged)
+		fmt.Printf("job %d: F1=%.2f (%s), %d refits (mean %s), flagged %v\n",
+			jobs[i].ID, c.F1(), c, rep.Refits, rep.RefitMean().Round(time.Millisecond), flagged)
+	}
+	fmt.Println("server:", sv.Stats())
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/simulator"
+)
+
+// TestRunDeterministicAcrossWorkers guards Run's worker pool against
+// scheduling-order nondeterminism: the same seed must yield byte-identical
+// Table 3 rows whether the jobs×methods units run on one worker or many.
+// Every result is written to its (method, job) slot and every predictor is
+// seeded per-unit, so goroutine interleaving must not be observable.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	facs := smallFactories()
+	simCfg := simulator.DefaultConfig()
+	const seed = 7
+
+	runAt := func(procs int) *Evaluation {
+		t.Helper()
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		ev, err := Run(GoogleSpec(3, seed), facs, simCfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	serial := runAt(1)
+	parallel := runAt(8)
+
+	if got, want := Table3([]*Evaluation{parallel}), Table3([]*Evaluation{serial}); got != want {
+		t.Errorf("Table 3 differs across worker counts:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+	// Byte-identical formatting could mask sub-rounding drift; compare the
+	// raw per-job, per-checkpoint numbers exactly too.
+	for mi := range serial.Methods {
+		sm, pm := serial.Methods[mi], parallel.Methods[mi]
+		if sm.Name != pm.Name {
+			t.Fatalf("method order differs: %s vs %s", sm.Name, pm.Name)
+		}
+		for ji := range sm.PerJob {
+			if sm.PerJob[ji] != pm.PerJob[ji] {
+				t.Errorf("%s job %d rates differ: %+v vs %+v", sm.Name, ji, sm.PerJob[ji], pm.PerJob[ji])
+			}
+			for k := range sm.PerCheckpointF1[ji] {
+				if sm.PerCheckpointF1[ji][k] != pm.PerCheckpointF1[ji][k] {
+					t.Errorf("%s job %d checkpoint %d F1 differs: %v vs %v",
+						sm.Name, ji, k+1, sm.PerCheckpointF1[ji][k], pm.PerCheckpointF1[ji][k])
+				}
+			}
+			if len(sm.Plans[ji]) != len(pm.Plans[ji]) {
+				t.Errorf("%s job %d plan size differs: %d vs %d",
+					sm.Name, ji, len(sm.Plans[ji]), len(pm.Plans[ji]))
+				continue
+			}
+			for id, e := range sm.Plans[ji] {
+				if pe, ok := pm.Plans[ji][id]; !ok || pe != e {
+					t.Errorf("%s job %d task %d plan differs: %v vs %v (present=%v)",
+						sm.Name, ji, id, e, pe, ok)
+				}
+			}
+		}
+	}
+}

@@ -79,6 +79,15 @@ type Evaluation struct {
 	Seed    uint64
 }
 
+// UnitSeed derives the predictor seed for one (job, method) evaluation unit
+// from the master seed; ji and mi are the job's and method's indices in the
+// evaluation. Exported so out-of-harness replays of a single method (the
+// serving load driver, equivalence tests) can reproduce the exact predictor
+// a full Run would construct.
+func UnitSeed(seed uint64, ji, mi int) uint64 {
+	return seed + uint64(ji)*1013904223 + uint64(mi)*2654435761
+}
+
 // Run replays all methods over all jobs of the spec. Jobs×methods run in
 // parallel across cores; results are deterministic in the seed regardless of
 // scheduling.
@@ -122,7 +131,7 @@ func Run(spec TraceSpec, factories []predictor.Factory, simCfg simulator.Config,
 			for u := range units {
 				f := factories[u.mi]
 				s := sims[u.ji]
-				p := f.New(s, seed+uint64(u.ji)*1013904223+uint64(u.mi)*2654435761)
+				p := f.New(s, UnitSeed(seed, u.ji, u.mi))
 				res, err := simulator.Evaluate(s, p)
 				if err != nil {
 					mu.Lock()

@@ -70,6 +70,30 @@ func AllFactories() []Factory {
 	return fs
 }
 
+// FindFactory returns the index and factory of the named Table 3 method
+// within AllFactories. The index matters beyond lookup: experiments.Run
+// derives each (job, method) seed from the method's position in the factory
+// list, so callers that replay a single method outside Run (cmd/nurdserve,
+// the serving tests) need the same index to reproduce identical predictors.
+func FindFactory(name string) (int, Factory, bool) {
+	for i, f := range AllFactories() {
+		if f.Name == name {
+			return i, f, true
+		}
+	}
+	return -1, Factory{}, false
+}
+
+// ConfirmFor exposes the per-dataset confirmation requirement used by the
+// NURD factories (see confirmFor); the serving layer uses it to build
+// predictors equivalent to AllFactories' without a Sim in hand.
+func ConfirmFor(schema []string) int {
+	if len(schema) <= 4 {
+		return 1
+	}
+	return 2
+}
+
 // confirmFor selects the confirmation requirement per dataset, mirroring
 // the paper's per-dataset hyperparameter tuning (§6): with the 15-feature
 // Google schema the models are sharp enough that borderline verdicts are
@@ -78,10 +102,10 @@ func AllFactories() []Factory {
 // the job progresses and waiting a checkpoint forfeits most of the
 // mitigation benefit, so flags fire on first crossing (confirm = 1).
 func confirmFor(s *simulator.Sim) int {
-	if s != nil && len(s.Job.Schema) <= 4 {
-		return 1
+	if s == nil {
+		return 2
 	}
-	return 2
+	return ConfirmFor(s.Job.Schema)
 }
 
 // NURDPredictor adapts nurd.Model to the online protocol. Because the

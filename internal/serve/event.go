@@ -1,0 +1,141 @@
+// Package serve turns the repository's offline replay machinery into an
+// online, multi-job streaming prediction service. A Server ingests per-task
+// lifecycle events (start / heartbeat-with-features / finish) for many jobs
+// at once, keeps one straggler predictor per job behind a sharded registry
+// (no global lock), refits each job's models when its event clock crosses a
+// checkpoint boundary — the same boundaries package simulator replays — and
+// answers batched Predict/IsStraggler queries against per-job tau_stra
+// thresholds.
+//
+// The protocol is deliberately bit-compatible with simulator.Evaluate: a job
+// streamed through a Server and the same job replayed offline produce
+// identical terminated sets (see TestServerMatchesOffline), so the paper's
+// accuracy numbers carry over unchanged to the serving path.
+package serve
+
+import "fmt"
+
+// EventKind discriminates task lifecycle events.
+type EventKind uint8
+
+// The task lifecycle: a task starts, emits feature heartbeats at monitoring
+// ticks while it runs, and finishes with its observed latency. JobFinish
+// marks the end of a job's stream and flushes any pending checkpoints.
+const (
+	// EventTaskStart announces a dispatched task.
+	EventTaskStart EventKind = iota
+	// EventHeartbeat delivers a task's monitored features at tick Tick.
+	EventHeartbeat
+	// EventTaskFinish reports a task's completion and true latency.
+	EventTaskFinish
+	// EventJobFinish closes the job's stream (no TaskID); every checkpoint
+	// not yet fired is evaluated with the final state.
+	EventJobFinish
+)
+
+// String returns the event-kind label.
+func (k EventKind) String() string {
+	switch k {
+	case EventTaskStart:
+		return "task-start"
+	case EventHeartbeat:
+		return "heartbeat"
+	case EventTaskFinish:
+		return "task-finish"
+	case EventJobFinish:
+		return "job-finish"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one element of a job's monitoring stream. Events for a single job
+// must be delivered in non-decreasing Time order (the per-job monitoring
+// pipeline is ordered); events of different jobs interleave arbitrarily and
+// may be ingested from concurrent goroutines.
+type Event struct {
+	// Kind selects the lifecycle transition.
+	Kind EventKind
+	// JobID routes the event to its job's shard.
+	JobID uint64
+	// TaskID identifies the task within the job (ignored for JobFinish).
+	TaskID int
+	// Time is the job-relative wall-clock timestamp of the event. The serving
+	// clock is virtual: the Server orders state changes and checkpoint
+	// crossings by Time, while ingest throughput is bounded only by the
+	// caller.
+	Time float64
+	// Tick is the monitoring tick of a heartbeat (checkpoint index the
+	// observation belongs to); informational for other kinds.
+	Tick int
+	// Features carries the monitored feature vector of a heartbeat. The
+	// Server takes ownership of the slice at Ingest: it is retained as the
+	// task's current observation until the next heartbeat, so callers must
+	// not reuse or mutate it afterwards (allocate per event, as
+	// trace.Job.ObservedFeatures does).
+	Features []float64
+	// Latency is the finished task's true execution duration (TaskFinish).
+	Latency float64
+}
+
+// JobSpec declares a job to the Server before any of its events arrive.
+// Everything here is information a production control plane has at
+// submission time: the schema of the monitoring pipeline, the task count of
+// the submitted job, the operator-specified straggler threshold (§2: "a
+// task whose latency is above an operator-specified threshold"), and the
+// monitoring schedule (horizon plus number of checkpoints).
+type JobSpec struct {
+	// JobID identifies the job; events carry it.
+	JobID uint64
+	// Schema names the feature columns (len gates feature validation).
+	Schema []string
+	// NumTasks is the job's total task count, used for the warmup gate
+	// exactly as simulator.Evaluate uses it.
+	NumTasks int
+	// TauStra is the operator-specified straggler latency threshold.
+	TauStra float64
+	// StragglerQuantile records the quantile TauStra was derived from
+	// (budget-aware predictors exploit it; 0.9 in the paper).
+	StragglerQuantile float64
+	// Horizon is the expected makespan; checkpoint k fires when the job's
+	// event clock passes Horizon*k/Checkpoints, mirroring the simulator's
+	// evenly spaced normalized-time horizons.
+	Horizon float64
+	// Checkpoints is the number of refit boundaries T (the paper uses 10).
+	Checkpoints int
+	// WarmFrac is the finished fraction required before predictions start
+	// (the paper waits for 4%).
+	WarmFrac float64
+	// Seed drives the job's predictor when the Server constructs one through
+	// its Config.NewPredictor factory (ignored for explicitly supplied
+	// predictors).
+	Seed uint64
+}
+
+// Validate checks the spec's invariants.
+func (sp *JobSpec) Validate() error {
+	if sp.NumTasks <= 0 {
+		return fmt.Errorf("serve: job %d: NumTasks must be positive, got %d", sp.JobID, sp.NumTasks)
+	}
+	if len(sp.Schema) == 0 {
+		return fmt.Errorf("serve: job %d: empty schema", sp.JobID)
+	}
+	if sp.TauStra <= 0 {
+		return fmt.Errorf("serve: job %d: TauStra must be positive, got %v", sp.JobID, sp.TauStra)
+	}
+	if sp.Horizon <= 0 {
+		return fmt.Errorf("serve: job %d: Horizon must be positive, got %v", sp.JobID, sp.Horizon)
+	}
+	if sp.Checkpoints < 1 {
+		return fmt.Errorf("serve: job %d: need >= 1 checkpoint, got %d", sp.JobID, sp.Checkpoints)
+	}
+	if sp.WarmFrac <= 0 || sp.WarmFrac >= 0.5 {
+		return fmt.Errorf("serve: job %d: WarmFrac must be in (0, 0.5), got %v", sp.JobID, sp.WarmFrac)
+	}
+	return nil
+}
+
+// tauRun returns the wall-clock horizon of checkpoint k (1..Checkpoints).
+func (sp *JobSpec) tauRun(k int) float64 {
+	return sp.Horizon * float64(k) / float64(sp.Checkpoints)
+}

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/nurd"
+	"repro/internal/simulator"
+)
+
+// taskState tracks one task of a streamed job.
+type taskState struct {
+	started    bool
+	start      float64
+	features   []float64 // latest heartbeat observation
+	finished   bool
+	latency    float64
+	terminated bool
+	flaggedAt  int // checkpoint index of termination
+}
+
+// jobState is one job's full serving state. Its owning shard serializes
+// access through mu, which is per-job so that a slow model refit stalls
+// only this job's events and queries, never its shard-mates'.
+type jobState struct {
+	mu   sync.Mutex
+	spec JobSpec
+	pred simulator.Predictor
+
+	tasks  []taskState // indexed by TaskID
+	clock  float64     // maximum event time seen
+	nextCP int         // next checkpoint boundary to fire (1..Checkpoints)
+	warm   int         // finished-task count gating prediction
+	done   bool
+	failed bool // done because the predictor errored, not job-finish
+
+	started, finished, terminated int
+
+	refits     int
+	refitDur   time.Duration
+	refitMax   time.Duration
+	checkpoint int // last checkpoint fired
+}
+
+func newJobState(spec JobSpec, pred simulator.Predictor) *jobState {
+	pred.Reset()
+	return &jobState{
+		spec:   spec,
+		pred:   pred,
+		tasks:  make([]taskState, spec.NumTasks),
+		nextCP: 1,
+		warm:   simulator.WarmCount(spec.NumTasks, spec.WarmFrac),
+	}
+}
+
+// handle applies one event. Checkpoint boundaries strictly before the
+// event's timestamp fire first, so every refit sees exactly the state that
+// existed at its horizon — the property that makes the streamed protocol
+// coincide with simulator.Evaluate's replay.
+func (j *jobState) handle(e Event) error {
+	if j.done {
+		if j.failed {
+			// The job was closed by a predictor failure, not by the caller;
+			// its stream is still in flight and must keep draining without
+			// erroring (a shared ingest feed carries other jobs' events too).
+			return errDropped
+		}
+		return fmt.Errorf("serve: job %d: event %s after job-finish", j.spec.JobID, e.Kind)
+	}
+	t := e.Time
+	if t < j.clock {
+		// Mild monitoring-pipeline jitter: never rewind the job clock.
+		t = j.clock
+	}
+	for !j.done && j.nextCP <= j.spec.Checkpoints && t > j.spec.tauRun(j.nextCP) {
+		j.fireCheckpoint()
+	}
+	if j.done {
+		// The predictor failed on a boundary fired above: the job is now
+		// closed, no further boundaries run, and the triggering event
+		// itself is drained as a drop.
+		return errDropped
+	}
+	j.clock = t
+
+	if e.Kind == EventJobFinish {
+		for !j.done && j.nextCP <= j.spec.Checkpoints {
+			j.fireCheckpoint()
+		}
+		j.done = true
+		return nil
+	}
+	if e.TaskID < 0 || e.TaskID >= len(j.tasks) {
+		return fmt.Errorf("serve: job %d: task %d out of range [0,%d)",
+			j.spec.JobID, e.TaskID, len(j.tasks))
+	}
+	ts := &j.tasks[e.TaskID]
+	switch e.Kind {
+	case EventTaskStart:
+		if ts.started {
+			return fmt.Errorf("serve: job %d: duplicate start for task %d", j.spec.JobID, e.TaskID)
+		}
+		ts.started = true
+		ts.start = e.Time
+		j.started++
+	case EventHeartbeat:
+		if !ts.started {
+			return fmt.Errorf("serve: job %d: heartbeat for unstarted task %d", j.spec.JobID, e.TaskID)
+		}
+		if ts.terminated {
+			// The monitoring pipeline may lag a termination; late
+			// observations for killed tasks are dropped, not an error.
+			return errDropped
+		}
+		// Heartbeats for finished tasks are accepted: the offline protocol
+		// (simulator.At) re-observes finished tasks' features at every
+		// checkpoint, and the streamed protocol must see the same training
+		// rows to stay equivalent. Pipelines that freeze features at
+		// completion simply stop heartbeating, which degrades gracefully.
+		if len(e.Features) != len(j.spec.Schema) {
+			return fmt.Errorf("serve: job %d task %d: %d features for schema of %d",
+				j.spec.JobID, e.TaskID, len(e.Features), len(j.spec.Schema))
+		}
+		ts.features = e.Features
+	case EventTaskFinish:
+		if !ts.started {
+			return fmt.Errorf("serve: job %d: finish for unstarted task %d", j.spec.JobID, e.TaskID)
+		}
+		if ts.terminated {
+			return errDropped
+		}
+		if ts.finished {
+			return fmt.Errorf("serve: job %d: duplicate finish for task %d", j.spec.JobID, e.TaskID)
+		}
+		ts.finished = true
+		ts.latency = e.Latency
+		j.finished++
+	default:
+		return fmt.Errorf("serve: job %d: unknown event kind %d", j.spec.JobID, e.Kind)
+	}
+	return nil
+}
+
+// errDropped marks a benignly ignored event (late heartbeat/finish for a
+// terminated task); shards count these instead of surfacing them.
+var errDropped = fmt.Errorf("serve: event dropped")
+
+// snapshot materializes the current checkpoint view of the job, shaped
+// exactly like simulator.At: tasks in ID order, finished iff completion is
+// at or before the horizon, terminated tasks excluded, and per-task features
+// as most recently observed. Tasks that have started but never heartbeat
+// are invisible — monitoring has not observed them yet.
+func (j *jobState) snapshot(k int) *simulator.Checkpoint {
+	tau := j.spec.tauRun(k)
+	cp := &simulator.Checkpoint{
+		Index:             k,
+		Norm:              float64(k) / float64(j.spec.Checkpoints),
+		TauRun:            tau,
+		TauStra:           j.spec.TauStra,
+		StragglerQuantile: j.spec.StragglerQuantile,
+	}
+	for id := range j.tasks {
+		ts := &j.tasks[id]
+		if !ts.started || ts.terminated || ts.start > tau || ts.features == nil {
+			continue
+		}
+		if ts.finished && ts.start+ts.latency <= tau {
+			cp.FinishedIDs = append(cp.FinishedIDs, id)
+			cp.FinishedX = append(cp.FinishedX, ts.features)
+			cp.FinishedY = append(cp.FinishedY, ts.latency)
+		} else {
+			cp.RunningIDs = append(cp.RunningIDs, id)
+			cp.RunningX = append(cp.RunningX, ts.features)
+			cp.RunningElapsed = append(cp.RunningElapsed, tau-ts.start)
+		}
+	}
+	return cp
+}
+
+// fireCheckpoint evaluates the next checkpoint boundary: it refits/queries
+// the job's predictor on the snapshot and terminates every task the
+// predictor flags (the paper's protocol: predicted stragglers are killed
+// and never rejoin either set). Predictor errors mark the job done rather
+// than wedging the shard.
+func (j *jobState) fireCheckpoint() {
+	k := j.nextCP
+	j.nextCP++
+	j.checkpoint = k
+	cp := j.snapshot(k)
+	if len(cp.FinishedIDs) < j.warm || len(cp.RunningIDs) == 0 {
+		return
+	}
+	t0 := time.Now()
+	verdicts, err := j.pred.Predict(cp)
+	d := time.Since(t0)
+	j.refits++
+	j.refitDur += d
+	if d > j.refitMax {
+		j.refitMax = d
+	}
+	if err != nil || len(verdicts) != len(cp.RunningIDs) {
+		// A predictor that cannot act leaves the job to run unmitigated;
+		// the job closes as failed and the rest of its stream is drained
+		// as dropped events.
+		j.done = true
+		j.failed = true
+		return
+	}
+	for i, v := range verdicts {
+		if !v {
+			continue
+		}
+		id := cp.RunningIDs[i]
+		j.tasks[id].terminated = true
+		j.tasks[id].flaggedAt = k
+		j.terminated++
+	}
+}
+
+// nurdModel exposes the underlying nurd.Model of predictors that have one
+// (predictor.NURDPredictor does); Query uses it to answer ad-hoc latency
+// predictions between checkpoints.
+type nurdModel interface {
+	Model() *nurd.Model
+}
+
+// verdict answers one query against the job's current state.
+func (j *jobState) verdict(taskID int) TaskVerdict {
+	v := TaskVerdict{TaskID: taskID}
+	if taskID < 0 || taskID >= len(j.tasks) {
+		return v
+	}
+	ts := &j.tasks[taskID]
+	v.Known = ts.started
+	v.Finished = ts.finished
+	v.Flagged = ts.terminated
+	v.FlaggedAt = ts.flaggedAt
+	if ts.terminated {
+		v.Straggler = true
+		return v
+	}
+	if ts.finished {
+		v.Straggler = ts.latency >= j.spec.TauStra
+		return v
+	}
+	if !ts.started || ts.features == nil {
+		return v
+	}
+	nm, ok := j.pred.(nurdModel)
+	if !ok || nm.Model() == nil {
+		return v
+	}
+	pr, err := nm.Model().Predict(ts.features)
+	if err != nil {
+		return v
+	}
+	v.Prediction = &pr
+	v.Straggler = pr.Adjusted >= j.spec.TauStra
+	return v
+}
+
+// report summarizes the job.
+func (j *jobState) report() *JobReport {
+	r := &JobReport{
+		Spec:        j.spec,
+		Done:        j.done,
+		Failed:      j.failed,
+		Checkpoint:  j.checkpoint,
+		Started:     j.started,
+		Finished:    j.finished,
+		Terminated:  j.terminated,
+		Refits:      j.refits,
+		RefitTotal:  j.refitDur,
+		RefitMax:    j.refitMax,
+		PredictedAt: make(map[int]int, j.terminated),
+	}
+	for id := range j.tasks {
+		if j.tasks[id].terminated {
+			r.PredictedAt[id] = j.tasks[id].flaggedAt
+		}
+	}
+	return r
+}

@@ -1,0 +1,42 @@
+package serve
+
+// registry routes jobs to shards by hashed job ID. The shard array is
+// immutable after construction, so routing itself is lock-free; each shard
+// serializes only its own jobs.
+type registry struct {
+	shards []*shard
+}
+
+func newRegistry(n int) *registry {
+	if n < 1 {
+		n = 1
+	}
+	r := &registry{shards: make([]*shard, n)}
+	for i := range r.shards {
+		r.shards[i] = newShard()
+	}
+	return r
+}
+
+// shardFor picks the owning shard of a job. Job IDs are often sequential
+// (trace generators, schedulers), so they are mixed through a splitmix64
+// finalizer before reduction to spread neighboring IDs across shards.
+func (r *registry) shardFor(jobID uint64) *shard {
+	return r.shards[mix64(jobID)%uint64(len(r.shards))]
+}
+
+// mix64 is the splitmix64 finalizer (Steele et al., "Fast Splittable
+// Pseudorandom Number Generators").
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// each visits every shard.
+func (r *registry) each(f func(*shard)) {
+	for _, s := range r.shards {
+		f(s)
+	}
+}

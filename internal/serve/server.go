@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/nurd"
+	"repro/internal/predictor"
+	"repro/internal/simulator"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Shards is the number of independent job shards (defaults to
+	// 2*GOMAXPROCS, capped at 64).
+	Shards int
+	// NewPredictor builds a predictor for jobs registered without an
+	// explicit one. The default constructs the paper's NURD configuration
+	// seeded from the JobSpec, with the per-dataset confirmation rule.
+	NewPredictor func(spec JobSpec) simulator.Predictor
+}
+
+// DefaultConfig returns a NURD-serving configuration.
+func DefaultConfig() Config {
+	shards := 2 * runtime.GOMAXPROCS(0)
+	if shards > 64 {
+		shards = 64
+	}
+	return Config{Shards: shards, NewPredictor: NewNURDPredictor}
+}
+
+// NewNURDPredictor is the default per-job predictor factory: the paper's
+// NURD with the spec's seed and the per-dataset confirmation requirement.
+func NewNURDPredictor(spec JobSpec) simulator.Predictor {
+	cfg := nurd.DefaultConfig()
+	cfg.Seed = spec.Seed
+	return predictor.NewNURDWith("NURD", cfg, predictor.ConfirmFor(spec.Schema))
+}
+
+// Server is a concurrent, multi-job streaming straggler-prediction service.
+// Jobs register with StartJob, stream lifecycle events through Ingest (from
+// any number of goroutines), and can be queried at any time with Query.
+// All state is partitioned across shards keyed by job ID; there is no
+// global lock anywhere on the ingest or query path.
+type Server struct {
+	cfg Config
+	reg *registry
+}
+
+// NewServer builds a server.
+func NewServer(cfg Config) *Server {
+	if cfg.Shards < 1 {
+		cfg.Shards = DefaultConfig().Shards
+	}
+	if cfg.NewPredictor == nil {
+		cfg.NewPredictor = NewNURDPredictor
+	}
+	return &Server{cfg: cfg, reg: newRegistry(cfg.Shards)}
+}
+
+// NumShards reports the shard count.
+func (sv *Server) NumShards() int { return len(sv.reg.shards) }
+
+// StartJob registers a job. pred supplies the job's predictor; nil uses the
+// server's Config.NewPredictor factory. The spec fills in unset monitoring
+// defaults (10 checkpoints, 4% warmup, p90 quantile) before validation.
+func (sv *Server) StartJob(spec JobSpec, pred simulator.Predictor) error {
+	if spec.Checkpoints == 0 {
+		spec.Checkpoints = simulator.DefaultConfig().Checkpoints
+	}
+	if spec.WarmFrac == 0 {
+		spec.WarmFrac = simulator.DefaultConfig().WarmFrac
+	}
+	if spec.StragglerQuantile == 0 {
+		spec.StragglerQuantile = simulator.DefaultConfig().StragglerQuantile
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if pred == nil {
+		pred = sv.cfg.NewPredictor(spec)
+	}
+	if pred == nil {
+		return fmt.Errorf("serve: job %d: nil predictor", spec.JobID)
+	}
+	return sv.reg.shardFor(spec.JobID).startJob(spec, pred)
+}
+
+// Ingest applies one lifecycle event. Events of one job must arrive in
+// non-decreasing Time order; different jobs' events may be ingested
+// concurrently from many goroutines.
+func (sv *Server) Ingest(e Event) error {
+	return sv.reg.shardFor(e.JobID).ingest(e)
+}
+
+// IngestBatch applies a batch of events in order, stopping at the first
+// error.
+func (sv *Server) IngestBatch(events []Event) error {
+	for i := range events {
+		if err := sv.Ingest(events[i]); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// FinishJob closes a job's stream at the given time, firing every remaining
+// checkpoint boundary.
+func (sv *Server) FinishJob(jobID uint64, t float64) error {
+	return sv.Ingest(Event{Kind: EventJobFinish, JobID: jobID, Time: t})
+}
+
+// DropJob discards a finished job's state.
+func (sv *Server) DropJob(jobID uint64) error {
+	return sv.reg.shardFor(jobID).dropJob(jobID)
+}
+
+// Query answers a batched per-task straggler query against the job's
+// current models and tau_stra threshold.
+func (sv *Server) Query(jobID uint64, taskIDs []int) ([]TaskVerdict, error) {
+	return sv.reg.shardFor(jobID).query(jobID, taskIDs)
+}
+
+// IsStraggler answers a single-task query.
+func (sv *Server) IsStraggler(jobID uint64, taskID int) (bool, error) {
+	vs, err := sv.Query(jobID, []int{taskID})
+	if err != nil {
+		return false, err
+	}
+	return vs[0].Straggler, nil
+}
+
+// Report summarizes one job's serving run.
+func (sv *Server) Report(jobID uint64) (*JobReport, error) {
+	return sv.reg.shardFor(jobID).report(jobID)
+}
+
+// Stats aggregates counters across all shards.
+func (sv *Server) Stats() Stats {
+	var st Stats
+	sv.reg.each(func(s *shard) { s.addStats(&st) })
+	return st
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simulator"
+)
+
+// shard owns a disjoint subset of the jobs. The shard mutex guards only the
+// job map; counters are atomics and each job's state has its own lock, so
+// the hot ingest path takes the shard lock exactly once (for lookup) and a
+// slow model refit in one job never stalls ingest or queries for its
+// shard-mates — there is no global lock anywhere, and no long-held one
+// either. Lock order is always shard.mu before jobState.mu, and the shard
+// lock is never held across a predictor call.
+type shard struct {
+	mu   sync.Mutex
+	jobs map[uint64]*jobState
+
+	// Counters accumulate as events happen (not derived from live jobs) so
+	// they survive DropJob's reclamation of per-job state. Durations are in
+	// nanoseconds.
+	events       atomic.Uint64
+	dropped      atomic.Uint64
+	terminations atomic.Uint64
+	queries      atomic.Uint64
+	refits       atomic.Uint64
+	refitDur     atomic.Int64
+	refitMax     atomic.Int64
+	finished     atomic.Int64 // jobs whose stream has closed
+}
+
+func newShard() *shard {
+	return &shard{jobs: make(map[uint64]*jobState)}
+}
+
+// lookup fetches a job under the shard lock.
+func (s *shard) lookup(jobID uint64) (*jobState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[jobID]
+	return j, ok
+}
+
+// startJob registers a job on this shard.
+func (s *shard) startJob(spec JobSpec, pred simulator.Predictor) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[spec.JobID]; ok {
+		return fmt.Errorf("serve: job %d already registered", spec.JobID)
+	}
+	s.jobs[spec.JobID] = newJobState(spec, pred)
+	return nil
+}
+
+// ingest applies one event to its job, then folds the job's counter deltas
+// into the shard.
+func (s *shard) ingest(e Event) error {
+	j, ok := s.lookup(e.JobID)
+	if !ok {
+		return fmt.Errorf("serve: event %s for unknown job %d", e.Kind, e.JobID)
+	}
+	j.mu.Lock()
+	termBefore, refitsBefore, durBefore, wasDone := j.terminated, j.refits, j.refitDur, j.done
+	err := j.handle(e)
+	termDelta := j.terminated - termBefore
+	refitDelta := j.refits - refitsBefore
+	durDelta := j.refitDur - durBefore
+	maxDur := j.refitMax
+	nowDone := j.done
+	j.mu.Unlock()
+
+	s.events.Add(1)
+	if termDelta > 0 {
+		s.terminations.Add(uint64(termDelta))
+	}
+	if refitDelta > 0 {
+		s.refits.Add(uint64(refitDelta))
+		s.refitDur.Add(int64(durDelta))
+		atomicMax(&s.refitMax, int64(maxDur))
+	}
+	if !wasDone && nowDone {
+		// One increment per closure, whichever path closed it (job-finish
+		// or predictor failure).
+		s.finished.Add(1)
+	}
+	if errors.Is(err, errDropped) {
+		s.dropped.Add(1)
+		return nil
+	}
+	return err
+}
+
+// atomicMax raises v to at least x.
+func atomicMax(v *atomic.Int64, x int64) {
+	for {
+		cur := v.Load()
+		if x <= cur || v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// query answers a batch of per-task verdicts for one job.
+func (s *shard) query(jobID uint64, taskIDs []int) ([]TaskVerdict, error) {
+	j, ok := s.lookup(jobID)
+	if !ok {
+		return nil, fmt.Errorf("serve: query for unknown job %d", jobID)
+	}
+	out := make([]TaskVerdict, len(taskIDs))
+	j.mu.Lock()
+	for i, id := range taskIDs {
+		out[i] = j.verdict(id)
+	}
+	j.mu.Unlock()
+	s.queries.Add(uint64(len(taskIDs)))
+	return out, nil
+}
+
+// report summarizes one job.
+func (s *shard) report(jobID uint64) (*JobReport, error) {
+	j, ok := s.lookup(jobID)
+	if !ok {
+		return nil, fmt.Errorf("serve: report for unknown job %d", jobID)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report(), nil
+}
+
+// dropJob removes a completed job's state (memory reclamation for
+// long-running servers). It refuses to drop a live job.
+func (s *shard) dropJob(jobID uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[jobID]
+	if !ok {
+		return fmt.Errorf("serve: drop of unknown job %d", jobID)
+	}
+	j.mu.Lock()
+	done := j.done
+	j.mu.Unlock()
+	if !done {
+		return fmt.Errorf("serve: job %d still streaming; finish it before dropping", jobID)
+	}
+	delete(s.jobs, jobID)
+	s.finished.Add(-1)
+	return nil
+}
+
+// addStats accumulates this shard's counters into st.
+func (s *shard) addStats(st *Stats) {
+	s.mu.Lock()
+	njobs := len(s.jobs)
+	s.mu.Unlock()
+	st.Jobs += njobs
+	st.ActiveJobs += njobs - int(s.finished.Load())
+	st.Events += s.events.Load()
+	st.DroppedEvents += s.dropped.Load()
+	st.Terminations += s.terminations.Load()
+	st.Queries += s.queries.Load()
+	st.Refits += s.refits.Load()
+	st.RefitTotal += time.Duration(s.refitDur.Load())
+	if m := time.Duration(s.refitMax.Load()); m > st.RefitMax {
+		st.RefitMax = m
+	}
+}

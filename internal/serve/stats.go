@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/nurd"
+)
+
+// TaskVerdict answers one task of a batched query.
+type TaskVerdict struct {
+	// TaskID echoes the queried ID.
+	TaskID int
+	// Known reports whether the task has started (false also for IDs out of
+	// range — queries never fail on individual tasks).
+	Known bool
+	// Finished reports normal completion.
+	Finished bool
+	// Flagged reports the task was terminated as a predicted straggler, at
+	// checkpoint FlaggedAt.
+	Flagged   bool
+	FlaggedAt int
+	// Prediction holds the model's current latency view for a running task
+	// when the job's predictor exposes a nurd.Model (nil otherwise).
+	Prediction *nurd.Prediction
+	// Straggler is the verdict against the job's tau_stra: true for flagged
+	// tasks, the true latency test for finished ones, and the model's
+	// adjusted-latency test for running ones.
+	Straggler bool
+}
+
+// JobReport summarizes one job's serving run.
+type JobReport struct {
+	// Spec echoes the registration.
+	Spec JobSpec
+	// Done reports the stream has closed (JobFinish seen or predictor
+	// failure); Failed distinguishes the latter.
+	Done   bool
+	Failed bool
+	// Checkpoint is the last boundary fired (0 = none yet).
+	Checkpoint int
+	// Started / Finished / Terminated count task outcomes so far.
+	Started, Finished, Terminated int
+	// Refits counts predictor refit+predict cycles; RefitTotal and RefitMax
+	// aggregate their latencies.
+	Refits     int
+	RefitTotal time.Duration
+	RefitMax   time.Duration
+	// PredictedAt maps task ID -> checkpoint at which it was flagged, the
+	// same shape simulator.Result records, so serving outcomes plug directly
+	// into the offline scoring and scheduling paths.
+	PredictedAt map[int]int
+}
+
+// Confusion scores the job's terminated set against per-task ground truth,
+// the same final accounting simulator.Evaluate applies offline.
+func (r *JobReport) Confusion(truth []bool) metrics.Confusion {
+	pred := make([]bool, len(truth))
+	for id := range r.PredictedAt {
+		if id >= 0 && id < len(pred) {
+			pred[id] = true
+		}
+	}
+	c, _ := metrics.FromSets(pred, truth) // lengths equal by construction
+	return c
+}
+
+// RefitMean returns the average refit latency.
+func (r *JobReport) RefitMean() time.Duration {
+	if r.Refits == 0 {
+		return 0
+	}
+	return r.RefitTotal / time.Duration(r.Refits)
+}
+
+// Stats aggregates server-wide counters across shards.
+type Stats struct {
+	// Jobs counts registered jobs; ActiveJobs those still streaming.
+	Jobs, ActiveJobs int
+	// Events counts ingested events; DroppedEvents the benignly ignored
+	// ones (late observations for terminated tasks).
+	Events, DroppedEvents uint64
+	// Terminations counts straggler kills issued across all jobs.
+	Terminations uint64
+	// Queries counts task verdicts served.
+	Queries uint64
+	// Refits counts predictor refit cycles; RefitTotal/RefitMax aggregate
+	// their latencies.
+	Refits     uint64
+	RefitTotal time.Duration
+	RefitMax   time.Duration
+}
+
+// RefitMean returns the average refit latency across all jobs.
+func (s Stats) RefitMean() time.Duration {
+	if s.Refits == 0 {
+		return 0
+	}
+	return s.RefitTotal / time.Duration(s.Refits)
+}
+
+// String renders the counters compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("jobs=%d active=%d events=%d dropped=%d refits=%d refit_mean=%s refit_max=%s terminations=%d queries=%d",
+		s.Jobs, s.ActiveJobs, s.Events, s.DroppedEvents, s.Refits, s.RefitMean(), s.RefitMax, s.Terminations, s.Queries)
+}

@@ -213,6 +213,14 @@ type Result struct {
 	PredictedAt map[int]int
 }
 
+// WarmCount returns the number of finished tasks required before prediction
+// may start (§6: "we first wait for 4% of the entire tasks to complete").
+// Both Evaluate and the online serving path (internal/serve) gate on this
+// same count so their protocols stay interchangeable.
+func WarmCount(numTasks int, warmFrac float64) int {
+	return int(warmFrac*float64(numTasks)) + 1
+}
+
 // Evaluate replays the job through p under the paper's protocol and
 // accumulates confusion statistics.
 func Evaluate(s *Sim, p Predictor) (*Result, error) {
@@ -220,7 +228,7 @@ func Evaluate(s *Sim, p Predictor) (*Result, error) {
 	T := s.Cfg.Checkpoints
 	res := &Result{PredictedAt: make(map[int]int)}
 	terminated := make(map[int]bool)
-	warm := int(s.Cfg.WarmFrac*float64(s.Job.NumTasks())) + 1
+	warm := WarmCount(s.Job.NumTasks(), s.Cfg.WarmFrac)
 	for k := 1; k <= T; k++ {
 		cp := s.At(k, terminated)
 		// Prediction starts once the warmup fraction has finished (§6:

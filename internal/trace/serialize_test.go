@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, j *Job) *Job {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := j.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	for _, cfg := range []GenConfig{DefaultGoogleConfig(3), DefaultAlibabaConfig(3)} {
+		cfg := cfg
+		t.Run(cfg.Mode.String(), func(t *testing.T) {
+			gen, err := NewGenerator(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j := gen.Next()
+			got := roundTrip(t, j)
+			if got.NumTasks() != j.NumTasks() {
+				t.Fatalf("round-trip lost tasks: %d -> %d", j.NumTasks(), got.NumTasks())
+			}
+			if len(got.Schema) != len(j.Schema) {
+				t.Fatalf("round-trip schema: %d -> %d columns", len(j.Schema), len(got.Schema))
+			}
+			for c := range j.Schema {
+				if got.Schema[c] != j.Schema[c] {
+					t.Errorf("schema[%d]: %q -> %q", c, j.Schema[c], got.Schema[c])
+				}
+			}
+			causes := map[Cause]int{}
+			for i := range j.Tasks {
+				want, have := &j.Tasks[i], &got.Tasks[i]
+				if have.ID != want.ID {
+					t.Fatalf("task %d: ID %d", i, have.ID)
+				}
+				// 'g' with precision -1 is an exact float64 round-trip.
+				if have.Start != want.Start || have.Latency != want.Latency {
+					t.Errorf("task %d: start/latency %v/%v -> %v/%v",
+						i, want.Start, want.Latency, have.Start, have.Latency)
+				}
+				if len(have.Features) != len(want.Features) {
+					t.Fatalf("task %d: %d features -> %d", i, len(want.Features), len(have.Features))
+				}
+				for k := range want.Features {
+					if have.Features[k] != want.Features[k] {
+						t.Errorf("task %d feature %d: %v -> %v",
+							i, k, want.Features[k], have.Features[k])
+					}
+				}
+				if have.TrueCause != want.TrueCause {
+					t.Errorf("task %d: cause %v -> %v", i, want.TrueCause, have.TrueCause)
+				}
+				causes[want.TrueCause]++
+			}
+			if len(causes) < 2 {
+				t.Errorf("generated job exercises only causes %v; round-trip under-tested", causes)
+			}
+		})
+	}
+}
+
+func TestParseCauseFallback(t *testing.T) {
+	// Every cause label round-trips through its string form.
+	for _, c := range []Cause{CauseNone, CauseSlowNode, CauseContention, CauseSkew} {
+		if got := parseCause(c.String()); got != c {
+			t.Errorf("parseCause(%q) = %v, want %v", c.String(), got, c)
+		}
+	}
+	// Unknown strings (forward-compatible cause taxonomies, hand-edited
+	// files) fall back to CauseNone rather than failing the load.
+	for _, s := range []string{"", "unknown", "gpu-thermal", "NONE", "Slow-Node"} {
+		if got := parseCause(s); got != CauseNone {
+			t.Errorf("parseCause(%q) = %v, want CauseNone", s, got)
+		}
+	}
+	// End to end: a CSV whose cause column holds an unknown label loads
+	// with CauseNone.
+	csv := "task_id,start,f1,latency,cause\n0,0,1.5,10,mystery-cause\n"
+	j, err := ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Tasks[0].TrueCause != CauseNone {
+		t.Errorf("unknown cause parsed as %v, want CauseNone", j.Tasks[0].TrueCause)
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad header":        "id,start,f1,latency,cause\n",
+		"short header":      "task_id,start\n",
+		"bad task id":       "task_id,start,f1,latency,cause\nx,0,1,10,none\n",
+		"bad start":         "task_id,start,f1,latency,cause\n0,x,1,10,none\n",
+		"bad feature":       "task_id,start,f1,latency,cause\n0,0,x,10,none\n",
+		"bad latency":       "task_id,start,f1,latency,cause\n0,0,1,x,none\n",
+		"ragged row length": "task_id,start,f1,latency,cause\n0,0,10,none\n",
+	}
+	for name, csv := range cases {
+		if _, err := ReadCSV(strings.NewReader(csv)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

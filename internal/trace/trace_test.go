@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"bytes"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -160,39 +159,7 @@ func TestObservedFeaturesDeterministicAndNoisy(t *testing.T) {
 	}
 }
 
-func TestCSVRoundTrip(t *testing.T) {
-	gen, _ := NewGenerator(DefaultGoogleConfig(19))
-	job := gen.Next()
-	var buf bytes.Buffer
-	if err := job.WriteCSV(&buf); err != nil {
-		t.Fatal(err)
-	}
-	got, err := ReadCSV(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.NumTasks() != job.NumTasks() {
-		t.Fatalf("task count %d vs %d", got.NumTasks(), job.NumTasks())
-	}
-	for i := range job.Tasks {
-		if got.Tasks[i].Latency != job.Tasks[i].Latency ||
-			got.Tasks[i].Start != job.Tasks[i].Start ||
-			got.Tasks[i].TrueCause != job.Tasks[i].TrueCause {
-			t.Fatalf("task %d mismatch after round trip", i)
-		}
-		for k := range job.Tasks[i].Features {
-			if got.Tasks[i].Features[k] != job.Tasks[i].Features[k] {
-				t.Fatalf("task %d feature %d mismatch", i, k)
-			}
-		}
-	}
-}
-
-func TestReadCSVRejectsBadHeader(t *testing.T) {
-	if _, err := ReadCSV(bytes.NewReader([]byte("nope,x\n1,2\n"))); err == nil {
-		t.Fatal("expected header error")
-	}
-}
+// CSV serialization coverage lives in serialize_test.go.
 
 func TestGeneratorConfigValidation(t *testing.T) {
 	bad := DefaultGoogleConfig(1)
