@@ -11,6 +11,8 @@
 package repro
 
 import (
+	"bytes"
+	"io"
 	"sync"
 	"testing"
 
@@ -386,6 +388,93 @@ func BenchmarkServeThroughput(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(totalEvents)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 	b.ReportMetric(float64(lastServer.Stats().RefitMean().Microseconds())/1e3, "refit-mean-ms")
+}
+
+// BenchmarkWireCodec measures the serving wire format end to end: one
+// job's full monitoring stream encoded to frames and decoded back. Reports
+// sustained events/s through encode+decode and the encoded bytes per event.
+func BenchmarkWireCodec(b *testing.B) {
+	job := benchJob(b)
+	sim, err := simulator.New(job, simulator.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := serve.SpecFor(sim, benchSeed)
+	events := serve.JobEvents(job, sim)
+	var dump bytes.Buffer
+	if err := serve.WriteDump(&dump, []serve.JobSpec{spec}, events); err != nil {
+		b.Fatal(err)
+	}
+	enc := dump.Bytes()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		buf.Grow(len(enc))
+		if err := serve.WriteDump(&buf, []serve.JobSpec{spec}, events); err != nil {
+			b.Fatal(err)
+		}
+		wr := serve.NewWireReader(bytes.NewReader(buf.Bytes()))
+		n := 0
+		for {
+			_, _, err := wr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != len(events)+1 {
+			b.Fatalf("decoded %d elements, want %d", n, len(events)+1)
+		}
+	}
+	b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(len(enc))/float64(len(events)), "bytes/event")
+}
+
+// BenchmarkSnapshotRestore measures the durability round-trip: snapshotting
+// a live server carrying several streamed jobs and restoring it (which
+// refits every per-job model from the recorded checkpoint history). Reports
+// the snapshot size.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	const numJobs = 4
+	gen, err := trace.NewGenerator(trace.DefaultGoogleConfig(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := gen.Jobs(numJobs)
+	sv := serve.NewServer(serve.DefaultConfig())
+	for i, j := range jobs {
+		sim, err := simulator.New(j, simulator.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sv.StartJob(serve.SpecFor(sim, benchSeed+uint64(i)), nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := sv.IngestBatch(serve.JobEvents(j, sim)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	var snapLen int
+	for i := 0; i < b.N; i++ {
+		var snap bytes.Buffer
+		if err := sv.Snapshot(&snap); err != nil {
+			b.Fatal(err)
+		}
+		snapLen = snap.Len()
+		restored, err := serve.RestoreServer(bytes.NewReader(snap.Bytes()), serve.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(restored.JobIDs()) != numJobs {
+			b.Fatalf("restored %d jobs, want %d", len(restored.JobIDs()), numJobs)
+		}
+	}
+	b.ReportMetric(float64(snapLen)/1024, "snapshot-KiB")
 }
 
 // BenchmarkSchedulerMitigated measures the event-driven mitigation scheduler

@@ -1,21 +1,33 @@
 // Command nurdserve drives the online serving path under heavy multi-job
-// traffic: it generates trace jobs, flattens them into interleaved
-// monitoring-event streams, replays the streams through a serve.Server from
-// concurrent workers at a configurable event rate, and cross-checks every
-// job's end-of-job F1 against the offline experiments.Run NURD path on the
-// same seed.
+// traffic. In its default load-driver mode it generates trace jobs,
+// flattens them into interleaved monitoring-event streams, replays the
+// streams through a serve.Server from concurrent workers at a configurable
+// event rate, and cross-checks every job's end-of-job F1 against the
+// offline experiments.Run NURD path on the same seed.
+//
+// With -listen and/or -replay it instead runs the durable wire-facing
+// server: -listen starts the HTTP front end (POST /ingest, GET /query,
+// /report, /stats, /snapshot), and -replay streams a recorded trace dump
+// (cmd/tracegen -format wire) into the server — over HTTP when -listen is
+// set (the full network path: dump bytes through POST /ingest), in-process
+// otherwise — at -speedup times recorded speed.
 //
 // Usage:
 //
 //	nurdserve -jobs 20 -seed 42 -workers 8
 //	nurdserve -trace alibaba -jobs 40 -rate 50000
 //	nurdserve -shards 32 -workers 16 -jobs 64
+//	nurdserve -listen :8080                       # serve external traffic
+//	nurdserve -listen :0 -replay google-8.wire    # serve a recorded trace
+//	nurdserve -replay google-8.wire -speedup 1000 # in-process replay
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sync"
@@ -38,12 +50,89 @@ func main() {
 		shards    = flag.Int("shards", 0, "server shards (0 = default)")
 		rate      = flag.Float64("rate", 0, "target ingest rate in events/s across all workers (0 = unthrottled)")
 		tolerance = flag.Float64("tolerance", 1e-9, "max tolerated per-job |served F1 - offline F1|")
+		listen    = flag.String("listen", "", "HTTP listen address for the wire front end (e.g. :8080); empty = load-driver mode")
+		replay    = flag.String("replay", "", "wire-format trace dump to replay (tracegen -format wire)")
+		speedup   = flag.Float64("speedup", 0, "replay pacing as a multiple of recorded time (0 = as fast as possible)")
+		hold      = flag.Duration("hold", 0, "with -listen and -replay: keep serving this long after the replay drains")
 	)
 	flag.Parse()
-	if err := run(*traceName, *jobs, *seed, *workers, *shards, *rate, *tolerance); err != nil {
+	var err error
+	if *listen != "" || *replay != "" {
+		err = serveMode(*listen, *replay, *shards, *speedup, *hold)
+	} else {
+		err = run(*traceName, *jobs, *seed, *workers, *shards, *rate, *tolerance)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "nurdserve:", err)
 		os.Exit(1)
 	}
+}
+
+// serveMode runs the durable wire-facing server: an HTTP front end, a
+// dump replay, or both (dump streamed through the front end).
+func serveMode(listen, replay string, shards int, speedup float64, hold time.Duration) error {
+	cfg := serve.DefaultConfig()
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+	sv := serve.NewServer(cfg)
+
+	var base string
+	if listen != "" {
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			return err
+		}
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "nurdserve: serving %d shards on %s\n", sv.NumShards(), base)
+		srv := &http.Server{Handler: serve.NewHandler(sv)}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
+	if replay != "" {
+		f, err := os.Open(replay)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var st serve.ReplayStats
+		if base != "" {
+			fmt.Fprintf(os.Stderr, "nurdserve: replaying %s through POST %s/ingest (speedup %g)\n", replay, base, speedup)
+			st, err = serve.ReplayHTTP(nil, base, f, speedup, 2048)
+		} else {
+			fmt.Fprintf(os.Stderr, "nurdserve: replaying %s in-process (speedup %g)\n", replay, speedup)
+			st, err = serve.Replay(sv, f, speedup)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replayed %d jobs, %d events in %s (%.0f events/s)\n",
+			st.Specs, st.Events, st.Wall.Round(time.Millisecond), st.Rate())
+		fmt.Printf("%8s %6s %6s %6s %6s %7s %10s %5s\n",
+			"job", "cp", "start", "finis", "term", "refits", "refit-mean", "done")
+		for _, id := range sv.JobIDs() {
+			rep, err := sv.Report(id)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%8d %6d %6d %6d %6d %7d %10s %5v\n",
+				id, rep.Checkpoint, rep.Started, rep.Finished, rep.Terminated,
+				rep.Refits, rep.RefitMean().Round(time.Microsecond), rep.Done)
+		}
+		fmt.Println("server:", sv.Stats())
+	}
+
+	if listen != "" {
+		if replay == "" {
+			select {} // serve external traffic until killed
+		}
+		if hold > 0 {
+			fmt.Fprintf(os.Stderr, "nurdserve: holding %s for external queries\n", hold)
+			time.Sleep(hold)
+		}
+	}
+	return nil
 }
 
 func run(traceName string, numJobs int, seed uint64, workers, shards int, rate, tolerance float64) error {
@@ -229,4 +318,3 @@ func ingest(sv *serve.Server, feed []serve.Event, rate float64) error {
 	}
 	return nil
 }
-

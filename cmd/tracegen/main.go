@@ -1,30 +1,49 @@
-// Command tracegen emits synthetic trace jobs as CSV files for inspection
-// or for feeding cmd/nurdrun.
+// Command tracegen emits synthetic trace jobs: as CSV files for inspection
+// or for feeding cmd/nurdrun, or as a wire-format serving dump (-format
+// wire) that cmd/nurdserve -replay can stream back through the online
+// serving path, in-process or over HTTP.
 //
 // Usage:
 //
 //	tracegen -mode google -jobs 3 -out /tmp/traces -seed 7
+//	tracegen -mode google -jobs 8 -format wire -out /tmp/traces
+//	nurdserve -listen :8080 -replay /tmp/traces/google-8.wire
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"repro/internal/experiments"
+	"repro/internal/predictor"
+	"repro/internal/serve"
+	"repro/internal/simulator"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		mode = flag.String("mode", "google", "trace flavor: google|alibaba")
-		jobs = flag.Int("jobs", 1, "number of jobs to generate")
-		out  = flag.String("out", ".", "output directory")
-		seed = flag.Uint64("seed", 42, "RNG seed")
-		far  = flag.Float64("far", -1, "override FarFraction in [0,1] (-1 = default)")
+		mode   = flag.String("mode", "google", "trace flavor: google|alibaba")
+		jobs   = flag.Int("jobs", 1, "number of jobs to generate")
+		out    = flag.String("out", ".", "output directory")
+		seed   = flag.Uint64("seed", 42, "RNG seed")
+		far    = flag.Float64("far", -1, "override FarFraction in [0,1] (-1 = default)")
+		format = flag.String("format", "csv", "output format: csv (one file per job) | wire (one serving dump)")
 	)
 	flag.Parse()
-	if err := run(*mode, *jobs, *out, *seed, *far); err != nil {
+	var err error
+	switch *format {
+	case "csv":
+		err = run(*mode, *jobs, *out, *seed, *far)
+	case "wire":
+		err = runWire(*mode, *jobs, *out, *seed, *far)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
@@ -66,5 +85,76 @@ func run(mode string, jobs int, out string, seed uint64, far float64) error {
 		}
 		fmt.Printf("wrote %s (%d tasks, profile=%s)\n", path, job.NumTasks(), job.Profile)
 	}
+	return nil
+}
+
+// runWire emits one wire-format serving dump: every job's spec followed by
+// the jobs' merged monitoring streams. Specs carry the same per-(job,
+// method) NURD seeds experiments.Run derives, so replaying the dump through
+// a default-configured serve.Server reproduces the offline Table 3 NURD
+// path for these jobs.
+func runWire(mode string, jobs int, out string, seed uint64, far float64) error {
+	if jobs < 1 {
+		return fmt.Errorf("need >= 1 job, got %d", jobs)
+	}
+	var cfg trace.GenConfig
+	switch mode {
+	case "google":
+		cfg = trace.DefaultGoogleConfig(seed)
+	case "alibaba":
+		// The seed transformation experiments.AlibabaSpec applies, so job
+		// ji of the dump is job ji of the offline Alibaba evaluation.
+		cfg = trace.DefaultAlibabaConfig(seed ^ 0xa11baba)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if far >= 0 {
+		cfg.FarFraction = far
+	}
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		return err
+	}
+	mi, _, ok := predictor.FindFactory("NURD")
+	if !ok {
+		return fmt.Errorf("NURD factory not found")
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	specs := make([]serve.JobSpec, jobs)
+	streams := make([][]serve.Event, jobs)
+	totalTasks := 0
+	for i := 0; i < jobs; i++ {
+		job := gen.Next()
+		sim, err := simulator.New(job, simulator.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		specs[i] = serve.SpecFor(sim, experiments.UnitSeed(seed, i, mi))
+		streams[i] = serve.JobEvents(job, sim)
+		totalTasks += job.NumTasks()
+	}
+	events := serve.MergeStreams(streams...)
+	path := filepath.Join(out, fmt.Sprintf("%s-%d.wire", mode, jobs))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	// WireWriter issues one Write per frame; buffer the file so a large
+	// dump is not one ~60-byte syscall per event.
+	bw := bufio.NewWriter(f)
+	if err := serve.WriteDump(bw, specs, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d jobs, %d tasks, %d events)\n", path, jobs, totalTasks, len(events))
 	return nil
 }

@@ -1,0 +1,198 @@
+package serve
+
+// httpfront.go is the network ingestion front end: a plain net/http handler
+// that speaks the wire format (wire.go) on the write path and JSON on the
+// read path, so external monitoring pipelines can feed a Server over TCP
+// and operators can query it with curl. The handler is stateless — every
+// route delegates straight to the Server, whose sharded registry already
+// serializes concurrent access — so any number of requests may be in flight
+// at once (test-enforced under the race detector).
+//
+// Routes:
+//
+//	POST /ingest    body: wire stream (header + spec/event frames).
+//	                Specs register jobs through the server's predictor
+//	                factory; events stream in body order. Responds with
+//	                JSON counts; on error, the counts applied before it.
+//	GET  /query     ?job=ID&tasks=0,1,2 — batched verdicts as JSON.
+//	GET  /report    ?job=ID — the job's JobReport as JSON.
+//	GET  /stats     server-wide Stats as JSON.
+//	GET  /snapshot  the server's full snapshot as a binary wire stream
+//	                (restorable with RestoreServer).
+//
+// Error mapping: malformed wire bodies and unparseable parameters are 400;
+// events or queries for unregistered jobs are 404 (ErrUnknownJob); protocol
+// violations the server rejects (duplicate registration, out-of-range
+// tasks, schema mismatches) are 422.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// wireContentType labels wire-format request and response bodies.
+const wireContentType = "application/x-nurd-wire"
+
+// maxIngestBody bounds one ingest request body (1 GiB): far above any sane
+// batch, low enough that a hostile Content-Length cannot wedge the server.
+const maxIngestBody = 1 << 30
+
+// IngestResult is the JSON response of POST /ingest.
+type IngestResult struct {
+	// Specs and Events count the frames applied (on error: before it).
+	Specs  int `json:"specs"`
+	Events int `json:"events"`
+	// Error carries the failure, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// NewHandler exposes sv over HTTP. See the package comment at the top of
+// httpfront.go for routes and error mapping.
+func NewHandler(sv *Server) http.Handler {
+	f := &front{sv: sv}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", f.ingest)
+	mux.HandleFunc("/query", f.query)
+	mux.HandleFunc("/report", f.report)
+	mux.HandleFunc("/stats", f.stats)
+	mux.HandleFunc("/snapshot", f.snapshot)
+	return mux
+}
+
+type front struct {
+	sv *Server
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// errCode classifies a serving error for transport. decodeErr marks errors
+// raised while reading the request body, where anything unrecognized is the
+// transport's fault (400), not a server-side protocol violation (422).
+func errCode(err error, decodeErr bool) int {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrBadMagic), errors.Is(err, ErrVersion),
+		errors.Is(err, ErrTruncated), errors.Is(err, ErrCorrupt):
+		return http.StatusBadRequest
+	case decodeErr:
+		return http.StatusBadRequest
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (f *front) ingest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, IngestResult{Error: "POST only"})
+		return
+	}
+	wr := NewWireReader(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	var res IngestResult
+	for {
+		sp, ev, err := wr.Next()
+		if err == io.EOF {
+			writeJSON(w, http.StatusOK, res)
+			return
+		}
+		decodeErr := err != nil
+		if err == nil {
+			if sp != nil {
+				if err = f.sv.StartJob(*sp, nil); err == nil {
+					res.Specs++
+					continue
+				}
+			} else {
+				if err = f.sv.Ingest(*ev); err == nil {
+					res.Events++
+					continue
+				}
+			}
+		}
+		res.Error = err.Error()
+		writeJSON(w, errCode(err, decodeErr), res)
+		return
+	}
+}
+
+// jobParam parses the mandatory ?job= query parameter.
+func jobParam(r *http.Request) (uint64, error) {
+	raw := r.URL.Query().Get("job")
+	if raw == "" {
+		return 0, fmt.Errorf("missing job parameter")
+	}
+	id, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad job parameter %q", raw)
+	}
+	return id, nil
+}
+
+func (f *front) query(w http.ResponseWriter, r *http.Request) {
+	id, err := jobParam(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, IngestResult{Error: err.Error()})
+		return
+	}
+	rawTasks := r.URL.Query().Get("tasks")
+	if rawTasks == "" {
+		writeJSON(w, http.StatusBadRequest, IngestResult{Error: "missing tasks parameter"})
+		return
+	}
+	var ids []int
+	for _, s := range strings.Split(rawTasks, ",") {
+		tid, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, IngestResult{Error: fmt.Sprintf("bad task id %q", s)})
+			return
+		}
+		ids = append(ids, tid)
+	}
+	vs, err := f.sv.Query(id, ids)
+	if err != nil {
+		writeJSON(w, errCode(err, false), IngestResult{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, vs)
+}
+
+func (f *front) report(w http.ResponseWriter, r *http.Request) {
+	id, err := jobParam(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, IngestResult{Error: err.Error()})
+		return
+	}
+	rep, err := f.sv.Report(id)
+	if err != nil {
+		writeJSON(w, errCode(err, false), IngestResult{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (f *front) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, f.sv.Stats())
+}
+
+func (f *front) snapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", wireContentType)
+	// Snapshot streams directly; an error after the first byte cannot be
+	// signalled in-band, but the wire format is self-checking — a cut or
+	// corrupted stream fails RestoreServer rather than restoring silently.
+	if err := f.sv.Snapshot(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

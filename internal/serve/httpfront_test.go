@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// wireBody assembles one ingest request body.
+func wireBody(t testing.TB, specs []JobSpec, events []Event) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, specs, events); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+func postIngest(t testing.TB, ts *httptest.Server, body io.Reader) (*http.Response, IngestResult) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/ingest", wireContentType, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res IngestResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("ingest response is not JSON: %v", err)
+	}
+	return resp, res
+}
+
+func getJSON(t testing.TB, ts *httptest.Server, path string, out any) *http.Response {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: response is not JSON: %v", path, err)
+		}
+	}
+	return resp
+}
+
+// TestHTTPFront covers the full request surface: batch ingest, query,
+// report, stats, snapshot, and every documented error path.
+func TestHTTPFront(t *testing.T) {
+	jobs, sims := smallJobs(t, 1, 61)
+	job, sim := jobs[0], sims[0]
+	spec := SpecFor(sim, 5)
+	events := JobEvents(job, sim)
+	sv := NewServer(Config{Shards: 2})
+	ts := httptest.NewServer(NewHandler(sv))
+	defer ts.Close()
+
+	// Batch ingest: registration plus the full stream in one body.
+	resp, res := postIngest(t, ts, wireBody(t, []JobSpec{spec}, events))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %s (%s)", resp.Status, res.Error)
+	}
+	if res.Specs != 1 || res.Events != len(events) {
+		t.Fatalf("ingest applied %d specs / %d events, want 1 / %d", res.Specs, res.Events, len(events))
+	}
+
+	// Query: verdicts for the first three tasks plus one out of range.
+	var vs []TaskVerdict
+	if resp := getJSON(t, ts, fmt.Sprintf("/query?job=%d&tasks=0,1,2,-1", job.ID), &vs); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %s", resp.Status)
+	}
+	if len(vs) != 4 || vs[0].TaskID != 0 || vs[3].Known {
+		t.Fatalf("query verdicts malformed: %+v", vs)
+	}
+	want, err := sv.Query(job.ID, []int{0, 1, 2, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare through JSON so float round-tripping applies to both sides.
+	wb, _ := json.Marshal(want)
+	gb, _ := json.Marshal(vs)
+	if !bytes.Equal(wb, gb) {
+		t.Errorf("HTTP verdicts diverge from direct Query:\n http   %s\n direct %s", gb, wb)
+	}
+
+	// Report.
+	var rep JobReport
+	if resp := getJSON(t, ts, fmt.Sprintf("/report?job=%d", job.ID), &rep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: %s", resp.Status)
+	}
+	if !rep.Done || rep.Started != job.NumTasks() {
+		t.Errorf("report: done=%v started=%d, want done with %d started", rep.Done, rep.Started, job.NumTasks())
+	}
+
+	// Stats.
+	var st Stats
+	if resp := getJSON(t, ts, "/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %s", resp.Status)
+	}
+	if st.Events != uint64(len(events)) || st.Jobs != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+
+	// Snapshot over HTTP restores to an equivalent server.
+	sresp, err := ts.Client().Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if err != nil || sresp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %s, %v", sresp.Status, err)
+	}
+	restored, err := RestoreServer(bytes.NewReader(snap), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := restored.Query(job.ID, []int{0, 1, 2, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rv, want) {
+		t.Error("server restored from GET /snapshot answers differently")
+	}
+}
+
+// TestHTTPErrors pins the error mapping: 405 for wrong methods, 400 for
+// malformed bodies and parameters, 404 for unknown jobs, 422 for protocol
+// violations.
+func TestHTTPErrors(t *testing.T) {
+	_, sims := smallJobs(t, 1, 67)
+	spec := SpecFor(sims[0], 5)
+	sv := NewServer(Config{Shards: 2})
+	ts := httptest.NewServer(NewHandler(sv))
+	defer ts.Close()
+	if _, res := postIngest(t, ts, wireBody(t, []JobSpec{spec}, nil)); res.Error != "" {
+		t.Fatalf("registering: %s", res.Error)
+	}
+
+	get := func(path string) int {
+		resp := getJSON(t, ts, path, nil)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	cases := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"GET /ingest", get("/ingest"), http.StatusMethodNotAllowed},
+		{"query without job", get("/query?tasks=0"), http.StatusBadRequest},
+		{"query bad job", get("/query?job=banana&tasks=0"), http.StatusBadRequest},
+		{"query without tasks", get(fmt.Sprintf("/query?job=%d", spec.JobID)), http.StatusBadRequest},
+		{"query bad task id", get(fmt.Sprintf("/query?job=%d&tasks=0,x", spec.JobID)), http.StatusBadRequest},
+		{"query unknown job", get("/query?job=424242&tasks=0"), http.StatusNotFound},
+		{"report without job", get("/report"), http.StatusBadRequest},
+		{"report unknown job", get("/report?job=424242"), http.StatusNotFound},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, c.got, c.want)
+		}
+	}
+
+	// Malformed body: not a wire stream at all.
+	resp, res := postIngest(t, ts, bytes.NewReader([]byte("definitely not NURDWIRE")))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d (%s), want 400", resp.StatusCode, res.Error)
+	}
+
+	// Truncated body: a valid prefix cut mid-frame.
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, nil, []Event{{Kind: EventTaskStart, JobID: spec.JobID, TaskID: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, res = postIngest(t, ts, bytes.NewReader(buf.Bytes()[:buf.Len()-2]))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated body: status %d (%s), want 400", resp.StatusCode, res.Error)
+	}
+
+	// Events for an unregistered job: 404, with prior frames applied.
+	resp, res = postIngest(t, ts, wireBody(t, nil, []Event{
+		{Kind: EventTaskStart, JobID: spec.JobID, TaskID: 0},
+		{Kind: EventTaskStart, JobID: 999999, TaskID: 0},
+	}))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d (%s), want 404", resp.StatusCode, res.Error)
+	}
+	if res.Events != 1 {
+		t.Errorf("unknown job: %d events applied before the failure, want 1", res.Events)
+	}
+
+	// Protocol violations: duplicate registration, schema mismatch.
+	resp, _ = postIngest(t, ts, wireBody(t, []JobSpec{spec}, nil))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("duplicate registration: status %d, want 422", resp.StatusCode)
+	}
+	resp, _ = postIngest(t, ts, wireBody(t, nil, []Event{
+		{Kind: EventHeartbeat, JobID: spec.JobID, TaskID: 0, Time: 1, Features: []float64{1}},
+	}))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("schema mismatch: status %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestHTTPConcurrentClients is the transport-level race stressor: many
+// clients streaming distinct jobs through POST /ingest in chunks while
+// query and stats clients hammer the read paths. Run under -race in CI.
+func TestHTTPConcurrentClients(t *testing.T) {
+	const n = 8
+	jobs, sims := smallJobs(t, n, 71)
+	sv := NewServer(Config{Shards: 2}) // small shard count forces sharing
+	ts := httptest.NewServer(NewHandler(sv))
+	defer ts.Close()
+
+	// Register every job up front (one request each) so the concurrent
+	// query traffic below can never legitimately see an unknown job.
+	specs := make([]JobSpec, n)
+	for i := range jobs {
+		specs[i] = SpecFor(sims[i], uint64(i))
+		if resp, res := postIngest(t, ts, wireBody(t, []JobSpec{specs[i]}, nil)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("job %d register: %s (%s)", specs[i].JobID, resp.Status, res.Error)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := range jobs {
+		spec := specs[i]
+		events := JobEvents(jobs[i], sims[i])
+		wg.Add(1)
+		go func(spec JobSpec, events []Event) {
+			defer wg.Done()
+			// The job's stream in four chunked requests.
+			for c := 0; c < 4; c++ {
+				lo, hi := c*len(events)/4, (c+1)*len(events)/4
+				if resp, res := postIngest(t, ts, wireBody(t, nil, events[lo:hi])); resp.StatusCode != http.StatusOK {
+					t.Errorf("job %d chunk %d: %s (%s)", spec.JobID, c, resp.Status, res.Error)
+					return
+				}
+			}
+		}(spec, events)
+		wg.Add(1)
+		go func(id uint64, ntasks int) {
+			defer wg.Done()
+			for q := 0; q < 25; q++ {
+				resp := getJSON(t, ts, fmt.Sprintf("/query?job=%d&tasks=%d", id, q%ntasks), nil)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("query job %d: %s", id, resp.Status)
+					return
+				}
+			}
+		}(spec.JobID, spec.NumTasks)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for q := 0; q < 50; q++ {
+			resp := getJSON(t, ts, "/stats", nil)
+			resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+
+	st := sv.Stats()
+	if st.Jobs != n || st.ActiveJobs != 0 {
+		t.Errorf("after concurrent ingest: jobs=%d active=%d, want %d/0", st.Jobs, st.ActiveJobs, n)
+	}
+	for i := range jobs {
+		rep, err := sv.Report(jobs[i].ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Done {
+			t.Errorf("job %d not done after its chunks drained", jobs[i].ID)
+		}
+	}
+}

@@ -41,6 +41,20 @@ type jobState struct {
 	refitDur   time.Duration
 	refitMax   time.Duration
 	checkpoint int // last checkpoint fired
+
+	// history retains every gated checkpoint view handed to the predictor,
+	// in firing order. Snapshot serializes it and RestoreServer replays it
+	// through a freshly built predictor: model fits are deterministic given
+	// their training views (fresh seeded RNG per fit), so the replayed
+	// predictor lands in bit-identical state. Bounded by spec.Checkpoints
+	// entries; feature slices are shared with task state, never copied or
+	// mutated.
+	history []*simulator.Checkpoint
+
+	// events / dropped / queries count this job's own traffic so that a
+	// restored server's Stats carry over (folded into the owning shard's
+	// counters at install time).
+	events, dropped, queries uint64
 }
 
 func newJobState(spec JobSpec, pred simulator.Predictor) *jobState {
@@ -191,6 +205,7 @@ func (j *jobState) fireCheckpoint() {
 	if len(cp.FinishedIDs) < j.warm || len(cp.RunningIDs) == 0 {
 		return
 	}
+	j.history = append(j.history, cp)
 	t0 := time.Now()
 	verdicts, err := j.pred.Predict(cp)
 	d := time.Since(t0)

@@ -1,0 +1,190 @@
+package serve
+
+// replay.go is the file/replay ingestion backend: recorded trace dumps —
+// wire streams of JobSpec registrations followed by their jobs' merged,
+// time-ordered event feeds (cmd/tracegen -format wire emits them) — are
+// streamed back into a Server at a configurable multiple of recorded time,
+// either through in-process Ingest calls or through a Server's HTTP front
+// end. Because the serving clock is virtual (state changes order by event
+// Time, not arrival time), the replay speedup affects only wall-clock
+// pacing: the same dump produces identical final per-job reports at any
+// speedup (test-enforced by TestReplayDeterminism).
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// WriteDump records a serving workload: every spec first (registration
+// precedes traffic, exactly as StartJob must precede Ingest), then the
+// event stream in feed order. events is typically a MergeStreams result.
+func WriteDump(w io.Writer, specs []JobSpec, events []Event) error {
+	ww := NewWireWriter(w)
+	// An empty dump is still a valid stream (header only), not zero bytes.
+	ww.head()
+	if err := ww.writeBuf(); err != nil {
+		return err
+	}
+	for _, sp := range specs {
+		if err := ww.WriteSpec(sp); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		if err := ww.WriteEvent(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayStats summarizes one replay pass.
+type ReplayStats struct {
+	// Specs and Events count the dump elements applied.
+	Specs, Events int
+	// Wall is the wall-clock duration of the replay.
+	Wall time.Duration
+}
+
+// Rate returns the achieved ingest rate in events per second.
+func (st ReplayStats) Rate() float64 {
+	if st.Wall <= 0 {
+		return 0
+	}
+	return float64(st.Events) / st.Wall.Seconds()
+}
+
+// Replay streams a recorded dump from r into sv. Spec frames register jobs
+// (through the server's predictor factory); event frames are ingested in
+// dump order. speedup maps the recorded virtual timeline onto the wall
+// clock: 1 replays in real time, 1000 a thousand times faster; 0 (or any
+// non-positive value) replays as fast as the server can ingest. The first
+// error — a corrupt frame, an unknown job, a protocol violation — aborts
+// the replay.
+func Replay(sv *Server, r io.Reader, speedup float64) (ReplayStats, error) {
+	var st ReplayStats
+	wr := NewWireReader(r)
+	start := time.Now()
+	var t0 float64
+	paced := false
+	for {
+		sp, ev, err := wr.Next()
+		if err == io.EOF {
+			st.Wall = time.Since(start)
+			return st, nil
+		}
+		if err != nil {
+			return st, fmt.Errorf("serve: replay: %w", err)
+		}
+		if sp != nil {
+			if err := sv.StartJob(*sp, nil); err != nil {
+				return st, fmt.Errorf("serve: replay: %w", err)
+			}
+			st.Specs++
+			continue
+		}
+		if speedup > 0 {
+			if !paced {
+				// The recorded timeline starts at the first event; clock the
+				// pacing from there so leading registration time is free.
+				t0, paced = ev.Time, true
+				start = time.Now()
+			}
+			due := time.Duration((ev.Time - t0) / speedup * float64(time.Second))
+			if ahead := due - time.Since(start); ahead > time.Millisecond {
+				time.Sleep(ahead)
+			}
+		}
+		if err := sv.Ingest(*ev); err != nil {
+			return st, fmt.Errorf("serve: replay event %d: %w", st.Events, err)
+		}
+		st.Events++
+	}
+}
+
+// ReplayHTTP streams a recorded dump to a serving front end (NewHandler)
+// as a sequence of POST /ingest requests of at most batch frames each,
+// paced like Replay. baseURL addresses the front end (e.g.
+// "http://127.0.0.1:8080"); client nil uses http.DefaultClient. This is the
+// wire path end to end: dump bytes are re-framed into request bodies, the
+// front end decodes them, and the server's state is fed exactly as an
+// external monitoring pipeline would feed it.
+func ReplayHTTP(client *http.Client, baseURL string, r io.Reader, speedup float64, batch int) (ReplayStats, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if batch < 1 {
+		batch = 1024
+	}
+	var st ReplayStats
+	wr := NewWireReader(r)
+	body := AppendHeader(nil)
+	pending := 0
+	flush := func() error {
+		if pending == 0 {
+			return nil
+		}
+		resp, err := client.Post(baseURL+"/ingest", wireContentType, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("serve: replay over http: %w", err)
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("serve: replay over http: ingest returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+		}
+		body = AppendHeader(body[:0])
+		pending = 0
+		return nil
+	}
+	start := time.Now()
+	var t0 float64
+	paced := false
+	for {
+		sp, ev, err := wr.Next()
+		if err == io.EOF {
+			if err := flush(); err != nil {
+				return st, err
+			}
+			st.Wall = time.Since(start)
+			return st, nil
+		}
+		if err != nil {
+			return st, fmt.Errorf("serve: replay: %w", err)
+		}
+		if sp != nil {
+			if body, err = EncodeSpec(body, *sp); err != nil {
+				return st, err
+			}
+			st.Specs++
+		} else {
+			if speedup > 0 {
+				if !paced {
+					t0, paced = ev.Time, true
+					start = time.Now()
+				}
+				due := time.Duration((ev.Time - t0) / speedup * float64(time.Second))
+				if ahead := due - time.Since(start); ahead > time.Millisecond {
+					// Ship what is queued before sleeping so the server's
+					// view stays current while the replay idles.
+					if err := flush(); err != nil {
+						return st, err
+					}
+					time.Sleep(ahead)
+				}
+			}
+			if body, err = EncodeEvent(body, *ev); err != nil {
+				return st, err
+			}
+			st.Events++
+		}
+		if pending++; pending >= batch {
+			if err := flush(); err != nil {
+				return st, err
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// scaledWorkload shrinks a real trace job's virtual timeline by factor c so
+// that real-time (1x) replay completes in test time: every timestamp,
+// latency, horizon, and latency threshold scales together, which preserves
+// the protocol structure exactly (checkpoint gating, straggler sets,
+// feature vectors are untouched).
+func scaledWorkload(t testing.TB, n int, seed uint64, c float64) ([]JobSpec, []Event) {
+	t.Helper()
+	jobs, sims := smallJobs(t, n, seed)
+	specs := make([]JobSpec, n)
+	streams := make([][]Event, n)
+	for i := range jobs {
+		sp := SpecFor(sims[i], uint64(100+i))
+		sp.TauStra *= c
+		sp.Horizon *= c
+		specs[i] = sp
+		evs := JobEvents(jobs[i], sims[i])
+		scaled := make([]Event, len(evs))
+		for k, e := range evs {
+			e.Time *= c
+			e.Latency *= c
+			scaled[k] = e
+		}
+		streams[i] = scaled
+	}
+	return specs, MergeStreams(streams...)
+}
+
+func replayDump(t testing.TB, specs []JobSpec, events []Event, speedup float64) *Server {
+	t.Helper()
+	var dump bytes.Buffer
+	if err := WriteDump(&dump, specs, events); err != nil {
+		t.Fatal(err)
+	}
+	sv := NewServer(Config{Shards: 2})
+	st, err := Replay(sv, bytes.NewReader(dump.Bytes()), speedup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Specs != len(specs) || st.Events != len(events) {
+		t.Fatalf("replay applied %d specs / %d events, dump holds %d / %d",
+			st.Specs, st.Events, len(specs), len(events))
+	}
+	return sv
+}
+
+// TestReplayDeterminism is the pacing-independence claim: the serving clock
+// is virtual, so the same dump replayed in real time (1x) and at 1000x
+// yields identical final JobReports — speedup moves wall-clock pacing only,
+// never outcomes.
+func TestReplayDeterminism(t *testing.T) {
+	// ~60ms of virtual time per job at 1x.
+	specs, events := scaledWorkload(t, 2, 47, 0.0005)
+	servers := map[string]*Server{}
+	for name, speedup := range map[string]float64{"1x": 1, "1000x": 1000, "unthrottled": 0} {
+		servers[name] = replayDump(t, specs, events, speedup)
+	}
+	ref := servers["1x"]
+	for name, sv := range servers {
+		if name == "1x" {
+			continue
+		}
+		for _, sp := range specs {
+			want, err := ref.Report(sp.JobID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sv.Report(sp.JobID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(coreOf(want), coreOf(got)) {
+				t.Errorf("job %d: %s replay diverges from 1x:\n 1x  %+v\n %s %+v",
+					sp.JobID, name, coreOf(want), name, coreOf(got))
+			}
+			wantV, err := ref.Query(sp.JobID, allTaskIDs(sp.NumTasks))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotV, err := sv.Query(sp.JobID, allTaskIDs(sp.NumTasks))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wantV, gotV) {
+				t.Errorf("job %d: %s replay verdicts diverge from 1x", sp.JobID, name)
+			}
+		}
+	}
+}
+
+// TestReplayHTTPMatchesInProcess streams one dump twice — once through
+// in-process Ingest calls, once through POST /ingest batches against a live
+// front end — and requires identical outcomes: the HTTP wire path adds
+// transport, not behavior.
+func TestReplayHTTPMatchesInProcess(t *testing.T) {
+	specs, events := scaledWorkload(t, 2, 53, 0.0005)
+	direct := replayDump(t, specs, events, 0)
+
+	var dump bytes.Buffer
+	if err := WriteDump(&dump, specs, events); err != nil {
+		t.Fatal(err)
+	}
+	sv := NewServer(Config{Shards: 2})
+	ts := httptest.NewServer(NewHandler(sv))
+	defer ts.Close()
+	// Small batches force many requests; a tiny speedup exercises the
+	// flush-before-sleep path as well.
+	st, err := ReplayHTTP(ts.Client(), ts.URL, bytes.NewReader(dump.Bytes()), 1000, 257)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Specs != len(specs) || st.Events != len(events) {
+		t.Fatalf("http replay applied %d/%d, want %d/%d", st.Specs, st.Events, len(specs), len(events))
+	}
+	for _, sp := range specs {
+		want, err := direct.Report(sp.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sv.Report(sp.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(coreOf(want), coreOf(got)) {
+			t.Errorf("job %d: http replay diverges from in-process replay", sp.JobID)
+		}
+	}
+	if got, want := sv.Stats().Events, direct.Stats().Events; got != want {
+		t.Errorf("http replay ingested %d events, in-process %d", got, want)
+	}
+}
+
+// TestReplayErrors: corrupt dumps and protocol violations abort the replay
+// with a useful error instead of wedging or panicking.
+func TestReplayErrors(t *testing.T) {
+	specs, events := scaledWorkload(t, 1, 59, 0.001)
+	var dump bytes.Buffer
+	if err := WriteDump(&dump, specs, events); err != nil {
+		t.Fatal(err)
+	}
+
+	// Events for a job whose spec frame was dropped: unknown job.
+	var noSpec bytes.Buffer
+	if err := WriteDump(&noSpec, nil, events); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(NewServer(Config{Shards: 1}), bytes.NewReader(noSpec.Bytes()), 0); err == nil {
+		t.Error("replay of a dump without specs should fail on the first event")
+	}
+
+	// A flipped payload byte: checksum failure.
+	mut := append([]byte(nil), dump.Bytes()...)
+	mut[len(mut)/2] ^= 0x01
+	if _, err := Replay(NewServer(Config{Shards: 1}), bytes.NewReader(mut), 0); err == nil {
+		t.Error("replay of a corrupted dump should fail")
+	}
+
+	// ReplayHTTP against a front end returning errors must surface them.
+	sv := NewServer(Config{Shards: 1})
+	ts := httptest.NewServer(NewHandler(sv))
+	defer ts.Close()
+	if _, err := ReplayHTTP(ts.Client(), ts.URL, bytes.NewReader(noSpec.Bytes()), 0, 64); err == nil {
+		t.Error("http replay of a spec-less dump should fail")
+	}
+}

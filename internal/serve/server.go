@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"runtime"
+	"sort"
 
 	"repro/internal/nurd"
 	"repro/internal/predictor"
@@ -12,11 +13,26 @@ import (
 // Config sizes a Server.
 type Config struct {
 	// Shards is the number of independent job shards (defaults to
-	// 2*GOMAXPROCS, capped at 64).
+	// 2*GOMAXPROCS, capped at 64). Jobs are routed to shards by a
+	// splitmix64 hash of their ID (see registry.shardFor), so sequential
+	// control-plane IDs spread evenly: over any large ID population no
+	// shard receives more than about its fair share (the distribution is
+	// test-enforced at <2x the mean over 10k sequential IDs). The count is
+	// a concurrency knob only — it does not affect results, and a snapshot
+	// taken at one shard count restores cleanly at another.
 	Shards int
 	// NewPredictor builds a predictor for jobs registered without an
 	// explicit one. The default constructs the paper's NURD configuration
 	// seeded from the JobSpec, with the per-dataset confirmation rule.
+	//
+	// RestoreServer also rebuilds every job's predictor through this
+	// factory (snapshots carry training history, not model internals), so
+	// a deployment that passes explicit predictors to StartJob must supply
+	// an equivalent factory here for restores to be faithful. The factory
+	// must be deterministic: given the same spec and the same sequence of
+	// checkpoint views, it must issue the same verdicts (true of every
+	// predictor in this repository — model fits draw from a fresh
+	// spec-seeded RNG per refit).
 	NewPredictor func(spec JobSpec) simulator.Predictor
 }
 
@@ -60,6 +76,16 @@ func NewServer(cfg Config) *Server {
 
 // NumShards reports the shard count.
 func (sv *Server) NumShards() int { return len(sv.reg.shards) }
+
+// JobIDs lists every registered (not yet dropped) job in ascending ID
+// order. The listing is a point-in-time view: jobs registered or dropped
+// concurrently may or may not appear.
+func (sv *Server) JobIDs() []uint64 {
+	var ids []uint64
+	sv.reg.each(func(s *shard) { ids = append(ids, s.jobIDs()...) })
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
 
 // StartJob registers a job. pred supplies the job's predictor; nil uses the
 // server's Config.NewPredictor factory. The spec fills in unset monitoring

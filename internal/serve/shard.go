@@ -10,6 +10,12 @@ import (
 	"repro/internal/simulator"
 )
 
+// ErrUnknownJob reports an operation referencing a job ID with no
+// registered (or already-dropped) state. It is errors.Is-matchable through
+// every wrapping layer so transport front ends can classify it (the HTTP
+// front answers 404).
+var ErrUnknownJob = errors.New("unknown job")
+
 // shard owns a disjoint subset of the jobs. The shard mutex guards only the
 // job map; counters are atomics and each job's state has its own lock, so
 // the hot ingest path takes the shard lock exactly once (for lookup) and a
@@ -62,11 +68,15 @@ func (s *shard) startJob(spec JobSpec, pred simulator.Predictor) error {
 func (s *shard) ingest(e Event) error {
 	j, ok := s.lookup(e.JobID)
 	if !ok {
-		return fmt.Errorf("serve: event %s for unknown job %d", e.Kind, e.JobID)
+		return fmt.Errorf("serve: event %s for job %d: %w", e.Kind, e.JobID, ErrUnknownJob)
 	}
 	j.mu.Lock()
 	termBefore, refitsBefore, durBefore, wasDone := j.terminated, j.refits, j.refitDur, j.done
 	err := j.handle(e)
+	j.events++
+	if errors.Is(err, errDropped) {
+		j.dropped++
+	}
 	termDelta := j.terminated - termBefore
 	refitDelta := j.refits - refitsBefore
 	durDelta := j.refitDur - durBefore
@@ -109,13 +119,14 @@ func atomicMax(v *atomic.Int64, x int64) {
 func (s *shard) query(jobID uint64, taskIDs []int) ([]TaskVerdict, error) {
 	j, ok := s.lookup(jobID)
 	if !ok {
-		return nil, fmt.Errorf("serve: query for unknown job %d", jobID)
+		return nil, fmt.Errorf("serve: query for job %d: %w", jobID, ErrUnknownJob)
 	}
 	out := make([]TaskVerdict, len(taskIDs))
 	j.mu.Lock()
 	for i, id := range taskIDs {
 		out[i] = j.verdict(id)
 	}
+	j.queries += uint64(len(taskIDs))
 	j.mu.Unlock()
 	s.queries.Add(uint64(len(taskIDs)))
 	return out, nil
@@ -125,7 +136,7 @@ func (s *shard) query(jobID uint64, taskIDs []int) ([]TaskVerdict, error) {
 func (s *shard) report(jobID uint64) (*JobReport, error) {
 	j, ok := s.lookup(jobID)
 	if !ok {
-		return nil, fmt.Errorf("serve: report for unknown job %d", jobID)
+		return nil, fmt.Errorf("serve: report for job %d: %w", jobID, ErrUnknownJob)
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -139,7 +150,7 @@ func (s *shard) dropJob(jobID uint64) error {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[jobID]
 	if !ok {
-		return fmt.Errorf("serve: drop of unknown job %d", jobID)
+		return fmt.Errorf("serve: drop of job %d: %w", jobID, ErrUnknownJob)
 	}
 	j.mu.Lock()
 	done := j.done
@@ -149,6 +160,44 @@ func (s *shard) dropJob(jobID uint64) error {
 	}
 	delete(s.jobs, jobID)
 	s.finished.Add(-1)
+	return nil
+}
+
+// jobIDs lists this shard's registered jobs.
+func (s *shard) jobIDs() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]uint64, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// install registers a restored job and folds the traffic counters it
+// carried through the snapshot into the shard's, so Stats after
+// RestoreServer report the same cumulative activity the snapshotted server
+// did (minus any jobs dropped before the snapshot, whose contributions die
+// with their state).
+func (s *shard) install(j *jobState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[j.spec.JobID]; ok {
+		return fmt.Errorf("serve: restore: job %d already registered", j.spec.JobID)
+	}
+	s.jobs[j.spec.JobID] = j
+	s.events.Add(j.events)
+	s.dropped.Add(j.dropped)
+	s.queries.Add(j.queries)
+	s.terminations.Add(uint64(j.terminated))
+	if j.refits > 0 {
+		s.refits.Add(uint64(j.refits))
+		s.refitDur.Add(int64(j.refitDur))
+		atomicMax(&s.refitMax, int64(j.refitMax))
+	}
+	if j.done {
+		s.finished.Add(1)
+	}
 	return nil
 }
 

@@ -1,0 +1,322 @@
+package serve
+
+// snapshot.go makes a Server's in-memory serving state durable. A snapshot
+// is a wire stream (wire.go) of per-job sections: one FrameSnapJob carrying
+// the job's spec, counters, and full per-task state (including the
+// terminated set), followed by one FrameSnapCheckpoint per gated checkpoint
+// boundary the job's predictor has seen.
+//
+// Restore rebuilds each job's predictor through Config.NewPredictor and
+// replays the recorded checkpoint views through it in order. Every model
+// refit in this repository draws from a fresh seeded RNG, so the replayed
+// predictor reaches bit-identical internal state (models, calibration
+// terms, confirmation streaks) — a restored server answers Query and
+// IsStraggler exactly as the snapshotted one would, and finishing an
+// interrupted event stream on it produces the same verdicts and F1 as a
+// server that never died (see TestSnapshotRestoreEquivalence).
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/simulator"
+)
+
+// snapshot task-state flag bits.
+const (
+	snapStarted    = 1 << 0
+	snapFinished   = 1 << 1
+	snapTerminated = 1 << 2
+	snapFeatures   = 1 << 3
+	snapDone       = 1 << 0 // job flags
+	snapFailed     = 1 << 1
+)
+
+// Snapshot serializes every registered job to w as a restorable wire
+// stream. Each job is serialized under its own lock, so a snapshot taken
+// while streams are in flight is per-job consistent (every job lands on an
+// event boundary) but not a global cut across jobs; quiesce ingestion first
+// if a globally consistent image is required. Dropped jobs do not appear,
+// and their historical counter contributions are not carried.
+func (sv *Server) Snapshot(w io.Writer) error {
+	ww := NewWireWriter(w)
+	// Emit the header even for a job-less server: an empty snapshot is a
+	// valid stream that restores to an empty server, not a decode error.
+	ww.head()
+	if err := ww.writeBuf(); err != nil {
+		return err
+	}
+	for _, id := range sv.JobIDs() {
+		s := sv.reg.shardFor(id)
+		j, ok := s.lookup(id)
+		if !ok {
+			continue // dropped since the listing
+		}
+		j.mu.Lock()
+		err := writeJobSnapshot(ww, j)
+		j.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("serve: snapshot job %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// writeJobSnapshot emits one job's section; the caller holds j.mu.
+func writeJobSnapshot(ww *WireWriter, j *jobState) error {
+	var e wireEnc
+	if err := appendSpecPayload(&e, &j.spec); err != nil {
+		return err
+	}
+	e.f64(j.clock)
+	e.i64(int64(j.nextCP))
+	e.i64(int64(j.checkpoint))
+	var flags uint8
+	if j.done {
+		flags |= snapDone
+	}
+	if j.failed {
+		flags |= snapFailed
+	}
+	e.u8(flags)
+	e.i64(int64(j.started))
+	e.i64(int64(j.finished))
+	e.i64(int64(j.terminated))
+	e.i64(int64(j.refits))
+	e.i64(int64(j.refitDur))
+	e.i64(int64(j.refitMax))
+	e.u64(j.events)
+	e.u64(j.dropped)
+	e.u64(j.queries)
+	e.u32(uint32(len(j.tasks)))
+	for i := range j.tasks {
+		ts := &j.tasks[i]
+		var tf uint8
+		if ts.started {
+			tf |= snapStarted
+		}
+		if ts.finished {
+			tf |= snapFinished
+		}
+		if ts.terminated {
+			tf |= snapTerminated
+		}
+		if ts.features != nil {
+			tf |= snapFeatures
+		}
+		e.u8(tf)
+		e.f64(ts.start)
+		e.f64(ts.latency)
+		e.i64(int64(ts.flaggedAt))
+		if ts.features != nil {
+			e.floats(ts.features)
+		}
+	}
+	e.u32(uint32(len(j.history)))
+	if err := ww.writeFrame(FrameSnapJob, e.b); err != nil {
+		return err
+	}
+	for _, cp := range j.history {
+		if err := ww.writeFrame(FrameSnapCheckpoint, appendCheckpointPayload(nil, cp)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendCheckpointPayload(dst []byte, cp *simulator.Checkpoint) []byte {
+	e := wireEnc{b: dst}
+	e.i64(int64(cp.Index))
+	e.f64(cp.Norm)
+	e.f64(cp.TauRun)
+	e.f64(cp.TauStra)
+	e.f64(cp.StragglerQuantile)
+	e.u32(uint32(len(cp.FinishedIDs)))
+	for i, id := range cp.FinishedIDs {
+		e.i64(int64(id))
+		e.f64(cp.FinishedY[i])
+		e.floats(cp.FinishedX[i])
+	}
+	e.u32(uint32(len(cp.RunningIDs)))
+	for i, id := range cp.RunningIDs {
+		e.i64(int64(id))
+		e.f64(cp.RunningElapsed[i])
+		e.floats(cp.RunningX[i])
+	}
+	return e.b
+}
+
+func decodeCheckpointPayload(p []byte) (*simulator.Checkpoint, error) {
+	d := wireDec{b: p}
+	cp := &simulator.Checkpoint{
+		Index:             int(d.i64()),
+		Norm:              d.f64(),
+		TauRun:            d.f64(),
+		TauStra:           d.f64(),
+		StragglerQuantile: d.f64(),
+	}
+	nfin := d.count(maxSnapRows, "finished rows")
+	for i := 0; i < nfin && d.err == nil; i++ {
+		cp.FinishedIDs = append(cp.FinishedIDs, int(d.i64()))
+		cp.FinishedY = append(cp.FinishedY, d.f64())
+		cp.FinishedX = append(cp.FinishedX, d.floats(maxWireFeatures, "features"))
+	}
+	nrun := d.count(maxSnapRows, "running rows")
+	for i := 0; i < nrun && d.err == nil; i++ {
+		cp.RunningIDs = append(cp.RunningIDs, int(d.i64()))
+		cp.RunningElapsed = append(cp.RunningElapsed, d.f64())
+		cp.RunningX = append(cp.RunningX, d.floats(maxWireFeatures, "features"))
+	}
+	return cp, d.finish()
+}
+
+// decodeSnapJob rebuilds a jobState (predictor not yet attached) and
+// returns how many checkpoint frames follow it.
+func decodeSnapJob(p []byte) (*jobState, int, error) {
+	d := wireDec{b: p}
+	sp := decodeSpec(&d)
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	j := &jobState{
+		spec: sp,
+		warm: simulator.WarmCount(sp.NumTasks, sp.WarmFrac),
+	}
+	j.clock = d.f64()
+	j.nextCP = int(d.i64())
+	j.checkpoint = int(d.i64())
+	flags := d.u8()
+	j.done = flags&snapDone != 0
+	j.failed = flags&snapFailed != 0
+	j.started = int(d.i64())
+	j.finished = int(d.i64())
+	j.terminated = int(d.i64())
+	j.refits = int(d.i64())
+	j.refitDur = time.Duration(d.i64())
+	j.refitMax = time.Duration(d.i64())
+	j.events = d.u64()
+	j.dropped = d.u64()
+	j.queries = d.u64()
+	ntasks := d.count(maxSnapTasks, "tasks")
+	if d.err == nil && ntasks != sp.NumTasks {
+		return nil, 0, fmt.Errorf("%w: job %d: %d serialized tasks for a %d-task spec",
+			ErrCorrupt, sp.JobID, ntasks, sp.NumTasks)
+	}
+	j.tasks = make([]taskState, ntasks)
+	for i := 0; i < ntasks && d.err == nil; i++ {
+		ts := &j.tasks[i]
+		tf := d.u8()
+		ts.started = tf&snapStarted != 0
+		ts.finished = tf&snapFinished != 0
+		ts.terminated = tf&snapTerminated != 0
+		ts.start = d.f64()
+		ts.latency = d.f64()
+		ts.flaggedAt = int(d.i64())
+		if tf&snapFeatures != 0 {
+			ts.features = d.floats(maxWireFeatures, "features")
+		}
+	}
+	ncps := d.count(maxSnapCheckpoints, "checkpoints")
+	if err := d.finish(); err != nil {
+		return nil, 0, err
+	}
+	if j.nextCP < 1 || j.nextCP > sp.Checkpoints+1 {
+		return nil, 0, fmt.Errorf("%w: job %d: next checkpoint %d outside [1,%d]",
+			ErrCorrupt, sp.JobID, j.nextCP, sp.Checkpoints+1)
+	}
+	if j.checkpoint < 0 || j.checkpoint > sp.Checkpoints {
+		return nil, 0, fmt.Errorf("%w: job %d: last checkpoint %d outside [0,%d]",
+			ErrCorrupt, sp.JobID, j.checkpoint, sp.Checkpoints)
+	}
+	// Counters fold into unsigned shard totals at install time; a hostile
+	// negative value would wrap Stats to ~1.8e19, so reject it here.
+	for _, c := range []struct {
+		name string
+		v    int
+		max  int
+	}{
+		{"started", j.started, ntasks},
+		{"finished", j.finished, ntasks},
+		{"terminated", j.terminated, ntasks},
+		{"refits", j.refits, maxSnapCheckpoints},
+	} {
+		if c.v < 0 || c.v > c.max {
+			return nil, 0, fmt.Errorf("%w: job %d: %s count %d outside [0,%d]",
+				ErrCorrupt, sp.JobID, c.name, c.v, c.max)
+		}
+	}
+	if j.refitDur < 0 || j.refitMax < 0 {
+		return nil, 0, fmt.Errorf("%w: job %d: negative refit duration", ErrCorrupt, sp.JobID)
+	}
+	return j, ncps, nil
+}
+
+// RestoreServer rebuilds a server from a snapshot stream written by
+// Server.Snapshot. cfg follows NewServer's defaulting; it need not match
+// the snapshotted server's (shard count is a concurrency knob, not state),
+// but its predictor factory must be behavior-equivalent for the restored
+// models to be faithful (see Config.NewPredictor).
+//
+// For every job, the recorded checkpoint views are replayed through a fresh
+// predictor — the "refit on restore" that rebuilds model state without
+// serializing model internals. A predictor error during replay aborts the
+// restore: it means the factory does not match the snapshot's history.
+func RestoreServer(r io.Reader, cfg Config) (*Server, error) {
+	sv := NewServer(cfg)
+	wr := NewWireReader(r)
+	for {
+		kind, payload, err := wr.next()
+		if err == io.EOF {
+			return sv, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: restore: %w", err)
+		}
+		if kind != FrameSnapJob {
+			return nil, fmt.Errorf("serve: restore: %w: frame kind %d where a snapshot job section was expected", ErrCorrupt, kind)
+		}
+		j, ncps, err := decodeSnapJob(payload)
+		if err != nil {
+			return nil, fmt.Errorf("serve: restore: %w", err)
+		}
+		j.history = make([]*simulator.Checkpoint, ncps)
+		for i := range j.history {
+			kind, payload, err := wr.next()
+			if err != nil {
+				return nil, fmt.Errorf("serve: restore job %d: checkpoint %d/%d: %w", j.spec.JobID, i+1, ncps, err)
+			}
+			if kind != FrameSnapCheckpoint {
+				return nil, fmt.Errorf("serve: restore job %d: %w: frame kind %d where checkpoint %d/%d was expected",
+					j.spec.JobID, ErrCorrupt, kind, i+1, ncps)
+			}
+			if j.history[i], err = decodeCheckpointPayload(payload); err != nil {
+				return nil, fmt.Errorf("serve: restore job %d: checkpoint %d/%d: %w", j.spec.JobID, i+1, ncps, err)
+			}
+		}
+		pred := sv.cfg.NewPredictor(j.spec)
+		if pred == nil {
+			return nil, fmt.Errorf("serve: restore job %d: nil predictor from factory", j.spec.JobID)
+		}
+		pred.Reset()
+		for i, cp := range j.history {
+			if _, err := pred.Predict(cp); err != nil {
+				// A job closed by a predictor failure recorded the failing
+				// boundary as its final history entry; the same failure on
+				// replay is the expected outcome, not a factory mismatch.
+				if j.failed && i == len(j.history)-1 {
+					break
+				}
+				return nil, fmt.Errorf("serve: restore job %d: replaying checkpoint %d/%d through %s: %w",
+					j.spec.JobID, i+1, ncps, pred.Name(), err)
+			}
+		}
+		j.pred = pred
+		if err := sv.reg.shardFor(j.spec.JobID).install(j); err != nil {
+			return nil, err
+		}
+	}
+}

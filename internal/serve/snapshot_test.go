@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/simulator"
+)
+
+// allTaskIDs returns 0..n-1 plus one out-of-range probe.
+func allTaskIDs(n int) []int {
+	ids := make([]int, n+1)
+	for i := range ids {
+		ids[i] = i - 1
+	}
+	return ids
+}
+
+// reportCore strips the wall-clock timing fields from a JobReport, leaving
+// exactly the deterministic outcome of a serving run.
+type reportCore struct {
+	Spec                          JobSpec
+	Done, Failed                  bool
+	Checkpoint                    int
+	Started, Finished, Terminated int
+	Refits                        int
+	PredictedAt                   map[int]int
+}
+
+func coreOf(r *JobReport) reportCore {
+	return reportCore{
+		Spec: r.Spec, Done: r.Done, Failed: r.Failed, Checkpoint: r.Checkpoint,
+		Started: r.Started, Finished: r.Finished, Terminated: r.Terminated,
+		Refits: r.Refits, PredictedAt: r.PredictedAt,
+	}
+}
+
+// TestSnapshotRestoreEquivalence is the crash-recovery claim: drive N jobs
+// halfway, snapshot, "kill" the server, restore from the snapshot (at a
+// different shard count), finish the streams — and every per-task verdict,
+// every per-job terminated set, and every F1 is bit-identical to a server
+// that never died. Mid-crash queries are also checked: immediately after
+// restore, the revived server answers exactly as the dying one did.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	const n = 3
+	jobs, sims := smallJobs(t, n, 31)
+	specs := make([]JobSpec, n)
+	streams := make([][]Event, n)
+	for i := range jobs {
+		s, _ := nurdSeed(t, 31, i)
+		specs[i] = SpecFor(sims[i], s)
+		streams[i] = JobEvents(jobs[i], sims[i])
+	}
+	start := func(sv *Server) {
+		for i := range specs {
+			// nil predictor: the default factory builds from the spec, the
+			// same construction RestoreServer must repeat on revival.
+			if err := sv.StartJob(specs[i], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// The uninterrupted reference.
+	svA := NewServer(Config{Shards: 4})
+	start(svA)
+	for i := range streams {
+		if err := svA.IngestBatch(streams[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The interrupted run: half the stream, snapshot, crash.
+	svB := NewServer(Config{Shards: 4})
+	start(svB)
+	for i := range streams {
+		if err := svB.IngestBatch(streams[i][:len(streams[i])/2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := svB.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// Capture the dying server's answers at the snapshot point.
+	midB := make([][]TaskVerdict, n)
+	for i := range jobs {
+		vs, err := svB.Query(specs[i].JobID, allTaskIDs(specs[i].NumTasks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		midB[i] = vs
+	}
+	svB = nil // the crash
+
+	// Revival — deliberately at a different shard count: shard layout is a
+	// concurrency knob, not serving state.
+	svC, err := RestoreServer(bytes.NewReader(snap.Bytes()), Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		vs, err := svC.Query(specs[i].JobID, allTaskIDs(specs[i].NumTasks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(vs, midB[i]) {
+			t.Errorf("job %d: restored mid-crash verdicts diverge from the dying server's", i)
+		}
+	}
+
+	// Finish the interrupted streams on the revived server.
+	for i := range streams {
+		if err := svC.IngestBatch(streams[i][len(streams[i])/2:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := range jobs {
+		repA, err := svA.Report(specs[i].JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repC, err := svC.Report(specs[i].JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(coreOf(repA), coreOf(repC)) {
+			t.Errorf("job %d: restored outcome diverges:\n uninterrupted %+v\n restored      %+v",
+				i, coreOf(repA), coreOf(repC))
+		}
+		// Bit-identical F1 against ground truth.
+		f1A := repA.Confusion(sims[i].Truth()).F1()
+		f1C := repC.Confusion(sims[i].Truth()).F1()
+		if f1A != f1C {
+			t.Errorf("job %d: F1 %v (uninterrupted) != %v (restored)", i, f1A, f1C)
+		}
+		// Bit-identical final verdicts, including model-backed predictions.
+		vsA, err := svA.Query(specs[i].JobID, allTaskIDs(specs[i].NumTasks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vsC, err := svC.Query(specs[i].JobID, allTaskIDs(specs[i].NumTasks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(vsA, vsC) {
+			t.Errorf("job %d: final verdicts diverge after restore", i)
+		}
+		for _, tid := range []int{0, specs[i].NumTasks - 1} {
+			sA, err := svA.IsStraggler(specs[i].JobID, tid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sC, err := svC.IsStraggler(specs[i].JobID, tid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sA != sC {
+				t.Errorf("job %d task %d: IsStraggler %v != %v", i, tid, sA, sC)
+			}
+		}
+	}
+
+	// Cumulative traffic counters carried through the snapshot: the
+	// restored server's totals equal the uninterrupted server's.
+	stA, stC := svA.Stats(), svC.Stats()
+	if stA.Events != stC.Events || stA.DroppedEvents != stC.DroppedEvents ||
+		stA.Terminations != stC.Terminations || stA.Refits != stC.Refits ||
+		stA.Jobs != stC.Jobs || stA.ActiveJobs != stC.ActiveJobs {
+		t.Errorf("stats diverge after restore:\n uninterrupted %v\n restored      %v", stA, stC)
+	}
+}
+
+// TestSnapshotOfFinishedServer covers the simpler durability case: a
+// snapshot taken after all streams closed restores to a server whose
+// reports and verdicts match, and which is itself snapshottable again
+// (snapshot-of-restore round-trips).
+func TestSnapshotOfFinishedServer(t *testing.T) {
+	jobs, sims := smallJobs(t, 2, 37)
+	sv := NewServer(Config{Shards: 2})
+	for i := range jobs {
+		s, _ := nurdSeed(t, 37, i)
+		if err := sv.StartJob(SpecFor(sims[i], s), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := sv.IngestBatch(JobEvents(jobs[i], sims[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap1 bytes.Buffer
+	if err := sv.Snapshot(&snap1); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreServer(bytes.NewReader(snap1.Bytes()), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		repA, _ := sv.Report(jobs[i].ID)
+		repB, err := restored.Report(jobs[i].ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(coreOf(repA), coreOf(repB)) {
+			t.Errorf("job %d: restored report diverges", i)
+		}
+		vsA, _ := sv.Query(jobs[i].ID, allTaskIDs(jobs[i].NumTasks()))
+		vsB, err := restored.Query(jobs[i].ID, allTaskIDs(jobs[i].NumTasks()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(vsA, vsB) {
+			t.Errorf("job %d: restored verdicts diverge", i)
+		}
+	}
+	// The restored server is itself durable: snapshot it again and the
+	// stream restores once more (no state is lost in the round-trip).
+	var snap2 bytes.Buffer
+	if err := restored.Snapshot(&snap2); err != nil {
+		t.Fatal(err)
+	}
+	again, err := RestoreServer(bytes.NewReader(snap2.Bytes()), Config{Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := again.Stats().Events, sv.Stats().Events; got != want {
+		t.Errorf("second-generation restore counts %d events, want %d", got, want)
+	}
+}
+
+// TestSnapshotEmptyServer: a job-less server snapshots to a valid stream
+// that restores to a job-less server.
+func TestSnapshotEmptyServer(t *testing.T) {
+	var snap bytes.Buffer
+	if err := NewServer(Config{Shards: 2}).Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() == 0 {
+		t.Fatal("empty server snapshot produced zero bytes (not a valid stream)")
+	}
+	restored, err := RestoreServer(bytes.NewReader(snap.Bytes()), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := restored.Stats(); st.Jobs != 0 {
+		t.Errorf("restored empty server reports %d jobs", st.Jobs)
+	}
+}
+
+// TestRestoreRejectsBadStreams: restore must fail loudly on truncated
+// snapshots, event streams (the other stream type), and garbage — never
+// construct a half-restored server.
+func TestRestoreRejectsBadStreams(t *testing.T) {
+	jobs, sims := smallJobs(t, 1, 41)
+	sv := NewServer(Config{Shards: 1})
+	if err := sv.StartJob(SpecFor(sims[0], 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.IngestBatch(JobEvents(jobs[0], sims[0])); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := sv.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := RestoreServer(bytes.NewReader(snap.Bytes()[:snap.Len()-3]), DefaultConfig()); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated snapshot: %v (want ErrTruncated)", err)
+	}
+	if _, err := RestoreServer(bytes.NewReader(nil), DefaultConfig()); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty stream: %v (want ErrTruncated)", err)
+	}
+	var dump bytes.Buffer
+	if err := WriteDump(&dump, []JobSpec{SpecFor(sims[0], 1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreServer(bytes.NewReader(dump.Bytes()), DefaultConfig()); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("spec/event stream as snapshot: %v (want ErrCorrupt)", err)
+	}
+	if _, err := RestoreServer(bytes.NewReader([]byte("not a snapshot at all")), DefaultConfig()); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("garbage: %v (want ErrBadMagic)", err)
+	}
+
+	// Hostile counters: a snapshot claiming negative terminations must be
+	// rejected before it can wrap the shard's unsigned totals.
+	hostile := newJobState(SpecFor(sims[0], 1), &flagAll{})
+	hostile.terminated = -1
+	var badSnap bytes.Buffer
+	if err := writeJobSnapshot(NewWireWriter(&badSnap), hostile); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreServer(bytes.NewReader(badSnap.Bytes()), DefaultConfig()); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("negative terminated counter: %v (want ErrCorrupt)", err)
+	}
+
+	// Restoring the same snapshot twice into one reader sequence works, but
+	// two copies of the same job in one stream must be rejected.
+	doubled := append(append([]byte(nil), snap.Bytes()...), snap.Bytes()[headerLen:]...)
+	if _, err := RestoreServer(bytes.NewReader(doubled), DefaultConfig()); err == nil {
+		t.Error("snapshot with a duplicated job section restored silently")
+	}
+}
+
+// TestSnapshotMidStreamIsIngestable: after restore, the revived server
+// accepts the rest of the stream through the normal ingest path, firing the
+// remaining checkpoints (covered in depth by the equivalence test; this
+// pins the basic liveness property for a single job with the cheap
+// flag-all predictor via a custom factory).
+func TestSnapshotMidStreamIsIngestable(t *testing.T) {
+	jobs, sims := smallJobs(t, 1, 43)
+	cfg := Config{Shards: 1, NewPredictor: func(JobSpec) simulator.Predictor { return &flagAll{} }}
+	sv := NewServer(cfg)
+	events := JobEvents(jobs[0], sims[0])
+	if err := sv.StartJob(SpecFor(sims[0], 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.IngestBatch(events[:len(events)/3]); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := sv.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreServer(bytes.NewReader(snap.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.IngestBatch(events[len(events)/3:]); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := restored.Report(jobs[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Done || rep.Checkpoint != sims[0].Cfg.Checkpoints {
+		t.Errorf("restored job did not finish its schedule: done=%v checkpoint=%d", rep.Done, rep.Checkpoint)
+	}
+}

@@ -1,0 +1,558 @@
+package serve
+
+// wire.go is the serving layer's durable binary format: a versioned,
+// length-prefixed, checksummed frame stream carrying JobSpec registrations
+// and lifecycle Events (trace dumps, the HTTP ingest body) as well as the
+// snapshot sections Server.Snapshot emits. The format is designed for
+// hostile inputs — every decoder bounds its allocations before making them,
+// validates counts against the remaining payload, and returns typed errors
+// (never panics), so the same code path serves fuzzing, corrupt dumps, and
+// version-skewed peers.
+//
+// Layout:
+//
+//	stream  := header frame*
+//	header  := magic[8] version:u16            ("NURDWIRE", little-endian)
+//	frame   := kind:u8 len:u32 payload[len] crc:u32
+//
+// crc is CRC-32 (IEEE) over the payload. All integers are little-endian;
+// floats are IEEE-754 bit patterns (math.Float64bits), so encode(decode(b))
+// reproduces b byte for byte — the canonical-encoding property the fuzz
+// harness checks.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// WireVersion is the current wire-format version. Readers reject streams
+// written by any other version (no silent cross-version decoding).
+const WireVersion uint16 = 1
+
+// wireMagic opens every wire stream.
+var wireMagic = [8]byte{'N', 'U', 'R', 'D', 'W', 'I', 'R', 'E'}
+
+// headerLen is the encoded size of the stream header.
+const headerLen = len(wireMagic) + 2
+
+// FrameKind discriminates wire frames.
+type FrameKind uint8
+
+const (
+	// FrameSpec carries one JobSpec registration.
+	FrameSpec FrameKind = 1
+	// FrameEvent carries one lifecycle Event.
+	FrameEvent FrameKind = 2
+	// FrameSnapJob opens one job's snapshot section: spec, counters, task
+	// states, and the number of FrameSnapCheckpoint frames that follow.
+	FrameSnapJob FrameKind = 3
+	// FrameSnapCheckpoint carries one retained checkpoint view (the exact
+	// training snapshot the job's predictor saw at a fired boundary).
+	FrameSnapCheckpoint FrameKind = 4
+)
+
+// Typed decode errors, errors.Is-matchable through every wrapping layer.
+var (
+	// ErrBadMagic reports a stream that does not open with the wire magic.
+	ErrBadMagic = errors.New("serve/wire: bad magic")
+	// ErrVersion reports a version-skewed stream (written by a different
+	// WireVersion).
+	ErrVersion = errors.New("serve/wire: unsupported version")
+	// ErrTruncated reports a stream or frame cut short mid-element.
+	ErrTruncated = errors.New("serve/wire: truncated")
+	// ErrCorrupt reports a structurally invalid frame: checksum mismatch,
+	// unknown kind, oversized count, or trailing payload garbage.
+	ErrCorrupt = errors.New("serve/wire: corrupt")
+)
+
+// Decoder allocation bounds. Counts above these are corruption by fiat:
+// they exceed anything the serving layer produces by orders of magnitude,
+// and rejecting them before allocating keeps a 12-byte hostile frame from
+// requesting gigabytes.
+const (
+	maxFramePayload    = 16 << 20
+	maxWireFeatures    = 1 << 16
+	maxSchemaCols      = 1 << 12
+	maxSchemaName      = 1 << 10
+	maxSnapTasks       = 1 << 22
+	maxSnapCheckpoints = 1 << 16
+	maxSnapRows        = 1 << 22
+)
+
+// --- primitive encoder ---
+
+// wireEnc appends fixed-width little-endian primitives to a buffer.
+type wireEnc struct{ b []byte }
+
+func (e *wireEnc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *wireEnc) u16(v uint16) { e.b = append(e.b, byte(v), byte(v>>8)) }
+func (e *wireEnc) u32(v uint32) {
+	e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func (e *wireEnc) u64(v uint64) {
+	e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+func (e *wireEnc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *wireEnc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *wireEnc) floats(v []float64) {
+	e.u32(uint32(len(v)))
+	for _, f := range v {
+		e.f64(f)
+	}
+}
+func (e *wireEnc) str(s string) {
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// --- primitive decoder ---
+
+// wireDec consumes a payload with sticky-error semantics: the first failure
+// latches, subsequent reads return zero values, and finish reports it.
+type wireDec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *wireDec) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *wireDec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b)-d.off < n {
+		d.fail(fmt.Errorf("%w: need %d payload bytes, have %d", ErrTruncated, n, len(d.b)-d.off))
+		return false
+	}
+	return true
+}
+
+func (d *wireDec) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *wireDec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := uint16(d.b[d.off]) | uint16(d.b[d.off+1])<<8
+	d.off += 2
+	return v
+}
+
+func (d *wireDec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	b := d.b[d.off:]
+	d.off += 4
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (d *wireDec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	b := d.b[d.off:]
+	d.off += 8
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func (d *wireDec) i64() int64   { return int64(d.u64()) }
+func (d *wireDec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count decodes a u32 element count, rejecting values above max before any
+// allocation happens.
+func (d *wireDec) count(max int, what string) int {
+	n := d.u32()
+	if d.err != nil {
+		return 0
+	}
+	if int64(n) > int64(max) {
+		d.fail(fmt.Errorf("%w: %s count %d exceeds %d", ErrCorrupt, what, n, max))
+		return 0
+	}
+	return int(n)
+}
+
+// floats decodes a counted float64 slice (nil for an empty count, matching
+// the in-memory convention for absent feature vectors).
+func (d *wireDec) floats(max int, what string) []float64 {
+	n := d.count(max, what)
+	if n == 0 || !d.need(8*n) {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *wireDec) str(maxLen int) string {
+	n := int(d.u16())
+	if d.err != nil {
+		return ""
+	}
+	if n > maxLen {
+		d.fail(fmt.Errorf("%w: string length %d exceeds %d", ErrCorrupt, n, maxLen))
+		return ""
+	}
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// finish reports the latched error, or corruption if payload bytes remain
+// unconsumed (encodings are canonical: a valid payload is read exactly).
+func (d *wireDec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(d.b)-d.off)
+	}
+	return nil
+}
+
+// --- payload encodings ---
+
+func appendEventPayload(e *wireEnc, ev *Event) {
+	e.u8(uint8(ev.Kind))
+	e.u64(ev.JobID)
+	e.i64(int64(ev.TaskID))
+	e.f64(ev.Time)
+	e.i64(int64(ev.Tick))
+	e.f64(ev.Latency)
+	e.floats(ev.Features)
+}
+
+func decodeEventPayload(p []byte) (Event, error) {
+	d := wireDec{b: p}
+	var ev Event
+	k := d.u8()
+	if d.err == nil && k > uint8(EventJobFinish) {
+		return ev, fmt.Errorf("%w: unknown event kind %d", ErrCorrupt, k)
+	}
+	ev.Kind = EventKind(k)
+	ev.JobID = d.u64()
+	ev.TaskID = int(d.i64())
+	ev.Time = d.f64()
+	ev.Tick = int(d.i64())
+	ev.Latency = d.f64()
+	ev.Features = d.floats(maxWireFeatures, "features")
+	return ev, d.finish()
+}
+
+func appendSpecPayload(e *wireEnc, sp *JobSpec) error {
+	if len(sp.Schema) > maxSchemaCols {
+		return fmt.Errorf("serve/wire: schema of %d columns exceeds %d", len(sp.Schema), maxSchemaCols)
+	}
+	e.u64(sp.JobID)
+	e.u32(uint32(len(sp.Schema)))
+	for _, col := range sp.Schema {
+		if len(col) > maxSchemaName {
+			return fmt.Errorf("serve/wire: schema column name of %d bytes exceeds %d", len(col), maxSchemaName)
+		}
+		e.str(col)
+	}
+	e.i64(int64(sp.NumTasks))
+	e.f64(sp.TauStra)
+	e.f64(sp.StragglerQuantile)
+	e.f64(sp.Horizon)
+	e.i64(int64(sp.Checkpoints))
+	e.f64(sp.WarmFrac)
+	e.u64(sp.Seed)
+	return nil
+}
+
+// decodeSpec consumes one JobSpec (the exact field order appendSpecPayload
+// writes) from d; snapshot job sections embed the same prefix.
+func decodeSpec(d *wireDec) JobSpec {
+	var sp JobSpec
+	sp.JobID = d.u64()
+	if n := d.count(maxSchemaCols, "schema"); n > 0 {
+		sp.Schema = make([]string, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			sp.Schema = append(sp.Schema, d.str(maxSchemaName))
+		}
+	}
+	sp.NumTasks = int(d.i64())
+	sp.TauStra = d.f64()
+	sp.StragglerQuantile = d.f64()
+	sp.Horizon = d.f64()
+	sp.Checkpoints = int(d.i64())
+	sp.WarmFrac = d.f64()
+	sp.Seed = d.u64()
+	return sp
+}
+
+func decodeSpecPayload(p []byte) (JobSpec, error) {
+	d := wireDec{b: p}
+	sp := decodeSpec(&d)
+	return sp, d.finish()
+}
+
+// --- framing ---
+
+// appendFrame wraps a payload in the frame envelope.
+func appendFrame(dst []byte, kind FrameKind, payload []byte) []byte {
+	e := wireEnc{b: dst}
+	e.u8(uint8(kind))
+	e.u32(uint32(len(payload)))
+	e.b = append(e.b, payload...)
+	e.u32(crc32.ChecksumIEEE(payload))
+	return e.b
+}
+
+// DecodeFrame parses one frame from the front of b, returning its kind,
+// payload, and the number of bytes consumed. The payload aliases b.
+func DecodeFrame(b []byte) (FrameKind, []byte, int, error) {
+	if len(b) < 5 {
+		return 0, nil, 0, fmt.Errorf("%w: %d bytes for a 5-byte frame header", ErrTruncated, len(b))
+	}
+	kind := FrameKind(b[0])
+	if kind < FrameSpec || kind > FrameSnapCheckpoint {
+		return 0, nil, 0, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, b[0])
+	}
+	n := uint32(b[1]) | uint32(b[2])<<8 | uint32(b[3])<<16 | uint32(b[4])<<24
+	if n > maxFramePayload {
+		return 0, nil, 0, fmt.Errorf("%w: frame payload of %d bytes exceeds %d", ErrCorrupt, n, maxFramePayload)
+	}
+	total := 5 + int(n) + 4
+	if len(b) < total {
+		return 0, nil, 0, fmt.Errorf("%w: frame needs %d bytes, have %d", ErrTruncated, total, len(b))
+	}
+	payload := b[5 : 5+n]
+	crc := uint32(b[5+n]) | uint32(b[5+n+1])<<8 | uint32(b[5+n+2])<<16 | uint32(b[5+n+3])<<24
+	if got := crc32.ChecksumIEEE(payload); got != crc {
+		return 0, nil, 0, fmt.Errorf("%w: frame checksum %08x, computed %08x", ErrCorrupt, crc, got)
+	}
+	return kind, payload, total, nil
+}
+
+// EncodeEvent appends ev to dst as one complete frame.
+func EncodeEvent(dst []byte, ev Event) ([]byte, error) {
+	if len(ev.Features) > maxWireFeatures {
+		return dst, fmt.Errorf("serve/wire: %d features exceed %d", len(ev.Features), maxWireFeatures)
+	}
+	var e wireEnc
+	appendEventPayload(&e, &ev)
+	return appendFrame(dst, FrameEvent, e.b), nil
+}
+
+// EncodeSpec appends sp to dst as one complete frame.
+func EncodeSpec(dst []byte, sp JobSpec) ([]byte, error) {
+	var e wireEnc
+	if err := appendSpecPayload(&e, &sp); err != nil {
+		return dst, err
+	}
+	return appendFrame(dst, FrameSpec, e.b), nil
+}
+
+// AppendHeader appends the stream header (magic + version) to dst.
+func AppendHeader(dst []byte) []byte {
+	e := wireEnc{b: append(dst, wireMagic[:]...)}
+	e.u16(WireVersion)
+	return e.b
+}
+
+// DecodeHeader validates the stream header at the front of b and returns
+// the bytes consumed.
+func DecodeHeader(b []byte) (int, error) {
+	if len(b) < headerLen {
+		return 0, fmt.Errorf("%w: %d bytes for a %d-byte header", ErrTruncated, len(b), headerLen)
+	}
+	for i, m := range wireMagic {
+		if b[i] != m {
+			return 0, fmt.Errorf("%w: %q", ErrBadMagic, string(b[:len(wireMagic)]))
+		}
+	}
+	v := uint16(b[8]) | uint16(b[9])<<8
+	if v != WireVersion {
+		return 0, fmt.Errorf("%w: stream version %d, this reader speaks %d", ErrVersion, v, WireVersion)
+	}
+	return headerLen, nil
+}
+
+// --- streaming writer / reader ---
+
+// WireWriter emits a wire stream. The header is written before the first
+// frame; a writer that never writes a frame emits nothing.
+type WireWriter struct {
+	w      io.Writer
+	buf    []byte
+	headed bool
+}
+
+// NewWireWriter wraps w.
+func NewWireWriter(w io.Writer) *WireWriter { return &WireWriter{w: w} }
+
+func (ww *WireWriter) writeBuf() error {
+	_, err := ww.w.Write(ww.buf)
+	ww.buf = ww.buf[:0]
+	return err
+}
+
+func (ww *WireWriter) head() {
+	if !ww.headed {
+		ww.buf = AppendHeader(ww.buf)
+		ww.headed = true
+	}
+}
+
+// WriteSpec emits one JobSpec frame.
+func (ww *WireWriter) WriteSpec(sp JobSpec) error {
+	ww.head()
+	var err error
+	// On encode failure the buffer is returned unchanged — anything already
+	// queued (the unflushed stream header) stays queued for the next frame.
+	if ww.buf, err = EncodeSpec(ww.buf, sp); err != nil {
+		return err
+	}
+	return ww.writeBuf()
+}
+
+// WriteEvent emits one Event frame.
+func (ww *WireWriter) WriteEvent(ev Event) error {
+	ww.head()
+	var err error
+	if ww.buf, err = EncodeEvent(ww.buf, ev); err != nil {
+		return err
+	}
+	return ww.writeBuf()
+}
+
+// writeFrame emits a raw frame (snapshot sections). The payload cap is
+// enforced on the write side too: a frame the decoder would reject as
+// corrupt must fail loudly here, at snapshot time, not at restore time.
+func (ww *WireWriter) writeFrame(kind FrameKind, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("serve/wire: frame payload of %d bytes exceeds %d — "+
+			"the job is too large for a single snapshot frame", len(payload), maxFramePayload)
+	}
+	ww.head()
+	ww.buf = appendFrame(ww.buf, kind, payload)
+	return ww.writeBuf()
+}
+
+// WireReader consumes a wire stream. The header is validated before the
+// first frame is returned.
+type WireReader struct {
+	r       *bufio.Reader
+	headed  bool
+	scratch []byte
+}
+
+// NewWireReader wraps r.
+func NewWireReader(r io.Reader) *WireReader {
+	return &WireReader{r: bufio.NewReader(r)}
+}
+
+func (wr *WireReader) readHeader() error {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(wr.r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: stream header", ErrTruncated)
+		}
+		return err
+	}
+	if _, err := DecodeHeader(hdr[:]); err != nil {
+		return err
+	}
+	wr.headed = true
+	return nil
+}
+
+// next returns the next raw frame. io.EOF marks a clean end of stream (a
+// frame boundary); a cut mid-frame is ErrTruncated.
+func (wr *WireReader) next() (FrameKind, []byte, error) {
+	if !wr.headed {
+		if err := wr.readHeader(); err != nil {
+			return 0, nil, err
+		}
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(wr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: frame header", ErrTruncated)
+		}
+		return 0, nil, err
+	}
+	kind := FrameKind(hdr[0])
+	if kind < FrameSpec || kind > FrameSnapCheckpoint {
+		return 0, nil, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, hdr[0])
+	}
+	n := uint32(hdr[1]) | uint32(hdr[2])<<8 | uint32(hdr[3])<<16 | uint32(hdr[4])<<24
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("%w: frame payload of %d bytes exceeds %d", ErrCorrupt, n, maxFramePayload)
+	}
+	if cap(wr.scratch) < int(n)+4 {
+		wr.scratch = make([]byte, int(n)+4)
+	}
+	body := wr.scratch[:int(n)+4]
+	if _, err := io.ReadFull(wr.r, body); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: frame body", ErrTruncated)
+		}
+		return 0, nil, err
+	}
+	payload := body[:n]
+	crc := uint32(body[n]) | uint32(body[n+1])<<8 | uint32(body[n+2])<<16 | uint32(body[n+3])<<24
+	if got := crc32.ChecksumIEEE(payload); got != crc {
+		return 0, nil, fmt.Errorf("%w: frame checksum %08x, computed %08x", ErrCorrupt, crc, got)
+	}
+	return kind, payload, nil
+}
+
+// Next returns the next element of a spec/event stream (a trace dump or an
+// ingest body): exactly one of the two results is non-nil. io.EOF marks a
+// clean end of stream. Snapshot frames are a different stream type and are
+// rejected here (use RestoreServer for those).
+func (wr *WireReader) Next() (*JobSpec, *Event, error) {
+	kind, payload, err := wr.next()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch kind {
+	case FrameSpec:
+		sp, err := decodeSpecPayload(payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &sp, nil, nil
+	case FrameEvent:
+		// decodeEventPayload allocates the feature slice fresh (it never
+		// aliases the reader's scratch buffer), so the Event is safe to hand
+		// to a Server, which retains Features as the task's observation.
+		ev, err := decodeEventPayload(payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, &ev, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: frame kind %d in a spec/event stream", ErrCorrupt, kind)
+	}
+}

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenElements is a fixed spec/event stream exercising every encoder
+// branch: schema strings, empty and non-empty feature vectors, negative and
+// extreme floats, and all four event kinds.
+func goldenElements() ([]JobSpec, []Event) {
+	specs := []JobSpec{
+		{JobID: 7, Schema: []string{"cpu", "mem", "io-wait"}, NumTasks: 4, TauStra: 12.5,
+			StragglerQuantile: 0.9, Horizon: 100, Checkpoints: 10, WarmFrac: 0.04, Seed: 99},
+		{JobID: 1 << 60, Schema: []string{"x"}, NumTasks: 1, TauStra: 1e-3,
+			StragglerQuantile: 0.5, Horizon: 1e9, Checkpoints: 1, WarmFrac: 0.25, Seed: 0},
+	}
+	events := []Event{
+		{Kind: EventTaskStart, JobID: 7, TaskID: 0, Time: 0},
+		{Kind: EventHeartbeat, JobID: 7, TaskID: 0, Time: 10, Tick: 1,
+			Features: []float64{1.5, -2.25, math.MaxFloat64}},
+		{Kind: EventHeartbeat, JobID: 7, TaskID: 0, Time: 20, Tick: 2,
+			Features: []float64{0, math.SmallestNonzeroFloat64, -0.0}},
+		{Kind: EventTaskFinish, JobID: 7, TaskID: 0, Time: 31.25, Latency: 31.25},
+		{Kind: EventTaskStart, JobID: 1 << 60, TaskID: 0, Time: 0.125},
+		{Kind: EventJobFinish, JobID: 7, Time: 100},
+	}
+	return specs, events
+}
+
+func encodeStream(t testing.TB, specs []JobSpec, events []Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, specs, events); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func goldenPath() string { return filepath.Join("testdata", "wire_v1.golden") }
+
+// TestWireGolden pins the byte-level format: today's encoder must reproduce
+// the committed golden stream exactly (any diff is a silent format break —
+// bump WireVersion instead), and decoding the golden bytes must yield the
+// original elements.
+func TestWireGolden(t *testing.T) {
+	specs, events := goldenElements()
+	enc := encodeStream(t, specs, events)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(enc, want) {
+		t.Fatalf("encoder output diverged from golden file: %d vs %d bytes — "+
+			"a byte-level format change requires a WireVersion bump", len(enc), len(want))
+	}
+
+	wr := NewWireReader(bytes.NewReader(want))
+	var gotSpecs []JobSpec
+	var gotEvents []Event
+	for {
+		sp, ev, err := wr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp != nil {
+			gotSpecs = append(gotSpecs, *sp)
+		} else {
+			gotEvents = append(gotEvents, *ev)
+		}
+	}
+	if !reflect.DeepEqual(gotSpecs, specs) {
+		t.Errorf("decoded specs diverge:\n got %+v\nwant %+v", gotSpecs, specs)
+	}
+	if !reflect.DeepEqual(gotEvents, events) {
+		t.Errorf("decoded events diverge:\n got %+v\nwant %+v", gotEvents, events)
+	}
+}
+
+// TestWireRoundTrip checks canonical re-encoding frame by frame:
+// re-encoding every decoded frame reproduces the original bytes.
+func TestWireRoundTrip(t *testing.T) {
+	specs, events := goldenElements()
+	enc := encodeStream(t, specs, events)
+	off, err := DecodeHeader(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := AppendHeader(nil)
+	for off < len(enc) {
+		kind, payload, n, err := DecodeFrame(enc[off:])
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		switch kind {
+		case FrameSpec:
+			sp, err := decodeSpecPayload(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if re, err = EncodeSpec(re, sp); err != nil {
+				t.Fatal(err)
+			}
+		case FrameEvent:
+			ev, err := decodeEventPayload(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if re, err = EncodeEvent(re, ev); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			t.Fatalf("unexpected frame kind %d", kind)
+		}
+		off += n
+	}
+	if !bytes.Equal(re, enc) {
+		t.Error("re-encoding decoded frames did not reproduce the original stream")
+	}
+}
+
+// decodeAll consumes a stream, returning the element count and first error.
+func decodeAll(b []byte) (int, error) {
+	wr := NewWireReader(bytes.NewReader(b))
+	n := 0
+	for {
+		_, _, err := wr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// TestWireTruncation cuts the golden stream at every byte offset: a cut on
+// a frame boundary decodes a clean prefix; any other cut must surface
+// ErrTruncated — never a panic, never silent success of a partial frame.
+func TestWireTruncation(t *testing.T) {
+	specs, events := goldenElements()
+	enc := encodeStream(t, specs, events)
+	total := len(specs) + len(events)
+	cleanCuts := 0
+	for i := 0; i < len(enc); i++ {
+		n, err := decodeAll(enc[:i])
+		if err == nil {
+			cleanCuts++
+			if n >= total {
+				t.Fatalf("cut at %d/%d decoded all %d elements", i, len(enc), n)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: %v (want ErrTruncated)", i, err)
+		}
+	}
+	// Frame boundaries: one per element, minus the final boundary (i ==
+	// len(enc) is not cut here).
+	if cleanCuts != total {
+		t.Errorf("%d clean frame-boundary cuts, want %d", cleanCuts, total)
+	}
+}
+
+// TestWireCorruption flips every bit of the golden stream one at a time;
+// each flip must be detected (magic, version, kind, checksum) — decoding
+// must error, never panic, and never silently decode the full stream with
+// altered content... except that a flip can only go unnoticed if it leaves
+// every decoded element equal to the original, which a single bit flip
+// cannot (every byte is covered by magic, version, kind, length, payload
+// CRC, or the CRC itself).
+func TestWireCorruption(t *testing.T) {
+	specs, events := goldenElements()
+	enc := encodeStream(t, specs, events)
+	for i := 0; i < len(enc); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), enc...)
+			mut[i] ^= 1 << bit
+			if _, err := decodeAll(mut); err == nil {
+				t.Fatalf("flipping byte %d bit %d went undetected", i, bit)
+			}
+		}
+	}
+}
+
+// TestWireVersionSkew pins the version gate: a stream stamped with any
+// other version must be rejected with ErrVersion.
+func TestWireVersionSkew(t *testing.T) {
+	specs, events := goldenElements()
+	enc := encodeStream(t, specs, events)
+	for _, v := range []uint16{0, 2, 255, math.MaxUint16} {
+		mut := append([]byte(nil), enc...)
+		mut[8] = byte(v)
+		mut[9] = byte(v >> 8)
+		if _, err := decodeAll(mut); !errors.Is(err, ErrVersion) {
+			t.Errorf("version %d: %v (want ErrVersion)", v, err)
+		}
+	}
+	if _, err := decodeAll([]byte("NOTNURD!....")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v (want ErrBadMagic)", err)
+	}
+}
+
+// TestWireHostileCounts crafts frames whose embedded counts would demand
+// huge allocations; the decoder must reject them (bounded before any
+// allocation) rather than attempt them.
+func TestWireHostileCounts(t *testing.T) {
+	// An event frame claiming 2^32-1 features in a 50-byte payload.
+	var e wireEnc
+	e.u8(uint8(EventHeartbeat))
+	e.u64(1)
+	e.i64(0)
+	e.f64(0)
+	e.i64(1)
+	e.f64(0)
+	e.u32(math.MaxUint32)
+	frame := appendFrame(AppendHeader(nil), FrameEvent, e.b)
+	if _, err := decodeAll(frame); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("hostile feature count: %v (want ErrCorrupt)", err)
+	}
+	// A frame header claiming a payload beyond the frame cap.
+	hdr := AppendHeader(nil)
+	hdr = append(hdr, byte(FrameEvent), 0xff, 0xff, 0xff, 0x7f)
+	if _, err := decodeAll(hdr); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("hostile frame length: %v (want ErrCorrupt)", err)
+	}
+	// Trailing garbage inside a checksummed payload (CRC valid, extra
+	// bytes after the last field) must be rejected as non-canonical.
+	var e2 wireEnc
+	appendEventPayload(&e2, &Event{Kind: EventTaskStart, JobID: 3})
+	e2.u8(0xAA)
+	frame = appendFrame(AppendHeader(nil), FrameEvent, e2.b)
+	if _, err := decodeAll(frame); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing payload bytes: %v (want ErrCorrupt)", err)
+	}
+}
+
+// FuzzWireDecode feeds arbitrary bytes through both decode layers. The
+// invariants: no panic ever; and when a frame does decode, re-encoding it
+// reproduces the consumed bytes exactly (canonical encoding).
+func FuzzWireDecode(f *testing.F) {
+	specs, events := goldenElements()
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, specs, events); err != nil {
+		f.Fatal(err)
+	}
+	enc := buf.Bytes()
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	f.Add(enc[headerLen:])
+	mut := append([]byte(nil), enc...)
+	mut[len(mut)/2] ^= 0x40
+	f.Add(mut)
+	f.Add([]byte("NURDWIRE\x01\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Stream layer: must terminate with EOF or an error, no panics.
+		if n, err := decodeAll(data); err == nil && n > 0 && len(data) < headerLen {
+			t.Fatalf("decoded %d elements from %d bytes", n, len(data))
+		}
+
+		// Frame layer: canonical re-encode on success.
+		kind, payload, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if re := appendFrame(nil, kind, payload); !bytes.Equal(re, data[:n]) {
+			t.Fatalf("frame re-encode diverges from input")
+		}
+		switch kind {
+		case FrameSpec:
+			if sp, err := decodeSpecPayload(payload); err == nil {
+				re, err := EncodeSpec(nil, sp)
+				if err != nil {
+					t.Fatalf("re-encoding decoded spec: %v", err)
+				}
+				if !bytes.Equal(re, data[:n]) {
+					t.Fatalf("spec re-encode diverges from input")
+				}
+			}
+		case FrameEvent:
+			if ev, err := decodeEventPayload(payload); err == nil {
+				re, err := EncodeEvent(nil, ev)
+				if err != nil {
+					t.Fatalf("re-encoding decoded event: %v", err)
+				}
+				if !bytes.Equal(re, data[:n]) {
+					t.Fatalf("event re-encode diverges from input")
+				}
+			}
+		case FrameSnapCheckpoint:
+			if cp, err := decodeCheckpointPayload(payload); err == nil {
+				if re := appendCheckpointPayload(nil, cp); !bytes.Equal(appendFrame(nil, kind, re), data[:n]) {
+					t.Fatalf("checkpoint re-encode diverges from input")
+				}
+			}
+		case FrameSnapJob:
+			_, _, _ = decodeSnapJob(payload) // must not panic
+		}
+	})
+}
