@@ -112,13 +112,58 @@ type JobSpec struct {
 	Seed uint64
 }
 
+// maxJobRows bounds NumTasks*Checkpoints, the worst-case number of training
+// rows one job can retain across its checkpoint history (every gated
+// boundary keeps its view — rows for each then-unfinished task — for
+// snapshot/restore replay). ~60 B/row puts the per-job retention ceiling
+// around 60 MB; real workloads (hundreds of tasks, ~10 checkpoints) sit
+// orders of magnitude below it.
+const maxJobRows = 1 << 20
+
 // Validate checks the spec's invariants.
 func (sp *JobSpec) Validate() error {
 	if sp.NumTasks <= 0 {
 		return fmt.Errorf("serve: job %d: NumTasks must be positive, got %d", sp.JobID, sp.NumTasks)
 	}
+	// The upper bounds match the wire format's snapshot caps: a job that
+	// validates is always serializable (task state sized by NumTasks,
+	// retained history bounded by Checkpoints), and a registration cannot
+	// demand an arbitrarily large task-slice allocation.
+	if sp.NumTasks > maxSnapTasks {
+		return fmt.Errorf("serve: job %d: NumTasks %d above the serving cap %d", sp.JobID, sp.NumTasks, maxSnapTasks)
+	}
+	// Serializability needs more than the count caps: the job's snapshot
+	// frame must fit maxFramePayload. Each task encodes to at most
+	// 29+8*len(Schema) bytes (flags, start, latency, flaggedAt, feature
+	// count, features); checkpoint rows are strictly smaller (20+8*cols),
+	// so this one bound covers every frame the job can ever emit. The 4 KiB
+	// slack generously covers the fixed spec and counter fields.
+	perTask := int64(29 + 8*len(sp.Schema))
+	overhead := int64(4096)
+	for _, c := range sp.Schema {
+		overhead += int64(2 + len(c))
+	}
+	if int64(sp.NumTasks)*perTask+overhead > maxFramePayload {
+		return fmt.Errorf("serve: job %d: %d tasks with a %d-column schema cannot fit a %d-byte snapshot frame",
+			sp.JobID, sp.NumTasks, len(sp.Schema), maxFramePayload)
+	}
+	// Bound worst-case history retention too: without this, one validated
+	// job near the frame-fit cap could pair a huge task count with tens of
+	// thousands of checkpoints and retain gigabytes of views.
+	if int64(sp.NumTasks)*int64(sp.Checkpoints) > maxJobRows {
+		return fmt.Errorf("serve: job %d: %d tasks x %d checkpoints retains up to %d history rows, above the cap %d",
+			sp.JobID, sp.NumTasks, sp.Checkpoints, int64(sp.NumTasks)*int64(sp.Checkpoints), maxJobRows)
+	}
 	if len(sp.Schema) == 0 {
 		return fmt.Errorf("serve: job %d: empty schema", sp.JobID)
+	}
+	if len(sp.Schema) > maxSchemaCols {
+		return fmt.Errorf("serve: job %d: schema of %d columns above the serving cap %d", sp.JobID, len(sp.Schema), maxSchemaCols)
+	}
+	for _, c := range sp.Schema {
+		if len(c) > maxSchemaName {
+			return fmt.Errorf("serve: job %d: schema column name of %d bytes above the serving cap %d", sp.JobID, len(c), maxSchemaName)
+		}
 	}
 	if sp.TauStra <= 0 {
 		return fmt.Errorf("serve: job %d: TauStra must be positive, got %v", sp.JobID, sp.TauStra)
@@ -128,6 +173,9 @@ func (sp *JobSpec) Validate() error {
 	}
 	if sp.Checkpoints < 1 {
 		return fmt.Errorf("serve: job %d: need >= 1 checkpoint, got %d", sp.JobID, sp.Checkpoints)
+	}
+	if sp.Checkpoints > maxSnapCheckpoints {
+		return fmt.Errorf("serve: job %d: Checkpoints %d above the serving cap %d", sp.JobID, sp.Checkpoints, maxSnapCheckpoints)
 	}
 	if sp.WarmFrac <= 0 || sp.WarmFrac >= 0.5 {
 		return fmt.Errorf("serve: job %d: WarmFrac must be in (0, 0.5), got %v", sp.JobID, sp.WarmFrac)

@@ -21,9 +21,10 @@ package serve
 //	                (restorable with RestoreServer).
 //
 // Error mapping: malformed wire bodies and unparseable parameters are 400;
-// events or queries for unregistered jobs are 404 (ErrUnknownJob); protocol
-// violations the server rejects (duplicate registration, out-of-range
-// tasks, schema mismatches) are 422.
+// events or queries for unregistered jobs are 404 (ErrUnknownJob);
+// registrations beyond the server's job/task budget are 429
+// (ErrOverloaded); protocol violations the server rejects (duplicate
+// registration, out-of-range tasks, schema mismatches) are 422.
 
 import (
 	"encoding/json"
@@ -82,6 +83,8 @@ func errCode(err error, decodeErr bool) int {
 	switch {
 	case errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.As(err, &tooBig):
 		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrBadMagic), errors.Is(err, ErrVersion),

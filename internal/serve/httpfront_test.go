@@ -210,6 +210,25 @@ func TestHTTPErrors(t *testing.T) {
 	}
 }
 
+// TestHTTPBudget: registrations beyond the server's job/task budget map to
+// 429, and the response reports how many specs were applied before it.
+func TestHTTPBudget(t *testing.T) {
+	sv := NewServer(Config{Shards: 1, MaxJobs: 1})
+	ts := httptest.NewServer(NewHandler(sv))
+	defer ts.Close()
+	specs := []JobSpec{
+		{JobID: 1, Schema: []string{"a"}, NumTasks: 4, TauStra: 5, Horizon: 100},
+		{JobID: 2, Schema: []string{"a"}, NumTasks: 4, TauStra: 5, Horizon: 100},
+	}
+	resp, res := postIngest(t, ts, wireBody(t, specs, nil))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("budget exhaustion: status %d (%s), want 429", resp.StatusCode, res.Error)
+	}
+	if res.Specs != 1 {
+		t.Errorf("applied %d specs before the budget error, want 1", res.Specs)
+	}
+}
+
 // TestHTTPConcurrentClients is the transport-level race stressor: many
 // clients streaming distinct jobs through POST /ingest in chunks while
 // query and stats clients hammer the read paths. Run under -race in CI.

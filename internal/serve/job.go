@@ -48,7 +48,8 @@ type jobState struct {
 	// their training views (fresh seeded RNG per fit), so the replayed
 	// predictor lands in bit-identical state. Bounded by spec.Checkpoints
 	// entries; feature slices are shared with task state, never copied or
-	// mutated.
+	// mutated. Entries are immutable once appended — Snapshot relies on
+	// this to encode checkpoint frames outside the job lock.
 	history []*simulator.Checkpoint
 
 	// events / dropped / queries count this job's own traffic so that a

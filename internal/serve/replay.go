@@ -43,7 +43,10 @@ func WriteDump(w io.Writer, specs []JobSpec, events []Event) error {
 
 // ReplayStats summarizes one replay pass.
 type ReplayStats struct {
-	// Specs and Events count the dump elements applied.
+	// Specs and Events count the dump elements applied: for Replay, accepted
+	// by the Server; for ReplayHTTP, carried by a batch the front end
+	// acknowledged with 200 (elements queued in a failed flush are not
+	// counted).
 	Specs, Events int
 	// Wall is the wall-clock duration of the replay.
 	Wall time.Duration
@@ -122,9 +125,12 @@ func ReplayHTTP(client *http.Client, baseURL string, r io.Reader, speedup float6
 	var st ReplayStats
 	wr := NewWireReader(r)
 	body := AppendHeader(nil)
-	pending := 0
+	// Queued-but-unacknowledged elements are tracked separately and folded
+	// into st only when their flush succeeds, so the returned stats never
+	// over-report what the front end actually applied.
+	var qSpecs, qEvents int
 	flush := func() error {
-		if pending == 0 {
+		if qSpecs+qEvents == 0 {
 			return nil
 		}
 		resp, err := client.Post(baseURL+"/ingest", wireContentType, bytes.NewReader(body))
@@ -136,8 +142,10 @@ func ReplayHTTP(client *http.Client, baseURL string, r io.Reader, speedup float6
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("serve: replay over http: ingest returned %s: %s", resp.Status, bytes.TrimSpace(msg))
 		}
+		st.Specs += qSpecs
+		st.Events += qEvents
+		qSpecs, qEvents = 0, 0
 		body = AppendHeader(body[:0])
-		pending = 0
 		return nil
 	}
 	start := time.Now()
@@ -159,7 +167,7 @@ func ReplayHTTP(client *http.Client, baseURL string, r io.Reader, speedup float6
 			if body, err = EncodeSpec(body, *sp); err != nil {
 				return st, err
 			}
-			st.Specs++
+			qSpecs++
 		} else {
 			if speedup > 0 {
 				if !paced {
@@ -179,9 +187,9 @@ func ReplayHTTP(client *http.Client, baseURL string, r io.Reader, speedup float6
 			if body, err = EncodeEvent(body, *ev); err != nil {
 				return st, err
 			}
-			st.Events++
+			qEvents++
 		}
-		if pending++; pending >= batch {
+		if qSpecs+qEvents >= batch {
 			if err := flush(); err != nil {
 				return st, err
 			}

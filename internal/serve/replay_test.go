@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"testing"
@@ -169,5 +170,27 @@ func TestReplayErrors(t *testing.T) {
 	defer ts.Close()
 	if _, err := ReplayHTTP(ts.Client(), ts.URL, bytes.NewReader(noSpec.Bytes()), 0, 64); err == nil {
 		t.Error("http replay of a spec-less dump should fail")
+	}
+}
+
+// TestReplayHTTPStatsOnFlushFailure: ReplayStats count only elements whose
+// batch the front end acknowledged — a failed flush must not fold its queued
+// elements into the totals.
+func TestReplayHTTPStatsOnFlushFailure(t *testing.T) {
+	specs, events := scaledWorkload(t, 1, 67, 0.001)
+	var dump bytes.Buffer
+	if err := WriteDump(&dump, specs, events); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "synthetic outage", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	st, err := ReplayHTTP(ts.Client(), ts.URL, bytes.NewReader(dump.Bytes()), 0, 8)
+	if err == nil {
+		t.Fatal("replay against a failing front end should error")
+	}
+	if st.Specs != 0 || st.Events != 0 {
+		t.Errorf("stats count unacknowledged elements: %d specs, %d events", st.Specs, st.Events)
 	}
 }

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -349,10 +351,19 @@ func TestSpecValidation(t *testing.T) {
 	base := JobSpec{JobID: 1, Schema: []string{"a"}, NumTasks: 10, TauStra: 5, Horizon: 100}
 	bad := []func(*JobSpec){
 		func(s *JobSpec) { s.NumTasks = 0 },
+		func(s *JobSpec) { s.NumTasks = maxSnapTasks + 1 },
+		// Within the count cap but too many tasks for one snapshot frame.
+		func(s *JobSpec) { s.NumTasks = 1 << 20 },
+		// Fits a snapshot frame, but tasks x checkpoints exceeds the
+		// history-retention cap.
+		func(s *JobSpec) { s.NumTasks = 400000; s.Checkpoints = 10 },
 		func(s *JobSpec) { s.Schema = nil },
+		func(s *JobSpec) { s.Schema = make([]string, maxSchemaCols+1) },
+		func(s *JobSpec) { s.Schema = []string{strings.Repeat("x", maxSchemaName+1)} },
 		func(s *JobSpec) { s.TauStra = 0 },
 		func(s *JobSpec) { s.Horizon = -1 },
 		func(s *JobSpec) { s.Checkpoints = -1 },
+		func(s *JobSpec) { s.Checkpoints = maxSnapCheckpoints + 1 },
 		func(s *JobSpec) { s.WarmFrac = 0.9 },
 	}
 	for i, mut := range bad {
@@ -364,6 +375,46 @@ func TestSpecValidation(t *testing.T) {
 	}
 	if err := sv.StartJob(base, &flagAll{}); err != nil {
 		t.Fatalf("defaulted spec rejected: %v", err)
+	}
+}
+
+// TestServerBudget: the registration budget bounds aggregate task-state
+// allocation across jobs (the aggregate complement to the per-spec wire
+// bounds), failed registrations do not leak budget, and DropJob releases
+// it.
+func TestServerBudget(t *testing.T) {
+	sv := NewServer(Config{Shards: 2, MaxJobs: 2, MaxTasks: 30})
+	spec := func(id uint64, tasks int) JobSpec {
+		return JobSpec{JobID: id, Schema: []string{"a"}, NumTasks: tasks, TauStra: 5, Horizon: 100}
+	}
+	if err := sv.StartJob(spec(1, 10), &flagAll{}); err != nil {
+		t.Fatal(err)
+	}
+	// A failed duplicate registration must return both its job slot and its
+	// task claim.
+	if err := sv.StartJob(spec(1, 5), &flagAll{}); err == nil || errors.Is(err, ErrOverloaded) {
+		t.Fatalf("duplicate registration: %v (want a non-budget error)", err)
+	}
+	// 2 jobs / 30 tasks: exactly at both caps — fits only if the duplicate
+	// leaked nothing.
+	if err := sv.StartJob(spec(2, 20), &flagAll{}); err != nil {
+		t.Fatalf("budget leaked by failed registration: %v", err)
+	}
+	if err := sv.StartJob(spec(3, 1), &flagAll{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("job cap: %v (want ErrOverloaded)", err)
+	}
+	// Dropping job 1 frees its slot and 10 tasks.
+	if err := sv.FinishJob(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.DropJob(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.StartJob(spec(3, 11), &flagAll{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("task cap: %v (want ErrOverloaded)", err)
+	}
+	if err := sv.StartJob(spec(3, 10), &flagAll{}); err != nil {
+		t.Fatalf("budget not released by DropJob: %v", err)
 	}
 }
 

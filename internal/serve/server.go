@@ -1,13 +1,34 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/nurd"
 	"repro/internal/predictor"
 	"repro/internal/simulator"
+)
+
+// ErrOverloaded reports a registration rejected because the server's
+// configured budget (Config.MaxJobs / Config.MaxTasks) is exhausted. It is
+// errors.Is-matchable through every wrapping layer; the HTTP front end
+// answers 429. Dropping finished jobs (DropJob) releases budget.
+var ErrOverloaded = errors.New("server at capacity")
+
+// Default registration budget. Per-spec wire bounds cap what one frame can
+// demand, but a network-reachable /ingest also needs an aggregate cap: each
+// registered job eagerly allocates its task-state slice, so without a
+// budget a stream of small spec frames with distinct job IDs could grow
+// server memory without limit. The defaults admit thousands of real trace
+// jobs while bounding eagerly allocated task state.
+const (
+	// DefaultMaxJobs bounds concurrently registered (not dropped) jobs.
+	DefaultMaxJobs = 1 << 16
+	// DefaultMaxTasks bounds the summed NumTasks of registered jobs.
+	DefaultMaxTasks = 1 << 22
 )
 
 // Config sizes a Server.
@@ -34,6 +55,17 @@ type Config struct {
 	// predictor in this repository — model fits draw from a fresh
 	// spec-seeded RNG per refit).
 	NewPredictor func(spec JobSpec) simulator.Predictor
+	// MaxJobs bounds the number of concurrently registered (not yet
+	// dropped) jobs; registrations beyond it fail with ErrOverloaded.
+	// 0 means DefaultMaxJobs; negative means unlimited.
+	MaxJobs int
+	// MaxTasks bounds the summed NumTasks of registered jobs — the
+	// server's eagerly allocated task-state footprint. Registrations that
+	// would exceed it fail with ErrOverloaded. 0 means DefaultMaxTasks;
+	// negative means unlimited. Restores obey the same budget, so a
+	// snapshot of a server with a raised cap needs that cap at restore
+	// time too.
+	MaxTasks int
 }
 
 // DefaultConfig returns a NURD-serving configuration.
@@ -42,7 +74,8 @@ func DefaultConfig() Config {
 	if shards > 64 {
 		shards = 64
 	}
-	return Config{Shards: shards, NewPredictor: NewNURDPredictor}
+	return Config{Shards: shards, NewPredictor: NewNURDPredictor,
+		MaxJobs: DefaultMaxJobs, MaxTasks: DefaultMaxTasks}
 }
 
 // NewNURDPredictor is the default per-job predictor factory: the paper's
@@ -61,6 +94,12 @@ func NewNURDPredictor(spec JobSpec) simulator.Predictor {
 type Server struct {
 	cfg Config
 	reg *registry
+
+	// Registration budget, checked against cfg.MaxJobs / cfg.MaxTasks:
+	// the number of registered (not dropped) jobs and their summed
+	// NumTasks. Atomics, not shard state, because the budget is global.
+	jobs  atomic.Int64
+	tasks atomic.Int64
 }
 
 // NewServer builds a server.
@@ -71,7 +110,55 @@ func NewServer(cfg Config) *Server {
 	if cfg.NewPredictor == nil {
 		cfg.NewPredictor = NewNURDPredictor
 	}
+	if cfg.MaxJobs == 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	if cfg.MaxTasks == 0 {
+		cfg.MaxTasks = DefaultMaxTasks
+	}
 	return &Server{cfg: cfg, reg: newRegistry(cfg.Shards)}
+}
+
+// reserve claims budget for one numTasks-task job, failing with
+// ErrOverloaded if either cap would be exceeded. Claims go through a CAS
+// loop, not add-then-check, so two registrations racing for one counter's
+// last slot never reject each other. A registration that fails after
+// reserving (duplicate ID, nil predictor, the other counter's cap) holds
+// its claim until release, so a concurrent admission in that window can
+// still see a transiently exhausted budget — 429 is retryable by design.
+func (sv *Server) reserve(numTasks int) error {
+	overloaded := func(cap string) error {
+		return fmt.Errorf("%w: registering a %d-task job would exceed %s (budget %d jobs / %d tasks; drop finished jobs to free it)",
+			ErrOverloaded, numTasks, cap, sv.cfg.MaxJobs, sv.cfg.MaxTasks)
+	}
+	if !admit(&sv.jobs, 1, int64(sv.cfg.MaxJobs)) {
+		return overloaded("MaxJobs")
+	}
+	if !admit(&sv.tasks, int64(numTasks), int64(sv.cfg.MaxTasks)) {
+		sv.jobs.Add(-1)
+		return overloaded("MaxTasks")
+	}
+	return nil
+}
+
+// admit atomically raises c by n unless that would push it past max
+// (non-positive max means unlimited).
+func admit(c *atomic.Int64, n, max int64) bool {
+	for {
+		cur := c.Load()
+		if max > 0 && cur+n > max {
+			return false
+		}
+		if c.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// release returns a reserve claim (job dropped, or registration failed).
+func (sv *Server) release(numTasks int) {
+	sv.jobs.Add(-1)
+	sv.tasks.Add(int64(-numTasks))
 }
 
 // NumShards reports the shard count.
@@ -103,13 +190,21 @@ func (sv *Server) StartJob(spec JobSpec, pred simulator.Predictor) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
+	if err := sv.reserve(spec.NumTasks); err != nil {
+		return fmt.Errorf("serve: job %d: %w", spec.JobID, err)
+	}
 	if pred == nil {
 		pred = sv.cfg.NewPredictor(spec)
 	}
 	if pred == nil {
+		sv.release(spec.NumTasks)
 		return fmt.Errorf("serve: job %d: nil predictor", spec.JobID)
 	}
-	return sv.reg.shardFor(spec.JobID).startJob(spec, pred)
+	if err := sv.reg.shardFor(spec.JobID).startJob(spec, pred); err != nil {
+		sv.release(spec.NumTasks)
+		return err
+	}
+	return nil
 }
 
 // Ingest applies one lifecycle event. Events of one job must arrive in
@@ -136,9 +231,15 @@ func (sv *Server) FinishJob(jobID uint64, t float64) error {
 	return sv.Ingest(Event{Kind: EventJobFinish, JobID: jobID, Time: t})
 }
 
-// DropJob discards a finished job's state.
+// DropJob discards a finished job's state and releases its registration
+// budget.
 func (sv *Server) DropJob(jobID uint64) error {
-	return sv.reg.shardFor(jobID).dropJob(jobID)
+	numTasks, err := sv.reg.shardFor(jobID).dropJob(jobID)
+	if err != nil {
+		return err
+	}
+	sv.release(numTasks)
+	return nil
 }
 
 // Query answers a batched per-task straggler query against the job's

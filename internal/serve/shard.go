@@ -144,23 +144,24 @@ func (s *shard) report(jobID uint64) (*JobReport, error) {
 }
 
 // dropJob removes a completed job's state (memory reclamation for
-// long-running servers). It refuses to drop a live job.
-func (s *shard) dropJob(jobID uint64) error {
+// long-running servers), reporting its task count so the Server can release
+// the job's registration budget. It refuses to drop a live job.
+func (s *shard) dropJob(jobID uint64) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[jobID]
 	if !ok {
-		return fmt.Errorf("serve: drop of job %d: %w", jobID, ErrUnknownJob)
+		return 0, fmt.Errorf("serve: drop of job %d: %w", jobID, ErrUnknownJob)
 	}
 	j.mu.Lock()
 	done := j.done
 	j.mu.Unlock()
 	if !done {
-		return fmt.Errorf("serve: job %d still streaming; finish it before dropping", jobID)
+		return 0, fmt.Errorf("serve: job %d still streaming; finish it before dropping", jobID)
 	}
 	delete(s.jobs, jobID)
 	s.finished.Add(-1)
-	return nil
+	return j.spec.NumTasks, nil
 }
 
 // jobIDs lists this shard's registered jobs.

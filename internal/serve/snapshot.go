@@ -39,14 +39,22 @@ const (
 // event boundary) but not a global cut across jobs; quiesce ingestion first
 // if a globally consistent image is required. Dropped jobs do not appear,
 // and their historical counter contributions are not carried.
+//
+// Only the in-memory encoding happens under a job's lock: frames are
+// buffered first and written to w with the lock released, so a slow
+// destination (a stalled GET /snapshot client under TCP backpressure, say)
+// never holds a job lock and never blocks that job's Ingest or Query. Only
+// the job frame is encoded under the lock; checkpoint frames are encoded
+// from a shallow copy of the history slice (its entries are immutable once
+// appended — see jobState.history), keeping peak buffering at one frame.
 func (sv *Server) Snapshot(w io.Writer) error {
-	ww := NewWireWriter(w)
 	// Emit the header even for a job-less server: an empty snapshot is a
 	// valid stream that restores to an empty server, not a decode error.
-	ww.head()
-	if err := ww.writeBuf(); err != nil {
+	if _, err := w.Write(AppendHeader(nil)); err != nil {
 		return err
 	}
+	var buf, payload []byte
+	var history []*simulator.Checkpoint
 	for _, id := range sv.JobIDs() {
 		s := sv.reg.shardFor(id)
 		j, ok := s.lookup(id)
@@ -54,20 +62,47 @@ func (sv *Server) Snapshot(w io.Writer) error {
 			continue // dropped since the listing
 		}
 		j.mu.Lock()
-		err := writeJobSnapshot(ww, j)
+		var err error
+		buf, err = appendSnapJobFrame(buf[:0], j)
+		history = append(history[:0], j.history...)
 		j.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("serve: snapshot job %d: %w", id, err)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("serve: snapshot job %d: %w", id, err)
+		}
+		for _, cp := range history {
+			payload = appendCheckpointPayload(payload[:0], cp)
+			if buf, err = appendCheckedFrame(buf[:0], FrameSnapCheckpoint, payload); err != nil {
+				return fmt.Errorf("serve: snapshot job %d: %w", id, err)
+			}
+			if _, err := w.Write(buf); err != nil {
+				return fmt.Errorf("serve: snapshot job %d: %w", id, err)
+			}
 		}
 	}
 	return nil
 }
 
-// writeJobSnapshot emits one job's section; the caller holds j.mu.
-func writeJobSnapshot(ww *WireWriter, j *jobState) error {
+// appendSnapJobFrame appends one job's FrameSnapJob frame to dst; the caller
+// holds j.mu and is responsible for emitting the len(j.history) checkpoint
+// frames the job frame announces. The format's size caps (frame payload,
+// retained checkpoints, refits) are enforced here on the write side,
+// mirroring the decoder's, so a job that exceeds them fails loudly at
+// snapshot time, not at restore time. (Semantic counter checks — counts
+// within [0,ntasks], non-negative durations — remain restore-side only:
+// they guard against hostile streams, not states a live job can reach.)
+func appendSnapJobFrame(dst []byte, j *jobState) ([]byte, error) {
+	if len(j.history) > maxSnapCheckpoints {
+		return dst, fmt.Errorf("serve: %d retained checkpoints above the snapshot cap %d", len(j.history), maxSnapCheckpoints)
+	}
+	if j.refits > maxSnapCheckpoints {
+		return dst, fmt.Errorf("serve: %d refits above the snapshot cap %d", j.refits, maxSnapCheckpoints)
+	}
 	var e wireEnc
 	if err := appendSpecPayload(&e, &j.spec); err != nil {
-		return err
+		return dst, err
 	}
 	e.f64(j.clock)
 	e.i64(int64(j.nextCP))
@@ -114,15 +149,7 @@ func writeJobSnapshot(ww *WireWriter, j *jobState) error {
 		}
 	}
 	e.u32(uint32(len(j.history)))
-	if err := ww.writeFrame(FrameSnapJob, e.b); err != nil {
-		return err
-	}
-	for _, cp := range j.history {
-		if err := ww.writeFrame(FrameSnapCheckpoint, appendCheckpointPayload(nil, cp)); err != nil {
-			return err
-		}
-	}
-	return nil
+	return appendCheckedFrame(dst, FrameSnapJob, e.b)
 }
 
 func appendCheckpointPayload(dst []byte, cp *simulator.Checkpoint) []byte {
@@ -218,6 +245,13 @@ func decodeSnapJob(p []byte) (*jobState, int, error) {
 		ts.flaggedAt = int(d.i64())
 		if tf&snapFeatures != 0 {
 			ts.features = d.floats(maxWireFeatures, "features")
+			// The live ingest path enforces len(features) == len(Schema)
+			// per heartbeat; a snapshot violating it must fail here, not as
+			// a predictor dimension error checkpoints later.
+			if d.err == nil && len(ts.features) != len(sp.Schema) {
+				return nil, 0, fmt.Errorf("%w: job %d task %d: %d features for schema of %d",
+					ErrCorrupt, sp.JobID, i, len(ts.features), len(sp.Schema))
+			}
 		}
 	}
 	ncps := d.count(maxSnapCheckpoints, "checkpoints")
@@ -282,6 +316,13 @@ func RestoreServer(r io.Reader, cfg Config) (*Server, error) {
 		j, ncps, err := decodeSnapJob(payload)
 		if err != nil {
 			return nil, fmt.Errorf("serve: restore: %w", err)
+		}
+		// Restored jobs consume registration budget exactly as StartJob
+		// registrations do; reserving before the checkpoint replay fails an
+		// over-budget restore before any model refitting is spent on it. No
+		// release on later errors: the partial server is discarded.
+		if err := sv.reserve(j.spec.NumTasks); err != nil {
+			return nil, fmt.Errorf("serve: restore job %d: %w", j.spec.JobID, err)
 		}
 		j.history = make([]*simulator.Checkpoint, ncps)
 		for i := range j.history {

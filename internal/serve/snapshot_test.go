@@ -5,6 +5,7 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/simulator"
 )
@@ -231,6 +232,29 @@ func TestSnapshotOfFinishedServer(t *testing.T) {
 	}
 }
 
+// TestRestoreObeysBudget: restored jobs consume registration budget like
+// live registrations — a snapshot larger than the restoring config's budget
+// is rejected with ErrOverloaded instead of over-committing memory.
+func TestRestoreObeysBudget(t *testing.T) {
+	_, sims := smallJobs(t, 2, 71)
+	sv := NewServer(Config{Shards: 1})
+	for i := range sims {
+		if err := sv.StartJob(SpecFor(sims[i], uint64(i+1)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := sv.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreServer(bytes.NewReader(snap.Bytes()), Config{Shards: 1, MaxJobs: 1}); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("restore beyond MaxJobs: %v (want ErrOverloaded)", err)
+	}
+	if _, err := RestoreServer(bytes.NewReader(snap.Bytes()), Config{Shards: 1}); err != nil {
+		t.Errorf("restore within the default budget failed: %v", err)
+	}
+}
+
 // TestSnapshotEmptyServer: a job-less server snapshots to a valid stream
 // that restores to a job-less server.
 func TestSnapshotEmptyServer(t *testing.T) {
@@ -288,12 +312,25 @@ func TestRestoreRejectsBadStreams(t *testing.T) {
 	// rejected before it can wrap the shard's unsigned totals.
 	hostile := newJobState(SpecFor(sims[0], 1), &flagAll{})
 	hostile.terminated = -1
-	var badSnap bytes.Buffer
-	if err := writeJobSnapshot(NewWireWriter(&badSnap), hostile); err != nil {
+	badSnap, err := appendSnapJobFrame(AppendHeader(nil), hostile)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RestoreServer(bytes.NewReader(badSnap.Bytes()), DefaultConfig()); !errors.Is(err, ErrCorrupt) {
+	if _, err := RestoreServer(bytes.NewReader(badSnap), DefaultConfig()); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("negative terminated counter: %v (want ErrCorrupt)", err)
+	}
+
+	// A task feature vector wider than the schema must be rejected at
+	// restore, not surface checkpoints later as a predictor dimension error.
+	wide := newJobState(SpecFor(sims[0], 1), &flagAll{})
+	wide.tasks[0].started = true
+	wide.tasks[0].features = []float64{1, 2, 3, 4}
+	wideSnap, err := appendSnapJobFrame(AppendHeader(nil), wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreServer(bytes.NewReader(wideSnap), DefaultConfig()); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("schema-mismatched features: %v (want ErrCorrupt)", err)
 	}
 
 	// Restoring the same snapshot twice into one reader sequence works, but
@@ -301,6 +338,64 @@ func TestRestoreRejectsBadStreams(t *testing.T) {
 	doubled := append(append([]byte(nil), snap.Bytes()...), snap.Bytes()[headerLen:]...)
 	if _, err := RestoreServer(bytes.NewReader(doubled), DefaultConfig()); err == nil {
 		t.Error("snapshot with a duplicated job section restored silently")
+	}
+}
+
+// stallingWriter accepts its first write (the stream header), closes
+// entered on the second, and blocks every later write on gate until it is
+// closed — a stand-in for a stalled GET /snapshot client under TCP
+// backpressure.
+type stallingWriter struct {
+	writes  int
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func (w *stallingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes == 2 {
+		close(w.entered)
+	}
+	if w.writes > 1 {
+		<-w.gate
+	}
+	return len(p), nil
+}
+
+// TestSnapshotStalledWriterDoesNotBlockIngest pins the locking discipline of
+// Snapshot: job sections are buffered under the job lock but written with it
+// released, so a snapshot destination that stalls indefinitely must not
+// block the job's ingest path.
+func TestSnapshotStalledWriterDoesNotBlockIngest(t *testing.T) {
+	jobs, sims := smallJobs(t, 1, 61)
+	cfg := Config{Shards: 1, NewPredictor: func(JobSpec) simulator.Predictor { return &flagAll{} }}
+	sv := NewServer(cfg)
+	events := JobEvents(jobs[0], sims[0])
+	if err := sv.StartJob(SpecFor(sims[0], 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.IngestBatch(events[:len(events)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	w := &stallingWriter{entered: make(chan struct{}), gate: make(chan struct{})}
+	snapDone := make(chan error, 1)
+	go func() { snapDone <- sv.Snapshot(w) }()
+	<-w.entered // the job frame is buffered and the job lock released
+
+	ingested := make(chan error, 1)
+	go func() { ingested <- sv.IngestBatch(events[len(events)/2:]) }()
+	select {
+	case err := <-ingested:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ingest blocked while a snapshot write was stalled")
+	}
+	close(w.gate)
+	if err := <-snapDone; err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -267,6 +267,14 @@ func appendSpecPayload(e *wireEnc, sp *JobSpec) error {
 	if len(sp.Schema) > maxSchemaCols {
 		return fmt.Errorf("serve/wire: schema of %d columns exceeds %d", len(sp.Schema), maxSchemaCols)
 	}
+	// Mirror the decoder's bounds so an undecodable spec fails at encode
+	// time, not when the stream is read back.
+	if sp.NumTasks < 1 || sp.NumTasks > maxSnapTasks {
+		return fmt.Errorf("serve/wire: NumTasks %d outside [1,%d]", sp.NumTasks, maxSnapTasks)
+	}
+	if sp.Checkpoints < 0 || sp.Checkpoints > maxSnapCheckpoints {
+		return fmt.Errorf("serve/wire: Checkpoints %d outside [0,%d]", sp.Checkpoints, maxSnapCheckpoints)
+	}
 	e.u64(sp.JobID)
 	e.u32(uint32(len(sp.Schema)))
 	for _, col := range sp.Schema {
@@ -296,11 +304,25 @@ func decodeSpec(d *wireDec) JobSpec {
 			sp.Schema = append(sp.Schema, d.str(maxSchemaName))
 		}
 	}
-	sp.NumTasks = int(d.i64())
+	// NumTasks sizes a per-job task-state slice the moment the spec reaches
+	// StartJob, so an unbounded value here is an allocation bomb: a ~60-byte
+	// hostile frame POSTed to /ingest must not be able to demand gigabytes.
+	// Bound it (and Checkpoints, which sizes restore-time history) before the
+	// spec leaves the wire layer. Checkpoints 0 is legal on the wire —
+	// StartJob fills in the monitoring defaults.
+	nt := d.i64()
+	if d.err == nil && (nt < 1 || nt > maxSnapTasks) {
+		d.fail(fmt.Errorf("%w: NumTasks %d outside [1,%d]", ErrCorrupt, nt, maxSnapTasks))
+	}
+	sp.NumTasks = int(nt)
 	sp.TauStra = d.f64()
 	sp.StragglerQuantile = d.f64()
 	sp.Horizon = d.f64()
-	sp.Checkpoints = int(d.i64())
+	cps := d.i64()
+	if d.err == nil && (cps < 0 || cps > maxSnapCheckpoints) {
+		d.fail(fmt.Errorf("%w: Checkpoints %d outside [0,%d]", ErrCorrupt, cps, maxSnapCheckpoints))
+	}
+	sp.Checkpoints = int(cps)
 	sp.WarmFrac = d.f64()
 	sp.Seed = d.u64()
 	return sp
@@ -442,17 +464,16 @@ func (ww *WireWriter) WriteEvent(ev Event) error {
 	return ww.writeBuf()
 }
 
-// writeFrame emits a raw frame (snapshot sections). The payload cap is
-// enforced on the write side too: a frame the decoder would reject as
-// corrupt must fail loudly here, at snapshot time, not at restore time.
-func (ww *WireWriter) writeFrame(kind FrameKind, payload []byte) error {
+// appendCheckedFrame appends a raw frame (snapshot sections) to dst. The
+// payload cap is enforced on the write side too: a frame the decoder would
+// reject as corrupt must fail loudly here, at snapshot time, not at restore
+// time.
+func appendCheckedFrame(dst []byte, kind FrameKind, payload []byte) ([]byte, error) {
 	if len(payload) > maxFramePayload {
-		return fmt.Errorf("serve/wire: frame payload of %d bytes exceeds %d — "+
+		return dst, fmt.Errorf("serve/wire: frame payload of %d bytes exceeds %d — "+
 			"the job is too large for a single snapshot frame", len(payload), maxFramePayload)
 	}
-	ww.head()
-	ww.buf = appendFrame(ww.buf, kind, payload)
-	return ww.writeBuf()
+	return appendFrame(dst, kind, payload), nil
 }
 
 // WireReader consumes a wire stream. The header is validated before the
@@ -484,7 +505,9 @@ func (wr *WireReader) readHeader() error {
 }
 
 // next returns the next raw frame. io.EOF marks a clean end of stream (a
-// frame boundary); a cut mid-frame is ErrTruncated.
+// frame boundary); a cut mid-frame is ErrTruncated. Frame validation (kind,
+// length, checksum) is DecodeFrame's — this only sizes and fills the read
+// buffer, so the streaming and byte-slice decode paths cannot diverge.
 func (wr *WireReader) next() (FrameKind, []byte, error) {
 	if !wr.headed {
 		if err := wr.readHeader(); err != nil {
@@ -501,28 +524,27 @@ func (wr *WireReader) next() (FrameKind, []byte, error) {
 		}
 		return 0, nil, err
 	}
-	kind := FrameKind(hdr[0])
-	if kind < FrameSpec || kind > FrameSnapCheckpoint {
-		return 0, nil, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, hdr[0])
-	}
+	// The length cap must hold before the buffer is sized — the one check
+	// that cannot be deferred to DecodeFrame.
 	n := uint32(hdr[1]) | uint32(hdr[2])<<8 | uint32(hdr[3])<<16 | uint32(hdr[4])<<24
 	if n > maxFramePayload {
 		return 0, nil, fmt.Errorf("%w: frame payload of %d bytes exceeds %d", ErrCorrupt, n, maxFramePayload)
 	}
-	if cap(wr.scratch) < int(n)+4 {
-		wr.scratch = make([]byte, int(n)+4)
+	total := 5 + int(n) + 4
+	if cap(wr.scratch) < total {
+		wr.scratch = make([]byte, total)
 	}
-	body := wr.scratch[:int(n)+4]
-	if _, err := io.ReadFull(wr.r, body); err != nil {
+	frame := wr.scratch[:total]
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(wr.r, frame[5:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return 0, nil, fmt.Errorf("%w: frame body", ErrTruncated)
 		}
 		return 0, nil, err
 	}
-	payload := body[:n]
-	crc := uint32(body[n]) | uint32(body[n+1])<<8 | uint32(body[n+2])<<16 | uint32(body[n+3])<<24
-	if got := crc32.ChecksumIEEE(payload); got != crc {
-		return 0, nil, fmt.Errorf("%w: frame checksum %08x, computed %08x", ErrCorrupt, crc, got)
+	kind, payload, _, err := DecodeFrame(frame)
+	if err != nil {
+		return 0, nil, err
 	}
 	return kind, payload, nil
 }

@@ -245,6 +245,36 @@ func TestWireHostileCounts(t *testing.T) {
 	if _, err := decodeAll(hdr); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("hostile frame length: %v (want ErrCorrupt)", err)
 	}
+	// Spec frames whose NumTasks/Checkpoints would size huge server-side
+	// allocations (StartJob builds a task slice per spec) must be rejected
+	// in the wire layer, before the spec can reach a Server.
+	hostileSpec := func(numTasks, checkpoints int64) []byte {
+		var e wireEnc
+		e.u64(9)
+		e.u32(1)
+		e.str("x")
+		e.i64(numTasks)
+		e.f64(1)
+		e.f64(0.9)
+		e.f64(100)
+		e.i64(checkpoints)
+		e.f64(0.04)
+		e.u64(0)
+		return appendFrame(AppendHeader(nil), FrameSpec, e.b)
+	}
+	for _, tc := range []struct {
+		name    string
+		nt, cps int64
+	}{
+		{"huge task count", 1 << 40, 10},
+		{"negative task count", -1, 10},
+		{"huge checkpoint count", 4, 1 << 40},
+		{"negative checkpoint count", 4, -1},
+	} {
+		if _, err := decodeAll(hostileSpec(tc.nt, tc.cps)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: %v (want ErrCorrupt)", tc.name, err)
+		}
+	}
 	// Trailing garbage inside a checksummed payload (CRC valid, extra
 	// bytes after the last field) must be rejected as non-canonical.
 	var e2 wireEnc
