@@ -12,6 +12,16 @@
 // set (the full network path: dump bytes through POST /ingest), in-process
 // otherwise — at -speedup times recorded speed.
 //
+// -wal <dir> makes the server durable between snapshots: every accepted
+// mutation is appended to a write-ahead log in dir before it is
+// acknowledged, and on start the server automatically recovers from the
+// newest snapshot plus the log (point-in-time recovery). A -replay after a
+// recovery resumes the dump exactly where the crashed process stopped —
+// kill -9 mid-replay, rerun the same command, and no event is lost or
+// applied twice. That resume math requires the dump to be the only
+// mutation source, so with -wal the -listen front end opens only after the
+// replay drains. The dir must already exist and be writable.
+//
 // Usage:
 //
 //	nurdserve -jobs 20 -seed 42 -workers 8
@@ -20,6 +30,8 @@
 //	nurdserve -listen :8080                       # serve external traffic
 //	nurdserve -listen :0 -replay google-8.wire    # serve a recorded trace
 //	nurdserve -replay google-8.wire -speedup 1000 # in-process replay
+//	nurdserve -wal /var/lib/nurd -listen :8080    # durable serving
+//	nurdserve -wal ./wal -replay google-8.wire    # crash-resumable replay
 package main
 
 import (
@@ -54,11 +66,13 @@ func main() {
 		replay    = flag.String("replay", "", "wire-format trace dump to replay (tracegen -format wire)")
 		speedup   = flag.Float64("speedup", 0, "replay pacing as a multiple of recorded time (0 = as fast as possible)")
 		hold      = flag.Duration("hold", 0, "with -listen and -replay: keep serving this long after the replay drains")
+		walDir    = flag.String("wal", "", "write-ahead log directory (must exist); enables durable serving with automatic recovery on start")
+		syncEvery = flag.Duration("wal-sync", 2*time.Millisecond, "WAL group-commit fsync interval (0 = fsync every append)")
 	)
 	flag.Parse()
 	var err error
-	if *listen != "" || *replay != "" {
-		err = serveMode(*listen, *replay, *shards, *speedup, *hold)
+	if *listen != "" || *replay != "" || *walDir != "" {
+		err = serveMode(*listen, *replay, *shards, *speedup, *hold, *walDir, *syncEvery)
 	} else {
 		err = run(*traceName, *jobs, *seed, *workers, *shards, *rate, *tolerance)
 	}
@@ -68,26 +82,78 @@ func main() {
 	}
 }
 
-// serveMode runs the durable wire-facing server: an HTTP front end, a
-// dump replay, or both (dump streamed through the front end).
-func serveMode(listen, replay string, shards int, speedup float64, hold time.Duration) error {
+// setupServer builds the serving instance: a plain in-memory server, or —
+// when walDir is set — one recovered from walDir's newest snapshot plus
+// write-ahead log and wired to keep logging. Callers own Close on the
+// returned WAL (nil without -wal). Split from serveMode so flag validation
+// (missing dir, unwritable dir) is testable without a live listener.
+func setupServer(walDir string, shards int, syncEvery time.Duration) (*serve.Server, *serve.WAL, serve.RecoveryStats, error) {
 	cfg := serve.DefaultConfig()
 	if shards > 0 {
 		cfg.Shards = shards
 	}
-	sv := serve.NewServer(cfg)
+	if walDir == "" {
+		return serve.NewServer(cfg), nil, serve.RecoveryStats{}, nil
+	}
+	if info, err := os.Stat(walDir); err != nil {
+		return nil, nil, serve.RecoveryStats{}, fmt.Errorf("wal dir %s: %w (create it first)", walDir, err)
+	} else if !info.IsDir() {
+		return nil, nil, serve.RecoveryStats{}, fmt.Errorf("wal dir %s: not a directory", walDir)
+	}
+	sv, wal, rst, err := serve.Recover(walDir, cfg, serve.WALOptions{SyncEvery: syncEvery})
+	if err != nil {
+		return nil, nil, rst, fmt.Errorf("wal recovery from %s: %w", walDir, err)
+	}
+	return sv, wal, rst, nil
+}
 
+// serveMode runs the durable wire-facing server: an HTTP front end, a
+// dump replay, or both (dump streamed through the front end), optionally
+// on top of a write-ahead log with automatic recovery.
+func serveMode(listen, replay string, shards int, speedup float64, hold time.Duration, walDir string, syncEvery time.Duration) error {
+	sv, wal, rst, err := setupServer(walDir, shards, syncEvery)
+	if err != nil {
+		return err
+	}
+	recovered := 0
+	if wal != nil {
+		defer wal.Close()
+		recovered = int(rst.NextLSN) - 1
+		fmt.Fprintf(os.Stderr, "nurdserve: wal %s: recovered %d mutations (%v)\n", walDir, recovered, rst)
+	}
+
+	// With a WAL, resuming a -replay after a crash maps the recovered LSN
+	// back to a dump position — which is only exact if the dump was the
+	// sole source of mutations. So under -wal the listener opens after the
+	// replay drains; external traffic before that could consume LSNs the
+	// resume math would then wrongly charge to the dump.
 	var base string
-	if listen != "" {
+	var srv *http.Server
+	startListener := func() error {
+		if listen == "" || srv != nil {
+			return nil
+		}
 		ln, err := net.Listen("tcp", listen)
 		if err != nil {
 			return err
 		}
 		base = "http://" + ln.Addr().String()
 		fmt.Fprintf(os.Stderr, "nurdserve: serving %d shards on %s\n", sv.NumShards(), base)
-		srv := &http.Server{Handler: serve.NewHandler(sv)}
+		srv = &http.Server{Handler: serve.NewHandler(sv)}
 		go srv.Serve(ln)
-		defer srv.Close()
+		return nil
+	}
+	defer func() {
+		if srv != nil {
+			srv.Close()
+		}
+	}()
+	if wal == nil || replay == "" {
+		if err := startListener(); err != nil {
+			return err
+		}
+	} else if listen != "" {
+		fmt.Fprintf(os.Stderr, "nurdserve: wal enabled: listener opens after the replay drains (crash-resume needs the dump to be the only mutation source)\n")
 	}
 
 	if replay != "" {
@@ -96,19 +162,32 @@ func serveMode(listen, replay string, shards int, speedup float64, hold time.Dur
 			return err
 		}
 		defer f.Close()
+		if recovered > 0 {
+			fmt.Fprintf(os.Stderr, "nurdserve: resuming replay at element %d (the WAL already holds the rest)\n", recovered)
+		}
 		var st serve.ReplayStats
 		if base != "" {
+			// Only reachable without -wal (the listener is deferred until
+			// the replay drains otherwise), so there is never anything to
+			// skip on this path; crash-resume replays run in-process.
 			fmt.Fprintf(os.Stderr, "nurdserve: replaying %s through POST %s/ingest (speedup %g)\n", replay, base, speedup)
 			st, err = serve.ReplayHTTP(nil, base, f, speedup, 2048)
 		} else {
 			fmt.Fprintf(os.Stderr, "nurdserve: replaying %s in-process (speedup %g)\n", replay, speedup)
-			st, err = serve.Replay(sv, f, speedup)
+			st, err = serve.ReplayFrom(sv, f, speedup, recovered)
 		}
 		if err != nil {
 			return err
 		}
 		fmt.Printf("replayed %d jobs, %d events in %s (%.0f events/s)\n",
 			st.Specs, st.Events, st.Wall.Round(time.Millisecond), st.Rate())
+		if wal != nil {
+			path, retired, err := sv.CheckpointWAL()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "nurdserve: checkpointed to %s (%d segments retired)\n", path, retired)
+		}
 		fmt.Printf("%8s %6s %6s %6s %6s %7s %10s %5s\n",
 			"job", "cp", "start", "finis", "term", "refits", "refit-mean", "done")
 		for _, id := range sv.JobIDs() {
@@ -124,6 +203,9 @@ func serveMode(listen, replay string, shards int, speedup float64, hold time.Dur
 	}
 
 	if listen != "" {
+		if err := startListener(); err != nil { // deferred under -wal -replay
+			return err
+		}
 		if replay == "" {
 			select {} // serve external traffic until killed
 		}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSetupServerWALValidation is the -wal flag contract: bad directories
+// produce clean, descriptive errors — never a panic, never a half-opened
+// log — and a good directory round-trips a recoverable server.
+func TestSetupServerWALValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		dir     func(t *testing.T) string
+		wantErr string
+	}{
+		{
+			name:    "missing dir",
+			dir:     func(t *testing.T) string { return filepath.Join(t.TempDir(), "nope") },
+			wantErr: "create it first",
+		},
+		{
+			name: "dir is a file",
+			dir: func(t *testing.T) string {
+				p := filepath.Join(t.TempDir(), "file")
+				if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			wantErr: "not a directory",
+		},
+		{
+			name: "read-only dir",
+			dir: func(t *testing.T) string {
+				p := filepath.Join(t.TempDir(), "ro")
+				if err := os.Mkdir(p, 0o555); err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			wantErr: "recovery",
+		},
+		{
+			name: "writable dir",
+			dir:  func(t *testing.T) string { return t.TempDir() },
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.name == "read-only dir" && (runtime.GOOS == "windows" || os.Geteuid() == 0) {
+				t.Skip("permission bits not enforced for this user/platform")
+			}
+			sv, wal, _, err := setupServer(tc.dir(t), 2, time.Millisecond)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("setupServer succeeded, want error containing %q", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sv == nil || wal == nil {
+				t.Fatal("setupServer returned no server/WAL for a valid dir")
+			}
+			if sv.WAL() != wal {
+				t.Error("WAL not attached to the server")
+			}
+			wal.Close()
+		})
+	}
+}
+
+// TestSetupServerWithoutWAL: load-driver and plain serve modes get an
+// ordinary in-memory server, no log.
+func TestSetupServerWithoutWAL(t *testing.T) {
+	sv, wal, rst, err := setupServer("", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wal != nil || rst.NextLSN != 0 {
+		t.Errorf("no -wal: got wal=%v recovery=%v", wal, rst)
+	}
+	if sv.WAL() != nil {
+		t.Error("server has a WAL attached without -wal")
+	}
+}

@@ -1,9 +1,11 @@
 // Serving walkthrough: run the online straggler-prediction service on a
 // handful of concurrent jobs — register jobs, stream their task lifecycle
 // events from separate goroutines, query running tasks mid-flight, read the
-// per-job reports and server-wide stats at the end, and finally snapshot
-// the server and restore it into a fresh process image that answers the
-// same queries identically.
+// per-job reports and server-wide stats at the end, snapshot the server and
+// restore it into a fresh process image that answers the same queries
+// identically — and finally run the same jobs under a write-ahead log,
+// kill the server halfway, and recover it with zero acknowledged events
+// lost.
 //
 //	go run ./examples/serving
 package main
@@ -12,6 +14,7 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"os"
 	"reflect"
 	"sort"
 	"sync"
@@ -133,4 +136,77 @@ func main() {
 	}
 	fmt.Printf("snapshot: %d bytes; restored verdicts identical: %v\n",
 		snap.Len(), reflect.DeepEqual(want, got))
+
+	// 7. Kill and recover. Snapshots alone lose everything since the last
+	// one; a write-ahead log closes that window — every accepted mutation
+	// is durable before it is acknowledged. Run the same jobs on a server
+	// backed by a WAL directory, "kill" it halfway through the streams
+	// (drop the process image; the directory is all that survives), then
+	// point Recover at the directory: it restores the newest snapshot,
+	// replays the log tail, and reports exactly how many mutations the
+	// dead server had acknowledged, so the feed resumes without losing or
+	// double-applying a single event.
+	walDir, err := os.MkdirTemp("", "nurd-wal-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(walDir)
+	durable, wal, _, err := serve.Recover(walDir, serve.DefaultConfig(), serve.WALOptions{
+		SyncEvery: 2 * time.Millisecond, // group-commit fsync window
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = wal // deliberately never closed — the "crash" below abandons it
+	var feed []serve.Event
+	for i := range jobs {
+		if err := durable.StartJob(serve.SpecFor(sims[i], uint64(i)), nil); err != nil {
+			log.Fatal(err)
+		}
+		feed = append(feed, serve.JobEvents(jobs[i], sims[i])...)
+	}
+	acked := len(jobs) // the registrations above are mutations too
+	half := len(feed) / 2
+	for _, e := range feed[:half] {
+		if err := durable.Ingest(e); err != nil {
+			log.Fatal(err)
+		}
+		acked++
+	}
+	// Mid-stream checkpoint: stamps the log position and retires segments
+	// a future recovery no longer needs.
+	if _, _, err := durable.CheckpointWAL(); err != nil {
+		log.Fatal(err)
+	}
+	durable = nil // kill -9: no graceful close, no final sync
+
+	revived, wal2, rst, err := serve.Recover(walDir, serve.DefaultConfig(), serve.WALOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wal2.Close()
+	fmt.Printf("recovered: %v\n", rst)
+	if int(rst.NextLSN)-1 != acked {
+		log.Fatalf("recovered %d mutations, acknowledged %d", rst.NextLSN-1, acked)
+	}
+	// Resume the feed where the dead server stopped and finish the jobs.
+	for _, e := range feed[half:] {
+		if err := revived.Ingest(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	same := true
+	for i := range jobs {
+		a, err := sv.Query(jobs[i].ID, []int{0, 1, 2, 3, 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := revived.Query(jobs[i].ID, []int{0, 1, 2, 3, 4})
+		if err != nil {
+			log.Fatalf("recovered server lost job %d: %v", jobs[i].ID, err)
+		}
+		same = same && reflect.DeepEqual(a, b)
+	}
+	fmt.Printf("kill-and-recover: %d/%d events re-fed, verdicts identical to the never-killed server: %v\n",
+		len(feed)-half, len(feed), same)
 }

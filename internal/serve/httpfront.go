@@ -16,15 +16,20 @@ package serve
 //	                JSON counts; on error, the counts applied before it.
 //	GET  /query     ?job=ID&tasks=0,1,2 — batched verdicts as JSON.
 //	GET  /report    ?job=ID — the job's JobReport as JSON.
-//	GET  /stats     server-wide Stats as JSON.
+//	GET  /stats     server-wide Stats as JSON. Servers running with a WAL
+//	                include a "WAL" object (segments, next_lsn, appends,
+//	                pending_bytes, fsync_lag_ns, retired_segments) so
+//	                operators can watch durability lag alongside traffic.
 //	GET  /snapshot  the server's full snapshot as a binary wire stream
 //	                (restorable with RestoreServer).
 //
 // Error mapping: malformed wire bodies and unparseable parameters are 400;
 // events or queries for unregistered jobs are 404 (ErrUnknownJob);
 // registrations beyond the server's job/task budget are 429
-// (ErrOverloaded); protocol violations the server rejects (duplicate
-// registration, out-of-range tasks, schema mismatches) are 422.
+// (ErrOverloaded); a wedged or closed write-ahead log is 503
+// (ErrWALFailed/ErrWALClosed — retry after the operator intervenes);
+// protocol violations the server rejects (duplicate registration,
+// out-of-range tasks, schema mismatches) are 422.
 
 import (
 	"encoding/json"
@@ -85,6 +90,11 @@ func errCode(err error, decodeErr bool) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrWALFailed), errors.Is(err, ErrWALClosed):
+		// A wedged write-ahead log is a server-side outage (disk full,
+		// I/O error, shutdown), not a client fault: 503 tells pipelines
+		// to retry/alert instead of discarding the batch as malformed.
+		return http.StatusServiceUnavailable
 	case errors.As(err, &tooBig):
 		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrBadMagic), errors.Is(err, ErrVersion),

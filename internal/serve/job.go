@@ -56,6 +56,19 @@ type jobState struct {
 	// restored server's Stats carry over (folded into the owning shard's
 	// counters at install time).
 	events, dropped, queries uint64
+
+	// lsn is the log sequence number of the last WAL record affecting this
+	// job (its registration, or its latest accepted event), 0 when the
+	// server runs without a WAL. Snapshots carry it so recovery can skip
+	// exactly the WAL records a mid-traffic snapshot already reflects.
+	lsn uint64
+
+	// defunct marks a job DropJob has removed. An ingest that looked the
+	// job up just before the drop must observe it (under j.mu) and reject
+	// the event instead of applying and logging it: the drop's WAL record
+	// precedes any append the latecomer would make, so accepting it would
+	// acknowledge a mutation recovery can never replay.
+	defunct bool
 }
 
 func newJobState(spec JobSpec, pred simulator.Predictor) *jobState {
@@ -73,6 +86,16 @@ func newJobState(spec JobSpec, pred simulator.Predictor) *jobState {
 // event's timestamp fire first, so every refit sees exactly the state that
 // existed at its horizon — the property that makes the streamed protocol
 // coincide with simulator.Evaluate's replay.
+//
+// Validation runs to completion before the first state change (before any
+// boundary fires): an event handle rejects leaves no trace at all. The WAL
+// depends on this — rejected events are never logged, so a mutation an
+// erroring event caused would be invisible to recovery and fork the live
+// server from its recoverable image. The validated conditions (task range,
+// started/finished flags, schema width) are all invariant under checkpoint
+// firing, which only terminates tasks; termination-dependent *drop*
+// decisions stay in the apply phase below, after boundaries fire, exactly
+// as the offline protocol orders them.
 func (j *jobState) handle(e Event) error {
 	if j.done {
 		if j.failed {
@@ -83,6 +106,38 @@ func (j *jobState) handle(e Event) error {
 		}
 		return fmt.Errorf("serve: job %d: event %s after job-finish", j.spec.JobID, e.Kind)
 	}
+	var ts *taskState
+	if e.Kind != EventJobFinish {
+		if e.TaskID < 0 || e.TaskID >= len(j.tasks) {
+			return fmt.Errorf("serve: job %d: task %d out of range [0,%d)",
+				j.spec.JobID, e.TaskID, len(j.tasks))
+		}
+		ts = &j.tasks[e.TaskID]
+		switch e.Kind {
+		case EventTaskStart:
+			if ts.started {
+				return fmt.Errorf("serve: job %d: duplicate start for task %d", j.spec.JobID, e.TaskID)
+			}
+		case EventHeartbeat:
+			if !ts.started {
+				return fmt.Errorf("serve: job %d: heartbeat for unstarted task %d", j.spec.JobID, e.TaskID)
+			}
+			if !ts.terminated && len(e.Features) != len(j.spec.Schema) {
+				return fmt.Errorf("serve: job %d task %d: %d features for schema of %d",
+					j.spec.JobID, e.TaskID, len(e.Features), len(j.spec.Schema))
+			}
+		case EventTaskFinish:
+			if !ts.started {
+				return fmt.Errorf("serve: job %d: finish for unstarted task %d", j.spec.JobID, e.TaskID)
+			}
+			if !ts.terminated && ts.finished {
+				return fmt.Errorf("serve: job %d: duplicate finish for task %d", j.spec.JobID, e.TaskID)
+			}
+		default:
+			return fmt.Errorf("serve: job %d: unknown event kind %d", j.spec.JobID, e.Kind)
+		}
+	}
+
 	t := e.Time
 	if t < j.clock {
 		// Mild monitoring-pipeline jitter: never rewind the job clock.
@@ -106,26 +161,16 @@ func (j *jobState) handle(e Event) error {
 		j.done = true
 		return nil
 	}
-	if e.TaskID < 0 || e.TaskID >= len(j.tasks) {
-		return fmt.Errorf("serve: job %d: task %d out of range [0,%d)",
-			j.spec.JobID, e.TaskID, len(j.tasks))
-	}
-	ts := &j.tasks[e.TaskID]
 	switch e.Kind {
 	case EventTaskStart:
-		if ts.started {
-			return fmt.Errorf("serve: job %d: duplicate start for task %d", j.spec.JobID, e.TaskID)
-		}
 		ts.started = true
 		ts.start = e.Time
 		j.started++
 	case EventHeartbeat:
-		if !ts.started {
-			return fmt.Errorf("serve: job %d: heartbeat for unstarted task %d", j.spec.JobID, e.TaskID)
-		}
 		if ts.terminated {
-			// The monitoring pipeline may lag a termination; late
-			// observations for killed tasks are dropped, not an error.
+			// The monitoring pipeline may lag a termination (including one
+			// a boundary above just issued); late observations for killed
+			// tasks are dropped, not an error.
 			return errDropped
 		}
 		// Heartbeats for finished tasks are accepted: the offline protocol
@@ -133,26 +178,14 @@ func (j *jobState) handle(e Event) error {
 		// checkpoint, and the streamed protocol must see the same training
 		// rows to stay equivalent. Pipelines that freeze features at
 		// completion simply stop heartbeating, which degrades gracefully.
-		if len(e.Features) != len(j.spec.Schema) {
-			return fmt.Errorf("serve: job %d task %d: %d features for schema of %d",
-				j.spec.JobID, e.TaskID, len(e.Features), len(j.spec.Schema))
-		}
 		ts.features = e.Features
 	case EventTaskFinish:
-		if !ts.started {
-			return fmt.Errorf("serve: job %d: finish for unstarted task %d", j.spec.JobID, e.TaskID)
-		}
 		if ts.terminated {
 			return errDropped
-		}
-		if ts.finished {
-			return fmt.Errorf("serve: job %d: duplicate finish for task %d", j.spec.JobID, e.TaskID)
 		}
 		ts.finished = true
 		ts.latency = e.Latency
 		j.finished++
-	default:
-		return fmt.Errorf("serve: job %d: unknown event kind %d", j.spec.JobID, e.Kind)
 	}
 	return nil
 }

@@ -1,0 +1,10 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports that the race detector is active; the torture sweeps
+// sample their crash points instead of visiting every one, since each
+// recovery replays the whole feed and the detector multiplies that cost.
+// The every-crash-point guarantee is still exercised by the plain run (and
+// by CI's dedicated torture smoke step, which builds without -race).
+const raceEnabled = true

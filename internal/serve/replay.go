@@ -68,6 +68,16 @@ func (st ReplayStats) Rate() float64 {
 // error — a corrupt frame, an unknown job, a protocol violation — aborts
 // the replay.
 func Replay(sv *Server, r io.Reader, speedup float64) (ReplayStats, error) {
+	return ReplayFrom(sv, r, speedup, 0)
+}
+
+// ReplayFrom is Replay resuming mid-dump: the first skip elements (specs
+// and events combined, in dump order) are decoded but not applied. A server
+// recovered from snapshot+WAL reports how many mutations it already holds
+// (RecoveryStats.NextLSN-1); passing that as skip continues the same dump
+// without double-applying a single element (each accepted dump element is
+// exactly one WAL record).
+func ReplayFrom(sv *Server, r io.Reader, speedup float64, skip int) (ReplayStats, error) {
 	var st ReplayStats
 	wr := NewWireReader(r)
 	start := time.Now()
@@ -81,6 +91,10 @@ func Replay(sv *Server, r io.Reader, speedup float64) (ReplayStats, error) {
 		}
 		if err != nil {
 			return st, fmt.Errorf("serve: replay: %w", err)
+		}
+		if skip > 0 {
+			skip--
+			continue
 		}
 		if sp != nil {
 			if err := sv.StartJob(*sp, nil); err != nil {
@@ -116,6 +130,13 @@ func Replay(sv *Server, r io.Reader, speedup float64) (ReplayStats, error) {
 // front end decodes them, and the server's state is fed exactly as an
 // external monitoring pipeline would feed it.
 func ReplayHTTP(client *http.Client, baseURL string, r io.Reader, speedup float64, batch int) (ReplayStats, error) {
+	return ReplayHTTPFrom(client, baseURL, r, speedup, batch, 0)
+}
+
+// ReplayHTTPFrom is ReplayHTTP resuming mid-dump, skipping the first skip
+// elements exactly like ReplayFrom — the crash-resume path when the far
+// server recovered from a WAL.
+func ReplayHTTPFrom(client *http.Client, baseURL string, r io.Reader, speedup float64, batch, skip int) (ReplayStats, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
@@ -162,6 +183,10 @@ func ReplayHTTP(client *http.Client, baseURL string, r io.Reader, speedup float6
 		}
 		if err != nil {
 			return st, fmt.Errorf("serve: replay: %w", err)
+		}
+		if skip > 0 {
+			skip--
+			continue
 		}
 		if sp != nil {
 			if body, err = EncodeSpec(body, *sp); err != nil {

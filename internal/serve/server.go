@@ -95,6 +95,11 @@ type Server struct {
 	cfg Config
 	reg *registry
 
+	// wal, when non-nil, durably logs every accepted mutation so the server
+	// can be rebuilt between snapshots (see wal.go / Recover). Attached once
+	// by attachWAL before the server takes traffic.
+	wal *WAL
+
 	// Registration budget, checked against cfg.MaxJobs / cfg.MaxTasks:
 	// the number of registered (not dropped) jobs and their summed
 	// NumTasks. Atomics, not shard state, because the budget is global.
@@ -160,6 +165,18 @@ func (sv *Server) release(numTasks int) {
 	sv.jobs.Add(-1)
 	sv.tasks.Add(int64(-numTasks))
 }
+
+// attachWAL wires w into the server and every shard. It must run before
+// the server takes any traffic (Recover, the only caller, does); attaching
+// to a live server would race the shards' lock-free wal reads.
+func (sv *Server) attachWAL(w *WAL) {
+	sv.wal = w
+	sv.reg.each(func(s *shard) { s.wal = w })
+}
+
+// WAL returns the attached write-ahead log, nil when the server runs
+// without one.
+func (sv *Server) WAL() *WAL { return sv.wal }
 
 // NumShards reports the shard count.
 func (sv *Server) NumShards() int { return len(sv.reg.shards) }
@@ -262,9 +279,14 @@ func (sv *Server) Report(jobID uint64) (*JobReport, error) {
 	return sv.reg.shardFor(jobID).report(jobID)
 }
 
-// Stats aggregates counters across all shards.
+// Stats aggregates counters across all shards, plus the WAL's when one is
+// attached.
 func (sv *Server) Stats() Stats {
 	var st Stats
 	sv.reg.each(func(s *shard) { s.addStats(&st) })
+	if sv.wal != nil {
+		w := sv.wal.Stats()
+		st.WAL = &w
+	}
 	return st
 }

@@ -27,6 +27,12 @@ type shard struct {
 	mu   sync.Mutex
 	jobs map[uint64]*jobState
 
+	// wal, when non-nil, receives one record per accepted mutation, written
+	// before the owning lock (s.mu for start/drop, the job's mu for events)
+	// is released — the ordering that makes log replay reproduce the live
+	// apply order. Set once by Server.attachWAL before any traffic.
+	wal *WAL
+
 	// Counters accumulate as events happen (not derived from live jobs) so
 	// they survive DropJob's reclamation of per-job state. Durations are in
 	// nanoseconds.
@@ -52,14 +58,24 @@ func (s *shard) lookup(jobID uint64) (*jobState, bool) {
 	return j, ok
 }
 
-// startJob registers a job on this shard.
+// startJob registers a job on this shard, logging the registration before
+// the shard lock is released so no event of this job can reach the WAL
+// ahead of its spec.
 func (s *shard) startJob(spec JobSpec, pred simulator.Predictor) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.jobs[spec.JobID]; ok {
 		return fmt.Errorf("serve: job %d already registered", spec.JobID)
 	}
-	s.jobs[spec.JobID] = newJobState(spec, pred)
+	j := newJobState(spec, pred)
+	if s.wal != nil {
+		lsn, err := s.wal.appendSpec(&spec)
+		if err != nil {
+			return fmt.Errorf("serve: job %d: %w", spec.JobID, err)
+		}
+		j.lsn = lsn
+	}
+	s.jobs[spec.JobID] = j
 	return nil
 }
 
@@ -70,12 +86,46 @@ func (s *shard) ingest(e Event) error {
 	if !ok {
 		return fmt.Errorf("serve: event %s for job %d: %w", e.Kind, e.JobID, ErrUnknownJob)
 	}
+	// Reject events the wire format could not round-trip *before* touching
+	// any state. Only the in-process path can produce them (the decoder
+	// bounds features already), and applying such an event while refusing
+	// to log it would fork the live state from the recoverable state.
+	if len(e.Features) > maxWireFeatures {
+		return fmt.Errorf("serve: event %s for job %d: %d features exceed the wire cap %d",
+			e.Kind, e.JobID, len(e.Features), maxWireFeatures)
+	}
 	j.mu.Lock()
+	if j.defunct {
+		// Dropped between our lookup and taking the job lock: the drop is
+		// already in the WAL, so this event must not be applied or counted
+		// — recovery could never reproduce it.
+		j.mu.Unlock()
+		return fmt.Errorf("serve: event %s for job %d: %w", e.Kind, e.JobID, ErrUnknownJob)
+	}
 	termBefore, refitsBefore, durBefore, wasDone := j.terminated, j.refits, j.refitDur, j.done
 	err := j.handle(e)
-	j.events++
-	if errors.Is(err, errDropped) {
+	dropped := errors.Is(err, errDropped)
+	accepted := err == nil || dropped
+	if accepted {
+		// Rejected events leave no trace, counters included: handle
+		// validates before mutating, so an erroring ingest is invisible to
+		// the WAL and must be invisible to Stats too.
+		j.events++
+	}
+	if dropped {
 		j.dropped++
+	}
+	// Accepted mutations (clean applies and benign drops, which still move
+	// counters) are logged before the job lock is released, so the WAL's
+	// per-job record order is exactly the apply order. A failed append
+	// surfaces as the ingest error: the mutation is applied in memory but
+	// not durable, so it must not be acknowledged.
+	var walErr error
+	if s.wal != nil && accepted {
+		var lsn uint64
+		if lsn, walErr = s.wal.appendEvent(&e); walErr == nil {
+			j.lsn = lsn
+		}
 	}
 	termDelta := j.terminated - termBefore
 	refitDelta := j.refits - refitsBefore
@@ -84,7 +134,9 @@ func (s *shard) ingest(e Event) error {
 	nowDone := j.done
 	j.mu.Unlock()
 
-	s.events.Add(1)
+	if accepted {
+		s.events.Add(1)
+	}
 	if termDelta > 0 {
 		s.terminations.Add(uint64(termDelta))
 	}
@@ -98,9 +150,12 @@ func (s *shard) ingest(e Event) error {
 		// or predictor failure).
 		s.finished.Add(1)
 	}
-	if errors.Is(err, errDropped) {
+	if dropped {
 		s.dropped.Add(1)
-		return nil
+		return walErr
+	}
+	if err == nil {
+		return walErr
 	}
 	return err
 }
@@ -145,7 +200,11 @@ func (s *shard) report(jobID uint64) (*JobReport, error) {
 
 // dropJob removes a completed job's state (memory reclamation for
 // long-running servers), reporting its task count so the Server can release
-// the job's registration budget. It refuses to drop a live job.
+// the job's registration budget. It refuses to drop a live job. The drop
+// record is logged and the job marked defunct under the job lock, so a
+// concurrent ingest that already looked the job up either logs its event
+// strictly before the drop record or observes defunct and rejects — WAL
+// order always matches acknowledgment order.
 func (s *shard) dropJob(jobID uint64) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -154,11 +213,16 @@ func (s *shard) dropJob(jobID uint64) (int, error) {
 		return 0, fmt.Errorf("serve: drop of job %d: %w", jobID, ErrUnknownJob)
 	}
 	j.mu.Lock()
-	done := j.done
-	j.mu.Unlock()
-	if !done {
+	defer j.mu.Unlock()
+	if !j.done {
 		return 0, fmt.Errorf("serve: job %d still streaming; finish it before dropping", jobID)
 	}
+	if s.wal != nil {
+		if _, err := s.wal.appendDrop(jobID); err != nil {
+			return 0, fmt.Errorf("serve: drop of job %d: %w", jobID, err)
+		}
+	}
+	j.defunct = true
 	delete(s.jobs, jobID)
 	s.finished.Add(-1)
 	return j.spec.NumTasks, nil

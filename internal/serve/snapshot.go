@@ -48,10 +48,28 @@ const (
 // from a shallow copy of the history slice (its entries are immutable once
 // appended — see jobState.history), keeping peak buffering at one frame.
 func (sv *Server) Snapshot(w io.Writer) error {
+	_, err := sv.snapshotWithFloor(w)
+	return err
+}
+
+// snapshotWithFloor writes the snapshot stream and returns its floor LSN:
+// every WAL record below the floor is reflected in the stream, so segments
+// wholly below it can be retired once the snapshot is durable. The floor is
+// read from the attached WAL before any job is serialized — a record logged
+// before that read was applied (and logged) under the same job lock its
+// section is later serialized under, so it cannot be missed. Servers
+// without a WAL stamp floor 0 (replay-nothing).
+func (sv *Server) snapshotWithFloor(w io.Writer) (uint64, error) {
+	var floor uint64
+	if sv.wal != nil {
+		floor = sv.wal.NextLSN()
+	}
 	// Emit the header even for a job-less server: an empty snapshot is a
 	// valid stream that restores to an empty server, not a decode error.
-	if _, err := w.Write(AppendHeader(nil)); err != nil {
-		return err
+	var e wireEnc
+	appendLSNMarkPayload(&e, floor)
+	if _, err := w.Write(appendFrame(AppendHeader(nil), FrameLSNMark, e.b)); err != nil {
+		return floor, err
 	}
 	var buf, payload []byte
 	var history []*simulator.Checkpoint
@@ -67,22 +85,22 @@ func (sv *Server) Snapshot(w io.Writer) error {
 		history = append(history[:0], j.history...)
 		j.mu.Unlock()
 		if err != nil {
-			return fmt.Errorf("serve: snapshot job %d: %w", id, err)
+			return floor, fmt.Errorf("serve: snapshot job %d: %w", id, err)
 		}
 		if _, err := w.Write(buf); err != nil {
-			return fmt.Errorf("serve: snapshot job %d: %w", id, err)
+			return floor, fmt.Errorf("serve: snapshot job %d: %w", id, err)
 		}
 		for _, cp := range history {
 			payload = appendCheckpointPayload(payload[:0], cp)
 			if buf, err = appendCheckedFrame(buf[:0], FrameSnapCheckpoint, payload); err != nil {
-				return fmt.Errorf("serve: snapshot job %d: %w", id, err)
+				return floor, fmt.Errorf("serve: snapshot job %d: %w", id, err)
 			}
 			if _, err := w.Write(buf); err != nil {
-				return fmt.Errorf("serve: snapshot job %d: %w", id, err)
+				return floor, fmt.Errorf("serve: snapshot job %d: %w", id, err)
 			}
 		}
 	}
-	return nil
+	return floor, nil
 }
 
 // appendSnapJobFrame appends one job's FrameSnapJob frame to dst; the caller
@@ -124,6 +142,7 @@ func appendSnapJobFrame(dst []byte, j *jobState) ([]byte, error) {
 	e.u64(j.events)
 	e.u64(j.dropped)
 	e.u64(j.queries)
+	e.u64(j.lsn)
 	e.u32(uint32(len(j.tasks)))
 	for i := range j.tasks {
 		ts := &j.tasks[i]
@@ -228,6 +247,7 @@ func decodeSnapJob(p []byte) (*jobState, int, error) {
 	j.events = d.u64()
 	j.dropped = d.u64()
 	j.queries = d.u64()
+	j.lsn = d.u64()
 	ntasks := d.count(maxSnapTasks, "tasks")
 	if d.err == nil && ntasks != sp.NumTasks {
 		return nil, 0, fmt.Errorf("%w: job %d: %d serialized tasks for a %d-task spec",
@@ -300,47 +320,65 @@ func decodeSnapJob(p []byte) (*jobState, int, error) {
 // serializing model internals. A predictor error during replay aborts the
 // restore: it means the factory does not match the snapshot's history.
 func RestoreServer(r io.Reader, cfg Config) (*Server, error) {
+	sv, _, err := restoreServer(r, cfg)
+	return sv, err
+}
+
+// restoreServer additionally returns the snapshot's floor LSN (the stamp
+// snapshotWithFloor embedded; 0 for snapshots taken without a WAL), which
+// Recover uses to position the log replay.
+func restoreServer(r io.Reader, cfg Config) (*Server, uint64, error) {
 	sv := NewServer(cfg)
 	wr := NewWireReader(r)
+	var floor uint64
+	first := true
 	for {
 		kind, payload, err := wr.next()
 		if err == io.EOF {
-			return sv, nil
+			return sv, floor, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("serve: restore: %w", err)
+			return nil, 0, fmt.Errorf("serve: restore: %w", err)
 		}
+		if first && kind == FrameLSNMark {
+			first = false
+			if floor, err = decodeLSNMarkPayload(payload); err != nil {
+				return nil, 0, fmt.Errorf("serve: restore: %w", err)
+			}
+			continue
+		}
+		first = false
 		if kind != FrameSnapJob {
-			return nil, fmt.Errorf("serve: restore: %w: frame kind %d where a snapshot job section was expected", ErrCorrupt, kind)
+			return nil, 0, fmt.Errorf("serve: restore: %w: frame kind %d where a snapshot job section was expected", ErrCorrupt, kind)
 		}
 		j, ncps, err := decodeSnapJob(payload)
 		if err != nil {
-			return nil, fmt.Errorf("serve: restore: %w", err)
+			return nil, 0, fmt.Errorf("serve: restore: %w", err)
 		}
 		// Restored jobs consume registration budget exactly as StartJob
 		// registrations do; reserving before the checkpoint replay fails an
 		// over-budget restore before any model refitting is spent on it. No
 		// release on later errors: the partial server is discarded.
 		if err := sv.reserve(j.spec.NumTasks); err != nil {
-			return nil, fmt.Errorf("serve: restore job %d: %w", j.spec.JobID, err)
+			return nil, 0, fmt.Errorf("serve: restore job %d: %w", j.spec.JobID, err)
 		}
 		j.history = make([]*simulator.Checkpoint, ncps)
 		for i := range j.history {
 			kind, payload, err := wr.next()
 			if err != nil {
-				return nil, fmt.Errorf("serve: restore job %d: checkpoint %d/%d: %w", j.spec.JobID, i+1, ncps, err)
+				return nil, 0, fmt.Errorf("serve: restore job %d: checkpoint %d/%d: %w", j.spec.JobID, i+1, ncps, err)
 			}
 			if kind != FrameSnapCheckpoint {
-				return nil, fmt.Errorf("serve: restore job %d: %w: frame kind %d where checkpoint %d/%d was expected",
+				return nil, 0, fmt.Errorf("serve: restore job %d: %w: frame kind %d where checkpoint %d/%d was expected",
 					j.spec.JobID, ErrCorrupt, kind, i+1, ncps)
 			}
 			if j.history[i], err = decodeCheckpointPayload(payload); err != nil {
-				return nil, fmt.Errorf("serve: restore job %d: checkpoint %d/%d: %w", j.spec.JobID, i+1, ncps, err)
+				return nil, 0, fmt.Errorf("serve: restore job %d: checkpoint %d/%d: %w", j.spec.JobID, i+1, ncps, err)
 			}
 		}
 		pred := sv.cfg.NewPredictor(j.spec)
 		if pred == nil {
-			return nil, fmt.Errorf("serve: restore job %d: nil predictor from factory", j.spec.JobID)
+			return nil, 0, fmt.Errorf("serve: restore job %d: nil predictor from factory", j.spec.JobID)
 		}
 		pred.Reset()
 		for i, cp := range j.history {
@@ -351,13 +389,13 @@ func RestoreServer(r io.Reader, cfg Config) (*Server, error) {
 				if j.failed && i == len(j.history)-1 {
 					break
 				}
-				return nil, fmt.Errorf("serve: restore job %d: replaying checkpoint %d/%d through %s: %w",
+				return nil, 0, fmt.Errorf("serve: restore job %d: replaying checkpoint %d/%d through %s: %w",
 					j.spec.JobID, i+1, ncps, pred.Name(), err)
 			}
 		}
 		j.pred = pred
 		if err := sv.reg.shardFor(j.spec.JobID).install(j); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 }

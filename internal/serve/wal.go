@@ -1,0 +1,514 @@
+package serve
+
+// wal.go is the serving layer's write-ahead log: every accepted mutation —
+// StartJob, Ingest (including the benignly dropped late events, which still
+// move counters), FinishJob, DropJob — is appended as one CRC-framed wire
+// record to a rotating segment file before the owning lock is released, so
+// a crash between snapshots loses nothing that was acknowledged. Records do
+// not carry their log sequence number (LSN) explicitly: each segment opens
+// with a FrameLSNMark declaring the LSN of its first record, and record i
+// of the segment has LSN base+i. LSNs are 1-based; 0 means "never logged".
+//
+// Durability model: a record is written to the segment file (one Write
+// call, i.e. into the OS page cache) before the mutation is acknowledged,
+// so an acknowledged mutation survives a process crash. fsync is group-
+// committed: with WALOptions.SyncEvery == 0 every append syncs before it
+// returns (full power-loss durability, slowest); with SyncEvery > 0 a
+// background flusher syncs at that interval, so at most one interval of
+// acknowledged records is exposed to power loss. Rotation and Close always
+// sync.
+//
+// The filesystem is abstracted behind WALFS so the crash-injection torture
+// harness can kill the log at every byte offset; production code uses the
+// default OS-backed implementation.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrWALClosed reports an append to a closed WAL.
+var ErrWALClosed = errors.New("serve/wal: closed")
+
+// ErrWALFailed reports an append after a previous write error: the log is
+// wedged (likely mid-crash or out of disk) and the server must be treated
+// as failed — recover from snapshot + WAL instead of continuing.
+var ErrWALFailed = errors.New("serve/wal: failed")
+
+// ErrWALGap reports a recovery that found WAL segments missing between the
+// snapshot floor and the retained log — externally deleted or misplaced
+// segments. Recovery refuses to silently skip the hole.
+var ErrWALGap = errors.New("serve/wal: gap in log")
+
+// WALFile is the writable half of a WAL segment.
+type WALFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// WALFS is the filesystem surface the WAL and its recovery need. Paths are
+// regular slash-joined file paths; ReadDir returns base names. The default
+// is the operating system (osFS); tests inject fault-carrying fakes.
+type WALFS interface {
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (WALFile, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// ReadDir lists the base names inside dir.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically moves oldname to newname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// SyncDir makes dir's entries (creates, renames, removes) durable.
+	// File data fsyncs alone do not cover the directory entry: without
+	// this a power loss can forget a freshly rotated segment or a
+	// checkpoint rename whose *contents* were already synced.
+	SyncDir(dir string) error
+}
+
+// osFS is the production WALFS.
+type osFS struct{}
+
+func (osFS) Create(name string) (WALFile, error) { return os.Create(name) }
+func (osFS) Open(name string) (io.ReadCloser, error) {
+	return os.Open(name)
+}
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WALOptions sizes a WAL.
+type WALOptions struct {
+	// SegmentBytes is the rotation threshold: once a segment holds at least
+	// this many bytes the next append lands in a fresh segment. 0 means the
+	// 4 MiB default; segments bound both the replay unit and how much log a
+	// checkpoint can retire at once.
+	SegmentBytes int64
+	// SyncEvery is the group-commit fsync interval. 0 syncs every append
+	// (full power-loss durability); > 0 runs a background flusher at that
+	// interval, exposing at most one interval of acknowledged records to
+	// power loss (a process crash loses nothing either way — appends reach
+	// the OS before they are acknowledged).
+	SyncEvery time.Duration
+	// FS overrides the filesystem (fault injection in tests). nil = OS.
+	FS WALFS
+}
+
+// DefaultWALSegmentBytes is the segment rotation threshold when
+// WALOptions.SegmentBytes is 0.
+const DefaultWALSegmentBytes = 4 << 20
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultWALSegmentBytes
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
+	}
+	return o
+}
+
+// WALStats reports a WAL's counters; /stats serves them as the "wal"
+// object.
+type WALStats struct {
+	// Segments counts live segment files (including the one being written).
+	Segments int `json:"segments"`
+	// NextLSN is the next log sequence number to be assigned; NextLSN-1
+	// records have been appended over the log's lifetime.
+	NextLSN uint64 `json:"next_lsn"`
+	// Appends counts records appended by this process; Bytes their framed
+	// size.
+	Appends uint64 `json:"appends"`
+	Bytes   uint64 `json:"bytes"`
+	// Syncs counts fsync calls; PendingBytes is the group-commit backlog
+	// (bytes appended since the last sync) and FsyncLag the age of its
+	// oldest byte — together the window a power loss could lose.
+	Syncs        uint64        `json:"syncs"`
+	PendingBytes int64         `json:"pending_bytes"`
+	FsyncLag     time.Duration `json:"fsync_lag_ns"`
+	// RetiredSegments counts segments removed by checkpoints.
+	RetiredSegments uint64 `json:"retired_segments"`
+}
+
+// WAL is an append-only log of serving mutations. Appends are internal
+// (the Server calls them under its own locks); operators interact with a
+// WAL through Recover, Server.CheckpointWAL, Stats, Sync, and Close.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	mu           sync.Mutex
+	f            WALFile
+	seq          uint64 // next LSN to assign (1-based)
+	segStart     uint64 // LSN of the open segment's first record
+	written      int64  // bytes in the open segment
+	pending      int64  // bytes appended since the last sync
+	pendingSince time.Time
+	segments     int
+	appends      uint64
+	bytes        uint64
+	syncs        uint64
+	retired      uint64
+	failed       error // sticky first write error
+	closed       bool
+
+	stop     chan struct{}
+	flusher  sync.WaitGroup
+	buf      []byte // payload scratch, reused under mu
+	frameBuf []byte // frame scratch, reused under mu
+
+	// ckptMu serializes CheckpointWAL calls — the snapshot itself runs
+	// outside w.mu (it takes job locks, which appends hold before w.mu),
+	// so checkpoints need their own exclusion.
+	ckptMu sync.Mutex
+}
+
+// segment / snapshot file naming inside the WAL directory.
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+	tmpSuffix  = ".tmp"
+)
+
+func segName(base uint64) string  { return fmt.Sprintf("%s%016x%s", segPrefix, base, segSuffix) }
+func snapName(lsn uint64) string  { return fmt.Sprintf("%s%016x%s", snapPrefix, lsn, snapSuffix) }
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	return v, err == nil
+}
+
+// listSorted returns the (name, sequence) pairs in dir matching
+// prefix/suffix, in ascending sequence order.
+func listSorted(fs WALFS, dir, prefix, suffix string) ([]walEntry, error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []walEntry
+	for _, n := range names {
+		if seq, ok := parseSeq(n, prefix, suffix); ok {
+			out = append(out, walEntry{name: n, seq: seq})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	return out, nil
+}
+
+type walEntry struct {
+	name string
+	seq  uint64
+}
+
+// openWALAt opens dir for appending with the next record at LSN seq,
+// starting a fresh segment (recovery never appends to a possibly-torn
+// tail). Callers outside recovery use Recover, which computes seq.
+func openWALAt(dir string, seq uint64, opts WALOptions) (*WAL, error) {
+	opts = opts.withDefaults()
+	if seq < 1 {
+		seq = 1
+	}
+	segs, err := listSorted(opts.FS, dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, fmt.Errorf("serve/wal: open %s: %w", dir, err)
+	}
+	w := &WAL{dir: dir, opts: opts, seq: seq, segments: len(segs), stop: make(chan struct{})}
+	w.mu.Lock()
+	err = w.rotateLocked()
+	w.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if opts.SyncEvery > 0 {
+		w.flusher.Add(1)
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+// rotateLocked syncs and closes the open segment (if any) and starts a new
+// one whose first record will be w.seq. Called with w.mu held.
+func (w *WAL) rotateLocked() error {
+	if w.f != nil {
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			return w.fail(err)
+		}
+		w.f = nil
+	}
+	name := filepath.Join(w.dir, segName(w.seq))
+	f, err := w.opts.FS.Create(name)
+	if err != nil {
+		return w.fail(fmt.Errorf("serve/wal: create segment: %w", err))
+	}
+	// The directory entry must be durable before any record in this
+	// segment is: fsyncing file data never covers the entry, and a power
+	// loss that forgets the file would take fully-synced records with it.
+	if err := w.opts.FS.SyncDir(w.dir); err != nil {
+		f.Close()
+		return w.fail(fmt.Errorf("serve/wal: sync dir: %w", err))
+	}
+	var e wireEnc
+	appendLSNMarkPayload(&e, w.seq)
+	hdr := appendFrame(AppendHeader(w.buf[:0]), FrameLSNMark, e.b)
+	w.buf = hdr
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return w.fail(fmt.Errorf("serve/wal: segment header: %w", err))
+	}
+	w.f = f
+	w.segStart = w.seq
+	w.written = int64(len(hdr))
+	w.pending += int64(len(hdr))
+	if w.pendingSince.IsZero() {
+		w.pendingSince = time.Now()
+	}
+	w.segments++
+	return nil
+}
+
+// fail latches the WAL's first write error; later appends return it.
+func (w *WAL) fail(err error) error {
+	if w.failed == nil {
+		w.failed = fmt.Errorf("%w: %v", ErrWALFailed, err)
+	}
+	return err
+}
+
+// append frames payload as kind, writes it to the open segment, and returns
+// the record's LSN. The write reaches the OS before append returns — the
+// caller may acknowledge the mutation once this succeeds. An encode error
+// aborts before any byte is written or an LSN consumed: a record that
+// cannot round-trip must never reach the log, where it would poison every
+// future recovery.
+func (w *WAL) append(kind FrameKind, encode func(*wireEnc) error) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrWALClosed
+	}
+	if w.failed != nil {
+		return 0, w.failed
+	}
+	e := wireEnc{b: w.buf[:0]}
+	err := encode(&e)
+	w.buf = e.b[:0] // retain the (possibly grown) payload scratch
+	if err != nil {
+		return 0, err
+	}
+	// Separate persistent scratch for the frame: once both arrays have
+	// grown to the workload's record size, the hot path stops allocating.
+	frame := appendFrame(w.frameBuf[:0], kind, e.b)
+	w.frameBuf = frame[:0]
+	if _, err := w.f.Write(frame); err != nil {
+		return 0, w.fail(fmt.Errorf("serve/wal: append: %w", err))
+	}
+	lsn := w.seq
+	w.seq++
+	w.written += int64(len(frame))
+	w.pending += int64(len(frame))
+	if w.pendingSince.IsZero() {
+		w.pendingSince = time.Now()
+	}
+	w.appends++
+	w.bytes += uint64(len(frame))
+	if w.opts.SyncEvery == 0 {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if w.written >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// appendSpec logs an accepted StartJob (the defaulted, validated spec).
+func (w *WAL) appendSpec(sp *JobSpec) (uint64, error) {
+	return w.append(FrameSpec, func(e *wireEnc) error { return appendSpecPayload(e, sp) })
+}
+
+// appendEvent logs an accepted Ingest. Job-finish events compact to a
+// FrameFinish record; everything else is a full event frame.
+func (w *WAL) appendEvent(ev *Event) (uint64, error) {
+	if ev.Kind == EventJobFinish {
+		return w.append(FrameFinish, func(e *wireEnc) error {
+			appendFinishPayload(e, ev.JobID, ev.Time)
+			return nil
+		})
+	}
+	return w.append(FrameEvent, func(e *wireEnc) error {
+		if len(ev.Features) > maxWireFeatures {
+			return fmt.Errorf("serve/wal: %d features exceed %d", len(ev.Features), maxWireFeatures)
+		}
+		appendEventPayload(e, ev)
+		return nil
+	})
+}
+
+// appendDrop logs an accepted DropJob.
+func (w *WAL) appendDrop(jobID uint64) (uint64, error) {
+	return w.append(FrameDrop, func(e *wireEnc) error {
+		appendDropPayload(e, jobID)
+		return nil
+	})
+}
+
+func (w *WAL) syncLocked() error {
+	if w.f == nil || w.pending == 0 {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return w.fail(fmt.Errorf("serve/wal: sync: %w", err))
+	}
+	w.syncs++
+	w.pending = 0
+	w.pendingSince = time.Time{}
+	return nil
+}
+
+// Sync fsyncs the open segment (the group-commit flush).
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *WAL) flushLoop() {
+	defer w.flusher.Done()
+	t := time.NewTicker(w.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.Sync()
+		}
+	}
+}
+
+// NextLSN returns the next log sequence number to be assigned.
+func (w *WAL) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Dir returns the WAL directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// Stats reports the WAL's counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := WALStats{
+		Segments:        w.segments,
+		NextLSN:         w.seq,
+		Appends:         w.appends,
+		Bytes:           w.bytes,
+		Syncs:           w.syncs,
+		PendingBytes:    w.pending,
+		RetiredSegments: w.retired,
+	}
+	if !w.pendingSince.IsZero() {
+		st.FsyncLag = time.Since(w.pendingSince)
+	}
+	return st
+}
+
+// RetireBelow removes segments every record of which is below floor (their
+// contents are covered by a durable snapshot stamped at floor). The open
+// segment is never removed. Returns how many segments were deleted.
+func (w *WAL) RetireBelow(floor uint64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := listSorted(w.opts.FS, w.dir, segPrefix, segSuffix)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i, s := range segs {
+		// A segment's records end where the next segment begins; without a
+		// successor its extent is unknown (it is, or was, the tail) — keep it.
+		if i+1 >= len(segs) || segs[i+1].seq > floor || s.seq == w.segStart {
+			break
+		}
+		if err := w.opts.FS.Remove(filepath.Join(w.dir, s.name)); err != nil {
+			return removed, err
+		}
+		removed++
+		w.segments--
+		w.retired++
+	}
+	return removed, nil
+}
+
+// Close syncs and closes the log. Appends after Close fail with
+// ErrWALClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.stop)
+	w.flusher.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.syncLocked()
+	if w.f != nil {
+		if cerr := w.f.Close(); err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	return err
+}

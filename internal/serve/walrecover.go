@@ -1,0 +1,340 @@
+package serve
+
+// walrecover.go rebuilds a Server from a WAL directory: the newest valid
+// snapshot file (snap-<lsn>.snap, written by Server.CheckpointWAL) restored
+// through RestoreServer, then every WAL segment replayed in LSN order.
+// Replay is exact, not best-effort — each record's LSN (segment base +
+// offset) is compared against the snapshot's floor and the target job's
+// recorded LSN, so a record is applied exactly once no matter where the
+// snapshot cut fell — and it truncates at the first torn or corrupt frame
+// (the tail a crash can legitimately leave), never applying anything beyond
+// it. A gap in the log (segments missing between the floor and the retained
+// tail) fails typed with ErrWALGap rather than silently skipping history.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// RecoveryStats summarizes a Recover pass.
+type RecoveryStats struct {
+	// SnapshotPath is the snapshot file the recovery restored from ("" when
+	// it started empty); SnapshotLSN its floor stamp.
+	SnapshotPath string
+	SnapshotLSN  uint64
+	// SegmentsScanned counts WAL segment files read during replay.
+	SegmentsScanned int
+	// RecordsApplied / RecordsSkipped count replayed WAL records: applied
+	// mutations vs records already reflected in the snapshot (or shadowed
+	// by a newer segment). RecordsOrphaned counts records for jobs that no
+	// longer exist (their drop landed before the snapshot cut).
+	RecordsApplied, RecordsSkipped, RecordsOrphaned int
+	// TornTail reports that replay stopped at a torn or corrupt frame — the
+	// expected signature of a crash mid-append; everything acknowledged
+	// before it was recovered.
+	TornTail bool
+	// NextLSN is the sequence number the reopened WAL will assign next:
+	// NextLSN-1 mutations are reflected in the recovered server.
+	NextLSN uint64
+}
+
+func (r RecoveryStats) String() string {
+	snap := "empty"
+	if r.SnapshotPath != "" {
+		snap = fmt.Sprintf("%s (floor %d)", filepath.Base(r.SnapshotPath), r.SnapshotLSN)
+	}
+	return fmt.Sprintf("snapshot %s, %d segments, %d applied, %d skipped, %d orphaned, torn=%v, next LSN %d",
+		snap, r.SegmentsScanned, r.RecordsApplied, r.RecordsSkipped, r.RecordsOrphaned, r.TornTail, r.NextLSN)
+}
+
+// Recover rebuilds a server from dir (point-in-time recovery: newest valid
+// snapshot + WAL replay), reopens the log for appending at the recovered
+// position, and attaches it, so the returned server logs every subsequent
+// mutation. dir must exist; a fresh empty directory recovers to an empty
+// server (first boot). cfg follows NewServer's defaulting and must carry a
+// predictor factory equivalent to the crashed server's (see
+// Config.NewPredictor). The caller owns Close on the returned WAL.
+func Recover(dir string, cfg Config, opts WALOptions) (*Server, *WAL, RecoveryStats, error) {
+	opts = opts.withDefaults()
+	var rst RecoveryStats
+
+	snaps, err := listSorted(opts.FS, dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return nil, nil, rst, fmt.Errorf("serve: recover: wal dir %s: %w", dir, err)
+	}
+	segs, err := listSorted(opts.FS, dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, nil, rst, fmt.Errorf("serve: recover: wal dir %s: %w", dir, err)
+	}
+
+	// Newest restorable snapshot wins; a corrupt one (crash while its
+	// predecessor segments were already retired would lose data, which is
+	// why CheckpointWAL retains one older generation) falls back to the
+	// next. No snapshot at all means a full-log replay from LSN 1.
+	sv := (*Server)(nil)
+	var floor uint64
+	for i := len(snaps) - 1; i >= 0 && sv == nil; i-- {
+		path := filepath.Join(dir, snaps[i].name)
+		rc, err := opts.FS.Open(path)
+		if err != nil {
+			continue
+		}
+		restored, fl, err := restoreServer(rc, cfg)
+		rc.Close()
+		if err != nil {
+			continue
+		}
+		sv, floor = restored, fl
+		rst.SnapshotPath, rst.SnapshotLSN = path, fl
+	}
+	if sv == nil {
+		sv = NewServer(cfg)
+	}
+
+	// Replay segments in base order. cursor is the next LSN the recovered
+	// state still needs; records below it are skipped (already reflected),
+	// and a segment starting beyond it is a hole in history.
+	cursor := floor
+	if cursor < 1 {
+		cursor = 1
+	}
+	for _, seg := range segs {
+		if seg.seq > cursor {
+			return nil, nil, rst, fmt.Errorf(
+				"serve: recover: %w: segment %s starts at LSN %d but records from %d are missing",
+				ErrWALGap, seg.name, seg.seq, cursor)
+		}
+		end, torn, err := replaySegment(sv, opts.FS, filepath.Join(dir, seg.name), seg.seq, cursor, floor, &rst)
+		rst.SegmentsScanned++
+		if err != nil {
+			return nil, nil, rst, err
+		}
+		if end > cursor {
+			cursor = end
+		}
+		if torn {
+			rst.TornTail = true
+		}
+	}
+	rst.NextLSN = cursor
+
+	w, err := openWALAt(dir, cursor, opts)
+	if err != nil {
+		return nil, nil, rst, err
+	}
+	sv.attachWAL(w)
+	return sv, w, rst, nil
+}
+
+// replaySegment replays one segment's records into sv. base is the LSN the
+// file name claims for the first record (cross-checked against the
+// segment's FrameLSNMark header); records below cursor are skipped as
+// already applied, and floor marks the snapshot cut for the per-job exact-
+// once rule. Returns the LSN one past the last decodable record and whether
+// the segment ended in a torn/corrupt frame instead of a clean EOF.
+func replaySegment(sv *Server, fs WALFS, path string, base, cursor, floor uint64, rst *RecoveryStats) (uint64, bool, error) {
+	rc, err := fs.Open(path)
+	if err != nil {
+		return base, false, fmt.Errorf("serve: recover: %w", err)
+	}
+	defer rc.Close()
+	wr := NewWireReader(rc)
+	lsn := base
+	first := true
+	for {
+		kind, payload, err := wr.next()
+		if err == io.EOF {
+			return lsn, false, nil
+		}
+		if errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt) ||
+			errors.Is(err, ErrBadMagic) || errors.Is(err, ErrVersion) {
+			// The tail a crash leaves: a partially written frame, or a
+			// partially written segment header. Everything before it is
+			// recovered; nothing after it is trusted.
+			return lsn, true, nil
+		}
+		if err != nil {
+			return lsn, false, fmt.Errorf("serve: recover: %s: %w", filepath.Base(path), err)
+		}
+		if first {
+			first = false
+			declared, err := decodeLSNMarkPayload(payload)
+			if kind != FrameLSNMark || err != nil || declared != base {
+				// A segment that does not open with its own base LSN cannot
+				// be placed in the sequence; treat it as wholly torn.
+				return lsn, true, nil
+			}
+			continue
+		}
+		recLSN := lsn
+		lsn++
+		if recLSN < cursor {
+			rst.RecordsSkipped++ // shadowed by an earlier segment's replay
+			continue
+		}
+		if err := applyWALRecord(sv, kind, payload, recLSN, floor, rst); err != nil {
+			return recLSN, false, fmt.Errorf("serve: recover: %s: record at LSN %d: %w",
+				filepath.Base(path), recLSN, err)
+		}
+	}
+}
+
+// applyWALRecord applies one decoded WAL record to sv, enforcing the
+// exact-once rules: records below the snapshot floor are skipped wholesale
+// (the floor proof in snapshotWithFloor guarantees they are reflected), and
+// records at or above it are skipped per job when the job's snapshot
+// section already carries an LSN at least as new (the mid-traffic snapshot
+// case). Mutations that decode but cannot apply cleanly mean the log and
+// the snapshot disagree — recovery fails typed instead of guessing.
+// Recovery is single-threaded, so the jobState resolved once per record
+// stays valid across the apply (only a FrameDrop removes it, and that is
+// the record being applied).
+func applyWALRecord(sv *Server, kind FrameKind, payload []byte, lsn, floor uint64, rst *RecoveryStats) error {
+	if lsn < floor {
+		rst.RecordsSkipped++
+		return nil
+	}
+	switch kind {
+	case FrameSpec:
+		sp, err := decodeSpecPayload(payload)
+		if err != nil {
+			return err
+		}
+		if j, ok := sv.reg.shardFor(sp.JobID).lookup(sp.JobID); ok {
+			if j.lsn >= lsn {
+				rst.RecordsSkipped++
+				return nil
+			}
+			return fmt.Errorf("%w: job %d re-registered at LSN %d while live since LSN %d",
+				ErrCorrupt, sp.JobID, lsn, j.lsn)
+		}
+		if err := sv.StartJob(sp, nil); err != nil {
+			return err
+		}
+		if j, ok := sv.reg.shardFor(sp.JobID).lookup(sp.JobID); ok {
+			j.lsn = lsn
+		}
+		rst.RecordsApplied++
+		return nil
+	case FrameEvent, FrameFinish:
+		var ev Event
+		var err error
+		if kind == FrameEvent {
+			ev, err = decodeEventPayload(payload)
+		} else {
+			ev.Kind = EventJobFinish
+			ev.JobID, ev.Time, err = decodeFinishPayload(payload)
+		}
+		if err != nil {
+			return err
+		}
+		j, ok := sv.reg.shardFor(ev.JobID).lookup(ev.JobID)
+		if !ok {
+			// The job's drop landed before the snapshot cut; its late events
+			// (a benign race the live server drains as drops) have nothing
+			// left to apply to.
+			rst.RecordsOrphaned++
+			return nil
+		}
+		if j.lsn >= lsn {
+			rst.RecordsSkipped++
+			return nil
+		}
+		if err := sv.Ingest(ev); err != nil {
+			return err
+		}
+		j.lsn = lsn
+		rst.RecordsApplied++
+		return nil
+	case FrameDrop:
+		jobID, err := decodeDropPayload(payload)
+		if err != nil {
+			return err
+		}
+		j, ok := sv.reg.shardFor(jobID).lookup(jobID)
+		if !ok {
+			rst.RecordsOrphaned++
+			return nil
+		}
+		if j.lsn >= lsn {
+			rst.RecordsSkipped++
+			return nil
+		}
+		if err := sv.DropJob(jobID); err != nil {
+			return err
+		}
+		rst.RecordsApplied++
+		return nil
+	default:
+		return fmt.Errorf("%w: frame kind %d in a WAL segment", ErrCorrupt, kind)
+	}
+}
+
+// CheckpointWAL writes a durable snapshot into the WAL directory (stamped
+// with its floor LSN, via a temp file renamed into place) and retires every
+// WAL segment wholly below the floor. One older snapshot generation is kept
+// so a crash that corrupts the newest file cannot orphan the log; older
+// ones and stale temp files are pruned. Returns the snapshot path and how
+// many segments were retired.
+func (sv *Server) CheckpointWAL() (string, int, error) {
+	w := sv.wal
+	if w == nil {
+		return "", 0, fmt.Errorf("serve: checkpoint: no WAL attached")
+	}
+	fs, dir := w.opts.FS, w.dir
+	// The snapshot itself runs outside the WAL mutex (it takes job locks;
+	// appends take job locks before the WAL's — holding both here would
+	// deadlock against ingest). ckptMu serializes whole checkpoints, so two
+	// concurrent calls can never interleave writes into one temp file or
+	// race the prune/retire bookkeeping.
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+	tmp := filepath.Join(dir, "checkpoint"+tmpSuffix)
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return "", 0, fmt.Errorf("serve: checkpoint: %w", err)
+	}
+	floor, err := sv.snapshotWithFloor(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fs.Remove(tmp)
+		return "", 0, fmt.Errorf("serve: checkpoint: %w", err)
+	}
+	path := filepath.Join(dir, snapName(floor))
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return "", 0, fmt.Errorf("serve: checkpoint: %w", err)
+	}
+	// The rename must be durable before anything it supersedes is removed;
+	// the prune/retire unlinks below need no dir sync of their own — a
+	// forgotten unlink only leaves an extra file recovery tolerates.
+	if err := fs.SyncDir(dir); err != nil {
+		return "", 0, fmt.Errorf("serve: checkpoint: sync dir: %w", err)
+	}
+	// Prune snapshots beyond the newest two, then retire segments only up
+	// to the oldest *kept* snapshot's floor — both kept generations must
+	// still chain to the retained log, or the fallback snapshot would be
+	// useless exactly when it is needed.
+	retireFloor := floor
+	snaps, err := listSorted(fs, dir, snapPrefix, snapSuffix)
+	if err == nil {
+		for i := 0; i+2 < len(snaps); i++ {
+			fs.Remove(filepath.Join(dir, snaps[i].name))
+		}
+		if len(snaps) >= 2 && snaps[len(snaps)-2].seq < retireFloor {
+			retireFloor = snaps[len(snaps)-2].seq
+		}
+	}
+	retired, err := w.RetireBelow(retireFloor)
+	if err != nil {
+		return path, retired, fmt.Errorf("serve: checkpoint: retire: %w", err)
+	}
+	return path, retired, nil
+}

@@ -31,7 +31,12 @@ import (
 
 // WireVersion is the current wire-format version. Readers reject streams
 // written by any other version (no silent cross-version decoding).
-const WireVersion uint16 = 1
+//
+// v2 (the WAL release): streams may carry FrameLSNMark / FrameFinish /
+// FrameDrop frames, snapshots open with an LSN-mark floor stamp, and the
+// FrameSnapJob payload carries the job's last-logged LSN. v1 snapshots and
+// dumps are rejected with a typed ErrVersion, not misdecoded.
+const WireVersion uint16 = 2
 
 // wireMagic opens every wire stream.
 var wireMagic = [8]byte{'N', 'U', 'R', 'D', 'W', 'I', 'R', 'E'}
@@ -53,6 +58,16 @@ const (
 	// FrameSnapCheckpoint carries one retained checkpoint view (the exact
 	// training snapshot the job's predictor saw at a fired boundary).
 	FrameSnapCheckpoint FrameKind = 4
+	// FrameLSNMark carries a log sequence number. As the first frame of a
+	// WAL segment it declares the LSN of the segment's first record; as the
+	// first frame of a snapshot it stamps the snapshot's floor — every WAL
+	// record below it is already reflected in the snapshot.
+	FrameLSNMark FrameKind = 5
+	// FrameFinish is the compact WAL record of a job-finish mutation
+	// (FinishJob or an EventJobFinish ingest): job ID plus close time.
+	FrameFinish FrameKind = 6
+	// FrameDrop is the WAL record of a DropJob mutation.
+	FrameDrop FrameKind = 7
 )
 
 // Typed decode errors, errors.Is-matchable through every wrapping layer.
@@ -334,6 +349,40 @@ func decodeSpecPayload(p []byte) (JobSpec, error) {
 	return sp, d.finish()
 }
 
+// appendLSNMarkPayload / decodeLSNMarkPayload carry a bare log sequence
+// number (FrameLSNMark).
+func appendLSNMarkPayload(e *wireEnc, lsn uint64) { e.u64(lsn) }
+
+func decodeLSNMarkPayload(p []byte) (uint64, error) {
+	d := wireDec{b: p}
+	lsn := d.u64()
+	return lsn, d.finish()
+}
+
+// appendFinishPayload / decodeFinishPayload carry a job-finish WAL record
+// (FrameFinish): the job and the close timestamp.
+func appendFinishPayload(e *wireEnc, jobID uint64, t float64) {
+	e.u64(jobID)
+	e.f64(t)
+}
+
+func decodeFinishPayload(p []byte) (uint64, float64, error) {
+	d := wireDec{b: p}
+	jobID := d.u64()
+	t := d.f64()
+	return jobID, t, d.finish()
+}
+
+// appendDropPayload / decodeDropPayload carry a DropJob WAL record
+// (FrameDrop): just the job ID.
+func appendDropPayload(e *wireEnc, jobID uint64) { e.u64(jobID) }
+
+func decodeDropPayload(p []byte) (uint64, error) {
+	d := wireDec{b: p}
+	jobID := d.u64()
+	return jobID, d.finish()
+}
+
 // --- framing ---
 
 // appendFrame wraps a payload in the frame envelope.
@@ -353,7 +402,7 @@ func DecodeFrame(b []byte) (FrameKind, []byte, int, error) {
 		return 0, nil, 0, fmt.Errorf("%w: %d bytes for a 5-byte frame header", ErrTruncated, len(b))
 	}
 	kind := FrameKind(b[0])
-	if kind < FrameSpec || kind > FrameSnapCheckpoint {
+	if kind < FrameSpec || kind > FrameDrop {
 		return 0, nil, 0, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, b[0])
 	}
 	n := uint32(b[1]) | uint32(b[2])<<8 | uint32(b[3])<<16 | uint32(b[4])<<24

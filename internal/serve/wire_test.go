@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"flag"
+	"fmt"
 	"io"
 	"math"
 	"os"
@@ -46,7 +47,9 @@ func encodeStream(t testing.TB, specs []JobSpec, events []Event) []byte {
 	return buf.Bytes()
 }
 
-func goldenPath() string { return filepath.Join("testdata", "wire_v1.golden") }
+func goldenPath() string {
+	return filepath.Join("testdata", fmt.Sprintf("wire_v%d.golden", WireVersion))
+}
 
 // TestWireGolden pins the byte-level format: today's encoder must reproduce
 // the committed golden stream exactly (any diff is a silent format break —
@@ -209,7 +212,7 @@ func TestWireCorruption(t *testing.T) {
 func TestWireVersionSkew(t *testing.T) {
 	specs, events := goldenElements()
 	enc := encodeStream(t, specs, events)
-	for _, v := range []uint16{0, 2, 255, math.MaxUint16} {
+	for _, v := range []uint16{0, WireVersion - 1, WireVersion + 1, 255, math.MaxUint16} {
 		mut := append([]byte(nil), enc...)
 		mut[8] = byte(v)
 		mut[9] = byte(v >> 8)
@@ -348,6 +351,30 @@ func FuzzWireDecode(f *testing.F) {
 			}
 		case FrameSnapJob:
 			_, _, _ = decodeSnapJob(payload) // must not panic
+		case FrameLSNMark:
+			if lsn, err := decodeLSNMarkPayload(payload); err == nil {
+				var e wireEnc
+				appendLSNMarkPayload(&e, lsn)
+				if !bytes.Equal(appendFrame(nil, kind, e.b), data[:n]) {
+					t.Fatalf("LSN mark re-encode diverges from input")
+				}
+			}
+		case FrameFinish:
+			if jobID, at, err := decodeFinishPayload(payload); err == nil {
+				var e wireEnc
+				appendFinishPayload(&e, jobID, at)
+				if !bytes.Equal(appendFrame(nil, kind, e.b), data[:n]) {
+					t.Fatalf("finish record re-encode diverges from input")
+				}
+			}
+		case FrameDrop:
+			if jobID, err := decodeDropPayload(payload); err == nil {
+				var e wireEnc
+				appendDropPayload(&e, jobID)
+				if !bytes.Equal(appendFrame(nil, kind, e.b), data[:n]) {
+					t.Fatalf("drop record re-encode diverges from input")
+				}
+			}
 		}
 	})
 }
