@@ -351,6 +351,16 @@ func BenchmarkFullReplayNURD(b *testing.B) {
 // several jobs' monitoring streams ingested concurrently into a
 // serve.Server running per-job NURD models, the heavy-traffic scenario of
 // cmd/nurdserve. Reports sustained events/s and the mean refit latency.
+// benchServeConfig pins the serving benchmarks to 8 shards (and, under a
+// WAL, 8 segment streams) so the WAL-on/off comparison in
+// BENCH_serve_wal.json measures the sharded durability path the roadmap
+// targets, independent of the host's core count.
+func benchServeConfig() serve.Config {
+	cfg := serve.DefaultConfig()
+	cfg.Shards = 8
+	return cfg
+}
+
 func BenchmarkServeThroughput(b *testing.B) {
 	const numJobs = 4
 	gen, err := trace.NewGenerator(trace.DefaultGoogleConfig(benchSeed))
@@ -371,7 +381,7 @@ func BenchmarkServeThroughput(b *testing.B) {
 	b.ResetTimer()
 	var lastServer *serve.Server
 	for i := 0; i < b.N; i++ {
-		sv := serve.NewServer(serve.DefaultConfig())
+		sv := serve.NewServer(benchServeConfig())
 		var wg sync.WaitGroup
 		for ji := range jobs {
 			if err := sv.StartJob(serve.SpecFor(sims[ji], benchSeed+uint64(ji)), nil); err != nil {
@@ -509,7 +519,7 @@ func BenchmarkServeThroughputWAL(b *testing.B) {
 		b.StopTimer()
 		dir := b.TempDir()
 		b.StartTimer()
-		sv, wal, _, err := serve.Recover(dir, serve.DefaultConfig(),
+		sv, wal, _, err := serve.Recover(dir, benchServeConfig(),
 			serve.WALOptions{SyncEvery: 2 * time.Millisecond})
 		if err != nil {
 			b.Fatal(err)
@@ -550,7 +560,7 @@ func BenchmarkWALRecovery(b *testing.B) {
 	}
 	jobs := gen.Jobs(numJobs)
 	dir := b.TempDir()
-	sv, wal, _, err := serve.Recover(dir, serve.DefaultConfig(),
+	sv, wal, _, err := serve.Recover(dir, benchServeConfig(),
 		serve.WALOptions{SyncEvery: 2 * time.Millisecond})
 	if err != nil {
 		b.Fatal(err)
@@ -576,7 +586,7 @@ func BenchmarkWALRecovery(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sv2, wal2, rst, err := serve.Recover(dir, serve.DefaultConfig(), serve.WALOptions{})
+		sv2, wal2, rst, err := serve.Recover(dir, benchServeConfig(), serve.WALOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -15,12 +15,22 @@
 // -wal <dir> makes the server durable between snapshots: every accepted
 // mutation is appended to a write-ahead log in dir before it is
 // acknowledged, and on start the server automatically recovers from the
-// newest snapshot plus the log (point-in-time recovery). A -replay after a
-// recovery resumes the dump exactly where the crashed process stopped —
-// kill -9 mid-replay, rerun the same command, and no event is lost or
-// applied twice. That resume math requires the dump to be the only
-// mutation source, so with -wal the -listen front end opens only after the
-// replay drains. The dir must already exist and be writable.
+// newest snapshot plus the log (point-in-time recovery). The log is
+// sharded — each registry shard's jobs append to their own segment stream
+// (-wal-streams; 0 follows the shard count) — and checkpoints itself on a
+// time and/or size policy (-wal-checkpoint-every / -wal-checkpoint-bytes),
+// so the retained log and recovery time stay bounded without operator
+// action. A -replay after a recovery resumes the dump exactly where the
+// crashed process stopped — kill -9 mid-replay, rerun the same command,
+// and no event is lost or applied twice. That resume math requires the
+// dump to be the only mutation source, so with -wal the -listen front end
+// opens only after the replay drains. The dir must already exist and be
+// writable.
+//
+// -wal-verify <dir> replays a WAL directory's structure offline — either
+// layout, including directories written before the per-shard upgrade — and
+// prints the recoverable LSN per shard plus the snapshot it would restore
+// from, without starting a server or writing a byte.
 //
 // Usage:
 //
@@ -32,11 +42,13 @@
 //	nurdserve -replay google-8.wire -speedup 1000 # in-process replay
 //	nurdserve -wal /var/lib/nurd -listen :8080    # durable serving
 //	nurdserve -wal ./wal -replay google-8.wire    # crash-resumable replay
+//	nurdserve -wal-verify /var/lib/nurd           # offline log inspection
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -68,12 +80,25 @@ func main() {
 		hold      = flag.Duration("hold", 0, "with -listen and -replay: keep serving this long after the replay drains")
 		walDir    = flag.String("wal", "", "write-ahead log directory (must exist); enables durable serving with automatic recovery on start")
 		syncEvery = flag.Duration("wal-sync", 2*time.Millisecond, "WAL group-commit fsync interval (0 = fsync every append)")
+		walStream = flag.Int("wal-streams", 0, "per-shard WAL segment streams (0 = the server's shard count)")
+		ckptEvery = flag.Duration("wal-checkpoint-every", time.Minute, "automatic WAL checkpoint period (0 disables the time trigger)")
+		ckptBytes = flag.Int64("wal-checkpoint-bytes", 64<<20, "automatic WAL checkpoint once this many bytes were appended since the last one (0 disables the size trigger)")
+		walVerify = flag.String("wal-verify", "", "offline: replay the WAL directory's structure and print the recoverable LSN per shard, then exit (no server is started)")
 	)
 	flag.Parse()
+	wopts := serve.WALOptions{
+		SyncEvery:       *syncEvery,
+		Streams:         *walStream,
+		CheckpointEvery: *ckptEvery,
+		CheckpointBytes: *ckptBytes,
+	}
 	var err error
-	if *listen != "" || *replay != "" || *walDir != "" {
-		err = serveMode(*listen, *replay, *shards, *speedup, *hold, *walDir, *syncEvery)
-	} else {
+	switch {
+	case *walVerify != "":
+		err = runWALVerify(*walVerify, os.Stdout)
+	case *listen != "" || *replay != "" || *walDir != "":
+		err = serveMode(*listen, *replay, *shards, *speedup, *hold, *walDir, wopts)
+	default:
 		err = run(*traceName, *jobs, *seed, *workers, *shards, *rate, *tolerance)
 	}
 	if err != nil {
@@ -82,12 +107,31 @@ func main() {
 	}
 }
 
+// runWALVerify prints the offline verifier's report for dir: the newest
+// structurally valid snapshot, the per-shard (and legacy) stream states,
+// and the LSN a recovery would resume at — without starting a server or
+// writing to the directory.
+func runWALVerify(dir string, w io.Writer) error {
+	if info, err := os.Stat(dir); err != nil {
+		return fmt.Errorf("wal-verify %s: %w", dir, err)
+	} else if !info.IsDir() {
+		return fmt.Errorf("wal-verify %s: not a directory", dir)
+	}
+	rep, err := serve.VerifyWAL(dir, serve.WALOptions{})
+	if err != nil {
+		return fmt.Errorf("wal-verify %s: %w", dir, err)
+	}
+	fmt.Fprintf(w, "%s\n", rep)
+	return nil
+}
+
 // setupServer builds the serving instance: a plain in-memory server, or —
 // when walDir is set — one recovered from walDir's newest snapshot plus
-// write-ahead log and wired to keep logging. Callers own Close on the
-// returned WAL (nil without -wal). Split from serveMode so flag validation
-// (missing dir, unwritable dir) is testable without a live listener.
-func setupServer(walDir string, shards int, syncEvery time.Duration) (*serve.Server, *serve.WAL, serve.RecoveryStats, error) {
+// write-ahead log and wired to keep logging (per-shard segment streams,
+// automatic checkpoints per wopts). Callers own Close on the returned WAL
+// (nil without -wal). Split from serveMode so flag validation (missing
+// dir, unwritable dir) is testable without a live listener.
+func setupServer(walDir string, shards int, wopts serve.WALOptions) (*serve.Server, *serve.WAL, serve.RecoveryStats, error) {
 	cfg := serve.DefaultConfig()
 	if shards > 0 {
 		cfg.Shards = shards
@@ -100,7 +144,7 @@ func setupServer(walDir string, shards int, syncEvery time.Duration) (*serve.Ser
 	} else if !info.IsDir() {
 		return nil, nil, serve.RecoveryStats{}, fmt.Errorf("wal dir %s: not a directory", walDir)
 	}
-	sv, wal, rst, err := serve.Recover(walDir, cfg, serve.WALOptions{SyncEvery: syncEvery})
+	sv, wal, rst, err := serve.Recover(walDir, cfg, wopts)
 	if err != nil {
 		return nil, nil, rst, fmt.Errorf("wal recovery from %s: %w", walDir, err)
 	}
@@ -110,8 +154,8 @@ func setupServer(walDir string, shards int, syncEvery time.Duration) (*serve.Ser
 // serveMode runs the durable wire-facing server: an HTTP front end, a
 // dump replay, or both (dump streamed through the front end), optionally
 // on top of a write-ahead log with automatic recovery.
-func serveMode(listen, replay string, shards int, speedup float64, hold time.Duration, walDir string, syncEvery time.Duration) error {
-	sv, wal, rst, err := setupServer(walDir, shards, syncEvery)
+func serveMode(listen, replay string, shards int, speedup float64, hold time.Duration, walDir string, wopts serve.WALOptions) error {
+	sv, wal, rst, err := setupServer(walDir, shards, wopts)
 	if err != nil {
 		return err
 	}

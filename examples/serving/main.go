@@ -139,13 +139,17 @@ func main() {
 
 	// 7. Kill and recover. Snapshots alone lose everything since the last
 	// one; a write-ahead log closes that window — every accepted mutation
-	// is durable before it is acknowledged. Run the same jobs on a server
-	// backed by a WAL directory, "kill" it halfway through the streams
-	// (drop the process image; the directory is all that survives), then
-	// point Recover at the directory: it restores the newest snapshot,
-	// replays the log tail, and reports exactly how many mutations the
-	// dead server had acknowledged, so the feed resumes without losing or
-	// double-applying a single event.
+	// is durable before it is acknowledged. The log is sharded like the
+	// registry: each shard's jobs append to their own segment stream
+	// (wal-<shard>-*.seg), so durability scales with the ingest path
+	// instead of serializing it behind one mutex. Run the same jobs on a
+	// server backed by a WAL directory, "kill" it halfway through the
+	// streams (drop the process image; the directory is all that
+	// survives), then point Recover at the directory: it restores the
+	// newest snapshot, merges the per-shard logs back into acknowledgment
+	// order, and reports exactly how many mutations the dead server had
+	// acknowledged, so the feed resumes without losing or double-applying
+	// a single event.
 	walDir, err := os.MkdirTemp("", "nurd-wal-*")
 	if err != nil {
 		log.Fatal(err)
@@ -153,6 +157,12 @@ func main() {
 	defer os.RemoveAll(walDir)
 	durable, wal, _, err := serve.Recover(walDir, serve.DefaultConfig(), serve.WALOptions{
 		SyncEvery: 2 * time.Millisecond, // group-commit fsync window
+		// Checkpoints are automatic: a background policy stamps a snapshot
+		// into the directory and retires covered segments on a wall-clock
+		// period and/or after so many appended bytes — no operator has to
+		// remember to call CheckpointWAL.
+		CheckpointEvery: 200 * time.Millisecond,
+		CheckpointBytes: 256 << 10,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -173,8 +183,9 @@ func main() {
 		}
 		acked++
 	}
-	// Mid-stream checkpoint: stamps the log position and retires segments
-	// a future recovery no longer needs.
+	// An explicit checkpoint still works (it serializes with the automatic
+	// policy); here it guarantees the crash below lands after at least one
+	// snapshot, so recovery replays only the tail.
 	if _, _, err := durable.CheckpointWAL(); err != nil {
 		log.Fatal(err)
 	}

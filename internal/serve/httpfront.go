@@ -29,7 +29,11 @@ package serve
 // (ErrOverloaded); a wedged or closed write-ahead log is 503
 // (ErrWALFailed/ErrWALClosed — retry after the operator intervenes);
 // protocol violations the server rejects (duplicate registration,
-// out-of-range tasks, schema mismatches) are 422.
+// out-of-range tasks, schema mismatches) are 422. Client-fault (4xx)
+// bodies carry the typed error detail; server-fault (5xx) bodies are
+// redacted to a generic message so internal paths and wrapped diagnostics
+// never reach remote clients (operators read them via /stats and the
+// process's own stderr instead).
 
 import (
 	"encoding/json"
@@ -78,6 +82,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
+}
+
+// errBody renders the response body for a failed request. Client-fault
+// codes (4xx) keep the typed error detail — the caller needs it to fix the
+// request — but server-fault codes (5xx) are redacted to a generic message:
+// their errors wrap internal state (filesystem paths, WAL wrap text,
+// operator-facing diagnostics) that belongs in the server's logs, not on
+// the wire to arbitrary remote clients.
+func errBody(code int, err error) string {
+	if code < 500 {
+		return err.Error()
+	}
+	if code == http.StatusServiceUnavailable {
+		return "service unavailable: the durability log is not accepting writes; retry after operator intervention"
+	}
+	return "internal server error"
 }
 
 // errCode classifies a serving error for transport. decodeErr marks errors
@@ -135,8 +155,9 @@ func (f *front) ingest(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
-		res.Error = err.Error()
-		writeJSON(w, errCode(err, decodeErr), res)
+		code := errCode(err, decodeErr)
+		res.Error = errBody(code, err)
+		writeJSON(w, code, res)
 		return
 	}
 }
@@ -176,7 +197,8 @@ func (f *front) query(w http.ResponseWriter, r *http.Request) {
 	}
 	vs, err := f.sv.Query(id, ids)
 	if err != nil {
-		writeJSON(w, errCode(err, false), IngestResult{Error: err.Error()})
+		code := errCode(err, false)
+		writeJSON(w, code, IngestResult{Error: errBody(code, err)})
 		return
 	}
 	writeJSON(w, http.StatusOK, vs)
@@ -190,7 +212,8 @@ func (f *front) report(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := f.sv.Report(id)
 	if err != nil {
-		writeJSON(w, errCode(err, false), IngestResult{Error: err.Error()})
+		code := errCode(err, false)
+		writeJSON(w, code, IngestResult{Error: errBody(code, err)})
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
@@ -200,12 +223,39 @@ func (f *front) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, f.sv.Stats())
 }
 
+// snapshotWriter tracks whether any response byte was attempted: once a
+// Write reaches the ResponseWriter the 200 status is committed (net/http
+// writes it implicitly), so a later error can neither change the status
+// nor append text without corrupting the wire stream.
+type snapshotWriter struct {
+	w     http.ResponseWriter
+	wrote bool
+}
+
+func (sw *snapshotWriter) Write(p []byte) (int, error) {
+	if len(p) > 0 {
+		sw.wrote = true
+	}
+	return sw.w.Write(p)
+}
+
 func (f *front) snapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", wireContentType)
-	// Snapshot streams directly; an error after the first byte cannot be
-	// signalled in-band, but the wire format is self-checking — a cut or
-	// corrupted stream fails RestoreServer rather than restoring silently.
-	if err := f.sv.Snapshot(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	sw := &snapshotWriter{w: w}
+	if err := f.sv.Snapshot(sw); err == nil {
+		return
+	} else if !sw.wrote {
+		// Clean failure: nothing reached the wire, so a real status code
+		// still can.
+		http.Error(w, errBody(http.StatusInternalServerError, err), http.StatusInternalServerError)
+	} else {
+		// Bytes are already on the wire under an implicit 200. http.Error
+		// here would both log a superfluous WriteHeader and append error
+		// text to a partial wire stream, which a client could mistake for
+		// frames; aborting the connection is the one unambiguous signal.
+		// (The wire format is self-checking, so even a client that ignores
+		// the hard close fails typed in RestoreServer rather than
+		// restoring a silent prefix.)
+		panic(http.ErrAbortHandler)
 	}
 }

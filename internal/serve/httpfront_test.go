@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -300,5 +301,155 @@ func TestHTTPConcurrentClients(t *testing.T) {
 		if !rep.Done {
 			t.Errorf("job %d not done after its chunks drained", jobs[i].ID)
 		}
+	}
+}
+
+// failAfterWriter is an http.ResponseWriter whose body fails after limit
+// bytes — the shape of a client that dies mid-download or a proxy that
+// cuts the stream. It records whether the handler explicitly set a status.
+type failAfterWriter struct {
+	hdr       http.Header
+	buf       bytes.Buffer
+	limit     int
+	statuses  []int
+	writeErrs int
+}
+
+func (f *failAfterWriter) Header() http.Header {
+	if f.hdr == nil {
+		f.hdr = make(http.Header)
+	}
+	return f.hdr
+}
+
+func (f *failAfterWriter) WriteHeader(code int) { f.statuses = append(f.statuses, code) }
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	room := f.limit - f.buf.Len()
+	if room <= 0 {
+		f.writeErrs++
+		return 0, fmt.Errorf("stream cut by peer")
+	}
+	if len(p) > room {
+		f.buf.Write(p[:room])
+		f.writeErrs++
+		return room, fmt.Errorf("stream cut by peer")
+	}
+	f.buf.Write(p)
+	return len(p), nil
+}
+
+// TestSnapshotMidStreamAbort is the regression test for the /snapshot
+// error path: once snapshot bytes are on the wire, a mid-stream write
+// failure must abort the connection (panic(http.ErrAbortHandler), the
+// net/http contract for a hard close) — never call WriteHeader again, and
+// never append error text to the partial wire stream.
+func TestSnapshotMidStreamAbort(t *testing.T) {
+	jobs, sims := smallJobs(t, 1, 83)
+	sv := NewServer(Config{Shards: 1})
+	if err := sv.StartJob(SpecFor(sims[0], 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.IngestBatch(JobEvents(jobs[0], sims[0])); err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	if err := sv.Snapshot(&full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() < 64 {
+		t.Fatalf("snapshot too small (%d bytes) to cut mid-stream", full.Len())
+	}
+	h := NewHandler(sv)
+
+	for _, limit := range []int{1, 17, full.Len() / 2, full.Len() - 1} {
+		fw := &failAfterWriter{limit: limit}
+		aborted := func() (aborted bool) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if r != http.ErrAbortHandler {
+					t.Fatalf("limit %d: handler panicked with %v, want http.ErrAbortHandler", limit, r)
+				}
+				aborted = true
+			}()
+			h.ServeHTTP(fw, httptest.NewRequest(http.MethodGet, "/snapshot", nil))
+			return false
+		}()
+		if !aborted {
+			t.Fatalf("limit %d: mid-stream write failure did not abort the connection", limit)
+		}
+		if len(fw.statuses) != 0 {
+			t.Errorf("limit %d: handler wrote status %v after the stream started (superfluous WriteHeader)", limit, fw.statuses)
+		}
+		// Nothing but the true snapshot prefix may reach the wire: the cut
+		// body must be a byte-prefix of the real stream, with no error text
+		// appended after the failure.
+		if got := fw.buf.Bytes(); !bytes.Equal(got, full.Bytes()[:len(got)]) {
+			t.Errorf("limit %d: response diverged from the snapshot stream", limit)
+		}
+	}
+
+	// A healthy writer still streams the whole snapshot with an implicit
+	// 200 (no explicit status call, no trailing garbage).
+	fw := &failAfterWriter{limit: full.Len() + 1}
+	h.ServeHTTP(fw, httptest.NewRequest(http.MethodGet, "/snapshot", nil))
+	if len(fw.statuses) != 0 || !bytes.Equal(fw.buf.Bytes(), full.Bytes()) {
+		t.Errorf("clean snapshot altered the stream (statuses %v, %d vs %d bytes)",
+			fw.statuses, fw.buf.Len(), full.Len())
+	}
+	if _, err := RestoreServer(bytes.NewReader(fw.buf.Bytes()), Config{Shards: 1}); err != nil {
+		t.Errorf("streamed snapshot does not restore: %v", err)
+	}
+}
+
+// TestServerFaultBodiesRedacted pins the 5xx redaction contract: a wedged
+// write-ahead log surfaces to remote clients as 503 with a generic body —
+// no filesystem paths, no wrapped internal error text — while client-fault
+// responses (404 here) keep the typed detail the caller needs.
+func TestServerFaultBodiesRedacted(t *testing.T) {
+	fs := newMemFS()
+	sv, wal, _, err := Recover("wal", cheapCfg(1), WALOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	spec := JobSpec{JobID: 7, Schema: []string{"cpu"}, NumTasks: 2, TauStra: 10,
+		Horizon: 100, Checkpoints: 4, WarmFrac: 0.25, Seed: 7}
+	if err := sv.StartJob(spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	fs.setBudget(fs.totalWritten()) // every further WAL write fails: wedged log
+	ts := httptest.NewServer(NewHandler(sv))
+	defer ts.Close()
+
+	resp, res := postIngest(t, ts, wireBody(t, nil, []Event{
+		{Kind: EventTaskStart, JobID: 7, TaskID: 0, Time: 1}}))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest against a wedged WAL: %s (%s)", resp.Status, res.Error)
+	}
+	for _, leak := range []string{"wal", "serve", "memfs", "/", "crashed"} {
+		if strings.Contains(strings.ToLower(res.Error), leak) {
+			t.Errorf("503 body leaks internal detail %q: %q", leak, res.Error)
+		}
+	}
+	if res.Error == "" {
+		t.Error("503 body carries no message at all")
+	}
+
+	// Client faults keep their diagnostic detail.
+	resp, res = postIngest(t, ts, wireBody(t, nil, []Event{
+		{Kind: EventTaskStart, JobID: 999, TaskID: 0, Time: 1}}))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ingest for an unknown job: %s", resp.Status)
+	}
+	if !strings.Contains(res.Error, "unknown job") {
+		t.Errorf("404 body lost its typed detail: %q", res.Error)
+	}
+	var out []TaskVerdict
+	if resp := getJSON(t, ts, "/query?job=999&tasks=0", &out); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("query for an unknown job: %s", resp.Status)
 	}
 }

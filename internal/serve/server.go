@@ -40,7 +40,11 @@ type Config struct {
 	// shard receives more than about its fair share (the distribution is
 	// test-enforced at <2x the mean over 10k sequential IDs). The count is
 	// a concurrency knob only — it does not affect results, and a snapshot
-	// taken at one shard count restores cleanly at another.
+	// taken at one shard count restores cleanly at another. Servers
+	// recovered with a write-ahead log fan durability the same way: by
+	// default the WAL runs one segment stream per shard (capped at
+	// GOMAXPROCS — see WALOptions.Streams), routed by the same hash, so a
+	// job's appends take only its own shard's stream lock.
 	Shards int
 	// NewPredictor builds a predictor for jobs registered without an
 	// explicit one. The default constructs the paper's NURD configuration
@@ -166,12 +170,14 @@ func (sv *Server) release(numTasks int) {
 	sv.tasks.Add(int64(-numTasks))
 }
 
-// attachWAL wires w into the server and every shard. It must run before
-// the server takes any traffic (Recover, the only caller, does); attaching
-// to a live server would race the shards' lock-free wal reads.
+// attachWAL wires w into the server and every shard, and arms the WAL's
+// automatic checkpoint policy when its options request one. It must run
+// before the server takes any traffic (Recover, the only caller, does);
+// attaching to a live server would race the shards' lock-free wal reads.
 func (sv *Server) attachWAL(w *WAL) {
 	sv.wal = w
 	sv.reg.each(func(s *shard) { s.wal = w })
+	w.startAutoCheckpoint(sv)
 }
 
 // WAL returns the attached write-ahead log, nil when the server runs

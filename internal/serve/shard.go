@@ -30,7 +30,10 @@ type shard struct {
 	// wal, when non-nil, receives one record per accepted mutation, written
 	// before the owning lock (s.mu for start/drop, the job's mu for events)
 	// is released — the ordering that makes log replay reproduce the live
-	// apply order. Set once by Server.attachWAL before any traffic.
+	// apply order. The log is sharded like the registry: an append takes
+	// only the job's own stream lock (job/shard lock before stream lock,
+	// never the reverse), so logging here never serializes against other
+	// shards' traffic. Set once by Server.attachWAL before any traffic.
 	wal *WAL
 
 	// Counters accumulate as events happen (not derived from live jobs) so

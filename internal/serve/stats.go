@@ -90,8 +90,9 @@ type Stats struct {
 	Refits     uint64
 	RefitTotal time.Duration
 	RefitMax   time.Duration
-	// WAL carries the write-ahead log's counters (segments, next LSN,
-	// group-commit backlog) when the server runs with one; nil otherwise.
+	// WAL carries the write-ahead log's counters (segments, per-shard
+	// streams, next LSN, group-commit backlog, checkpoints) when the server
+	// runs with one; nil otherwise.
 	WAL *WALStats `json:"WAL,omitempty"`
 }
 
@@ -108,8 +109,8 @@ func (s Stats) String() string {
 	base := fmt.Sprintf("jobs=%d active=%d events=%d dropped=%d refits=%d refit_mean=%s refit_max=%s terminations=%d queries=%d",
 		s.Jobs, s.ActiveJobs, s.Events, s.DroppedEvents, s.Refits, s.RefitMean(), s.RefitMax, s.Terminations, s.Queries)
 	if s.WAL != nil {
-		base += fmt.Sprintf(" wal_segments=%d wal_next_lsn=%d wal_pending=%dB",
-			s.WAL.Segments, s.WAL.NextLSN, s.WAL.PendingBytes)
+		base += fmt.Sprintf(" wal_streams=%d wal_segments=%d wal_next_lsn=%d wal_pending=%dB wal_checkpoints=%d",
+			s.WAL.Streams, s.WAL.Segments, s.WAL.NextLSN, s.WAL.PendingBytes, s.WAL.Checkpoints)
 	}
 	return base
 }

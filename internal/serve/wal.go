@@ -4,19 +4,39 @@ package serve
 // StartJob, Ingest (including the benignly dropped late events, which still
 // move counters), FinishJob, DropJob — is appended as one CRC-framed wire
 // record to a rotating segment file before the owning lock is released, so
-// a crash between snapshots loses nothing that was acknowledged. Records do
-// not carry their log sequence number (LSN) explicitly: each segment opens
-// with a FrameLSNMark declaring the LSN of its first record, and record i
-// of the segment has LSN base+i. LSNs are 1-based; 0 means "never logged".
+// a crash between snapshots loses nothing that was acknowledged.
 //
-// Durability model: a record is written to the segment file (one Write
+// The log is sharded: each registry shard's jobs append to their own
+// rotating segment stream (wal-<shard>-<stamp>.seg), so an append contends
+// only on the stream of the shard that already owns the job — there is no
+// global WAL mutex on the hot path. Log sequence numbers stay global (one
+// atomic counter), and because per-shard streams interleave that sequence,
+// every record carries its LSN explicitly (FrameRecord); each segment opens
+// with a FrameSegHeader declaring its name stamp and the stream's previous
+// end LSN, the chain link recovery uses to detect missing segments.
+// Directories written by the old single-stream layout (wal-<base>.seg,
+// implicit LSNs from a FrameLSNMark header) recover unchanged; new appends
+// always land in per-shard streams.
+//
+// Durability model: a record is written to its segment file (one Write
 // call, i.e. into the OS page cache) before the mutation is acknowledged,
-// so an acknowledged mutation survives a process crash. fsync is group-
-// committed: with WALOptions.SyncEvery == 0 every append syncs before it
-// returns (full power-loss durability, slowest); with SyncEvery > 0 a
-// background flusher syncs at that interval, so at most one interval of
-// acknowledged records is exposed to power loss. Rotation and Close always
-// sync.
+// so an acknowledged mutation survives a process crash. Because sibling
+// streams interleave the LSN sequence, acknowledgment additionally waits
+// for the commit watermark — every lower LSN written (and, with SyncEvery
+// == 0, synced) — so a crash can never leave a hole in the log *below* an
+// acknowledged record; the hole a crash can leave holds only
+// unacknowledged records, which is exactly what recovery truncates. fsync
+// is group-committed: with WALOptions.SyncEvery == 0 every append syncs
+// before it returns (full power-loss durability, slowest); with SyncEvery
+// > 0 a background flusher syncs all streams at that interval, so at most
+// one interval of acknowledged records is exposed to power loss. Rotation
+// and Close always sync.
+//
+// Checkpointing is automatic: WALOptions.CheckpointEvery (wall clock) and
+// CheckpointBytes (appended bytes since the last checkpoint) arm a
+// background policy that stamps a snapshot into the directory and retires
+// covered segments per stream — Server.CheckpointWAL remains for explicit
+// control, but operators no longer have to remember to call it.
 //
 // The filesystem is abstracted behind WALFS so the crash-injection torture
 // harness can kill the log at every byte offset; production code uses the
@@ -28,10 +48,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -112,10 +134,10 @@ func (osFS) SyncDir(dir string) error {
 
 // WALOptions sizes a WAL.
 type WALOptions struct {
-	// SegmentBytes is the rotation threshold: once a segment holds at least
-	// this many bytes the next append lands in a fresh segment. 0 means the
-	// 4 MiB default; segments bound both the replay unit and how much log a
-	// checkpoint can retire at once.
+	// SegmentBytes is the per-stream rotation threshold: once a stream's
+	// open segment holds at least this many bytes the next append lands in
+	// a fresh segment. 0 means the 4 MiB default; segments bound both the
+	// replay unit and how much log a checkpoint can retire at once.
 	SegmentBytes int64
 	// SyncEvery is the group-commit fsync interval. 0 syncs every append
 	// (full power-loss durability); > 0 runs a background flusher at that
@@ -123,6 +145,25 @@ type WALOptions struct {
 	// power loss (a process crash loses nothing either way — appends reach
 	// the OS before they are acknowledged).
 	SyncEvery time.Duration
+	// Streams is how many per-shard segment streams appends fan across.
+	// 0 means the recovering server's shard count, additionally capped at
+	// GOMAXPROCS (and MaxWALStreams): only that many appends can contend at
+	// once, while every stream dirty inside a group-commit window costs its
+	// own fsync — fanning out past the CPU count buys no parallelism and
+	// multiplies flush load on the log device. The count is a concurrency
+	// knob, not state: records carry global LSNs, so a directory written at
+	// one stream count recovers at any other.
+	Streams int
+	// CheckpointEvery arms the automatic checkpoint policy's wall-clock
+	// trigger: a background goroutine stamps a snapshot into the WAL
+	// directory (exactly like Server.CheckpointWAL) at this period.
+	// 0 disables the timer.
+	CheckpointEvery time.Duration
+	// CheckpointBytes arms the automatic checkpoint policy's size trigger:
+	// a checkpoint is taken once this many bytes have been appended since
+	// the previous checkpoint, bounding both recovery time and retained log
+	// size under sustained traffic. 0 disables the size trigger.
+	CheckpointBytes int64
 	// FS overrides the filesystem (fault injection in tests). nil = OS.
 	FS WALFS
 }
@@ -130,6 +171,11 @@ type WALOptions struct {
 // DefaultWALSegmentBytes is the segment rotation threshold when
 // WALOptions.SegmentBytes is 0.
 const DefaultWALSegmentBytes = 4 << 20
+
+// MaxWALStreams caps the per-shard stream fan-out (file handles, segment
+// churn). Shard counts above it share streams, which is only a contention
+// matter, never a correctness one.
+const MaxWALStreams = 64
 
 func (o WALOptions) withDefaults() WALOptions {
 	if o.SegmentBytes <= 0 {
@@ -141,11 +187,52 @@ func (o WALOptions) withDefaults() WALOptions {
 	return o
 }
 
+// streamCount resolves the fan-out: the explicit option, or the recovering
+// server's shard count capped at GOMAXPROCS (see WALOptions.Streams for
+// why), always within [1, MaxWALStreams].
+func (o WALOptions) streamCount(shards int) int {
+	n := o.Streams
+	if n <= 0 {
+		n = shards
+		if p := runtime.GOMAXPROCS(0); n > p {
+			n = p
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxWALStreams {
+		n = MaxWALStreams
+	}
+	return n
+}
+
+// WALStreamStats reports one per-shard stream's counters.
+type WALStreamStats struct {
+	// Shard is the stream index (appends route by mix64(jobID) % streams).
+	Shard int `json:"shard"`
+	// Segments counts the stream's live segment files.
+	Segments int `json:"segments"`
+	// LastLSN is the last log sequence number appended to this stream
+	// (0: none yet).
+	LastLSN uint64 `json:"last_lsn"`
+	// Appends counts records appended to this stream by this process;
+	// Bytes their framed size.
+	Appends uint64 `json:"appends"`
+	Bytes   uint64 `json:"bytes"`
+	// Syncs counts fsync calls; PendingBytes the group-commit backlog.
+	Syncs        uint64 `json:"syncs"`
+	PendingBytes int64  `json:"pending_bytes"`
+}
+
 // WALStats reports a WAL's counters; /stats serves them as the "wal"
 // object.
 type WALStats struct {
-	// Segments counts live segment files (including the one being written).
+	// Segments counts live segment files across all streams (including any
+	// legacy single-stream segments retained from before an upgrade).
 	Segments int `json:"segments"`
+	// Streams is the per-shard stream fan-out of this writer.
+	Streams int `json:"streams"`
 	// NextLSN is the next log sequence number to be assigned; NextLSN-1
 	// records have been appended over the log's lifetime.
 	NextLSN uint64 `json:"next_lsn"`
@@ -161,39 +248,102 @@ type WALStats struct {
 	FsyncLag     time.Duration `json:"fsync_lag_ns"`
 	// RetiredSegments counts segments removed by checkpoints.
 	RetiredSegments uint64 `json:"retired_segments"`
+	// Checkpoints counts completed checkpoints (automatic or explicit);
+	// CheckpointFailures the attempts that errored (the policy retries on
+	// its next trigger).
+	Checkpoints        uint64 `json:"checkpoints"`
+	CheckpointFailures uint64 `json:"checkpoint_failures"`
+	// PerStream breaks the counters down by stream so operators can spot a
+	// hot shard's durability lag.
+	PerStream []WALStreamStats `json:"per_stream,omitempty"`
 }
 
-// WAL is an append-only log of serving mutations. Appends are internal
-// (the Server calls them under its own locks); operators interact with a
-// WAL through Recover, Server.CheckpointWAL, Stats, Sync, and Close.
+// WAL is an append-only, sharded log of serving mutations. Appends are
+// internal (the Server calls them under its own locks); operators interact
+// with a WAL through Recover, Server.CheckpointWAL, Stats, Sync, and Close.
 type WAL struct {
 	dir  string
 	opts WALOptions
 
+	// seq is the next global LSN to assign; streams interleave it. Reading
+	// it (NextLSN, the snapshot floor) needs no locks.
+	seq atomic.Uint64
+
+	streams []*walStream
+
+	// ro holds read-only segment groups recovery handed over: legacy
+	// single-stream segments (key legacyGroup) and streams of shard indices
+	// beyond the configured fan-out (a directory written at a higher stream
+	// count). They are never appended to; checkpoints retire them once
+	// covered. Each group records its last LSN (learned by recovery) so its
+	// final segment — whose extent no successor bounds — can retire too.
+	roMu sync.Mutex
+	ro   map[int]*roSegGroup
+
+	// failed latches the first write error of any stream; every later
+	// append on every stream returns it (one wedged stream wedges the
+	// server's durability guarantee as a whole). Atomic so the hot append
+	// path reads it without a shared lock.
+	failed atomic.Pointer[error]
+
+	// inflight publishes, per stream, the LSN currently being appended
+	// (0: none; inflightClaim: an LSN is being assigned right now). The
+	// commit watermark derived from it — the highest LSN below which every
+	// record's write has completed — gates acknowledgment: an append
+	// returns only once the watermark covers its LSN, so no mutation is
+	// ever acknowledged while a lower LSN is still unwritten in a sibling
+	// stream. Without this, a process crash could leave a hole *below* an
+	// acknowledged record, and recovery's hole truncation would discard
+	// acknowledged data.
+	inflight []atomic.Uint64
+
+	closed atomic.Bool
+
+	// Automatic checkpoint policy state. sinceCkpt accumulates appended
+	// bytes; crossing CheckpointBytes pokes ckptCh (at most one poke
+	// outstanding, guarded by ckptArmed).
+	sinceCkpt atomic.Int64
+	ckptArmed atomic.Bool
+	ckptCh    chan struct{}
+	ckpts     atomic.Uint64
+	ckptFails atomic.Uint64
+	ckptFloor atomic.Uint64 // floor of the last completed checkpoint
+	retired   atomic.Uint64
+
+	stop chan struct{}
+	bg   sync.WaitGroup
+
+	// ckptMu serializes whole checkpoints (automatic or explicit) — the
+	// snapshot itself runs outside the stream locks (it takes job locks,
+	// which appends hold before stream locks), so checkpoints need their
+	// own exclusion.
+	ckptMu sync.Mutex
+}
+
+// walStream is one per-shard segment stream. mu covers the open segment
+// and the stream's counters; the hot append path takes exactly this one
+// lock. syncMu serializes the operations that may fsync or close the open
+// file (group-commit flush, rotation, Close) with each other, so the flush
+// can run its fsync *outside* mu — appends keep flowing into the segment
+// while its group commit is in flight. Lock order: syncMu before mu.
+type walStream struct {
+	w     *WAL
+	shard int
+
+	syncMu       sync.Mutex
 	mu           sync.Mutex
-	f            WALFile
-	seq          uint64 // next LSN to assign (1-based)
-	segStart     uint64 // LSN of the open segment's first record
-	written      int64  // bytes in the open segment
-	pending      int64  // bytes appended since the last sync
+	f            WALFile // open segment; nil until the first append (lazy)
+	stamp        uint64  // open segment's name stamp
+	lastLSN      uint64  // last LSN appended to this stream (recovered or live)
+	written      int64   // bytes in the open segment
+	pending      int64   // bytes appended since the last sync
 	pendingSince time.Time
-	segments     int
+	segs         []walEntry // live segments of this stream, ascending stamp
 	appends      uint64
 	bytes        uint64
 	syncs        uint64
-	retired      uint64
-	failed       error // sticky first write error
-	closed       bool
-
-	stop     chan struct{}
-	flusher  sync.WaitGroup
-	buf      []byte // payload scratch, reused under mu
-	frameBuf []byte // frame scratch, reused under mu
-
-	// ckptMu serializes CheckpointWAL calls — the snapshot itself runs
-	// outside w.mu (it takes job locks, which appends hold before w.mu),
-	// so checkpoints need their own exclusion.
-	ckptMu sync.Mutex
+	buf          []byte // record payload scratch, reused under mu
+	frameBuf     []byte // frame scratch, reused under mu
 }
 
 // segment / snapshot file naming inside the WAL directory.
@@ -205,8 +355,18 @@ const (
 	tmpSuffix  = ".tmp"
 )
 
-func segName(base uint64) string  { return fmt.Sprintf("%s%016x%s", segPrefix, base, segSuffix) }
-func snapName(lsn uint64) string  { return fmt.Sprintf("%s%016x%s", snapPrefix, lsn, snapSuffix) }
+// segName is the legacy single-stream segment name (wal-<base>.seg); new
+// segments are named by walSegName. Both parse distinctly: the legacy hex
+// field is exactly 16 digits, the per-shard form carries a 4-digit shard.
+func segName(base uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, base, segSuffix) }
+
+// walSegName names a per-shard segment: wal-<shard>-<stamp>.seg.
+func walSegName(shard int, stamp uint64) string {
+	return fmt.Sprintf("%s%04x-%016x%s", segPrefix, shard, stamp, segSuffix)
+}
+
+func snapName(lsn uint64) string { return fmt.Sprintf("%s%016x%s", snapPrefix, lsn, snapSuffix) }
+
 func parseSeq(name, prefix, suffix string) (uint64, bool) {
 	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
 		return 0, false
@@ -219,8 +379,30 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 	return v, err == nil
 }
 
+// parseShardSeg parses a per-shard segment name (wal-<shard>-<stamp>.seg).
+func parseShardSeg(name string) (shard int, stamp uint64, ok bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, 0, false
+	}
+	mid := name[len(segPrefix) : len(name)-len(segSuffix)]
+	if len(mid) != 4+1+16 || mid[4] != '-' {
+		return 0, 0, false
+	}
+	s, err := strconv.ParseUint(mid[:4], 16, 16)
+	if err != nil {
+		return 0, 0, false
+	}
+	v, err := strconv.ParseUint(mid[5:], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return int(s), v, true
+}
+
 // listSorted returns the (name, sequence) pairs in dir matching
-// prefix/suffix, in ascending sequence order.
+// prefix/suffix, in ascending sequence order. Per-shard segment names do
+// not match the legacy segment pattern (their hex field is 21 characters),
+// so listing legacy segments never picks them up, and vice versa.
 func listSorted(fs WALFS, dir, prefix, suffix string) ([]walEntry, error) {
 	names, err := fs.ReadDir(dir)
 	if err != nil {
@@ -236,50 +418,226 @@ func listSorted(fs WALFS, dir, prefix, suffix string) ([]walEntry, error) {
 	return out, nil
 }
 
+// listShardSegs groups dir's per-shard segments by shard, each group in
+// ascending stamp order.
+func listShardSegs(fs WALFS, dir string) (map[int][]walEntry, error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[int][]walEntry)
+	for _, n := range names {
+		if shard, stamp, ok := parseShardSeg(n); ok {
+			groups[shard] = append(groups[shard], walEntry{name: n, seq: stamp})
+		}
+	}
+	for _, segs := range groups {
+		sort.Slice(segs, func(a, b int) bool { return segs[a].seq < segs[b].seq })
+	}
+	return groups, nil
+}
+
 type walEntry struct {
 	name string
 	seq  uint64
 }
 
-// openWALAt opens dir for appending with the next record at LSN seq,
-// starting a fresh segment (recovery never appends to a possibly-torn
-// tail). Callers outside recovery use Recover, which computes seq.
-func openWALAt(dir string, seq uint64, opts WALOptions) (*WAL, error) {
-	opts = opts.withDefaults()
+// roSegGroup is a read-only segment group: its files are retained only
+// until a checkpoint floor covers them. end is the group's last record LSN
+// (0 when the group holds no records).
+type roSegGroup struct {
+	segs []walEntry
+	end  uint64
+}
+
+// legacyGroup keys the old single-stream segments in WAL.ro.
+const legacyGroup = -1
+
+// newWAL builds the writer Recover attaches: the global sequence resumes at
+// seq, per-stream tails at streamLast (recovery's per-stream last retained
+// LSNs), and read-only groups (legacy single-stream segments, out-of-range
+// shard streams) are carried for retirement. No segment is created until a
+// stream's first append (recovery never appends to a possibly-torn tail,
+// and idle streams leave no empty files).
+func newWAL(dir string, seq uint64, streams int, streamLast map[int]uint64,
+	streamSegs map[int][]walEntry, ro map[int]*roSegGroup, opts WALOptions) *WAL {
 	if seq < 1 {
 		seq = 1
 	}
-	segs, err := listSorted(opts.FS, dir, segPrefix, segSuffix)
-	if err != nil {
-		return nil, fmt.Errorf("serve/wal: open %s: %w", dir, err)
+	if ro == nil {
+		ro = make(map[int]*roSegGroup)
 	}
-	w := &WAL{dir: dir, opts: opts, seq: seq, segments: len(segs), stop: make(chan struct{})}
-	w.mu.Lock()
-	err = w.rotateLocked()
-	w.mu.Unlock()
-	if err != nil {
-		return nil, err
+	w := &WAL{
+		dir:    dir,
+		opts:   opts,
+		ro:     ro,
+		ckptCh: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	w.seq.Store(seq)
+	w.streams = make([]*walStream, streams)
+	w.inflight = make([]atomic.Uint64, streams)
+	for i := range w.streams {
+		w.streams[i] = &walStream{w: w, shard: i, lastLSN: streamLast[i], segs: streamSegs[i]}
 	}
 	if opts.SyncEvery > 0 {
-		w.flusher.Add(1)
+		w.bg.Add(1)
 		go w.flushLoop()
 	}
-	return w, nil
+	return w
 }
 
-// rotateLocked syncs and closes the open segment (if any) and starts a new
-// one whose first record will be w.seq. Called with w.mu held.
-func (w *WAL) rotateLocked() error {
-	if w.f != nil {
-		if err := w.syncLocked(); err != nil {
+// startAutoCheckpoint arms the background checkpoint policy against sv.
+// Called by Server.attachWAL before the server takes traffic.
+func (w *WAL) startAutoCheckpoint(sv *Server) {
+	if w.opts.CheckpointEvery <= 0 && w.opts.CheckpointBytes <= 0 {
+		return
+	}
+	w.bg.Add(1)
+	go w.checkpointLoop(sv)
+}
+
+func (w *WAL) checkpointLoop(sv *Server) {
+	defer w.bg.Done()
+	var tick <-chan time.Time
+	if w.opts.CheckpointEvery > 0 {
+		t := time.NewTicker(w.opts.CheckpointEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick:
+		case <-w.ckptCh:
+		}
+		// An idle server has nothing new to cover: re-snapshotting the same
+		// state every tick would burn full-registry serialization and disk
+		// I/O for a snapshot with an identical floor. (Explicit
+		// CheckpointWAL calls are not gated — an operator asking for a
+		// checkpoint gets one.)
+		if w.seq.Load() == w.ckptFloor.Load() {
+			continue
+		}
+		// Errors do not wedge the policy: a full disk at checkpoint time
+		// leaves the log intact, and the next trigger retries — the timer
+		// on its next tick, the size trigger after another CheckpointBytes
+		// of appends (resetting the accumulator doubles as backoff, so a
+		// persistently failing disk is not hammered once per append). The
+		// failure counter surfaces the condition in /stats.
+		if _, _, err := sv.CheckpointWAL(); err != nil {
+			w.ckptFails.Add(1)
+			w.sinceCkpt.Store(0)
+			w.ckptArmed.Store(false)
+		}
+	}
+}
+
+// noteAppended feeds the size trigger: once CheckpointBytes have
+// accumulated since the last checkpoint, poke the policy goroutine (at most
+// one outstanding poke; checkpointDone rearms).
+func (w *WAL) noteAppended(n int64) {
+	if w.opts.CheckpointBytes <= 0 {
+		return
+	}
+	if w.sinceCkpt.Add(n) >= w.opts.CheckpointBytes && w.ckptArmed.CompareAndSwap(false, true) {
+		select {
+		case w.ckptCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// checkpointDone resets the size trigger after a checkpoint completed at
+// floor.
+func (w *WAL) checkpointDone(floor uint64) {
+	w.ckpts.Add(1)
+	w.ckptFloor.Store(floor)
+	w.sinceCkpt.Store(0)
+	w.ckptArmed.Store(false)
+}
+
+// err reports the latched failure, if any. Lock-free: the hot append path
+// calls this once per record.
+func (w *WAL) err() error {
+	if p := w.failed.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// fail latches the WAL's first write error and returns the latched,
+// ErrWALFailed-wrapped form, so the very first failing append classifies
+// the same way every later one does (the HTTP front answers 503, not 422,
+// from the first wedged write onward).
+func (w *WAL) fail(err error) error {
+	wrapped := fmt.Errorf("%w: %v", ErrWALFailed, err)
+	w.failed.CompareAndSwap(nil, &wrapped)
+	return *w.failed.Load()
+}
+
+// inflightClaim marks a stream that has started assigning an LSN but not
+// yet published it; watermark readers retry while they see it.
+const inflightClaim = ^uint64(0)
+
+// watermark returns the highest LSN below which every assigned record's
+// write has completed: the global next-LSN minus any still-in-flight
+// appends. A record at or below the watermark can be acknowledged — no
+// lower LSN can be missing from the log on a process crash.
+func (w *WAL) watermark() uint64 {
+retry:
+	for {
+		wm := w.seq.Load() - 1
+		for i := range w.inflight {
+			switch v := w.inflight[i].Load(); {
+			case v == inflightClaim:
+				continue retry // mid-assignment; the claim window is two atomic ops
+			case v != 0 && v-1 < wm:
+				wm = v - 1
+			}
+		}
+		return wm
+	}
+}
+
+// waitDurable blocks until the watermark covers lsn (every lower LSN
+// written) or the log wedges. The wait is normally zero — out-of-order
+// completion needs a sibling stream preempted inside its microseconds-long
+// write — so a brief spin beats parking.
+func (w *WAL) waitDurable(lsn uint64) error {
+	for i := 0; ; i++ {
+		if w.watermark() >= lsn {
+			return nil
+		}
+		if err := w.err(); err != nil {
+			// A lower record's write failed and will never complete; this
+			// record is in the log but must not be acknowledged (recovery
+			// truncates at the hole the failed write left).
 			return err
 		}
-		if err := w.f.Close(); err != nil {
-			return w.fail(err)
+		if i < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
 		}
-		w.f = nil
 	}
-	name := filepath.Join(w.dir, segName(w.seq))
+}
+
+// streamFor routes a job to its stream: the same splitmix64 reduction the
+// registry uses, so with Streams == Config.Shards a job's WAL stream is
+// owned by the same index as its registry shard.
+func (w *WAL) streamFor(jobID uint64) *walStream {
+	return w.streams[mix64(jobID)%uint64(len(w.streams))]
+}
+
+// createSegmentLocked opens a fresh segment for s: name stamp from the
+// global sequence, header chaining to the stream's last LSN. Called with
+// s.mu held.
+func (s *walStream) createSegmentLocked() error {
+	w := s.w
+	stamp := w.seq.Load()
+	name := filepath.Join(w.dir, walSegName(s.shard, stamp))
 	f, err := w.opts.FS.Create(name)
 	if err != nil {
 		return w.fail(fmt.Errorf("serve/wal: create segment: %w", err))
@@ -291,98 +649,160 @@ func (w *WAL) rotateLocked() error {
 		f.Close()
 		return w.fail(fmt.Errorf("serve/wal: sync dir: %w", err))
 	}
+	// A fresh buffer, not the stream scratch: lazy creation runs mid-append
+	// with the record payload already encoded into s.buf.
 	var e wireEnc
-	appendLSNMarkPayload(&e, w.seq)
-	hdr := appendFrame(AppendHeader(w.buf[:0]), FrameLSNMark, e.b)
-	w.buf = hdr
+	appendSegHeaderPayload(&e, stamp, s.lastLSN, s.shard, len(w.streams))
+	hdr := appendFrame(AppendHeader(nil), FrameSegHeader, e.b)
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return w.fail(fmt.Errorf("serve/wal: segment header: %w", err))
 	}
-	w.f = f
-	w.segStart = w.seq
-	w.written = int64(len(hdr))
-	w.pending += int64(len(hdr))
-	if w.pendingSince.IsZero() {
-		w.pendingSince = time.Now()
+	s.f = f
+	s.stamp = stamp
+	s.written = int64(len(hdr))
+	s.pending += int64(len(hdr))
+	if s.pendingSince.IsZero() {
+		s.pendingSince = time.Now()
 	}
-	w.segments++
+	// A recovered header-only segment (created, then crashed before its
+	// first record) can share this stamp: Create truncated that file, so
+	// replace its inventory entry instead of double-listing the name.
+	if n := len(s.segs); n > 0 && s.segs[n-1].seq == stamp {
+		s.segs = s.segs[:n-1]
+	}
+	s.segs = append(s.segs, walEntry{name: walSegName(s.shard, stamp), seq: stamp})
 	return nil
 }
 
-// fail latches the WAL's first write error; later appends return it.
-func (w *WAL) fail(err error) error {
-	if w.failed == nil {
-		w.failed = fmt.Errorf("%w: %v", ErrWALFailed, err)
+// rotateLocked syncs and closes the open segment and starts a new one.
+// Called with both s.syncMu and s.mu held; only called after at least one
+// record was appended, so successive stamps are strictly increasing.
+func (s *walStream) rotateLocked() error {
+	if err := s.syncLocked(); err != nil {
+		return err
 	}
-	return err
+	if err := s.f.Close(); err != nil {
+		return s.w.fail(err)
+	}
+	s.f = nil
+	return s.createSegmentLocked()
 }
 
-// append frames payload as kind, writes it to the open segment, and returns
-// the record's LSN. The write reaches the OS before append returns — the
-// caller may acknowledge the mutation once this succeeds. An encode error
-// aborts before any byte is written or an LSN consumed: a record that
-// cannot round-trip must never reach the log, where it would poison every
-// future recovery.
-func (w *WAL) append(kind FrameKind, encode func(*wireEnc) error) (uint64, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
+// recordPad reserves the FrameRecord prefix (lsn u64 + wrapped kind u8) at
+// the front of the payload scratch so the inner payload encodes in place.
+var recordPad [9]byte
+
+// append frames payload as a kind record of jobID's stream, writes it, and
+// returns the record's global LSN. The write reaches the OS before append
+// returns — the caller may acknowledge the mutation once this succeeds. An
+// encode error aborts before any byte is written or an LSN consumed: a
+// record that cannot round-trip must never reach the log, where it would
+// poison every future recovery.
+func (w *WAL) append(jobID uint64, kind FrameKind, encode func(*wireEnc) error) (uint64, error) {
+	s := w.streamFor(jobID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w.closed.Load() {
 		return 0, ErrWALClosed
 	}
-	if w.failed != nil {
-		return 0, w.failed
+	if err := w.err(); err != nil {
+		return 0, err
 	}
-	e := wireEnc{b: w.buf[:0]}
+	e := wireEnc{b: append(s.buf[:0], recordPad[:]...)}
 	err := encode(&e)
-	w.buf = e.b[:0] // retain the (possibly grown) payload scratch
+	s.buf = e.b[:0] // retain the (possibly grown) payload scratch
 	if err != nil {
 		return 0, err
 	}
+	if s.f == nil {
+		if err := s.createSegmentLocked(); err != nil {
+			return 0, err
+		}
+	}
+	// The LSN is assigned only after the record is known encodable and the
+	// segment open: a consumed-but-unwritten LSN would read as a hole to
+	// every future recovery. The assignment publishes through the inflight
+	// slot (claim, assign, publish) so the commit watermark never skips
+	// over a record whose write has not finished — and on a write or sync
+	// failure the slot is deliberately left holding the LSN: the hole is
+	// permanent, the watermark sticks below it, and no later record on any
+	// stream is ever acknowledged past it.
+	w.inflight[s.shard].Store(inflightClaim)
+	lsn := w.seq.Add(1) - 1
+	w.inflight[s.shard].Store(lsn)
+	for i := 0; i < 8; i++ {
+		e.b[i] = byte(lsn >> (8 * i))
+	}
+	e.b[8] = byte(kind)
 	// Separate persistent scratch for the frame: once both arrays have
 	// grown to the workload's record size, the hot path stops allocating.
-	frame := appendFrame(w.frameBuf[:0], kind, e.b)
-	w.frameBuf = frame[:0]
-	if _, err := w.f.Write(frame); err != nil {
+	frame := appendFrame(s.frameBuf[:0], FrameRecord, e.b)
+	s.frameBuf = frame[:0]
+	if _, err := s.f.Write(frame); err != nil {
 		return 0, w.fail(fmt.Errorf("serve/wal: append: %w", err))
 	}
-	lsn := w.seq
-	w.seq++
-	w.written += int64(len(frame))
-	w.pending += int64(len(frame))
-	if w.pendingSince.IsZero() {
-		w.pendingSince = time.Now()
+	s.lastLSN = lsn
+	s.written += int64(len(frame))
+	s.pending += int64(len(frame))
+	if s.pendingSince.IsZero() {
+		s.pendingSince = time.Now()
 	}
-	w.appends++
-	w.bytes += uint64(len(frame))
+	s.appends++
+	s.bytes += uint64(len(frame))
 	if w.opts.SyncEvery == 0 {
-		if err := w.syncLocked(); err != nil {
+		// Full-durability mode: the record must be synced before anyone —
+		// this stream or a sibling waiting on the watermark — treats it as
+		// complete.
+		if err := s.syncLocked(); err != nil {
 			return 0, err
 		}
 	}
-	if w.written >= w.opts.SegmentBytes {
-		if err := w.rotateLocked(); err != nil {
-			return 0, err
+	w.inflight[s.shard].Store(0)
+	if s.written >= w.opts.SegmentBytes {
+		// Rotation fsyncs and closes the file, which must serialize with an
+		// in-flight group-commit flush — and syncMu orders before mu, so
+		// drop and reacquire. The re-checks cover whatever the window let
+		// through (another append rotating first, Close closing the file);
+		// the record above is already durable in the old segment either way.
+		s.mu.Unlock()
+		s.syncMu.Lock()
+		s.mu.Lock()
+		if s.f != nil && s.written >= w.opts.SegmentBytes {
+			if err := s.rotateLocked(); err != nil {
+				s.syncMu.Unlock()
+				return 0, err
+			}
 		}
+		s.syncMu.Unlock()
+	}
+	w.noteAppended(int64(len(frame)))
+	// Acknowledge only once every lower LSN is written: a sibling stream
+	// may have been preempted inside an earlier record's write, and acking
+	// past that in-flight record would let a crash produce a hole *below*
+	// acknowledged data — which recovery's hole truncation would then
+	// discard.
+	if err := w.waitDurable(lsn); err != nil {
+		return 0, err
 	}
 	return lsn, nil
 }
 
 // appendSpec logs an accepted StartJob (the defaulted, validated spec).
 func (w *WAL) appendSpec(sp *JobSpec) (uint64, error) {
-	return w.append(FrameSpec, func(e *wireEnc) error { return appendSpecPayload(e, sp) })
+	return w.append(sp.JobID, FrameSpec, func(e *wireEnc) error { return appendSpecPayload(e, sp) })
 }
 
 // appendEvent logs an accepted Ingest. Job-finish events compact to a
 // FrameFinish record; everything else is a full event frame.
 func (w *WAL) appendEvent(ev *Event) (uint64, error) {
 	if ev.Kind == EventJobFinish {
-		return w.append(FrameFinish, func(e *wireEnc) error {
+		return w.append(ev.JobID, FrameFinish, func(e *wireEnc) error {
 			appendFinishPayload(e, ev.JobID, ev.Time)
 			return nil
 		})
 	}
-	return w.append(FrameEvent, func(e *wireEnc) error {
+	return w.append(ev.JobID, FrameEvent, func(e *wireEnc) error {
 		if len(ev.Features) > maxWireFeatures {
 			return fmt.Errorf("serve/wal: %d features exceed %d", len(ev.Features), maxWireFeatures)
 		}
@@ -393,34 +813,88 @@ func (w *WAL) appendEvent(ev *Event) (uint64, error) {
 
 // appendDrop logs an accepted DropJob.
 func (w *WAL) appendDrop(jobID uint64) (uint64, error) {
-	return w.append(FrameDrop, func(e *wireEnc) error {
+	return w.append(jobID, FrameDrop, func(e *wireEnc) error {
 		appendDropPayload(e, jobID)
 		return nil
 	})
 }
 
-func (w *WAL) syncLocked() error {
-	if w.f == nil || w.pending == 0 {
+func (s *walStream) syncLocked() error {
+	if s.f == nil || s.pending == 0 {
 		return nil
 	}
-	if err := w.f.Sync(); err != nil {
-		return w.fail(fmt.Errorf("serve/wal: sync: %w", err))
+	if err := s.f.Sync(); err != nil {
+		return s.w.fail(fmt.Errorf("serve/wal: sync: %w", err))
 	}
-	w.syncs++
-	w.pending = 0
-	w.pendingSince = time.Time{}
+	s.syncs++
+	s.pending = 0
+	s.pendingSince = time.Time{}
 	return nil
 }
 
-// Sync fsyncs the open segment (the group-commit flush).
+// flush is the group-commit fsync of one stream. The fsync itself runs
+// under syncMu only — mu is held just to capture and update bookkeeping —
+// so appends to the stream proceed while their group commit is in flight.
+// Bytes appended after the capture stay pending (the fsync may or may not
+// have covered them; the next flush settles it).
+func (s *walStream) flush() error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	s.mu.Lock()
+	f, captured := s.f, s.pending
+	s.mu.Unlock()
+	if f == nil || captured == 0 {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return s.w.fail(fmt.Errorf("serve/wal: sync: %w", err))
+	}
+	s.mu.Lock()
+	s.syncs++
+	s.pending -= captured // rotation is excluded by syncMu; pending only grew
+	if s.pending == 0 {
+		s.pendingSince = time.Time{}
+	} else {
+		s.pendingSince = time.Now()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// dirty reports whether the stream has unsynced bytes.
+func (s *walStream) dirty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f != nil && s.pending > 0
+}
+
+// Sync fsyncs every stream's open segment (the group-commit flush). Dirty
+// streams sync concurrently: group commit pays one fsync latency, not one
+// per stream.
 func (w *WAL) Sync() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.syncLocked()
+	var wg sync.WaitGroup
+	errs := make([]error, len(w.streams))
+	for i, s := range w.streams {
+		if !s.dirty() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s *walStream) {
+			defer wg.Done()
+			errs[i] = s.flush()
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (w *WAL) flushLoop() {
-	defer w.flusher.Done()
+	defer w.bg.Done()
 	t := time.NewTicker(w.opts.SyncEvery)
 	defer t.Stop()
 	for {
@@ -434,57 +908,115 @@ func (w *WAL) flushLoop() {
 }
 
 // NextLSN returns the next log sequence number to be assigned.
-func (w *WAL) NextLSN() uint64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.seq
-}
+func (w *WAL) NextLSN() uint64 { return w.seq.Load() }
 
 // Dir returns the WAL directory.
 func (w *WAL) Dir() string { return w.dir }
 
+// Streams reports the per-shard stream fan-out.
+func (w *WAL) Streams() int { return len(w.streams) }
+
 // Stats reports the WAL's counters.
 func (w *WAL) Stats() WALStats {
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	st := WALStats{
-		Segments:        w.segments,
-		NextLSN:         w.seq,
-		Appends:         w.appends,
-		Bytes:           w.bytes,
-		Syncs:           w.syncs,
-		PendingBytes:    w.pending,
-		RetiredSegments: w.retired,
+		Streams:            len(w.streams),
+		NextLSN:            w.seq.Load(),
+		RetiredSegments:    w.retired.Load(),
+		Checkpoints:        w.ckpts.Load(),
+		CheckpointFailures: w.ckptFails.Load(),
 	}
-	if !w.pendingSince.IsZero() {
-		st.FsyncLag = time.Since(w.pendingSince)
+	var oldest time.Time
+	for _, s := range w.streams {
+		s.mu.Lock()
+		ss := WALStreamStats{
+			Shard:        s.shard,
+			Segments:     len(s.segs),
+			LastLSN:      s.lastLSN,
+			Appends:      s.appends,
+			Bytes:        s.bytes,
+			Syncs:        s.syncs,
+			PendingBytes: s.pending,
+		}
+		since := s.pendingSince
+		s.mu.Unlock()
+		st.Segments += ss.Segments
+		st.Appends += ss.Appends
+		st.Bytes += ss.Bytes
+		st.Syncs += ss.Syncs
+		st.PendingBytes += ss.PendingBytes
+		if !since.IsZero() && (oldest.IsZero() || since.Before(oldest)) {
+			oldest = since
+		}
+		st.PerStream = append(st.PerStream, ss)
+	}
+	w.roMu.Lock()
+	for _, g := range w.ro {
+		st.Segments += len(g.segs)
+	}
+	w.roMu.Unlock()
+	if !oldest.IsZero() {
+		st.FsyncLag = time.Since(oldest)
 	}
 	return st
 }
 
 // RetireBelow removes segments every record of which is below floor (their
-// contents are covered by a durable snapshot stamped at floor). The open
-// segment is never removed. Returns how many segments were deleted.
+// contents are covered by a durable snapshot stamped at floor). A stream
+// segment's records end before its successor's stamp, so a segment retires
+// once a successor exists with stamp at or below the floor; open segments
+// and each stream's newest segment never retire (without a successor the
+// newest segment's extent is unknown). Read-only groups — legacy
+// single-stream segments (by base LSN) and out-of-range shard streams —
+// retire by the same successor rule, with each group's final segment
+// retiring once the group end recovery recorded is covered. Returns how
+// many segments were deleted.
 func (w *WAL) RetireBelow(floor uint64) (int, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	segs, err := listSorted(w.opts.FS, w.dir, segPrefix, segSuffix)
-	if err != nil {
-		return 0, err
-	}
 	removed := 0
-	for i, s := range segs {
-		// A segment's records end where the next segment begins; without a
-		// successor its extent is unknown (it is, or was, the tail) — keep it.
-		if i+1 >= len(segs) || segs[i+1].seq > floor || s.seq == w.segStart {
-			break
-		}
-		if err := w.opts.FS.Remove(filepath.Join(w.dir, s.name)); err != nil {
+	for _, s := range w.streams {
+		s.mu.Lock()
+		n, err := retireGroup(w, &s.segs, 0, floor, s)
+		s.mu.Unlock()
+		removed += n
+		if err != nil {
 			return removed, err
 		}
+	}
+	w.roMu.Lock()
+	defer w.roMu.Unlock()
+	for _, g := range w.ro {
+		n, err := retireGroup(w, &g.segs, g.end, floor, nil)
+		removed += n
+		if err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// retireGroup removes the retirable prefix of one segment group: entries
+// whose successor's sequence is at or below floor, plus — when the group's
+// end LSN is known — a final entry wholly below the floor. open, when
+// non-nil, protects the stream's open segment. The caller holds the lock
+// covering segs.
+func retireGroup(w *WAL, segs *[]walEntry, end, floor uint64, open *walStream) (int, error) {
+	removed := 0
+	for len(*segs) > 0 {
+		seg := (*segs)[0]
+		covered := false
+		if len(*segs) > 1 {
+			covered = (*segs)[1].seq <= floor
+		} else {
+			covered = end > 0 && end < floor
+		}
+		if !covered || (open != nil && open.f != nil && seg.seq == open.stamp) {
+			break
+		}
+		if err := w.opts.FS.Remove(filepath.Join(w.dir, seg.name)); err != nil {
+			return removed, err
+		}
+		*segs = (*segs)[1:]
 		removed++
-		w.segments--
-		w.retired++
+		w.retired.Add(1)
 	}
 	return removed, nil
 }
@@ -492,23 +1024,27 @@ func (w *WAL) RetireBelow(floor uint64) (int, error) {
 // Close syncs and closes the log. Appends after Close fail with
 // ErrWALClosed.
 func (w *WAL) Close() error {
-	w.mu.Lock()
-	if w.closed {
-		w.mu.Unlock()
+	if !w.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	w.closed = true
-	w.mu.Unlock()
 	close(w.stop)
-	w.flusher.Wait()
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	err := w.syncLocked()
-	if w.f != nil {
-		if cerr := w.f.Close(); err == nil {
-			err = cerr
+	w.bg.Wait()
+	var first error
+	for _, s := range w.streams {
+		s.syncMu.Lock()
+		s.mu.Lock()
+		err := s.syncLocked()
+		if s.f != nil {
+			if cerr := s.f.Close(); err == nil {
+				err = cerr
+			}
+			s.f = nil
 		}
-		w.f = nil
+		s.mu.Unlock()
+		s.syncMu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
 	}
-	return err
+	return first
 }

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -241,11 +244,11 @@ func TestRecoverErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	wal.Close()
-	segs, err := listSorted(osFS{}, dir, segPrefix, segSuffix)
-	if err != nil || len(segs) < 3 {
-		t.Fatalf("want >= 3 segments for the gap test, have %d (%v)", len(segs), err)
+	groups, err := listShardSegs(osFS{}, dir)
+	if err != nil || len(groups[0]) < 3 {
+		t.Fatalf("want >= 3 segments in stream 0 for the gap test, have %d (%v)", len(groups[0]), err)
 	}
-	if err := os.Remove(filepath.Join(dir, segs[1].name)); err != nil {
+	if err := os.Remove(filepath.Join(dir, groups[0][1].name)); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, _, err := Recover(dir, cheapCfg(1), WALOptions{}); !errors.Is(err, ErrWALGap) {
@@ -301,8 +304,13 @@ func TestWALStatsHTTP(t *testing.T) {
 				if got := w["next_lsn"].(float64); got != 1 {
 					t.Errorf("next_lsn = %v, want 1", got)
 				}
-				if got := w["segments"].(float64); got != 1 {
-					t.Errorf("segments = %v, want 1", got)
+				// Segment files are created lazily on each stream's first
+				// append; a fresh log holds none.
+				if got := w["segments"].(float64); got != 0 {
+					t.Errorf("segments = %v, want 0", got)
+				}
+				if got := w["streams"].(float64); got != 1 {
+					t.Errorf("streams = %v, want 1", got)
 				}
 			},
 		},
@@ -349,10 +357,24 @@ func TestWALStatsHTTP(t *testing.T) {
 			sv:      sv,
 			wantWAL: true,
 			check: func(t *testing.T, w map[string]any) {
-				for _, key := range []string{"segments", "next_lsn", "appends", "bytes",
-					"syncs", "pending_bytes", "fsync_lag_ns", "retired_segments"} {
+				for _, key := range []string{"segments", "streams", "next_lsn", "appends",
+					"bytes", "syncs", "pending_bytes", "fsync_lag_ns", "retired_segments",
+					"checkpoints", "checkpoint_failures", "per_stream"} {
 					if _, ok := w[key]; !ok {
 						t.Errorf("stats missing %q", key)
+					}
+				}
+				if got := w["checkpoints"].(float64); got != 1 {
+					t.Errorf("checkpoints = %v, want 1", got)
+				}
+				streams, ok := w["per_stream"].([]any)
+				if !ok || len(streams) != 1 {
+					t.Fatalf("per_stream = %v, want one stream object", w["per_stream"])
+				}
+				for _, key := range []string{"shard", "segments", "last_lsn", "appends",
+					"bytes", "syncs", "pending_bytes"} {
+					if _, ok := streams[0].(map[string]any)[key]; !ok {
+						t.Errorf("per_stream object missing %q", key)
 					}
 				}
 			},
@@ -502,7 +524,9 @@ func TestReplayFromSkips(t *testing.T) {
 }
 
 // FuzzWALRecover feeds arbitrary bytes to the recovery path as a lone WAL
-// segment. The invariants: never panic; recover a prefix or fail typed;
+// segment — planted under the per-shard layout or the legacy single-stream
+// layout, selected by the first input byte, so both replay paths stay
+// fuzzed. The invariants: never panic; recover a prefix or fail typed;
 // never double-apply (the budget counters always equal the recovered job
 // set); and the recovered LSN never exceeds the number of frames the
 // segment could possibly hold.
@@ -539,22 +563,58 @@ func FuzzWALRecover(f *testing.F) {
 		f.Fatal(err)
 	}
 	wal.Close()
-	seed := seedFS.files["wal/"+segName(1)]
+	seed := seedFS.files["wal/"+walSegName(0, 1)]
 	if len(seed) == 0 {
 		f.Fatal("no seed segment bytes")
 	}
-	f.Add(seed)
-	f.Add(seed[:len(seed)/2])
-	mut := append([]byte(nil), seed...)
-	mut[len(mut)/3] ^= 0x20
-	f.Add(mut)
+	// The same records in legacy form: implicit LSNs under an LSN-mark
+	// header, derived by unwrapping each FrameRecord envelope.
+	legacySeed := func() []byte {
+		var e wireEnc
+		appendLSNMarkPayload(&e, 1)
+		out := appendFrame(AppendHeader(nil), FrameLSNMark, e.b)
+		rest := seed[headerLen:]
+		for len(rest) > 0 {
+			kind, payload, n, err := DecodeFrame(rest)
+			if err != nil {
+				f.Fatal(err)
+			}
+			rest = rest[n:]
+			if kind != FrameRecord {
+				continue
+			}
+			_, inner, innerPayload, err := decodeRecordPayload(payload)
+			if err != nil {
+				f.Fatal(err)
+			}
+			out = appendFrame(out, inner, innerPayload)
+		}
+		return out
+	}()
+	for _, s := range [][]byte{seed, legacySeed} {
+		for _, layout := range []byte{0, 1} {
+			sel := append([]byte{layout}, s...)
+			f.Add(sel)
+			f.Add(sel[:1+len(s)/2])
+			mut := append([]byte(nil), sel...)
+			mut[1+len(s)/3] ^= 0x20
+			f.Add(mut)
+		}
+	}
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// An in-memory filesystem keeps each exec free of disk syscalls.
 		fs := newMemFS()
-		fs.files["wal/"+segName(1)] = append([]byte(nil), data...)
-		fs.synced["wal/"+segName(1)] = len(data)
+		name := "wal/" + walSegName(0, 1)
+		if len(data) > 0 && data[0]&1 == 1 {
+			name = "wal/" + segName(1)
+		}
+		if len(data) > 0 {
+			data = data[1:]
+		}
+		fs.files[name] = append([]byte(nil), data...)
+		fs.synced[name] = len(data)
 		// A tight task budget keeps hostile-but-valid spec frames from
 		// allocating real memory; rejections surface as typed errors.
 		cfg := cheapCfg(1)
@@ -585,4 +645,361 @@ func FuzzWALRecover(f *testing.F) {
 			t.Fatalf("task budget %d, registered jobs hold %d", got, tasks)
 		}
 	})
+}
+
+// TestWALAutoCheckpointTimer pins the wall-clock trigger: with
+// CheckpointEvery armed and no explicit CheckpointWAL call, snapshots
+// appear in the directory on their own, /stats counts them, and a recovery
+// restores from the newest one.
+func TestWALAutoCheckpointTimer(t *testing.T) {
+	dir := t.TempDir()
+	specs, streams := walWorkload(t, 1, 91)
+	sv, wal, _, err := Recover(dir, cheapCfg(1), WALOptions{CheckpointEvery: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.StartJob(specs[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.IngestBatch(streams[0]); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for wal.Stats().Checkpoints == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if wal.Stats().Checkpoints == 0 {
+		t.Fatal("timer-triggered policy never checkpointed")
+	}
+	refVerdicts, _ := sv.Query(specs[0].JobID, allTaskIDs(specs[0].NumTasks))
+	wal.Close()
+	snaps, err := listSorted(osFS{}, dir, snapPrefix, snapSuffix)
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshot files after automatic checkpoints (%v)", err)
+	}
+	sv2, wal2, rst, err := Recover(dir, cheapCfg(2), WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	if rst.SnapshotPath == "" {
+		t.Error("recovery ignored the automatic checkpoints")
+	}
+	vs, err := sv2.Query(specs[0].JobID, allTaskIDs(specs[0].NumTasks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vs, refVerdicts) {
+		t.Error("verdicts diverge after recovering from an automatic checkpoint")
+	}
+}
+
+// TestWALStreamsSpread pins the sharded hot path: with several streams,
+// concurrent jobs land on different segment streams (per-stream stats show
+// it), the per-stream counters sum to the aggregate, and recovery at a
+// *different* stream count is still exact — the fan-out is a concurrency
+// knob, not state.
+func TestWALStreamsSpread(t *testing.T) {
+	dir := t.TempDir()
+	specs, streams := walWorkload(t, 4, 97)
+	sv, wal, _, err := Recover(dir, cheapCfg(4), WALOptions{Streams: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wal.Streams(); got != 4 {
+		t.Fatalf("Streams() = %d, want 4", got)
+	}
+	want := 0
+	for i := range specs {
+		if err := sv.StartJob(specs[i], nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := sv.IngestBatch(streams[i]); err != nil {
+			t.Fatal(err)
+		}
+		want += 1 + len(streams[i])
+	}
+	st := wal.Stats()
+	if st.NextLSN != uint64(want)+1 || st.Appends != uint64(want) {
+		t.Fatalf("aggregate stats %+v after %d mutations", st, want)
+	}
+	var sumAppends, sumBytes uint64
+	active := 0
+	for _, ss := range st.PerStream {
+		sumAppends += ss.Appends
+		sumBytes += ss.Bytes
+		if ss.Appends > 0 {
+			active++
+		}
+	}
+	if sumAppends != st.Appends || sumBytes != st.Bytes {
+		t.Errorf("per-stream sums %d/%d diverge from aggregates %d/%d", sumAppends, sumBytes, st.Appends, st.Bytes)
+	}
+	if active < 2 {
+		t.Errorf("only %d of 4 streams took appends for 4 jobs; the fan-out is not spreading", active)
+	}
+	refVerdicts := make([][]TaskVerdict, len(specs))
+	for i := range specs {
+		refVerdicts[i], _ = sv.Query(specs[i].JobID, allTaskIDs(specs[i].NumTasks))
+	}
+	wal.Close()
+
+	// Recover at a different stream count: global LSNs make the on-disk
+	// fan-out irrelevant to correctness.
+	sv2, wal2, rst, err := Recover(dir, cheapCfg(2), WALOptions{Streams: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	if int(rst.NextLSN)-1 != want {
+		t.Fatalf("recovered %d mutations at a narrower fan-out, want %d", rst.NextLSN-1, want)
+	}
+	if rst.Streams != 2 {
+		t.Errorf("recovery reports %d streams, want 2", rst.Streams)
+	}
+	for i := range specs {
+		vs, err := sv2.Query(specs[i].JobID, allTaskIDs(specs[i].NumTasks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(vs, refVerdicts[i]) {
+			t.Errorf("job %d: verdicts diverge after cross-fan-out recovery", specs[i].JobID)
+		}
+	}
+}
+
+// TestVerifyWALReadOnly pins the offline verifier's contract from inside
+// the package: over a power-lost per-shard directory with a cross-stream
+// hole it must report the hole and the exact LSN Recover would land on,
+// while writing absolutely nothing — Recover repairs (trims), VerifyWAL
+// only looks.
+func TestVerifyWALReadOnly(t *testing.T) {
+	specs, streams := walWorkload(t, 4, 101)
+	fs := newMemFS()
+	opts := WALOptions{SegmentBytes: 1 << 10, SyncEvery: time.Hour, Streams: 4, FS: fs}
+	sv, wal, _, err := Recover("wal", cheapCfg(4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if err := sv.StartJob(specs[i], nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := sv.IngestBatch(streams[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := sv.CheckpointWAL(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint traffic across several streams, then abandon the WAL
+	// without Close (a crash): only rotation syncs made bytes power-loss
+	// durable, and those happened at different LSNs per stream, so the
+	// power loss below leaves a cross-stream hole.
+	for job := uint64(1000); job < 1024; job++ {
+		sp := JobSpec{JobID: job, Schema: []string{"cpu"}, NumTasks: 4, TauStra: 10,
+			Horizon: 100, Checkpoints: 4, WarmFrac: 0.25, Seed: job}
+		if err := sv.StartJob(sp, nil); err != nil {
+			t.Fatal(err)
+		}
+		for tid := 0; tid < 4; tid++ {
+			if err := sv.Ingest(Event{Kind: EventTaskStart, JobID: job, TaskID: tid,
+				Time: float64(tid)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_ = wal // abandoned: the crash below is the end of this process image
+
+	// Power loss dropping unsynced tails at each stream's last rotation:
+	// the classic cross-stream skew.
+	crashed := fsAt(fs.journal, fs.totalWritten(), true)
+	snapshotFiles := func(m *memFS) map[string]string {
+		out := make(map[string]string, len(m.files))
+		for name, b := range m.files {
+			out[name] = string(b)
+		}
+		return out
+	}
+	before := snapshotFiles(crashed)
+	rep, err := VerifyWAL("wal", WALOptions{FS: crashed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, snapshotFiles(crashed)) {
+		t.Fatal("VerifyWAL modified the directory")
+	}
+	if len(crashed.journal) != 0 {
+		t.Fatalf("VerifyWAL performed %d write operations", len(crashed.journal))
+	}
+	if rep.SnapshotPath == "" || rep.Records == 0 || len(rep.Streams) == 0 {
+		t.Fatalf("empty verify report: %+v", rep)
+	}
+	if !rep.Hole {
+		t.Error("power loss across independently synced streams left no hole; the report's hole path went unexercised")
+	}
+	if s := rep.String(); !strings.Contains(s, "recoverable LSN") || !strings.Contains(s, "shard") {
+		t.Errorf("report rendering incomplete:\n%s", s)
+	}
+
+	// The verifier's promise: Recover lands exactly on rep.NextLSN; if the
+	// verifier saw a hole, recovery trims what the verifier left alone.
+	sv2, wal2, rst, err := Recover("wal", cheapCfg(2), WALOptions{FS: crashed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	_ = sv2
+	if rst.NextLSN != rep.NextLSN {
+		t.Errorf("Recover reached LSN %d, VerifyWAL promised %d", rst.NextLSN, rep.NextLSN)
+	}
+	if rep.Hole != (rst.RecordsTrimmed > 0) {
+		t.Errorf("verifier hole=%v but recovery trimmed %d records", rep.Hole, rst.RecordsTrimmed)
+	}
+}
+
+// gateFS wraps a WALFS so a test can stall one file's record write — the
+// shape of a goroutine preempted (or an I/O path stuck) inside write(2).
+// The stalled writer announces itself on arrived before parking on gate.
+type gateFS struct {
+	WALFS
+	gate    chan struct{} // the gated write blocks until this closes
+	arrived chan struct{}
+	match   func(name string) bool
+	writes  atomic.Int32
+}
+
+type gatedFile struct {
+	WALFile
+	fs *gateFS
+}
+
+func (g *gateFS) Create(name string) (WALFile, error) {
+	f, err := g.WALFS.Create(name)
+	if err != nil || !g.match(name) {
+		return f, err
+	}
+	return &gatedFile{WALFile: f, fs: g}, nil
+}
+
+func (f *gatedFile) Write(p []byte) (int, error) {
+	// The first write of a fresh segment is its header, written before any
+	// LSN is claimed; only the record write (the second) is the dangerous
+	// in-flight window, so gate that one.
+	if f.fs.writes.Add(1) == 2 {
+		select {
+		case f.fs.arrived <- struct{}{}:
+		default:
+		}
+		<-f.fs.gate
+	}
+	return f.WALFile.Write(p)
+}
+
+// TestWALAckWaitsForLowerLSNs is the commit-watermark regression test: an
+// append on one stream must not be acknowledged while a lower LSN on a
+// sibling stream is still inside its write — otherwise a process crash in
+// that window leaves a hole below acknowledged data, and recovery's hole
+// truncation would discard an acknowledged mutation. The gated filesystem
+// freezes stream A inside its record write (LSN already claimed); the
+// sibling append on stream B (a higher LSN) must stay unacknowledged until
+// A's write completes.
+func TestWALAckWaitsForLowerLSNs(t *testing.T) {
+	mem := newMemFS()
+	gate := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	// Job IDs landing on distinct streams of a 2-stream WAL.
+	jobA, jobB := uint64(0), uint64(0)
+	for id := uint64(1); jobA == 0 || jobB == 0; id++ {
+		if mix64(id)%2 == 0 && jobA == 0 {
+			jobA = id
+		}
+		if mix64(id)%2 == 1 && jobB == 0 {
+			jobB = id
+		}
+	}
+	streamA := fmt.Sprintf("wal/wal-%04x-", mix64(jobA)%2)
+	fs := &gateFS{WALFS: mem, gate: gate, arrived: make(chan struct{}, 1),
+		match: func(name string) bool { return strings.HasPrefix(name, streamA) }}
+	sv, wal, _, err := Recover("wal", cheapCfg(2), WALOptions{Streams: 2, SyncEvery: time.Hour, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	defer release() // must open the gate before Close can drain stream A
+
+	spec := func(id uint64) JobSpec {
+		return JobSpec{JobID: id, Schema: []string{"c"}, NumTasks: 2, TauStra: 10,
+			Horizon: 100, Checkpoints: 4, WarmFrac: 0.25, Seed: id}
+	}
+	// Stream A's registration claims the lower LSN and parks inside its
+	// record write.
+	ackA := make(chan error, 1)
+	go func() { ackA <- sv.StartJob(spec(jobA), nil) }()
+	select {
+	case <-fs.arrived:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream A never reached its gated record write")
+	}
+
+	// Stream B's registration takes a higher LSN, writes it, and must now
+	// block in the watermark wait instead of acknowledging.
+	ackB := make(chan error, 1)
+	go func() { ackB <- sv.StartJob(spec(jobB), nil) }()
+	select {
+	case err := <-ackB:
+		t.Fatalf("sibling-stream append acknowledged (err=%v) while a lower LSN was still being written — "+
+			"a crash now would make recovery trim an acknowledged record", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	release() // A's write completes
+	for _, ch := range []chan error{ackA, ackB} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("append never acknowledged after the gate opened")
+		}
+	}
+	if got := wal.NextLSN(); got != 3 {
+		t.Fatalf("NextLSN %d after two registrations, want 3", got)
+	}
+}
+
+// roFS simulates an unwritable WAL directory: reads work, creates fail.
+type roFS struct{ WALFS }
+
+func (roFS) Create(string) (WALFile, error) {
+	return nil, fmt.Errorf("read-only filesystem")
+}
+
+// TestRecoverUnwritableDir: segment creation is lazy, so Recover must
+// probe writability itself — an unwritable directory has to fail loudly at
+// startup, not wedge the first mutation with a 503 after the server is
+// already serving traffic.
+func TestRecoverUnwritableDir(t *testing.T) {
+	mem := newMemFS()
+	// A valid existing log that recovery can read.
+	sv, wal, _, err := Recover("wal", cheapCfg(1), WALOptions{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := JobSpec{JobID: 3, Schema: []string{"c"}, NumTasks: 2, TauStra: 10,
+		Horizon: 100, Checkpoints: 4, WarmFrac: 0.25, Seed: 3}
+	if err := sv.StartJob(sp, nil); err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+
+	_, _, _, err = Recover("wal", cheapCfg(1), WALOptions{FS: roFS{mem}})
+	if err == nil {
+		t.Fatal("recovery over an unwritable directory succeeded; the first mutation would 503 instead")
+	}
+	if !strings.Contains(err.Error(), "not writable") {
+		t.Errorf("unwritable-dir error %q does not say so", err)
+	}
 }

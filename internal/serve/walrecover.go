@@ -1,15 +1,38 @@
 package serve
 
 // walrecover.go rebuilds a Server from a WAL directory: the newest valid
-// snapshot file (snap-<lsn>.snap, written by Server.CheckpointWAL) restored
-// through RestoreServer, then every WAL segment replayed in LSN order.
-// Replay is exact, not best-effort — each record's LSN (segment base +
-// offset) is compared against the snapshot's floor and the target job's
-// recorded LSN, so a record is applied exactly once no matter where the
-// snapshot cut fell — and it truncates at the first torn or corrupt frame
+// snapshot file (snap-<lsn>.snap, written by Server.CheckpointWAL or the
+// automatic checkpoint policy) restored through RestoreServer, then every
+// WAL record replayed in global LSN order.
+//
+// The log has two on-disk generations. Legacy single-stream segments
+// (wal-<base>.seg) carry implicit LSNs — each opens with a FrameLSNMark
+// declaring its first record's LSN and record i has LSN base+i — and are
+// replayed first, exactly as the pre-sharding code did, so old directories
+// recover unchanged. Per-shard segments (wal-<shard>-<stamp>.seg) carry
+// explicit per-record LSNs (FrameRecord) because the shard streams
+// interleave the global sequence; recovery reads each shard's stream
+// through a cursor (validating the per-segment chain links in its
+// FrameSegHeader frames) and k-way merges the cursors by LSN, so records
+// apply in exactly the order the live server acknowledged them — budget
+// admission, per-job ordering, and counter evolution replay faithfully.
+//
+// Replay is exact, not best-effort — each record's LSN is compared against
+// the snapshot's floor and the target job's recorded LSN, so a record is
+// applied exactly once no matter where the snapshot cut fell — and it
+// truncates at the first torn or corrupt frame in a stream's final segment
 // (the tail a crash can legitimately leave), never applying anything beyond
-// it. A gap in the log (segments missing between the floor and the retained
-// tail) fails typed with ErrWALGap rather than silently skipping history.
+// it. A gap in the log — segments missing between the snapshot floor and
+// the retained tail, detected per stream through the chain links — fails
+// typed with ErrWALGap rather than silently skipping history.
+//
+// Cross-stream holes are the one legitimately non-prefix crash shape:
+// group-committed streams fsync independently, so a power loss can drop an
+// unsynced tail from one stream while a sibling kept later records. The
+// merge stops at the first missing LSN and the orphaned records beyond it
+// are physically trimmed from their segments — they were inside the
+// group-commit window (the loss the SyncEvery contract already admits) and
+// leaving them would collide with the LSNs the reopened log assigns next.
 
 import (
 	"errors"
@@ -24,13 +47,20 @@ type RecoveryStats struct {
 	// it started empty); SnapshotLSN its floor stamp.
 	SnapshotPath string
 	SnapshotLSN  uint64
-	// SegmentsScanned counts WAL segment files read during replay.
+	// SegmentsScanned counts WAL segment files read during replay; Streams
+	// the per-shard streams the reopened log fans across.
 	SegmentsScanned int
+	Streams         int
 	// RecordsApplied / RecordsSkipped count replayed WAL records: applied
 	// mutations vs records already reflected in the snapshot (or shadowed
 	// by a newer segment). RecordsOrphaned counts records for jobs that no
 	// longer exist (their drop landed before the snapshot cut).
 	RecordsApplied, RecordsSkipped, RecordsOrphaned int
+	// RecordsTrimmed counts records physically removed beyond a cross-stream
+	// hole: a power loss dropped an unsynced sibling-stream tail they
+	// depended on, so they are discarded exactly as the group-commit
+	// contract allows.
+	RecordsTrimmed int
 	// TornTail reports that replay stopped at a torn or corrupt frame — the
 	// expected signature of a crash mid-append; everything acknowledged
 	// before it was recovered.
@@ -45,14 +75,16 @@ func (r RecoveryStats) String() string {
 	if r.SnapshotPath != "" {
 		snap = fmt.Sprintf("%s (floor %d)", filepath.Base(r.SnapshotPath), r.SnapshotLSN)
 	}
-	return fmt.Sprintf("snapshot %s, %d segments, %d applied, %d skipped, %d orphaned, torn=%v, next LSN %d",
-		snap, r.SegmentsScanned, r.RecordsApplied, r.RecordsSkipped, r.RecordsOrphaned, r.TornTail, r.NextLSN)
+	return fmt.Sprintf("snapshot %s, %d segments, %d streams, %d applied, %d skipped, %d orphaned, %d trimmed, torn=%v, next LSN %d",
+		snap, r.SegmentsScanned, r.Streams, r.RecordsApplied, r.RecordsSkipped, r.RecordsOrphaned,
+		r.RecordsTrimmed, r.TornTail, r.NextLSN)
 }
 
 // Recover rebuilds a server from dir (point-in-time recovery: newest valid
 // snapshot + WAL replay), reopens the log for appending at the recovered
 // position, and attaches it, so the returned server logs every subsequent
-// mutation. dir must exist; a fresh empty directory recovers to an empty
+// mutation (and, when WALOptions arms the checkpoint policy, checkpoints
+// itself). dir must exist; a fresh empty directory recovers to an empty
 // server (first boot). cfg follows NewServer's defaulting and must carry a
 // predictor factory equivalent to the crashed server's (see
 // Config.NewPredictor). The caller owns Close on the returned WAL.
@@ -64,15 +96,11 @@ func Recover(dir string, cfg Config, opts WALOptions) (*Server, *WAL, RecoverySt
 	if err != nil {
 		return nil, nil, rst, fmt.Errorf("serve: recover: wal dir %s: %w", dir, err)
 	}
-	segs, err := listSorted(opts.FS, dir, segPrefix, segSuffix)
-	if err != nil {
-		return nil, nil, rst, fmt.Errorf("serve: recover: wal dir %s: %w", dir, err)
-	}
 
 	// Newest restorable snapshot wins; a corrupt one (crash while its
 	// predecessor segments were already retired would lose data, which is
-	// why CheckpointWAL retains one older generation) falls back to the
-	// next. No snapshot at all means a full-log replay from LSN 1.
+	// why checkpoints retain one older generation) falls back to the next.
+	// No snapshot at all means a full-log replay from LSN 1.
 	sv := (*Server)(nil)
 	var floor uint64
 	for i := len(snaps) - 1; i >= 0 && sv == nil; i-- {
@@ -93,48 +121,489 @@ func Recover(dir string, cfg Config, opts WALOptions) (*Server, *WAL, RecoverySt
 		sv = NewServer(cfg)
 	}
 
-	// Replay segments in base order. cursor is the next LSN the recovered
-	// state still needs; records below it are skipped (already reflected),
-	// and a segment starting beyond it is a hole in history.
+	scan, err := scanWALDir(opts.FS, dir, floor, true, &rst, func(lsn uint64, kind FrameKind, payload []byte) error {
+		return applyWALRecord(sv, kind, payload, lsn, floor, &rst)
+	})
+	if err != nil {
+		return nil, nil, rst, err
+	}
+	rst.NextLSN = scan.next
+
+	// Segment files are created lazily on each stream's first append, so
+	// probe writability now: an unwritable directory must fail recovery
+	// with a clear error at startup, not wedge the first mutation with a
+	// 503 after the server is already serving.
+	probe := filepath.Join(dir, "wal-probe"+tmpSuffix)
+	if f, err := opts.FS.Create(probe); err != nil {
+		return nil, nil, rst, fmt.Errorf("serve: recover: wal dir %s is not writable: %w", dir, err)
+	} else {
+		f.Close()
+		opts.FS.Remove(probe)
+	}
+
+	streams := opts.streamCount(sv.NumShards())
+	rst.Streams = streams
+	ro := make(map[int]*roSegGroup)
+	if len(scan.legacySegs) > 0 {
+		ro[legacyGroup] = &roSegGroup{segs: scan.legacySegs, end: scan.legacyEnd}
+	}
+	streamSegs := make(map[int][]walEntry)
+	streamLast := make(map[int]uint64)
+	for shard, g := range scan.groups {
+		if shard < streams {
+			streamSegs[shard] = g.segs
+			streamLast[shard] = g.last
+		} else {
+			ro[shard] = &roSegGroup{segs: g.segs, end: g.last}
+		}
+	}
+	w := newWAL(dir, scan.next, streams, streamLast, streamSegs, ro, opts)
+	sv.attachWAL(w)
+	return sv, w, rst, nil
+}
+
+// walScan is what scanning a WAL directory yields: the contiguous end of
+// the durable history and the surviving segment inventory the reopened
+// writer takes over.
+type walScan struct {
+	next       uint64 // one past the last contiguously recovered record
+	legacySegs []walEntry
+	legacyEnd  uint64 // last legacy record LSN (0: none)
+	legacyRecs int
+	legacyTorn bool
+	groups     map[int]*shardGroup
+	hole       bool // a cross-stream hole stopped the merge at next
+}
+
+type shardGroup struct {
+	segs []walEntry
+	last uint64 // last retained record LSN of the stream (post-trim)
+	recs int    // records consumed from the stream by the merge
+	torn bool
+}
+
+// scanWALDir replays dir's whole retained log in global LSN order, feeding
+// every record at or above the contiguity cursor to visit (records below it
+// are counted as skipped). It validates legacy chains by segment base and
+// per-shard chains by FrameSegHeader links and fails typed ErrWALGap on
+// holes in synced history. With repair set (Recover), the cross-stream
+// orphans a power loss can leave beyond the first missing LSN are
+// physically trimmed; without it (VerifyWAL) the directory is only read.
+func scanWALDir(fs WALFS, dir string, floor uint64, repair bool, rst *RecoveryStats,
+	visit func(lsn uint64, kind FrameKind, payload []byte) error) (walScan, error) {
+	var scan walScan
+
+	legacy, err := listSorted(fs, dir, segPrefix, segSuffix)
+	if err != nil {
+		return scan, fmt.Errorf("serve: recover: wal dir %s: %w", dir, err)
+	}
+	groups, err := listShardSegs(fs, dir)
+	if err != nil {
+		return scan, fmt.Errorf("serve: recover: wal dir %s: %w", dir, err)
+	}
+
+	// Phase 1 — legacy single-stream segments, replayed in base order with
+	// implicit LSNs. cursor is the next LSN the recovered state still
+	// needs; records below it are skipped (already reflected), and a
+	// segment starting beyond it is a hole in history.
 	cursor := floor
 	if cursor < 1 {
 		cursor = 1
 	}
-	for _, seg := range segs {
+	for _, seg := range legacy {
 		if seg.seq > cursor {
-			return nil, nil, rst, fmt.Errorf(
+			return scan, fmt.Errorf(
 				"serve: recover: %w: segment %s starts at LSN %d but records from %d are missing",
 				ErrWALGap, seg.name, seg.seq, cursor)
 		}
-		end, torn, err := replaySegment(sv, opts.FS, filepath.Join(dir, seg.name), seg.seq, cursor, floor, &rst)
+		end, torn, err := walkLegacySegment(fs, filepath.Join(dir, seg.name), seg.seq,
+			func(lsn uint64, kind FrameKind, payload []byte) error {
+				scan.legacyRecs++
+				if lsn < cursor {
+					rst.RecordsSkipped++ // shadowed by an earlier segment's replay
+					return nil
+				}
+				return visit(lsn, kind, payload)
+			})
 		rst.SegmentsScanned++
 		if err != nil {
-			return nil, nil, rst, err
+			return scan, err
 		}
 		if end > cursor {
 			cursor = end
 		}
 		if torn {
 			rst.TornTail = true
+			scan.legacyTorn = true
 		}
 	}
-	rst.NextLSN = cursor
-
-	w, err := openWALAt(dir, cursor, opts)
-	if err != nil {
-		return nil, nil, rst, err
+	scan.legacySegs = legacy
+	if cursor > 1 && len(legacy) > 0 {
+		scan.legacyEnd = cursor - 1
 	}
-	sv.attachWAL(w)
-	return sv, w, rst, nil
+
+	// Phase 2 — per-shard streams, merged by explicit LSN. All legacy
+	// records precede all per-shard records (the upgrade switches layouts
+	// at a single boot), so the merge picks up exactly where phase 1
+	// stopped. coveredBelow bounds the first retained segment's chain link:
+	// a predecessor may legitimately be gone only if everything it held is
+	// covered by the snapshot or the legacy log.
+	coveredBelow := cursor
+	scan.groups = make(map[int]*shardGroup)
+	var cursors []*shardCursor
+	defer func() {
+		for _, c := range cursors {
+			c.close()
+		}
+	}()
+	for shard, segs := range groups {
+		scan.groups[shard] = &shardGroup{segs: segs}
+		if len(segs) == 0 {
+			continue
+		}
+		c := &shardCursor{fs: fs, dir: dir, shard: shard, segs: segs, coveredBelow: coveredBelow}
+		if err := c.advance(); err != nil {
+			return scan, err
+		}
+		cursors = append(cursors, c)
+	}
+
+	hole := false
+	for {
+		var best *shardCursor
+		for _, c := range cursors {
+			if !c.headOK {
+				continue
+			}
+			if best == nil || c.headLSN < best.headLSN {
+				best = c
+			} else if c.headLSN == best.headLSN {
+				return scan, fmt.Errorf("serve: recover: %w: LSN %d appears in both shard %d and shard %d streams",
+					ErrCorrupt, c.headLSN, best.shard, c.shard)
+			}
+		}
+		if best == nil {
+			break
+		}
+		lsn := best.headLSN
+		if lsn > cursor {
+			// A cross-stream hole: some sibling stream lost its unsynced
+			// tail to a power loss while this stream kept later records.
+			// Everything from the hole on is inside the group-commit window
+			// and is discarded (and trimmed below).
+			hole = true
+			break
+		}
+		if lsn < cursor {
+			rst.RecordsSkipped++
+		} else {
+			if err := visit(lsn, best.headKind, best.headPayload); err != nil {
+				return scan, err
+			}
+			cursor = lsn + 1
+		}
+		g := scan.groups[best.shard]
+		g.last = lsn
+		g.recs++
+		if err := best.advance(); err != nil {
+			return scan, err
+		}
+	}
+	for _, c := range cursors {
+		rst.SegmentsScanned += c.segsScanned
+		if c.torn {
+			rst.TornTail = true
+			scan.groups[c.shard].torn = true
+		}
+	}
+	scan.hole = hole
+	if hole {
+		rst.TornTail = true
+		if repair {
+			trimmed, err := trimBeyond(fs, dir, scan.groups, cursor)
+			rst.RecordsTrimmed += trimmed
+			if err != nil {
+				return scan, fmt.Errorf("serve: recover: trimming orphaned records beyond LSN %d: %w", cursor, err)
+			}
+		}
+	}
+	scan.next = cursor
+	return scan, nil
 }
 
-// replaySegment replays one segment's records into sv. base is the LSN the
-// file name claims for the first record (cross-checked against the
-// segment's FrameLSNMark header); records below cursor are skipped as
-// already applied, and floor marks the snapshot cut for the per-job exact-
-// once rule. Returns the LSN one past the last decodable record and whether
-// the segment ended in a torn/corrupt frame instead of a clean EOF.
-func replaySegment(sv *Server, fs WALFS, path string, base, cursor, floor uint64, rst *RecoveryStats) (uint64, bool, error) {
+// shardCursor reads one shard's segment stream in order, validating the
+// per-segment chain links and surfacing records one at a time for the
+// merge. Corruption in a non-final segment is a hole in synced history
+// (rotation syncs a segment before its successor exists) and fails typed;
+// corruption in the final segment is the torn tail a crash leaves.
+type shardCursor struct {
+	fs           WALFS
+	dir          string
+	shard        int
+	segs         []walEntry
+	coveredBelow uint64 // first retained segment's prevEnd must be below this
+
+	segIdx      int
+	rc          io.ReadCloser
+	wr          *WireReader
+	chained     bool   // a previous segment of this stream was fully read
+	last        uint64 // last record LSN read from this stream
+	headLSN     uint64
+	headKind    FrameKind
+	headPayload []byte
+	headOK      bool
+	torn        bool
+	segsScanned int
+}
+
+// gapf fails the cursor's stream typed.
+func (c *shardCursor) gapf(format string, args ...any) error {
+	c.close()
+	return fmt.Errorf("serve: recover: shard %d stream: %w: %s", c.shard, ErrWALGap, fmt.Sprintf(format, args...))
+}
+
+func (c *shardCursor) close() {
+	if c.rc != nil {
+		c.rc.Close()
+		c.rc = nil
+		c.wr = nil
+	}
+}
+
+// tornHere handles a torn/corrupt frame at the cursor's position: legal
+// (and terminal) in the stream's final segment, a typed gap anywhere else.
+func (c *shardCursor) tornHere(what string, err error) error {
+	final := c.segIdx == len(c.segs)-1
+	c.close()
+	if !final {
+		return c.gapf("segment %s: %s (%v) but later segments exist", c.segs[c.segIdx].name, what, err)
+	}
+	c.torn = true
+	c.headOK = false
+	c.segIdx = len(c.segs)
+	return nil
+}
+
+// advance loads the stream's next record into the head fields, opening and
+// chain-checking segments as it crosses them. headOK false means the
+// stream is exhausted.
+func (c *shardCursor) advance() error {
+	for {
+		if c.wr == nil {
+			if c.segIdx >= len(c.segs) {
+				c.headOK = false
+				return nil
+			}
+			seg := c.segs[c.segIdx]
+			rc, err := c.fs.Open(filepath.Join(c.dir, seg.name))
+			if err != nil {
+				return fmt.Errorf("serve: recover: %w", err)
+			}
+			c.rc, c.wr = rc, NewWireReader(rc)
+			c.segsScanned++
+			kind, payload, err := c.wr.next()
+			if isTornErr(err) || (err == nil && kind != FrameSegHeader) || err == io.EOF {
+				// A segment that does not open with its own header cannot be
+				// placed in the stream; treat it as wholly torn.
+				if err := c.tornHere("unreadable segment header", err); err != nil {
+					return err
+				}
+				continue
+			}
+			if err != nil {
+				c.close()
+				return fmt.Errorf("serve: recover: %s: %w", seg.name, err)
+			}
+			h, err := decodeSegHeaderPayload(payload)
+			if err != nil || h.stamp != seg.seq || h.shard != c.shard {
+				if err := c.tornHere("segment header does not match its name", err); err != nil {
+					return err
+				}
+				continue
+			}
+			if c.chained {
+				if h.prevEnd != c.last {
+					return c.gapf("segment %s chains to LSN %d but the stream's previous segment ended at %d — a segment is missing or damaged",
+						seg.name, h.prevEnd, c.last)
+				}
+			} else if h.prevEnd >= c.coveredBelow {
+				return c.gapf("first retained segment %s chains to LSN %d, beyond the covered history below %d — earlier segments of this stream are missing",
+					seg.name, h.prevEnd, c.coveredBelow)
+			}
+		}
+		kind, payload, err := c.wr.next()
+		if err == io.EOF {
+			// Clean end of segment: move to the next one.
+			c.close()
+			c.chained = true
+			c.segIdx++
+			continue
+		}
+		if isTornErr(err) {
+			if err := c.tornHere("torn or corrupt frame", err); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			name := c.segs[c.segIdx].name
+			c.close()
+			return fmt.Errorf("serve: recover: %s: %w", name, err)
+		}
+		if kind != FrameRecord {
+			if err := c.tornHere(fmt.Sprintf("frame kind %d where a record was expected", kind), nil); err != nil {
+				return err
+			}
+			continue
+		}
+		lsn, inner, innerPayload, err := decodeRecordPayload(payload)
+		if err != nil || lsn <= c.last || lsn < c.segs[c.segIdx].seq {
+			if err := c.tornHere("record with out-of-order LSN", err); err != nil {
+				return err
+			}
+			continue
+		}
+		c.last = lsn
+		c.headLSN, c.headKind, c.headPayload, c.headOK = lsn, inner, innerPayload, true
+		return nil
+	}
+}
+
+// isTornErr classifies the read errors a crash tail legitimately produces.
+func isTornErr(err error) bool {
+	return errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt) ||
+		errors.Is(err, ErrBadMagic) || errors.Is(err, ErrVersion)
+}
+
+// trimBeyond physically removes every per-shard record at or above cut:
+// whole segments whose stamp is at or above it are deleted, and the one
+// straddling segment a stream can have (records increase across a stream's
+// segments, so only its last sub-cut segment may straddle) is rewritten in
+// place with only its sub-cut records, via a temp file renamed over the
+// original. Idempotent: a crash mid-trim leaves either the original or the
+// trimmed file, and the next recovery computes the same cut.
+func trimBeyond(fs WALFS, dir string, groups map[int]*shardGroup, cut uint64) (int, error) {
+	trimmed := 0
+	for _, g := range groups {
+		kept := g.segs[:0]
+		for _, seg := range g.segs {
+			if seg.seq >= cut {
+				// Every record in a stamp>=cut segment is an orphan; count
+				// them before the file goes, so RecordsTrimmed reports what
+				// was actually discarded.
+				trimmed += countSegmentRecords(fs, dir, seg)
+				if err := fs.Remove(filepath.Join(dir, seg.name)); err != nil {
+					return trimmed, err
+				}
+				continue
+			}
+			kept = append(kept, seg)
+		}
+		g.segs = append([]walEntry(nil), kept...)
+		if len(g.segs) == 0 {
+			continue
+		}
+		n, err := trimSegment(fs, dir, g.segs[len(g.segs)-1], cut)
+		trimmed += n
+		if err != nil {
+			return trimmed, err
+		}
+	}
+	return trimmed, nil
+}
+
+// countSegmentRecords counts the decodable records in one segment (0 on
+// any read problem — the file is about to be removed either way).
+func countSegmentRecords(fs WALFS, dir string, seg walEntry) int {
+	rc, err := fs.Open(filepath.Join(dir, seg.name))
+	if err != nil {
+		return 0
+	}
+	defer rc.Close()
+	wr := NewWireReader(rc)
+	n := 0
+	for {
+		kind, _, err := wr.next()
+		if err != nil {
+			return n
+		}
+		if kind == FrameRecord {
+			n++
+		}
+	}
+}
+
+// trimSegment rewrites seg without its records at or above cut (a no-op if
+// it has none).
+func trimSegment(fs WALFS, dir string, seg walEntry, cut uint64) (int, error) {
+	path := filepath.Join(dir, seg.name)
+	rc, err := fs.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	wr := NewWireReader(rc)
+	var keep []byte
+	dropped := 0
+	readErr := error(nil)
+	for {
+		kind, payload, err := wr.next()
+		if err == io.EOF {
+			break
+		}
+		if isTornErr(err) {
+			break // the torn tail is dropped with the rewrite
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+		if kind == FrameRecord {
+			if lsn, _, _, derr := decodeRecordPayload(payload); derr == nil && lsn >= cut {
+				dropped++
+				continue
+			}
+		}
+		if keep == nil {
+			keep = AppendHeader(nil)
+		}
+		keep = appendFrame(keep, kind, payload)
+	}
+	rc.Close()
+	if readErr != nil {
+		return 0, readErr
+	}
+	if dropped == 0 {
+		return 0, nil
+	}
+	tmp := path + tmpSuffix
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return dropped, err
+	}
+	if _, err = f.Write(keep); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fs.Remove(tmp)
+		return dropped, err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return dropped, err
+	}
+	return dropped, fs.SyncDir(dir)
+}
+
+// walkLegacySegment walks one legacy single-stream segment: base is the LSN
+// the file name claims for the first record (cross-checked against the
+// segment's FrameLSNMark header), and record i of the segment visits with
+// LSN base+i. Returns the LSN one past the last decodable record and
+// whether the segment ended in a torn/corrupt frame instead of a clean EOF.
+func walkLegacySegment(fs WALFS, path string, base uint64,
+	visit func(lsn uint64, kind FrameKind, payload []byte) error) (uint64, bool, error) {
 	rc, err := fs.Open(path)
 	if err != nil {
 		return base, false, fmt.Errorf("serve: recover: %w", err)
@@ -148,8 +617,7 @@ func replaySegment(sv *Server, fs WALFS, path string, base, cursor, floor uint64
 		if err == io.EOF {
 			return lsn, false, nil
 		}
-		if errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt) ||
-			errors.Is(err, ErrBadMagic) || errors.Is(err, ErrVersion) {
+		if isTornErr(err) {
 			// The tail a crash leaves: a partially written frame, or a
 			// partially written segment header. Everything before it is
 			// recovered; nothing after it is trusted.
@@ -170,11 +638,7 @@ func replaySegment(sv *Server, fs WALFS, path string, base, cursor, floor uint64
 		}
 		recLSN := lsn
 		lsn++
-		if recLSN < cursor {
-			rst.RecordsSkipped++ // shadowed by an earlier segment's replay
-			continue
-		}
-		if err := applyWALRecord(sv, kind, payload, recLSN, floor, rst); err != nil {
+		if err := visit(recLSN, kind, payload); err != nil {
 			return recLSN, false, fmt.Errorf("serve: recover: %s: record at LSN %d: %w",
 				filepath.Base(path), recLSN, err)
 		}
@@ -274,21 +738,23 @@ func applyWALRecord(sv *Server, kind FrameKind, payload []byte, lsn, floor uint6
 
 // CheckpointWAL writes a durable snapshot into the WAL directory (stamped
 // with its floor LSN, via a temp file renamed into place) and retires every
-// WAL segment wholly below the floor. One older snapshot generation is kept
-// so a crash that corrupts the newest file cannot orphan the log; older
-// ones and stale temp files are pruned. Returns the snapshot path and how
-// many segments were retired.
+// WAL segment wholly below the floor, per stream. One older snapshot
+// generation is kept so a crash that corrupts the newest file cannot orphan
+// the log; older ones and stale temp files are pruned. The automatic
+// checkpoint policy (WALOptions.CheckpointEvery / CheckpointBytes) calls
+// this on its triggers; explicit calls remain available and serialize with
+// it. Returns the snapshot path and how many segments were retired.
 func (sv *Server) CheckpointWAL() (string, int, error) {
 	w := sv.wal
 	if w == nil {
 		return "", 0, fmt.Errorf("serve: checkpoint: no WAL attached")
 	}
 	fs, dir := w.opts.FS, w.dir
-	// The snapshot itself runs outside the WAL mutex (it takes job locks;
-	// appends take job locks before the WAL's — holding both here would
-	// deadlock against ingest). ckptMu serializes whole checkpoints, so two
-	// concurrent calls can never interleave writes into one temp file or
-	// race the prune/retire bookkeeping.
+	// The snapshot itself runs outside the stream mutexes (it takes job
+	// locks; appends take job locks before a stream's — holding both here
+	// would deadlock against ingest). ckptMu serializes whole checkpoints,
+	// so an automatic and an explicit call can never interleave writes into
+	// one temp file or race the prune/retire bookkeeping.
 	w.ckptMu.Lock()
 	defer w.ckptMu.Unlock()
 	tmp := filepath.Join(dir, "checkpoint"+tmpSuffix)
@@ -318,6 +784,7 @@ func (sv *Server) CheckpointWAL() (string, int, error) {
 	if err := fs.SyncDir(dir); err != nil {
 		return "", 0, fmt.Errorf("serve: checkpoint: sync dir: %w", err)
 	}
+	w.checkpointDone(floor)
 	// Prune snapshots beyond the newest two, then retire segments only up
 	// to the oldest *kept* snapshot's floor — both kept generations must
 	// still chain to the retained log, or the fallback snapshot would be

@@ -36,6 +36,12 @@ import (
 // FrameDrop frames, snapshots open with an LSN-mark floor stamp, and the
 // FrameSnapJob payload carries the job's last-logged LSN. v1 snapshots and
 // dumps are rejected with a typed ErrVersion, not misdecoded.
+//
+// The per-shard WAL release added FrameRecord / FrameSegHeader without a
+// version bump: the new kinds appear only inside wal-<shard>-*.seg files,
+// never in dumps, ingest bodies, or snapshots, so every stream an external
+// peer can see still decodes under v2. (A v2 binary pointed at a per-shard
+// WAL directory rejects it as corrupt instead of misreading it.)
 const WireVersion uint16 = 2
 
 // wireMagic opens every wire stream.
@@ -68,6 +74,17 @@ const (
 	FrameFinish FrameKind = 6
 	// FrameDrop is the WAL record of a DropJob mutation.
 	FrameDrop FrameKind = 7
+	// FrameRecord is the record envelope of per-shard WAL segments: an
+	// explicit log sequence number plus the wrapped record (one of
+	// FrameSpec/FrameEvent/FrameFinish/FrameDrop). Per-shard streams
+	// interleave the global LSN sequence, so unlike single-stream segments a
+	// record's LSN cannot be derived from its offset and travels with it.
+	FrameRecord FrameKind = 8
+	// FrameSegHeader opens a per-shard WAL segment: the segment's name stamp,
+	// the last LSN this shard's stream held before the segment (the chain
+	// link recovery uses to detect missing segments), the shard index, and
+	// the stream count the writer fanned across.
+	FrameSegHeader FrameKind = 9
 )
 
 // Typed decode errors, errors.Is-matchable through every wrapping layer.
@@ -359,6 +376,59 @@ func decodeLSNMarkPayload(p []byte) (uint64, error) {
 	return lsn, d.finish()
 }
 
+// appendRecordPayload / decodeRecordPayload carry one per-shard WAL record
+// (FrameRecord): the record's global LSN, the wrapped record kind, and the
+// wrapped record's payload verbatim. The returned inner payload aliases p.
+func appendRecordPayload(e *wireEnc, lsn uint64, kind FrameKind, inner []byte) {
+	e.u64(lsn)
+	e.u8(uint8(kind))
+	e.b = append(e.b, inner...)
+}
+
+func decodeRecordPayload(p []byte) (uint64, FrameKind, []byte, error) {
+	if len(p) < 9 {
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes for a 9-byte record prefix", ErrTruncated, len(p))
+	}
+	d := wireDec{b: p[:9]}
+	lsn := d.u64()
+	kind := FrameKind(d.u8())
+	if err := d.finish(); err != nil {
+		return 0, 0, nil, err
+	}
+	if kind < FrameSpec || kind > FrameDrop {
+		return 0, 0, nil, fmt.Errorf("%w: frame kind %d wrapped in a WAL record", ErrCorrupt, kind)
+	}
+	return lsn, kind, p[9:], nil
+}
+
+// appendSegHeaderPayload / decodeSegHeaderPayload carry the opening frame of
+// a per-shard WAL segment (FrameSegHeader): the segment's stamp (every
+// record inside has an LSN at or above it, and the file name repeats it),
+// the last LSN the stream held before this segment (0 for a stream's first
+// segment ever), the shard index, and the writer's stream count.
+func appendSegHeaderPayload(e *wireEnc, stamp, prevEnd uint64, shard, streams int) {
+	e.u64(stamp)
+	e.u64(prevEnd)
+	e.u32(uint32(shard))
+	e.u32(uint32(streams))
+}
+
+type segHeader struct {
+	stamp, prevEnd uint64
+	shard, streams int
+}
+
+func decodeSegHeaderPayload(p []byte) (segHeader, error) {
+	d := wireDec{b: p}
+	h := segHeader{
+		stamp:   d.u64(),
+		prevEnd: d.u64(),
+		shard:   int(d.u32()),
+		streams: int(d.u32()),
+	}
+	return h, d.finish()
+}
+
 // appendFinishPayload / decodeFinishPayload carry a job-finish WAL record
 // (FrameFinish): the job and the close timestamp.
 func appendFinishPayload(e *wireEnc, jobID uint64, t float64) {
@@ -402,7 +472,7 @@ func DecodeFrame(b []byte) (FrameKind, []byte, int, error) {
 		return 0, nil, 0, fmt.Errorf("%w: %d bytes for a 5-byte frame header", ErrTruncated, len(b))
 	}
 	kind := FrameKind(b[0])
-	if kind < FrameSpec || kind > FrameDrop {
+	if kind < FrameSpec || kind > FrameSegHeader {
 		return 0, nil, 0, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, b[0])
 	}
 	n := uint32(b[1]) | uint32(b[2])<<8 | uint32(b[3])<<16 | uint32(b[4])<<24

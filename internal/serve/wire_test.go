@@ -375,6 +375,22 @@ func FuzzWireDecode(f *testing.F) {
 					t.Fatalf("drop record re-encode diverges from input")
 				}
 			}
+		case FrameRecord:
+			if lsn, inner, innerPayload, err := decodeRecordPayload(payload); err == nil {
+				var e wireEnc
+				appendRecordPayload(&e, lsn, inner, innerPayload)
+				if !bytes.Equal(appendFrame(nil, kind, e.b), data[:n]) {
+					t.Fatalf("WAL record re-encode diverges from input")
+				}
+			}
+		case FrameSegHeader:
+			if h, err := decodeSegHeaderPayload(payload); err == nil {
+				var e wireEnc
+				appendSegHeaderPayload(&e, h.stamp, h.prevEnd, h.shard, h.streams)
+				if !bytes.Equal(appendFrame(nil, kind, e.b), data[:n]) {
+					t.Fatalf("segment header re-encode diverges from input")
+				}
+			}
 		}
 	})
 }
