@@ -327,6 +327,59 @@ func BenchmarkGBTFit(b *testing.B) {
 	}
 }
 
+// benchRefit measures the per-refit latency of NURD's checkpoint refit over
+// a full job's gated checkpoint sequence (the hot path the serving layer's
+// async pipeline runs on its workers): at each checkpoint the models are
+// refitted on the accumulated finished set, from scratch or warm-started
+// from the previous checkpoint's ensemble. Reports ms/refit so the warm vs
+// scratch comparison (BENCH_serve_refit.json; ratio-gated in CI) reads
+// directly.
+func benchRefit(b *testing.B, cfg nurd.Config) {
+	job := benchJob(b)
+	sim, err := simulator.New(job, simulator.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The fixed view sequence both strategies fit: every checkpoint past the
+	// warm gate, no terminations (identical data regardless of verdicts).
+	var views []*simulator.Checkpoint
+	warm := simulator.WarmCount(job.NumTasks(), sim.Cfg.WarmFrac)
+	for k := 1; k <= sim.Cfg.Checkpoints; k++ {
+		cp := sim.At(k, nil)
+		if len(cp.FinishedIDs) >= warm && len(cp.RunningIDs) > 0 {
+			views = append(views, cp)
+		}
+	}
+	if len(views) < 3 {
+		b.Skip("degenerate job: too few gated checkpoints")
+	}
+	cfg.Seed = benchSeed
+	b.ResetTimer()
+	refits := 0
+	for i := 0; i < b.N; i++ {
+		m := nurd.New(cfg)
+		if err := m.Init(views[0].FinishedX, views[0].RunningX); err != nil {
+			b.Fatal(err)
+		}
+		for _, cp := range views {
+			if err := m.Refit(cp.FinishedX, cp.FinishedY, cp.RunningX); err != nil {
+				b.Fatal(err)
+			}
+			refits++
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(refits), "ms/refit")
+}
+
+// BenchmarkRefitScratch is the pre-pipeline refit cost: every checkpoint
+// retrains the GBT from scratch (the paper's Table 3 configuration).
+func BenchmarkRefitScratch(b *testing.B) { benchRefit(b, nurd.DefaultConfig()) }
+
+// BenchmarkRefitWarm is the warm-started refit: each checkpoint extends the
+// previous ensemble by nurd.DefaultWarmRounds trees instead of refitting
+// gbt.DefaultConfig().NumTrees from zero.
+func BenchmarkRefitWarm(b *testing.B) { benchRefit(b, nurd.DefaultWarmConfig()) }
+
 // BenchmarkFullReplayNURD measures a complete 10-checkpoint online replay of
 // one 300-task job through NURD.
 func BenchmarkFullReplayNURD(b *testing.B) {

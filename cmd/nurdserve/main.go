@@ -32,11 +32,23 @@
 // prints the recoverable LSN per shard plus the snapshot it would restore
 // from, without starting a server or writing a byte.
 //
+// -refit-mode selects the checkpoint refit strategy for every job this
+// process registers: scratch (retrain from zero — bit-identical to the
+// offline Table 3 path) or warm (warm-started incremental boosting — each
+// checkpoint extends the previous checkpoint's ensemble, several times
+// cheaper per refit, accuracy within a small epsilon of scratch). In the
+// load-driver mode the offline reference uses the same strategy, so the
+// bit-identical cross-check holds for both. Fits always run on per-shard
+// background workers (-refit-workers), off the ingest path; jobs recovered
+// from a WAL refit with the mode their specs recorded, whatever the flag
+// says today.
+//
 // Usage:
 //
 //	nurdserve -jobs 20 -seed 42 -workers 8
 //	nurdserve -trace alibaba -jobs 40 -rate 50000
 //	nurdserve -shards 32 -workers 16 -jobs 64
+//	nurdserve -jobs 20 -refit-mode warm           # warm-started refits
 //	nurdserve -listen :8080                       # serve external traffic
 //	nurdserve -listen :0 -replay google-8.wire    # serve a recorded trace
 //	nurdserve -replay google-8.wire -speedup 1000 # in-process replay
@@ -84,22 +96,29 @@ func main() {
 		ckptEvery = flag.Duration("wal-checkpoint-every", time.Minute, "automatic WAL checkpoint period (0 disables the time trigger)")
 		ckptBytes = flag.Int64("wal-checkpoint-bytes", 64<<20, "automatic WAL checkpoint once this many bytes were appended since the last one (0 disables the size trigger)")
 		walVerify = flag.String("wal-verify", "", "offline: replay the WAL directory's structure and print the recoverable LSN per shard, then exit (no server is started)")
+		refitMode = flag.String("refit-mode", "scratch", "checkpoint refit strategy: scratch (bit-identical to the offline Table 3 path) or warm (warm-started incremental boosting, several times cheaper per refit)")
+		refitWork = flag.Int("refit-workers", 0, "background refit workers per shard (0 = default); model fits run on these, off the ingest path")
 	)
 	flag.Parse()
+	mode, err := serve.ParseRefitMode(*refitMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nurdserve:", err)
+		os.Exit(1)
+	}
 	wopts := serve.WALOptions{
 		SyncEvery:       *syncEvery,
 		Streams:         *walStream,
 		CheckpointEvery: *ckptEvery,
 		CheckpointBytes: *ckptBytes,
 	}
-	var err error
+	scfg := servingConfig{shards: *shards, refitMode: mode, refitWorkers: *refitWork}
 	switch {
 	case *walVerify != "":
 		err = runWALVerify(*walVerify, os.Stdout)
 	case *listen != "" || *replay != "" || *walDir != "":
-		err = serveMode(*listen, *replay, *shards, *speedup, *hold, *walDir, wopts)
+		err = serveMode(*listen, *replay, scfg, *speedup, *hold, *walDir, wopts)
 	default:
-		err = run(*traceName, *jobs, *seed, *workers, *shards, *rate, *tolerance)
+		err = run(*traceName, *jobs, *seed, *workers, scfg, *rate, *tolerance)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nurdserve:", err)
@@ -125,17 +144,32 @@ func runWALVerify(dir string, w io.Writer) error {
 	return nil
 }
 
+// servingConfig carries the CLI's server-shape flags.
+type servingConfig struct {
+	shards       int
+	refitMode    serve.RefitMode
+	refitWorkers int
+}
+
+func (sc servingConfig) apply(cfg serve.Config) serve.Config {
+	if sc.shards > 0 {
+		cfg.Shards = sc.shards
+	}
+	cfg.RefitMode = sc.refitMode
+	cfg.RefitWorkers = sc.refitWorkers
+	return cfg
+}
+
 // setupServer builds the serving instance: a plain in-memory server, or —
 // when walDir is set — one recovered from walDir's newest snapshot plus
 // write-ahead log and wired to keep logging (per-shard segment streams,
 // automatic checkpoints per wopts). Callers own Close on the returned WAL
 // (nil without -wal). Split from serveMode so flag validation (missing
-// dir, unwritable dir) is testable without a live listener.
-func setupServer(walDir string, shards int, wopts serve.WALOptions) (*serve.Server, *serve.WAL, serve.RecoveryStats, error) {
-	cfg := serve.DefaultConfig()
-	if shards > 0 {
-		cfg.Shards = shards
-	}
+// dir, unwritable dir) is testable without a live listener. The refit mode
+// only shapes *new* registrations: recovered jobs refit with the mode their
+// specs recorded, whatever the flag says today.
+func setupServer(walDir string, scfg servingConfig, wopts serve.WALOptions) (*serve.Server, *serve.WAL, serve.RecoveryStats, error) {
+	cfg := scfg.apply(serve.DefaultConfig())
 	if walDir == "" {
 		return serve.NewServer(cfg), nil, serve.RecoveryStats{}, nil
 	}
@@ -154,8 +188,8 @@ func setupServer(walDir string, shards int, wopts serve.WALOptions) (*serve.Serv
 // serveMode runs the durable wire-facing server: an HTTP front end, a
 // dump replay, or both (dump streamed through the front end), optionally
 // on top of a write-ahead log with automatic recovery.
-func serveMode(listen, replay string, shards int, speedup float64, hold time.Duration, walDir string, wopts serve.WALOptions) error {
-	sv, wal, rst, err := setupServer(walDir, shards, wopts)
+func serveMode(listen, replay string, scfg servingConfig, speedup float64, hold time.Duration, walDir string, wopts serve.WALOptions) error {
+	sv, wal, rst, err := setupServer(walDir, scfg, wopts)
 	if err != nil {
 		return err
 	}
@@ -261,7 +295,7 @@ func serveMode(listen, replay string, shards int, speedup float64, hold time.Dur
 	return nil
 }
 
-func run(traceName string, numJobs int, seed uint64, workers, shards int, rate, tolerance float64) error {
+func run(traceName string, numJobs int, seed uint64, workers int, scfg servingConfig, rate, tolerance float64) error {
 	if numJobs < 1 {
 		return fmt.Errorf("need >= 1 job, got %d", numJobs)
 	}
@@ -291,7 +325,7 @@ func run(traceName string, numJobs int, seed uint64, workers, shards int, rate, 
 			return err
 		}
 	}
-	mi, nurdFac, ok := predictor.FindFactory("NURD")
+	mi, _, ok := predictor.FindFactory("NURD")
 	if !ok {
 		return fmt.Errorf("NURD factory not found")
 	}
@@ -301,9 +335,22 @@ func run(traceName string, numJobs int, seed uint64, workers, shards int, rate, 
 	seedFor := func(ji int) uint64 {
 		return experiments.UnitSeed(seed, ji, mi)
 	}
+	// specFor stamps the refit mode so both the server and the offline
+	// reference build the very predictor serve's default factory would —
+	// the bit-identical cross-check holds for both strategies (warm vs the
+	// scratch Table 3 path is a separate, epsilon-bounded comparison — see
+	// internal/serve's tests).
+	specFor := func(ji int) serve.JobSpec {
+		spec := serve.SpecFor(sims[ji], seedFor(ji))
+		spec.RefitMode = scfg.refitMode
+		return spec
+	}
+	newPred := func(ji int) simulator.Predictor {
+		return serve.NewNURDPredictor(specFor(ji))
+	}
 
-	fmt.Fprintf(os.Stderr, "offline reference: %d %s jobs through the Table 3 NURD path...\n",
-		numJobs, traceName)
+	fmt.Fprintf(os.Stderr, "offline reference: %d %s jobs through the %s-refit NURD path...\n",
+		numJobs, traceName, scfg.refitMode)
 	offline := make([]*simulator.Result, numJobs)
 	{
 		// Per-job replays are independent; fan them across cores like
@@ -316,7 +363,7 @@ func run(traceName string, numJobs int, seed uint64, workers, shards int, rate, 
 			go func() {
 				defer owg.Done()
 				for ji := range units {
-					offline[ji], offErrs[ji] = simulator.Evaluate(sims[ji], nurdFac.New(sims[ji], seedFor(ji)))
+					offline[ji], offErrs[ji] = simulator.Evaluate(sims[ji], newPred(ji))
 				}
 			}()
 		}
@@ -339,13 +386,10 @@ func run(traceName string, numJobs int, seed uint64, workers, shards int, rate, 
 		totalEvents += len(streams[ji])
 	}
 
-	cfg := serve.DefaultConfig()
-	if shards > 0 {
-		cfg.Shards = shards
-	}
+	cfg := scfg.apply(serve.DefaultConfig())
 	sv := serve.NewServer(cfg)
 	for ji := range jobs {
-		if err := sv.StartJob(serve.SpecFor(sims[ji], seedFor(ji)), nurdFac.New(sims[ji], seedFor(ji))); err != nil {
+		if err := sv.StartJob(specFor(ji), newPred(ji)); err != nil {
 			return err
 		}
 	}
@@ -384,7 +428,8 @@ func run(traceName string, numJobs int, seed uint64, workers, shards int, rate, 
 		}
 	}
 
-	fmt.Printf("=== nurdserve — online streaming vs offline NURD (%s, seed %d) ===\n", traceName, seed)
+	fmt.Printf("=== nurdserve — online streaming vs offline NURD (%s, seed %d, %s refits) ===\n",
+		traceName, seed, scfg.refitMode)
 	fmt.Printf("%5s %8s %6s %6s %10s %10s %10s %7s %10s\n",
 		"job", "profile", "tasks", "strag", "offlineF1", "servedF1", "|dF1|", "refits", "refit-mean")
 	var servedRates, offlineRates []metrics.Rates

@@ -58,7 +58,7 @@ func TestSetupServerWALValidation(t *testing.T) {
 			if tc.name == "read-only dir" && (runtime.GOOS == "windows" || os.Geteuid() == 0) {
 				t.Skip("permission bits not enforced for this user/platform")
 			}
-			sv, wal, _, err := setupServer(tc.dir(t), 2, serve.WALOptions{SyncEvery: time.Millisecond})
+			sv, wal, _, err := setupServer(tc.dir(t), servingConfig{shards: 2}, serve.WALOptions{SyncEvery: time.Millisecond})
 			if tc.wantErr != "" {
 				if err == nil {
 					t.Fatalf("setupServer succeeded, want error containing %q", tc.wantErr)
@@ -190,7 +190,7 @@ func itoa(n int) string { return strconv.Itoa(n) }
 // TestSetupServerWithoutWAL: load-driver and plain serve modes get an
 // ordinary in-memory server, no log.
 func TestSetupServerWithoutWAL(t *testing.T) {
-	sv, wal, rst, err := setupServer("", 4, serve.WALOptions{})
+	sv, wal, rst, err := setupServer("", servingConfig{shards: 4, refitMode: serve.RefitWarm}, serve.WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

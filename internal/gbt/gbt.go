@@ -144,6 +144,17 @@ func fitNewton(X [][]float64, n int, init float64, loss lossFuncs, cfg Config) (
 	for i := range f {
 		f[i] = init
 	}
+	if err := boostRounds(m, X, n, f, loss, cfg, rng); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// boostRounds appends cfg.NumTrees Newton-boosted trees to m, starting from
+// the current per-row predictions f (which it advances in place). The loop is
+// shared by the scratch fitters and Model.Extend; cfg.LearningRate must equal
+// m.LR, since Predict applies one shrinkage factor to every tree.
+func boostRounds(m *Model, X [][]float64, n int, f []float64, loss lossFuncs, cfg Config, rng *stats.RNG) error {
 	g := make([]float64, n)
 	h := make([]float64, n)
 	negG := make([]float64, n)
@@ -175,7 +186,7 @@ func fitNewton(X [][]float64, n int, init float64, loss lossFuncs, cfg Config) (
 		}
 		tr, err := tree.Fit(trainX, trainT, nil, tcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Newton leaf refit over the FULL data: value_j = -G_j/(H_j+lambda).
 		leafG := map[int]float64{}
@@ -197,7 +208,69 @@ func fitNewton(X [][]float64, n int, init float64, loss lossFuncs, cfg Config) (
 		}
 		m.Trees = append(m.Trees, tr)
 	}
-	return m, nil
+	return nil
+}
+
+// Extend continues boosting from an existing squared-error ensemble: it fits
+// `rounds` additional trees against the residuals of m's predictions on the
+// (possibly updated) training set and returns a new Model — m itself is never
+// mutated, so published ensembles stay immutable while their successors are
+// trained. Extending by zero rounds is a no-op that returns an equivalent
+// copy. The result is deterministic given the same previous model, data, and
+// cfg.Seed (the extension RNG is derived from the seed and the current
+// ensemble size, so successive extensions of one model draw distinct but
+// reproducible subsample streams).
+//
+// Extend is the warm-start primitive behind incremental checkpoint refits
+// (nurd.Model.Refit): refitting 10-20 rounds on top of the previous
+// checkpoint's ensemble costs a fraction of a full scratch fit while tracking
+// the drifting training distribution. Callers enforce their own tree budget
+// by choosing rounds (or falling back to a scratch fit when
+// len(m.Trees)+rounds would exceed it). Logistic-loss ensembles are refused:
+// their leaf values are log-odds steps and squared-error residual boosting
+// would corrupt them.
+func (m *Model) Extend(X [][]float64, y []float64, rounds int, cfg Config) (*Model, error) {
+	if m.Logistic {
+		return nil, fmt.Errorf("gbt: Extend supports squared-error ensembles only")
+	}
+	if rounds < 0 {
+		return nil, fmt.Errorf("gbt: negative extension of %d rounds", rounds)
+	}
+	if len(y) != len(X) {
+		return nil, fmt.Errorf("gbt: %d targets for %d rows", len(y), len(X))
+	}
+	out := &Model{
+		Init:  m.Init,
+		LR:    m.LR,
+		Trees: append(make([]*tree.Regressor, 0, len(m.Trees)+rounds), m.Trees...),
+	}
+	if rounds == 0 {
+		return out, nil
+	}
+	if len(X) == 0 {
+		return nil, fmt.Errorf("gbt: empty training set")
+	}
+	cfg.normalize()
+	if out.LR <= 0 {
+		out.LR = cfg.LearningRate
+	}
+	cfg.LearningRate = out.LR // one shrinkage factor across old and new trees
+	cfg.NumTrees = rounds
+	f := make([]float64, len(X))
+	for i, x := range X {
+		f[i] = out.Predict(x)
+	}
+	loss := func(f []float64, g, h []float64) {
+		for i := range f {
+			g[i] = f[i] - y[i]
+			h[i] = 1
+		}
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0x9bdb ^ uint64(len(m.Trees))*0x9e3779b97f4a7c15)
+	if err := boostRounds(out, X, len(X), f, loss, cfg, rng); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // FitRegressor fits a squared-loss boosted regressor (the GBTR baseline).

@@ -2,6 +2,7 @@ package gbt
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/stats"
@@ -221,5 +222,140 @@ func TestPredictBatch(t *testing.T) {
 		if batch[i] != m.Predict(x) {
 			t.Fatalf("batch[%d] mismatch", i)
 		}
+	}
+}
+
+// extendConfig exercises every stochastic component of the extension path
+// (row subsampling and column subsampling both draw from the derived RNG), so
+// the determinism property below is meaningful.
+func extendConfig(seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Subsample = 0.8
+	cfg.Tree.FeatureFrac = 0.5
+	cfg.Seed = seed
+	return cfg
+}
+
+// TestExtendDeterministic: extending the same previous model with the same
+// data and seed must produce bit-identical ensembles across runs — the
+// property warm-started serving refits (and their crash recovery) rely on.
+func TestExtendDeterministic(t *testing.T) {
+	X, y := makeRegressionData(200, 0.3, 17)
+	base, err := FitRegressor(X[:120], y[:120], extendConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := base.Extend(X, y, 12, extendConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := base.Extend(X, y, 12, extendConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two Extend runs with identical inputs diverged")
+	}
+	for i, x := range X {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatalf("row %d: predictions diverge between identical extensions", i)
+		}
+	}
+	// Chained extensions are deterministic too (each derives its RNG from the
+	// seed and the ensemble size it starts from).
+	a2, err := a.Extend(X, y, 12, extendConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := b.Extend(X, y, 12, extendConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a2, b2) {
+		t.Fatal("chained extensions diverged")
+	}
+	if reflect.DeepEqual(a, a2) {
+		t.Fatal("second extension added no trees")
+	}
+}
+
+// TestExtendZeroRoundsNoOp: a zero-round extension returns an equivalent
+// model without touching the original.
+func TestExtendZeroRoundsNoOp(t *testing.T) {
+	X, y := makeRegressionData(150, 0.2, 23)
+	base, err := FitRegressor(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := base.Extend(X, y, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Trees) != len(base.Trees) || out.Init != base.Init || out.LR != base.LR {
+		t.Fatalf("zero-round extension changed the model shape: %d trees vs %d",
+			len(out.Trees), len(base.Trees))
+	}
+	for i, x := range X {
+		if out.Predict(x) != base.Predict(x) {
+			t.Fatalf("row %d: zero-round extension changed predictions", i)
+		}
+	}
+	// The copy must not alias the original's tree slice: a later real
+	// extension of out leaves base untouched.
+	grown, err := out.Extend(X, y, 5, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grown.Trees) != len(base.Trees)+5 {
+		t.Fatalf("extension added %d trees, want 5", len(grown.Trees)-len(base.Trees))
+	}
+	if len(base.Trees) != 50 {
+		t.Fatalf("extension mutated the base model (%d trees)", len(base.Trees))
+	}
+}
+
+// TestExtendTracksNewData: extending on a shifted training set moves
+// predictions toward the new targets (the residual-correction property) and
+// never mutates the previous ensemble's predictions.
+func TestExtendTracksNewData(t *testing.T) {
+	X, y := makeRegressionData(300, 0.2, 31)
+	base, err := FitRegressor(X[:100], y[:100], DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := base.PredictBatch(X)
+	ext, err := base.Extend(X, y, 25, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse(ext, X, y) >= mse(base, X, y) {
+		t.Fatalf("extension did not reduce MSE on the updated set: %v vs %v",
+			mse(ext, X, y), mse(base, X, y))
+	}
+	after := base.PredictBatch(X)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("row %d: Extend mutated the previous model", i)
+		}
+	}
+}
+
+// TestExtendRejectsLogistic: logistic ensembles cannot be extended with
+// squared-error residual boosting.
+func TestExtendRejectsLogistic(t *testing.T) {
+	X, y := makeRegressionData(100, 0.2, 41)
+	for i := range y {
+		if y[i] > 2 {
+			y[i] = 1
+		} else {
+			y[i] = 0
+		}
+	}
+	m, err := FitClassifier(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Extend(X, y, 5, DefaultConfig()); err == nil {
+		t.Fatal("extending a logistic ensemble should fail")
 	}
 }

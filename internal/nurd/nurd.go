@@ -43,6 +43,19 @@ type Config struct {
 	MinFinishedFrac float64
 	// Seed drives the GBT's stochastic components.
 	Seed uint64
+	// WarmRounds, when positive, makes Refit warm-start the latency model:
+	// instead of refitting h_t from scratch, checkpoint k's ensemble extends
+	// checkpoint k-1's by WarmRounds additional boosting rounds fitted
+	// against the updated finished set's residuals (gbt.Model.Extend). 0
+	// (the default) keeps every refit a full scratch fit — the paper's
+	// Table 3 path, bit-identical checkpoint by checkpoint.
+	WarmRounds int
+	// WarmMaxTrees bounds the warm-started ensemble. An extension that would
+	// exceed it falls back to one scratch refit (re-shrinking the ensemble to
+	// GBT.NumTrees), after which extensions resume — both the fallback
+	// decision and the resulting model are deterministic functions of the
+	// training views. 0 means 8x GBT.NumTrees.
+	WarmMaxTrees int
 }
 
 // DefaultConfig returns the paper's hyperparameters.
@@ -66,6 +79,21 @@ func DefaultConfig() Config {
 	}
 }
 
+// DefaultWarmRounds is the serving layer's warm-refit tuning: enough rounds
+// per checkpoint for the extended ensemble to track the drifting finished-set
+// distribution (seed-trace F1 within a small epsilon of scratch refits —
+// test-enforced in internal/serve) at roughly a third of the trees, and so a
+// third of the fit cost, of a scratch refit.
+const DefaultWarmRounds = 16
+
+// DefaultWarmConfig returns DefaultConfig with warm-started refits enabled
+// at the serving layer's tuning.
+func DefaultWarmConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WarmRounds = DefaultWarmRounds
+	return cfg
+}
+
 // Model is a NURD predictor for one job. Construct with New, call Init once
 // with the initial finished/running split, then Update+Predict at each
 // checkpoint.
@@ -79,6 +107,10 @@ type Model struct {
 
 	h *gbt.Model         // latency predictor
 	g *linmodel.Logistic // propensity model
+
+	// warmFits / scratchFits count how the latency model was refitted
+	// (Extend vs FitRegressor); serving telemetry reads them via RefitCounts.
+	warmFits, scratchFits uint64
 }
 
 // New constructs an unfitted model.
@@ -126,10 +158,78 @@ func (m *Model) Init(finX, runX [][]float64) error {
 	return nil
 }
 
-// Update refits the latency model h_t on the finished tasks and the
-// propensity model g_t on the finished-vs-running split (Algorithm 1 line
-// 11). Call at every checkpoint with the accumulated finished set.
+// Update refits the latency model h_t from scratch on the finished tasks and
+// the propensity model g_t on the finished-vs-running split (Algorithm 1 line
+// 11). Call at every checkpoint with the accumulated finished set. Refit is
+// the strategy-dispatching entry point; Update is always the scratch path.
 func (m *Model) Update(finX [][]float64, finY []float64, runX [][]float64) error {
+	if err := m.checkTrain(finX, finY); err != nil {
+		return err
+	}
+	gcfg := m.cfg.GBT
+	gcfg.Seed = m.cfg.Seed
+	h, err := gbt.FitRegressor(finX, finY, gcfg)
+	if err != nil {
+		return fmt.Errorf("nurd: fitting latency model: %w", err)
+	}
+	m.h = h
+	m.scratchFits++
+	return m.fitPropensity(finX, runX)
+}
+
+// Refit refits the models for a new checkpoint view like Update, but
+// warm-starts the latency model from the previous checkpoint's ensemble when
+// the configuration enables it (Config.WarmRounds > 0) and a previous model
+// exists. The first gated checkpoint always fits from scratch; when an
+// extension would push the ensemble past the WarmMaxTrees budget, one scratch
+// refit re-shrinks it and extensions resume. With WarmRounds 0 Refit is
+// exactly Update, so the scratch configuration stays bit-identical to the
+// paper's Table 3 path.
+func (m *Model) Refit(finX [][]float64, finY []float64, runX [][]float64) error {
+	if m.cfg.WarmRounds <= 0 || m.h == nil {
+		return m.Update(finX, finY, runX)
+	}
+	budget := m.cfg.WarmMaxTrees
+	if budget <= 0 {
+		nt := m.cfg.GBT.NumTrees
+		if nt <= 0 {
+			nt = gbt.DefaultConfig().NumTrees
+		}
+		budget = 8 * nt
+	}
+	if len(m.h.Trees)+m.cfg.WarmRounds > budget {
+		return m.Update(finX, finY, runX)
+	}
+	if err := m.checkTrain(finX, finY); err != nil {
+		return err
+	}
+	gcfg := m.cfg.GBT
+	gcfg.Seed = m.cfg.Seed
+	h, err := m.h.Extend(finX, finY, m.cfg.WarmRounds, gcfg)
+	if err != nil {
+		return fmt.Errorf("nurd: extending latency model: %w", err)
+	}
+	m.h = h
+	m.warmFits++
+	return m.fitPropensity(finX, runX)
+}
+
+// RefitCounts reports how many refits warm-started the latency model vs
+// fitted it from scratch (serving telemetry; the split is deterministic given
+// the sequence of training views).
+func (m *Model) RefitCounts() (warm, scratch uint64) { return m.warmFits, m.scratchFits }
+
+// LatencyModelTrees reports the current size of the latency ensemble (0
+// before the first Update), the quantity the warm-refit budget bounds.
+func (m *Model) LatencyModelTrees() int {
+	if m.h == nil {
+		return 0
+	}
+	return len(m.h.Trees)
+}
+
+// checkTrain validates a checkpoint's training inputs.
+func (m *Model) checkTrain(finX [][]float64, finY []float64) error {
 	if !m.ready {
 		return fmt.Errorf("nurd: Update called before Init")
 	}
@@ -139,14 +239,12 @@ func (m *Model) Update(finX [][]float64, finY []float64, runX [][]float64) error
 	if len(finX) != len(finY) {
 		return fmt.Errorf("nurd: %d finished rows with %d latencies", len(finX), len(finY))
 	}
-	gcfg := m.cfg.GBT
-	gcfg.Seed = m.cfg.Seed
-	h, err := gbt.FitRegressor(finX, finY, gcfg)
-	if err != nil {
-		return fmt.Errorf("nurd: fitting latency model: %w", err)
-	}
-	m.h = h
+	return nil
+}
 
+// fitPropensity refits g_t on the finished-vs-running split; both refit
+// strategies share it (the logistic fit is cheap either way).
+func (m *Model) fitPropensity(finX, runX [][]float64) error {
 	if len(runX) == 0 {
 		// Nothing running: keep the previous propensity model if any; a nil
 		// g makes Predict fall back to w = 1.

@@ -251,3 +251,117 @@ func TestWeightInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRefitScratchIdentity: with WarmRounds 0 (the default), Refit is
+// bit-identical to Update — the serving layer's scratch mode leans on this.
+func TestRefitScratchIdentity(t *testing.T) {
+	fin, run, finY := split(80, 40, 4, 2, 9)
+	a, b := New(DefaultConfig()), New(DefaultConfig())
+	for _, m := range []*Model{a, b} {
+		if err := m.Init(fin, run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Update(fin, finY, run); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Refit(fin, finY, run); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range append(append([][]float64{}, fin[:5]...), run[:5]...) {
+		pa, _ := a.Predict(x)
+		pb, _ := b.Predict(x)
+		if pa != pb {
+			t.Fatalf("Refit(WarmRounds=0) diverges from Update: %+v vs %+v", pb, pa)
+		}
+	}
+	if w, s := b.RefitCounts(); w != 0 || s != 1 {
+		t.Fatalf("scratch Refit counted warm=%d scratch=%d, want 0/1", w, s)
+	}
+}
+
+// TestRefitWarmExtends: warm configurations scratch-fit the first checkpoint,
+// extend subsequent ones by WarmRounds trees, and keep counts.
+func TestRefitWarmExtends(t *testing.T) {
+	fin, run, finY := split(120, 60, 4, 2, 11)
+	cfg := DefaultWarmConfig()
+	m := New(cfg)
+	if err := m.Init(fin, run); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Refit(fin[:60], finY[:60], run); err != nil {
+		t.Fatal(err)
+	}
+	base := m.LatencyModelTrees()
+	if base != cfg.GBT.NumTrees {
+		t.Fatalf("first refit grew %d trees, want a full scratch fit of %d", base, cfg.GBT.NumTrees)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := m.Refit(fin, finY, run); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := m.LatencyModelTrees(), base+i*cfg.WarmRounds; got != want {
+			t.Fatalf("refit %d: ensemble has %d trees, want %d", i, got, want)
+		}
+	}
+	if w, s := m.RefitCounts(); w != 3 || s != 1 {
+		t.Fatalf("counts warm=%d scratch=%d, want 3/1", w, s)
+	}
+}
+
+// TestRefitWarmBudgetFallsBackToScratch: an extension that would exceed
+// WarmMaxTrees re-shrinks the ensemble with one scratch fit, then resumes
+// extending.
+func TestRefitWarmBudgetFallsBackToScratch(t *testing.T) {
+	fin, run, finY := split(100, 50, 4, 2, 13)
+	cfg := DefaultWarmConfig()
+	cfg.WarmMaxTrees = cfg.GBT.NumTrees + cfg.WarmRounds // room for exactly one extension
+	m := New(cfg)
+	if err := m.Init(fin, run); err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{}
+	for i := 0; i < 4; i++ {
+		if err := m.Refit(fin, finY, run); err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, m.LatencyModelTrees())
+	}
+	nt, wr := cfg.GBT.NumTrees, cfg.WarmRounds
+	want := []int{nt, nt + wr, nt, nt + wr} // scratch, extend, budget-fallback scratch, extend
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("refit %d: %d trees, want %d (sizes %v)", i, sizes[i], want[i], sizes)
+		}
+	}
+	if w, s := m.RefitCounts(); w != 2 || s != 2 {
+		t.Fatalf("counts warm=%d scratch=%d, want 2/2", w, s)
+	}
+}
+
+// TestRefitWarmDeterministic: two models fed the same view sequence under the
+// same warm configuration answer identically — the invariant that lets crash
+// recovery replay warm refits.
+func TestRefitWarmDeterministic(t *testing.T) {
+	fin, run, finY := split(120, 60, 4, 2, 15)
+	build := func() *Model {
+		m := New(DefaultWarmConfig())
+		if err := m.Init(fin, run); err != nil {
+			t.Fatal(err)
+		}
+		for _, cut := range []int{50, 80, 120} {
+			if err := m.Refit(fin[:cut], finY[:cut], run); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m
+	}
+	a, b := build(), build()
+	for _, x := range run {
+		pa, _ := a.Predict(x)
+		pb, _ := b.Predict(x)
+		if pa != pb {
+			t.Fatalf("warm replay diverged: %+v vs %+v", pa, pb)
+		}
+	}
+}

@@ -164,6 +164,16 @@ func (p *NURDPredictor) Reset() {
 // (diagnostics and tests).
 func (p *NURDPredictor) Model() *nurd.Model { return p.model }
 
+// RefitCounts reports how many of this predictor's refits warm-started the
+// latency model vs fitted it from scratch (zero before the first gated
+// checkpoint). The serving layer's refit pipeline reads it for /stats.
+func (p *NURDPredictor) RefitCounts() (warm, scratch uint64) {
+	if p.model == nil {
+		return 0, 0
+	}
+	return p.model.RefitCounts()
+}
+
 // Predict implements simulator.Predictor.
 func (p *NURDPredictor) Predict(cp *simulator.Checkpoint) ([]bool, error) {
 	if len(cp.FinishedX) == 0 {
@@ -181,7 +191,10 @@ func (p *NURDPredictor) Predict(cp *simulator.Checkpoint) ([]bool, error) {
 			return nil, err
 		}
 	}
-	if err := p.model.Update(cp.FinishedX, cp.FinishedY, cp.RunningX); err != nil {
+	// Refit dispatches on the configuration: the scratch path (WarmRounds 0)
+	// is bit-identical to the historical Update call, while warm
+	// configurations extend the previous checkpoint's ensemble.
+	if err := p.model.Refit(cp.FinishedX, cp.FinishedY, cp.RunningX); err != nil {
 		return nil, err
 	}
 	if p.streak == nil {

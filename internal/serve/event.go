@@ -110,6 +110,12 @@ type JobSpec struct {
 	// its Config.NewPredictor factory (ignored for explicitly supplied
 	// predictors).
 	Seed uint64
+	// RefitMode selects the job's checkpoint refit strategy (scratch vs
+	// warm-started incremental boosting; see refit.go). RefitModeDefault is
+	// resolved to the server's Config.RefitMode at registration, so the mode
+	// recorded in the WAL and in snapshots is always concrete and recovery
+	// replays refits identically.
+	RefitMode RefitMode
 }
 
 // maxJobRows bounds NumTasks*Checkpoints, the worst-case number of training
@@ -179,6 +185,9 @@ func (sp *JobSpec) Validate() error {
 	}
 	if sp.WarmFrac <= 0 || sp.WarmFrac >= 0.5 {
 		return fmt.Errorf("serve: job %d: WarmFrac must be in (0, 0.5), got %v", sp.JobID, sp.WarmFrac)
+	}
+	if sp.RefitMode > RefitWarm {
+		return fmt.Errorf("serve: job %d: unknown refit mode %d", sp.JobID, sp.RefitMode)
 	}
 	return nil
 }

@@ -69,6 +69,33 @@ type jobState struct {
 	// precedes any append the latecomer would make, so accepting it would
 	// acknowledge a mutation recovery can never replay.
 	defunct bool
+
+	// pool is the owning shard's refit worker pool, set when the job is
+	// registered or installed. Nil only for bare jobStates in unit tests,
+	// which then fit synchronously inline (capture, fit, and apply at the
+	// same boundary — the pre-pipeline behavior).
+	pool *refitPool
+
+	// refitCh is non-nil while a captured checkpoint view's fit is pending
+	// (queued or executing); pendingAt is that view's checkpoint index. The
+	// result is received and applied under j.mu at the next boundary
+	// crossing (or the job-finish drain) — see refit.go for why application
+	// waits for a stream-defined position instead of the fit's completion.
+	// At most one refit is ever in flight per job, which is also what makes
+	// handing the predictor to the worker without a lock safe.
+	refitCh   chan refitResult
+	pendingAt int
+
+	// pub is the published model: a shallow copy of the predictor's
+	// nurd.Model taken when a refit's outcome is applied. Queries read pub,
+	// never the live predictor, so an inflight background fit cannot race a
+	// Query; staleness is bounded by one checkpoint interval and reported as
+	// the generation (== refits) in JobReport.
+	pub *nurd.Model
+
+	// warmFits / scratchFits split refits by fit strategy (serialized in
+	// snapshots so restored servers keep reporting cumulative counts).
+	warmFits, scratchFits uint64
 }
 
 func newJobState(spec JobSpec, pred simulator.Predictor) *jobState {
@@ -158,6 +185,10 @@ func (j *jobState) handle(e Event) error {
 		for !j.done && j.nextCP <= j.spec.Checkpoints {
 			j.fireCheckpoint()
 		}
+		// Drain the last boundary's background fit: a closing job must leave
+		// no refit in flight, so final reports, queries, and snapshots (and
+		// DropJob's reclamation) see every checkpoint's outcome applied.
+		j.applyRefit()
 		j.done = true
 		return nil
 	}
@@ -226,12 +257,23 @@ func (j *jobState) snapshot(k int) *simulator.Checkpoint {
 	return cp
 }
 
-// fireCheckpoint evaluates the next checkpoint boundary: it refits/queries
-// the job's predictor on the snapshot and terminates every task the
-// predictor flags (the paper's protocol: predicted stragglers are killed
-// and never rejoin either set). Predictor errors mark the job done rather
-// than wedging the shard.
+// fireCheckpoint evaluates the next checkpoint boundary. It first applies
+// the previous boundary's refit outcome (waiting for its background fit if
+// it is still running — the only place ingest can ever wait on training, and
+// only when a fit outlasts a whole checkpoint interval), then captures the
+// new boundary's training view and hands it to the shard's refit pool. The
+// captured view therefore excludes every task terminated by earlier
+// checkpoints' verdicts, exactly as the offline protocol orders it, which is
+// why the asynchronous pipeline stays bit-identical to simulator.Evaluate.
+// Predictor errors (surfacing at apply time) mark the job done rather than
+// wedging the shard.
 func (j *jobState) fireCheckpoint() {
+	j.applyRefit()
+	if j.done {
+		// The pending fit failed; the job is closed and fires no further
+		// boundaries.
+		return
+	}
 	k := j.nextCP
 	j.nextCP++
 	j.checkpoint = k
@@ -240,36 +282,116 @@ func (j *jobState) fireCheckpoint() {
 		return
 	}
 	j.history = append(j.history, cp)
-	t0 := time.Now()
-	verdicts, err := j.pred.Predict(cp)
-	d := time.Since(t0)
-	j.refits++
-	j.refitDur += d
-	if d > j.refitMax {
-		j.refitMax = d
+	j.startRefit(cp, k)
+}
+
+// startRefit hands a captured view to the refit pipeline. The caller holds
+// j.mu and has already applied any previous refit, so the predictor is idle
+// and the worker takes exclusive ownership of it until the result lands.
+// Bare jobStates without a pool (unit tests) fit inline, which applies the
+// verdicts at the same boundary — the pre-pipeline synchronous behavior.
+func (j *jobState) startRefit(cp *simulator.Checkpoint, k int) {
+	ch := make(chan refitResult, 1)
+	j.refitCh = ch
+	j.pendingAt = k
+	t := refitTask{pred: j.pred, cp: cp, ch: ch}
+	if j.pool == nil {
+		t.run()
+		j.applyRefit()
+		return
 	}
-	if err != nil || len(verdicts) != len(cp.RunningIDs) {
-		// A predictor that cannot act leaves the job to run unmitigated;
-		// the job closes as failed and the rest of its stream is drained
-		// as dropped events.
+	j.pool.lag.Add(1)
+	j.pool.enqueue(t)
+}
+
+// applyRefit applies the pending refit's outcome under the job lock:
+// terminations (the paper's protocol — predicted stragglers are killed and
+// never rejoin either set), refit counters, and the published model swap
+// that advances the query-visible generation. It blocks on the background
+// fit only if the fit is still running when the next boundary arrives. A
+// predictor that cannot act (error or verdict-shape mismatch) leaves the job
+// to run unmitigated: the job closes as failed and the rest of its stream
+// drains as dropped events. No-op when nothing is pending.
+func (j *jobState) applyRefit() {
+	if j.refitCh == nil {
+		return
+	}
+	res := <-j.refitCh
+	j.refitCh = nil
+	k := j.pendingAt
+	if j.pool != nil {
+		j.pool.lag.Add(-1)
+		j.pool.warmFits.Add(res.warm)
+		j.pool.scratchFits.Add(res.scratch)
+	}
+	j.refits++
+	j.refitDur += res.dur
+	if res.dur > j.refitMax {
+		j.refitMax = res.dur
+	}
+	j.warmFits += res.warm
+	j.scratchFits += res.scratch
+	cp := j.history[len(j.history)-1]
+	if res.err != nil || len(res.verdicts) != len(cp.RunningIDs) {
 		j.done = true
 		j.failed = true
 		return
 	}
-	for i, v := range verdicts {
+	for i, v := range res.verdicts {
 		if !v {
 			continue
 		}
 		id := cp.RunningIDs[i]
-		j.tasks[id].terminated = true
-		j.tasks[id].flaggedAt = k
+		ts := &j.tasks[id]
+		if ts.finished {
+			// The task's finish raced the inflight fit and was accepted
+			// before the kill order landed. The termination supersedes it:
+			// un-finishing (and reclassifying the event as dropped) keeps
+			// the task's verdict semantics — Flagged, never Finished — and
+			// the finished counter identical to a protocol that killed the
+			// task at its flagging checkpoint. Raced *heartbeats* need no
+			// such reconciliation: they only refresh features no training
+			// view or verdict will ever read again (they do stay counted as
+			// accepted rather than dropped — the drop counter describes the
+			// pipeline's own accept/drop decisions, which are deterministic
+			// either way).
+			ts.finished = false
+			j.finished--
+			j.dropped++
+		}
+		ts.terminated = true
+		ts.flaggedAt = k
 		j.terminated++
+	}
+	j.publish()
+}
+
+// publish swaps the query-visible model to the predictor's current one. The
+// copy is shallow: nurd.Model's refits replace the fitted sub-model pointers
+// rather than mutating them, so the copied struct is immutable from the
+// moment it is published even while the predictor trains its successor.
+func (j *jobState) publish() {
+	nm, ok := j.pred.(nurdModel)
+	if !ok {
+		return
+	}
+	if m := nm.Model(); m != nil {
+		pub := *m
+		j.pub = &pub
 	}
 }
 
+// pendingRefits reports captured-but-unapplied refits (0 or 1).
+func (j *jobState) pendingRefits() int {
+	if j.refitCh != nil {
+		return 1
+	}
+	return 0
+}
+
 // nurdModel exposes the underlying nurd.Model of predictors that have one
-// (predictor.NURDPredictor does); Query uses it to answer ad-hoc latency
-// predictions between checkpoints.
+// (predictor.NURDPredictor does); applyRefit publishes a copy of it for
+// Query to answer ad-hoc latency predictions between checkpoints.
 type nurdModel interface {
 	Model() *nurd.Model
 }
@@ -296,11 +418,13 @@ func (j *jobState) verdict(taskID int) TaskVerdict {
 	if !ts.started || ts.features == nil {
 		return v
 	}
-	nm, ok := j.pred.(nurdModel)
-	if !ok || nm.Model() == nil {
+	// Queries are answered from the published model — the generation whose
+	// refit outcome has been applied — never from the live predictor, which
+	// a pool worker may be training concurrently.
+	if j.pub == nil {
 		return v
 	}
-	pr, err := nm.Model().Predict(ts.features)
+	pr, err := j.pub.Predict(ts.features)
 	if err != nil {
 		return v
 	}
@@ -312,17 +436,21 @@ func (j *jobState) verdict(taskID int) TaskVerdict {
 // report summarizes the job.
 func (j *jobState) report() *JobReport {
 	r := &JobReport{
-		Spec:        j.spec,
-		Done:        j.done,
-		Failed:      j.failed,
-		Checkpoint:  j.checkpoint,
-		Started:     j.started,
-		Finished:    j.finished,
-		Terminated:  j.terminated,
-		Refits:      j.refits,
-		RefitTotal:  j.refitDur,
-		RefitMax:    j.refitMax,
-		PredictedAt: make(map[int]int, j.terminated),
+		Spec:          j.spec,
+		Done:          j.done,
+		Failed:        j.failed,
+		Checkpoint:    j.checkpoint,
+		Started:       j.started,
+		Finished:      j.finished,
+		Terminated:    j.terminated,
+		Refits:        j.refits,
+		RefitTotal:    j.refitDur,
+		RefitMax:      j.refitMax,
+		Generation:    j.refits,
+		PendingRefits: j.pendingRefits(),
+		WarmFits:      j.warmFits,
+		ScratchFits:   j.scratchFits,
+		PredictedAt:   make(map[int]int, j.terminated),
 	}
 	for id := range j.tasks {
 		if j.tasks[id].terminated {

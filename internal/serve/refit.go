@@ -1,0 +1,213 @@
+package serve
+
+// refit.go is the asynchronous refit pipeline: the machinery that moves model
+// training off the ingest path.
+//
+// Before this pipeline, a checkpoint boundary crossing refitted the job's
+// models synchronously inside the per-job lock (~50ms per refit at 300
+// tasks), stalling that job's ingest and queries while the model trained. Now
+// a boundary crossing only captures the training view (O(tasks)) and hands it
+// to the owning shard's bounded worker pool; the fit runs outside every lock,
+// and its outcome — the terminations it orders and the new model — is applied
+// at the *next* boundary crossing, under the job lock, before the next view
+// is captured.
+//
+// Applying at the next boundary rather than the moment the fit completes is
+// what keeps the pipeline deterministic: every externally visible state
+// change (terminations, accept/drop decisions for late events, the published
+// model generation) happens at a position defined by the event stream, never
+// by worker scheduling. That determinism is the property the rest of the
+// system leans on — scratch-mode serving stays bit-identical to the offline
+// Table 3 NURD path, WAL replay reproduces the live run, and a snapshot taken
+// with a fit in flight restores to a server that behaves identically (the
+// pending view is re-enqueued and lands at the same boundary).
+//
+// Between boundaries, queries serve the last *published* model generation — a
+// shallow copy swapped in at apply time — so an inflight background fit never
+// races a Query and staleness is bounded by one checkpoint interval and
+// observable through Report.Generation / the Stats refit-pipeline gauges.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simulator"
+)
+
+// RefitMode selects how a job's models are refitted at checkpoint
+// boundaries. It is part of JobSpec (and therefore of the wire format, the
+// write-ahead log, and snapshots), so recovery rebuilds every job's models
+// with exactly the strategy the live server used.
+type RefitMode uint8
+
+const (
+	// RefitModeDefault defers to the server's Config.RefitMode at
+	// registration; StartJob resolves it before the spec is logged or
+	// snapshotted, so durable state always carries a concrete mode.
+	RefitModeDefault RefitMode = 0
+	// RefitScratch retrains from scratch at every checkpoint — the paper's
+	// Table 3 path, bit-identical to the offline replay.
+	RefitScratch RefitMode = 1
+	// RefitWarm warm-starts each checkpoint's latency model from the
+	// previous checkpoint's ensemble (gbt.Model.Extend): several times
+	// cheaper per refit, seed-trace accuracy within a small epsilon of
+	// scratch (test-enforced).
+	RefitWarm RefitMode = 2
+)
+
+// String renders the mode as its CLI spelling.
+func (m RefitMode) String() string {
+	switch m {
+	case RefitModeDefault:
+		return "default"
+	case RefitScratch:
+		return "scratch"
+	case RefitWarm:
+		return "warm"
+	default:
+		return fmt.Sprintf("refit-mode-%d", uint8(m))
+	}
+}
+
+// ParseRefitMode parses a CLI spelling of a refit mode.
+func ParseRefitMode(s string) (RefitMode, error) {
+	switch s {
+	case "", "default":
+		return RefitModeDefault, nil
+	case "scratch":
+		return RefitScratch, nil
+	case "warm":
+		return RefitWarm, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown refit mode %q (want scratch or warm)", s)
+	}
+}
+
+// refitCounter is implemented by predictors that can report how many of
+// their refits warm-started the underlying model vs fitted it from scratch
+// (predictor.NURDPredictor does); the pipeline reads it for Stats.
+type refitCounter interface {
+	RefitCounts() (warm, scratch uint64)
+}
+
+// refitResult is a background fit's outcome, delivered to the job through a
+// single-buffered channel so the worker never blocks on a slow consumer.
+type refitResult struct {
+	verdicts []bool
+	err      error
+	dur      time.Duration
+	// warm / scratch are this cycle's fit-count deltas (from refitCounter).
+	warm, scratch uint64
+}
+
+// refitTask is one captured checkpoint view awaiting its fit. The predictor
+// travels with the task: a job has at most one refit in flight, so the worker
+// owns the predictor's internal state exclusively until it delivers the
+// result — no lock is taken around the fit.
+type refitTask struct {
+	pred simulator.Predictor
+	cp   *simulator.Checkpoint
+	ch   chan<- refitResult
+}
+
+// run executes the fit and delivers the result (always exactly one send).
+// A panicking predictor is contained to its own job: before the pipeline,
+// Predict ran on the ingesting goroutine where a panic could at least be
+// recovered by the transport; on a detached pool worker it would kill the
+// whole multi-tenant process, so it is converted into the existing
+// fail-the-job error path instead.
+func (t refitTask) run() {
+	var warm0, scratch0 uint64
+	if rc, ok := t.pred.(refitCounter); ok {
+		warm0, scratch0 = rc.RefitCounts()
+	}
+	t0 := time.Now()
+	verdicts, err := t.predict()
+	res := refitResult{verdicts: verdicts, err: err, dur: time.Since(t0)}
+	if rc, ok := t.pred.(refitCounter); ok {
+		w, s := rc.RefitCounts()
+		res.warm, res.scratch = w-warm0, s-scratch0
+	}
+	t.ch <- res
+}
+
+func (t refitTask) predict() (verdicts []bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			verdicts, err = nil, fmt.Errorf("serve: predictor %s panicked during refit: %v", t.pred.Name(), r)
+		}
+	}()
+	return t.pred.Predict(t.cp)
+}
+
+// refitPool is one shard's bounded refit worker pool. Workers are spawned on
+// demand up to the configured bound and exit when the queue drains, so an
+// idle server holds no pipeline goroutines and servers need no explicit
+// shutdown. The queue itself is not bounded by count — its depth is naturally
+// limited to the shard's job population, because each job can have at most
+// one captured-but-unapplied view at a time.
+type refitPool struct {
+	mu       sync.Mutex
+	queue    []refitTask
+	workers  int
+	max      int
+	inflight int
+
+	// lag counts captured-but-unapplied refits across the shard's jobs (the
+	// generation lag queries can observe); warmFits/scratchFits accumulate
+	// fit-strategy counts as results are applied. Atomics so Stats reads and
+	// job-lock-holding updates never contend on the pool mutex.
+	lag                   atomic.Int64
+	warmFits, scratchFits atomic.Uint64
+}
+
+func newRefitPool(max int) *refitPool {
+	if max < 1 {
+		max = 1
+	}
+	return &refitPool{max: max}
+}
+
+// enqueue queues one fit and ensures a worker will pick it up. Never blocks:
+// backpressure comes from the apply-at-next-boundary protocol (a job cannot
+// capture a second view until its first is applied), not from the queue.
+func (p *refitPool) enqueue(t refitTask) {
+	p.mu.Lock()
+	p.queue = append(p.queue, t)
+	if p.workers < p.max {
+		p.workers++
+		go p.work()
+	}
+	p.mu.Unlock()
+}
+
+// work drains the queue, exiting when it is empty.
+func (p *refitPool) work() {
+	for {
+		p.mu.Lock()
+		if len(p.queue) == 0 {
+			p.workers--
+			p.queue = nil // release the drained backing array
+			p.mu.Unlock()
+			return
+		}
+		t := p.queue[0]
+		p.queue[0] = refitTask{}
+		p.queue = p.queue[1:]
+		p.inflight++
+		p.mu.Unlock()
+		t.run()
+		p.mu.Lock()
+		p.inflight--
+		p.mu.Unlock()
+	}
+}
+
+// depths reports the live queue depth and the number of fits executing.
+func (p *refitPool) depths() (queued, inflight int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue), p.inflight
+}

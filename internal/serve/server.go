@@ -70,6 +70,21 @@ type Config struct {
 	// snapshot of a server with a raised cap needs that cap at restore
 	// time too.
 	MaxTasks int
+	// RefitMode is the default refit strategy stamped into specs registered
+	// with RefitModeDefault: RefitScratch (the paper's Table 3 path,
+	// bit-identical to the offline replay; the default) or RefitWarm
+	// (warm-started incremental boosting — each checkpoint extends the
+	// previous checkpoint's ensemble, several times cheaper per refit with
+	// seed-trace accuracy within a small epsilon of scratch). The resolved
+	// mode travels with the spec through the WAL and snapshots, so recovery
+	// replays refits identically whatever this field says at restore time.
+	RefitMode RefitMode
+	// RefitWorkers bounds each shard's background refit worker pool
+	// (default 2). Model fits always run on these workers, off the ingest
+	// path: a checkpoint crossing captures the training view and enqueues
+	// it, and the fit's outcome is applied at the next boundary crossing —
+	// see refit.go for the pipeline's determinism contract.
+	RefitWorkers int
 }
 
 // DefaultConfig returns a NURD-serving configuration.
@@ -84,10 +99,18 @@ func DefaultConfig() Config {
 
 // NewNURDPredictor is the default per-job predictor factory: the paper's
 // NURD with the spec's seed and the per-dataset confirmation requirement.
+// Specs registered in RefitWarm mode get the warm-refit configuration, so
+// restores rebuild warm-mode jobs with warm-mode fits (the mode travels with
+// the spec through snapshots and the WAL).
 func NewNURDPredictor(spec JobSpec) simulator.Predictor {
 	cfg := nurd.DefaultConfig()
+	name := "NURD"
+	if spec.RefitMode == RefitWarm {
+		cfg = nurd.DefaultWarmConfig()
+		name = "NURD-warm"
+	}
 	cfg.Seed = spec.Seed
-	return predictor.NewNURDWith("NURD", cfg, predictor.ConfirmFor(spec.Schema))
+	return predictor.NewNURDWith(name, cfg, predictor.ConfirmFor(spec.Schema))
 }
 
 // Server is a concurrent, multi-job streaming straggler-prediction service.
@@ -125,7 +148,13 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxTasks == 0 {
 		cfg.MaxTasks = DefaultMaxTasks
 	}
-	return &Server{cfg: cfg, reg: newRegistry(cfg.Shards)}
+	if cfg.RefitMode == RefitModeDefault {
+		cfg.RefitMode = RefitScratch
+	}
+	if cfg.RefitWorkers < 1 {
+		cfg.RefitWorkers = 2
+	}
+	return &Server{cfg: cfg, reg: newRegistry(cfg.Shards, cfg.RefitWorkers)}
 }
 
 // reserve claims budget for one numTasks-task job, failing with
@@ -209,6 +238,12 @@ func (sv *Server) StartJob(spec JobSpec, pred simulator.Predictor) error {
 	}
 	if spec.StragglerQuantile == 0 {
 		spec.StragglerQuantile = simulator.DefaultConfig().StragglerQuantile
+	}
+	// Resolve the refit mode before validation, logging, or snapshotting:
+	// durable state always carries a concrete strategy, so recovery refits
+	// exactly as the live server did regardless of its own configuration.
+	if spec.RefitMode == RefitModeDefault {
+		spec.RefitMode = sv.cfg.RefitMode
 	}
 	if err := spec.Validate(); err != nil {
 		return err

@@ -27,6 +27,11 @@ type shard struct {
 	mu   sync.Mutex
 	jobs map[uint64]*jobState
 
+	// pool is this shard's bounded refit worker pool: checkpoint boundary
+	// crossings capture training views under the job lock and enqueue them
+	// here, so model fits never run on the ingest path (see refit.go).
+	pool *refitPool
+
 	// wal, when non-nil, receives one record per accepted mutation, written
 	// before the owning lock (s.mu for start/drop, the job's mu for events)
 	// is released — the ordering that makes log replay reproduce the live
@@ -49,8 +54,8 @@ type shard struct {
 	finished     atomic.Int64 // jobs whose stream has closed
 }
 
-func newShard() *shard {
-	return &shard{jobs: make(map[uint64]*jobState)}
+func newShard(refitWorkers int) *shard {
+	return &shard{jobs: make(map[uint64]*jobState), pool: newRefitPool(refitWorkers)}
 }
 
 // lookup fetches a job under the shard lock.
@@ -71,6 +76,7 @@ func (s *shard) startJob(spec JobSpec, pred simulator.Predictor) error {
 		return fmt.Errorf("serve: job %d already registered", spec.JobID)
 	}
 	j := newJobState(spec, pred)
+	j.pool = s.pool
 	if s.wal != nil {
 		lsn, err := s.wal.appendSpec(&spec)
 		if err != nil {
@@ -106,6 +112,7 @@ func (s *shard) ingest(e Event) error {
 		return fmt.Errorf("serve: event %s for job %d: %w", e.Kind, e.JobID, ErrUnknownJob)
 	}
 	termBefore, refitsBefore, durBefore, wasDone := j.terminated, j.refits, j.refitDur, j.done
+	droppedBefore := j.dropped
 	err := j.handle(e)
 	dropped := errors.Is(err, errDropped)
 	accepted := err == nil || dropped
@@ -133,12 +140,19 @@ func (s *shard) ingest(e Event) error {
 	termDelta := j.terminated - termBefore
 	refitDelta := j.refits - refitsBefore
 	durDelta := j.refitDur - durBefore
+	// Delta, not a boolean: applying a refit inside handle can reclassify
+	// earlier-accepted finishes of freshly terminated tasks as drops, on top
+	// of the event's own benign drop.
+	droppedDelta := j.dropped - droppedBefore
 	maxDur := j.refitMax
 	nowDone := j.done
 	j.mu.Unlock()
 
 	if accepted {
 		s.events.Add(1)
+	}
+	if droppedDelta > 0 {
+		s.dropped.Add(droppedDelta)
 	}
 	if termDelta > 0 {
 		s.terminations.Add(uint64(termDelta))
@@ -153,11 +167,7 @@ func (s *shard) ingest(e Event) error {
 		// or predictor failure).
 		s.finished.Add(1)
 	}
-	if dropped {
-		s.dropped.Add(1)
-		return walErr
-	}
-	if err == nil {
+	if dropped || err == nil {
 		return walErr
 	}
 	return err
@@ -253,6 +263,16 @@ func (s *shard) install(j *jobState) error {
 	if _, ok := s.jobs[j.spec.JobID]; ok {
 		return fmt.Errorf("serve: restore: job %d already registered", j.spec.JobID)
 	}
+	j.pool = s.pool
+	s.pool.warmFits.Add(j.warmFits)
+	s.pool.scratchFits.Add(j.scratchFits)
+	// A snapshot taken with a refit in flight recorded one more captured
+	// view than applied refits; resume that fit through the pipeline so the
+	// restored job behaves exactly as the live one did — the verdicts land
+	// at the same boundary the live server would have applied them at.
+	if n := len(j.history); n == j.refits+1 {
+		j.startRefit(j.history[n-1], j.history[n-1].Index)
+	}
 	s.jobs[j.spec.JobID] = j
 	s.events.Add(j.events)
 	s.dropped.Add(j.dropped)
@@ -285,4 +305,10 @@ func (s *shard) addStats(st *Stats) {
 	if m := time.Duration(s.refitMax.Load()); m > st.RefitMax {
 		st.RefitMax = m
 	}
+	q, inflight := s.pool.depths()
+	st.RefitQueue += q
+	st.RefitInflight += inflight
+	st.RefitLag += int(s.pool.lag.Load())
+	st.WarmFits += s.pool.warmFits.Load()
+	st.ScratchFits += s.pool.scratchFits.Load()
 }

@@ -143,6 +143,8 @@ func appendSnapJobFrame(dst []byte, j *jobState) ([]byte, error) {
 	e.u64(j.dropped)
 	e.u64(j.queries)
 	e.u64(j.lsn)
+	e.u64(j.warmFits)
+	e.u64(j.scratchFits)
 	e.u32(uint32(len(j.tasks)))
 	for i := range j.tasks {
 		ts := &j.tasks[i]
@@ -248,6 +250,8 @@ func decodeSnapJob(p []byte) (*jobState, int, error) {
 	j.dropped = d.u64()
 	j.queries = d.u64()
 	j.lsn = d.u64()
+	j.warmFits = d.u64()
+	j.scratchFits = d.u64()
 	ntasks := d.count(maxSnapTasks, "tasks")
 	if d.err == nil && ntasks != sp.NumTasks {
 		return nil, 0, fmt.Errorf("%w: job %d: %d serialized tasks for a %d-task spec",
@@ -305,6 +309,14 @@ func decodeSnapJob(p []byte) (*jobState, int, error) {
 	}
 	if j.refitDur < 0 || j.refitMax < 0 {
 		return nil, 0, fmt.Errorf("%w: job %d: negative refit duration", ErrCorrupt, sp.JobID)
+	}
+	// The refit pipeline's invariant: every retained view is either applied
+	// (counted in refits) or the single captured-but-pending one a snapshot
+	// can catch in flight on a live job. Anything else cannot be a state a
+	// server produced.
+	if pending := ncps - j.refits; pending < 0 || pending > 1 || (pending == 1 && j.done) {
+		return nil, 0, fmt.Errorf("%w: job %d: %d retained checkpoints for %d applied refits (done=%v)",
+			ErrCorrupt, sp.JobID, ncps, j.refits, j.done)
 	}
 	return j, ncps, nil
 }
@@ -381,19 +393,33 @@ func restoreServer(r io.Reader, cfg Config) (*Server, uint64, error) {
 			return nil, 0, fmt.Errorf("serve: restore job %d: nil predictor from factory", j.spec.JobID)
 		}
 		pred.Reset()
-		for i, cp := range j.history {
-			if _, err := pred.Predict(cp); err != nil {
+		j.pred = pred
+		// Replay only the *applied* views inline: a snapshot taken with a
+		// refit in flight retains the pending view as its last history entry,
+		// and install re-enqueues that one through the refit pipeline so the
+		// restored server holds exactly the live server's state — generation
+		// j.refits published, one fit pending.
+		for i := 0; i < j.refits; i++ {
+			if j.failed && i == j.refits-1 {
+				// The live server publishes only on successful applies, so
+				// its query-visible model predates the failing fit; publish
+				// before replaying it.
+				j.publish()
+			}
+			if _, err := pred.Predict(j.history[i]); err != nil {
 				// A job closed by a predictor failure recorded the failing
 				// boundary as its final history entry; the same failure on
 				// replay is the expected outcome, not a factory mismatch.
-				if j.failed && i == len(j.history)-1 {
+				if j.failed && i == j.refits-1 {
 					break
 				}
 				return nil, 0, fmt.Errorf("serve: restore job %d: replaying checkpoint %d/%d through %s: %w",
 					j.spec.JobID, i+1, ncps, pred.Name(), err)
 			}
 		}
-		j.pred = pred
+		if !j.failed {
+			j.publish()
+		}
 		if err := sv.reg.shardFor(j.spec.JobID).install(j); err != nil {
 			return nil, 0, err
 		}

@@ -43,8 +43,23 @@ func coreOf(r *JobReport) reportCore {
 // different shard count), finish the streams — and every per-task verdict,
 // every per-job terminated set, and every F1 is bit-identical to a server
 // that never died. Mid-crash queries are also checked: immediately after
-// restore, the revived server answers exactly as the dying one did.
+// restore, the revived server answers exactly as the dying one did. Runs in
+// both refit modes: the async pipeline makes the halfway cut routinely land
+// with a refit in flight (the pending view travels through the snapshot and
+// resumes on the restored server), and warm mode additionally proves the
+// extended-ensemble chain replays bit-identically from recorded views. The
+// restore config deliberately omits the mode — the snapshot's specs carry it.
 func TestSnapshotRestoreEquivalence(t *testing.T) {
+	for _, mode := range []RefitMode{RefitScratch, RefitWarm} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			testSnapshotRestoreEquivalence(t, mode)
+		})
+	}
+}
+
+func testSnapshotRestoreEquivalence(t *testing.T, mode RefitMode) {
 	const n = 3
 	jobs, sims := smallJobs(t, n, 31)
 	specs := make([]JobSpec, n)
@@ -52,6 +67,7 @@ func TestSnapshotRestoreEquivalence(t *testing.T) {
 	for i := range jobs {
 		s, _ := nurdSeed(t, 31, i)
 		specs[i] = SpecFor(sims[i], s)
+		specs[i].RefitMode = mode
 		streams[i] = JobEvents(jobs[i], sims[i])
 	}
 	start := func(sv *Server) {

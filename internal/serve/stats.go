@@ -42,11 +42,22 @@ type JobReport struct {
 	Checkpoint int
 	// Started / Finished / Terminated count task outcomes so far.
 	Started, Finished, Terminated int
-	// Refits counts predictor refit+predict cycles; RefitTotal and RefitMax
-	// aggregate their latencies.
+	// Refits counts applied predictor refit+predict cycles; RefitTotal and
+	// RefitMax aggregate their latencies (measured on the background
+	// workers, not on the ingest path).
 	Refits     int
 	RefitTotal time.Duration
 	RefitMax   time.Duration
+	// Generation is the model generation queries are served from: the
+	// number of refits whose outcome has been applied and published. It
+	// equals Refits; PendingRefits (0 or 1) counts a checkpoint view
+	// captured but not yet applied — together they make refit staleness
+	// observable per job. The job's refit strategy is Spec.RefitMode.
+	Generation    int
+	PendingRefits int
+	// WarmFits / ScratchFits split Refits by how the latency model was
+	// fitted (warm-started extension vs full scratch fit).
+	WarmFits, ScratchFits uint64
 	// PredictedAt maps task ID -> checkpoint at which it was flagged, the
 	// same shape simulator.Result records, so serving outcomes plug directly
 	// into the offline scoring and scheduling paths.
@@ -85,11 +96,20 @@ type Stats struct {
 	Terminations uint64
 	// Queries counts task verdicts served.
 	Queries uint64
-	// Refits counts predictor refit cycles; RefitTotal/RefitMax aggregate
-	// their latencies.
+	// Refits counts applied predictor refit cycles; RefitTotal/RefitMax
+	// aggregate their latencies (measured on the background workers).
 	Refits     uint64
 	RefitTotal time.Duration
 	RefitMax   time.Duration
+	// Refit-pipeline observability: RefitQueue and RefitInflight are the
+	// live worker-pool gauges (views waiting for a worker / fits executing);
+	// RefitLag counts checkpoint views captured but not yet applied across
+	// all jobs — the generation lag between what the models have seen and
+	// what queries are served from. All three are zero on a drained server.
+	RefitQueue, RefitInflight, RefitLag int
+	// WarmFits / ScratchFits split Refits by fit strategy (warm-started
+	// ensemble extension vs full scratch fit).
+	WarmFits, ScratchFits uint64
 	// WAL carries the write-ahead log's counters (segments, per-shard
 	// streams, next LSN, group-commit backlog, checkpoints) when the server
 	// runs with one; nil otherwise.
@@ -106,8 +126,8 @@ func (s Stats) RefitMean() time.Duration {
 
 // String renders the counters compactly.
 func (s Stats) String() string {
-	base := fmt.Sprintf("jobs=%d active=%d events=%d dropped=%d refits=%d refit_mean=%s refit_max=%s terminations=%d queries=%d",
-		s.Jobs, s.ActiveJobs, s.Events, s.DroppedEvents, s.Refits, s.RefitMean(), s.RefitMax, s.Terminations, s.Queries)
+	base := fmt.Sprintf("jobs=%d active=%d events=%d dropped=%d refits=%d refit_mean=%s refit_max=%s refit_lag=%d warm=%d scratch=%d terminations=%d queries=%d",
+		s.Jobs, s.ActiveJobs, s.Events, s.DroppedEvents, s.Refits, s.RefitMean(), s.RefitMax, s.RefitLag, s.WarmFits, s.ScratchFits, s.Terminations, s.Queries)
 	if s.WAL != nil {
 		base += fmt.Sprintf(" wal_streams=%d wal_segments=%d wal_next_lsn=%d wal_pending=%dB wal_checkpoints=%d",
 			s.WAL.Streams, s.WAL.Segments, s.WAL.NextLSN, s.WAL.PendingBytes, s.WAL.Checkpoints)

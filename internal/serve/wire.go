@@ -42,7 +42,13 @@ import (
 // never in dumps, ingest bodies, or snapshots, so every stream an external
 // peer can see still decodes under v2. (A v2 binary pointed at a per-shard
 // WAL directory rejects it as corrupt instead of misreading it.)
-const WireVersion uint16 = 2
+//
+// v3 (the async-refit release): the JobSpec payload carries the job's
+// RefitMode (scratch vs warm-started refits — it must survive the WAL and
+// snapshots for recovery to replay refits identically), and the FrameSnapJob
+// payload carries the job's warm/scratch fit counters. v2 streams are
+// rejected with a typed ErrVersion, not misdecoded.
+const WireVersion uint16 = 3
 
 // wireMagic opens every wire stream.
 var wireMagic = [8]byte{'N', 'U', 'R', 'D', 'W', 'I', 'R', 'E'}
@@ -322,6 +328,10 @@ func appendSpecPayload(e *wireEnc, sp *JobSpec) error {
 	e.i64(int64(sp.Checkpoints))
 	e.f64(sp.WarmFrac)
 	e.u64(sp.Seed)
+	if sp.RefitMode > RefitWarm {
+		return fmt.Errorf("serve/wire: unknown refit mode %d", sp.RefitMode)
+	}
+	e.u8(uint8(sp.RefitMode))
 	return nil
 }
 
@@ -357,6 +367,11 @@ func decodeSpec(d *wireDec) JobSpec {
 	sp.Checkpoints = int(cps)
 	sp.WarmFrac = d.f64()
 	sp.Seed = d.u64()
+	mode := d.u8()
+	if d.err == nil && mode > uint8(RefitWarm) {
+		d.fail(fmt.Errorf("%w: unknown refit mode %d", ErrCorrupt, mode))
+	}
+	sp.RefitMode = RefitMode(mode)
 	return sp
 }
 

@@ -23,7 +23,8 @@ func goldenElements() ([]JobSpec, []Event) {
 		{JobID: 7, Schema: []string{"cpu", "mem", "io-wait"}, NumTasks: 4, TauStra: 12.5,
 			StragglerQuantile: 0.9, Horizon: 100, Checkpoints: 10, WarmFrac: 0.04, Seed: 99},
 		{JobID: 1 << 60, Schema: []string{"x"}, NumTasks: 1, TauStra: 1e-3,
-			StragglerQuantile: 0.5, Horizon: 1e9, Checkpoints: 1, WarmFrac: 0.25, Seed: 0},
+			StragglerQuantile: 0.5, Horizon: 1e9, Checkpoints: 1, WarmFrac: 0.25, Seed: 0,
+			RefitMode: RefitWarm},
 	}
 	events := []Event{
 		{Kind: EventTaskStart, JobID: 7, TaskID: 0, Time: 0},
