@@ -1,0 +1,153 @@
+// Command nurdload is the open-loop latency-percentile load harness: it
+// expands a workload scenario (internal/workload) into its deterministic
+// send timeline and fires it at a serving front end on the timeline's
+// ABSOLUTE schedule, regardless of response latency. Late sends are recorded
+// as queue delay — never rescheduled — so the reported percentiles include
+// every millisecond a real client would have waited (no coordinated
+// omission).
+//
+// By default the harness spins up its own in-process server on a loopback
+// listener, so a scenario run is fully self-contained; -url points it at an
+// external front end instead.
+//
+// Usage:
+//
+//	nurdload -list                                     # scenario catalog
+//	nurdload -scenario steady -speedup 8               # one scenario, human summary + JSON
+//	nurdload -scenario examples/scenarios/burst.json   # from a spec file
+//	nurdload -all -out BENCH_loadgen.json              # the four-scenario bench suite
+//	nurdload -scenario smoke -speedup 4 -max-rate-gap 0.2   # CI self-check (exit 1 on breach)
+//	nurdload -scenario hostile -url http://127.0.0.1:8080   # external target
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		scenario   = flag.String("scenario", "", "workload scenario: built-in name or JSON spec file")
+		all        = flag.Bool("all", false, "run the four-scenario bench suite (steady, diurnal, burst, hostile), each against a fresh server")
+		list       = flag.Bool("list", false, "list built-in scenarios and exit")
+		speedup    = flag.Float64("speedup", 8, "compress virtual time onto the wall clock by this factor")
+		url        = flag.String("url", "", "target front end base URL; empty = spin up an in-process server per run")
+		shards     = flag.Int("shards", 0, "shards for the in-process server (0 = default)")
+		out        = flag.String("out", "", "write the JSON report here (- = stdout); default stdout")
+		batch      = flag.Int("batch", 0, "max frames coalesced into one request (0 = default)")
+		window     = flag.Float64("window", 0, "max virtual seconds one request may span (0 = default)")
+		maxRateGap = flag.Float64("max-rate-gap", 0, "self-check: exit nonzero when |offered-achieved|/offered exceeds this (0 = no check)")
+	)
+	flag.Parse()
+	if err := run(*scenario, *all, *list, *speedup, *url, *shards, *out, *batch, *window, *maxRateGap); err != nil {
+		fmt.Fprintln(os.Stderr, "nurdload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario string, all, list bool, speedup float64, url string, shards int, out string, batch int, window, maxRateGap float64) error {
+	if list {
+		for _, name := range workload.ScenarioNames() {
+			ws, _ := workload.Builtin(name)
+			fmt.Printf("%-8s seed %-3d %4.0f virtual s, %d client(s)\n", name, ws.Seed, ws.Duration, len(ws.Clients))
+		}
+		return nil
+	}
+	var names []string
+	switch {
+	case all && scenario != "":
+		return fmt.Errorf("-all and -scenario are mutually exclusive")
+	case all:
+		names = workload.BenchScenarioNames()
+	case scenario != "":
+		names = []string{scenario}
+	default:
+		return fmt.Errorf("need -scenario <name|file>, -all, or -list")
+	}
+
+	opts := workload.Options{Speedup: speedup, MaxBatch: batch, Window: window}
+	var reports []*workload.Report
+	for _, name := range names {
+		rep, err := runOne(name, url, shards, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, rep.String())
+		reports = append(reports, rep)
+	}
+
+	var payload any = reports[0]
+	if len(reports) > 1 {
+		payload = map[string]any{"reports": reports}
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" || out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	}
+
+	if maxRateGap > 0 {
+		for _, rep := range reports {
+			if gap := abs(rep.RateGap); gap > maxRateGap {
+				return fmt.Errorf("scenario %s: rate gap %.1f%% exceeds the %.1f%% budget (offered %.0f ev/s, achieved %.0f ev/s)",
+					rep.Scenario, 100*rep.RateGap, 100*maxRateGap, rep.OfferedRate, rep.AchievedRate)
+			}
+			if rep.Errors > 0 {
+				return fmt.Errorf("scenario %s: %d unexpected errors, first: %s", rep.Scenario, rep.Errors, rep.FirstError)
+			}
+		}
+	}
+	return nil
+}
+
+// runOne synthesizes and drives a single scenario. Without -url every
+// scenario gets a fresh in-process server, so runs never contaminate each
+// other's job budgets or stats.
+func runOne(name, url string, shards int, opts workload.Options) (*workload.Report, error) {
+	ws, err := workload.LoadSpec(name)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := workload.Synthesize(ws)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "scenario %s: %d jobs, %d events, %d malformed over %.1f virtual s\n",
+		ws.Name, wl.Jobs, wl.Events, wl.Malformed, wl.Span)
+
+	tgt := &workload.HTTPTarget{BaseURL: strings.TrimSuffix(url, "/")}
+	if url == "" {
+		sv := serve.NewServer(serve.Config{Shards: shards})
+		ts := httptest.NewUnstartedServer(serve.NewHandler(sv))
+		ts.Start()
+		defer ts.Close()
+		tgt.BaseURL = ts.URL
+		tgt.Client = ts.Client()
+	} else {
+		tgt.Client = http.DefaultClient
+	}
+	return workload.Run(wl, tgt, opts)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

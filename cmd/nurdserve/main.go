@@ -257,8 +257,9 @@ func serveMode(listen, replay string, scfg servingConfig, speedup float64, hold 
 		if err != nil {
 			return err
 		}
-		fmt.Printf("replayed %d jobs, %d events in %s (%.0f events/s)\n",
-			st.Specs, st.Events, st.Wall.Round(time.Millisecond), st.Rate())
+		fmt.Printf("replayed %d jobs, %d events in %s (%.0f events/s, max pacing lag %s)\n",
+			st.Specs, st.Events, st.Wall.Round(time.Millisecond), st.Rate(),
+			st.MaxLag.Round(time.Millisecond))
 		if wal != nil {
 			path, retired, err := sv.CheckpointWAL()
 			if err != nil {

@@ -1,12 +1,17 @@
 // Command tracegen emits synthetic trace jobs: as CSV files for inspection
 // or for feeding cmd/nurdrun, or as a wire-format serving dump (-format
 // wire) that cmd/nurdserve -replay can stream back through the online
-// serving path, in-process or over HTTP.
+// serving path, in-process or over HTTP. With -scenario it instead expands a
+// workload scenario (a built-in name or a JSON spec file, see
+// internal/workload) into its clean wire dump — the same deterministic
+// traffic cmd/nurdload fires, minus the hostile-injection overlay, ready for
+// replay.
 //
 // Usage:
 //
 //	tracegen -mode google -jobs 3 -out /tmp/traces -seed 7
 //	tracegen -mode google -jobs 8 -format wire -out /tmp/traces
+//	tracegen -scenario diurnal -out /tmp/traces
 //	nurdserve -listen :8080 -replay /tmp/traces/google-8.wire
 package main
 
@@ -22,23 +27,27 @@ import (
 	"repro/internal/serve"
 	"repro/internal/simulator"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		mode   = flag.String("mode", "google", "trace flavor: google|alibaba")
-		jobs   = flag.Int("jobs", 1, "number of jobs to generate")
-		out    = flag.String("out", ".", "output directory")
-		seed   = flag.Uint64("seed", 42, "RNG seed")
-		far    = flag.Float64("far", -1, "override FarFraction in [0,1] (-1 = default)")
-		format = flag.String("format", "csv", "output format: csv (one file per job) | wire (one serving dump)")
+		mode     = flag.String("mode", "google", "trace flavor: google|alibaba")
+		jobs     = flag.Int("jobs", 1, "number of jobs to generate")
+		out      = flag.String("out", ".", "output directory")
+		seed     = flag.Uint64("seed", 42, "RNG seed")
+		far      = flag.Float64("far", -1, "override FarFraction in [0,1] (-1 = default)")
+		format   = flag.String("format", "csv", "output format: csv (one file per job) | wire (one serving dump)")
+		scenario = flag.String("scenario", "", "expand a workload scenario (built-in name or JSON spec file) into its clean wire dump; overrides -mode/-jobs/-format")
 	)
 	flag.Parse()
 	var err error
-	switch *format {
-	case "csv":
+	switch {
+	case *scenario != "":
+		err = runScenario(*scenario, *out)
+	case *format == "csv":
 		err = run(*mode, *jobs, *out, *seed, *far)
-	case "wire":
+	case *format == "wire":
 		err = runWire(*mode, *jobs, *out, *seed, *far)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
@@ -47,6 +56,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
+}
+
+// runScenario expands a workload scenario into its clean wire dump (the
+// hostile-injection overlay, if any, is dropped: replay targets expect a
+// well-formed stream).
+func runScenario(name, out string) error {
+	ws, err := workload.LoadSpec(name)
+	if err != nil {
+		return err
+	}
+	wl, err := workload.Synthesize(ws)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(out, fmt.Sprintf("scenario-%s-%d.wire", ws.Name, ws.Seed))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := wl.WriteWire(bw, false); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (scenario %s seed %d: %d jobs, %d events over %.1f virtual s)\n",
+		path, ws.Name, ws.Seed, wl.Jobs, wl.Events, wl.Span)
+	return nil
 }
 
 func run(mode string, jobs int, out string, seed uint64, far float64) error {

@@ -3,9 +3,11 @@
 // events from separate goroutines, query running tasks mid-flight, read the
 // per-job reports and server-wide stats at the end, snapshot the server and
 // restore it into a fresh process image that answers the same queries
-// identically — and finally run the same jobs under a write-ahead log,
-// kill the server halfway, and recover it with zero acknowledged events
-// lost.
+// identically — then run the same jobs under a write-ahead log, kill the
+// server halfway, and recover it with zero acknowledged events lost — and
+// finally load-test the HTTP front end with named workload scenarios
+// through the open-loop percentile harness, including a hostile
+// malformed-frame injection run.
 //
 //	go run ./examples/serving
 package main
@@ -14,6 +16,7 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"net/http/httptest"
 	"os"
 	"reflect"
 	"sort"
@@ -23,6 +26,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/simulator"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -266,4 +270,48 @@ func main() {
 	}
 	fmt.Printf("kill-and-recover: %d/%d events re-fed under warm refits; server: %s\n",
 		len(feed)-half, len(feed), revived.Stats())
+
+	// 8. Load-test the front end with a named workload scenario. A scenario
+	// spec (internal/workload, or a JSON file under examples/scenarios/) is
+	// fully seeded: the same name + seed reproduces the exact traffic on any
+	// machine. The driver is OPEN LOOP — every request's due time is fixed
+	// before the clock starts, late sends are recorded as queue delay instead
+	// of being rescheduled — so the percentiles below include every
+	// millisecond a real client would have waited. The same run via the CLI:
+	//
+	//	nurdload -scenario smoke -speedup 4
+	ws, _ := workload.Builtin("smoke")
+	wl, err := workload.Synthesize(ws)
+	if err != nil {
+		log.Fatal(err)
+	}
+	front := httptest.NewServer(serve.NewHandler(serve.NewServer(serve.DefaultConfig())))
+	defer front.Close()
+	rep, err := workload.Run(wl, &workload.HTTPTarget{Client: front.Client(), BaseURL: front.URL}, workload.Options{Speedup: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("open-loop %s: offered %.0f ev/s, achieved %.0f ev/s (gap %.2f%%); p50=%.2fms p99=%.2fms queue-delay p99=%.2fms\n",
+		rep.Scenario, rep.OfferedRate, rep.AchievedRate, 100*rep.RateGap,
+		rep.Latency.P50, rep.Latency.P99, rep.QueueDelay.P99)
+
+	// And a hostile-injection run: the "hostile" scenario overlays corrupted
+	// copies of real frames onto the clean traffic (plus Pareto job sizes and
+	// a high far-straggler mix). The front end must bounce every injected
+	// frame as a clean 400 while acknowledging all clean events around them.
+	hws, _ := workload.Builtin("hostile")
+	hws.Duration = 6 // a slice is enough for the walkthrough
+	hwl, err := workload.Synthesize(hws)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hostileFront := httptest.NewServer(serve.NewHandler(serve.NewServer(serve.DefaultConfig())))
+	defer hostileFront.Close()
+	hrep, err := workload.Run(hwl, &workload.HTTPTarget{Client: hostileFront.Client(), BaseURL: hostileFront.URL}, workload.Options{Speedup: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hostile run: %d injected frames -> %d rejected as 400 (all: %v); %d/%d clean events acked, unexpected errors: %d\n",
+		hrep.Malformed, hrep.BadFrameRejects, hrep.BadFrameRejects == hrep.Malformed,
+		hrep.AckedEvents, hrep.Events, hrep.Errors)
 }

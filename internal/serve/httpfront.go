@@ -27,7 +27,9 @@ package serve
 // events or queries for unregistered jobs are 404 (ErrUnknownJob);
 // registrations beyond the server's job/task budget are 429
 // (ErrOverloaded); a wedged or closed write-ahead log is 503
-// (ErrWALFailed/ErrWALClosed — retry after the operator intervenes);
+// (ErrWALFailed/ErrWALClosed — retry after the operator intervenes). 429
+// and 503 responses carry a Retry-After header (seconds) so compliant
+// clients back off instead of hammering an overloaded front end;
 // protocol violations the server rejects (duplicate registration,
 // out-of-range tasks, schema mismatches) are 422. Client-fault (4xx)
 // bodies carry the typed error detail; server-fault (5xx) bodies are
@@ -82,6 +84,24 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
+}
+
+// retryAfterSeconds is the back-off hint attached to throttling responses.
+// Overload here means the job/task budget is exhausted; capacity frees when
+// jobs finish, which happens on a human-scale cadence, so a short fixed hint
+// beats pretending to predict it.
+const retryAfterSeconds = 1
+
+// writeErrJSON is writeJSON for failure responses. Throttling (429) and
+// outage (503) responses carry a Retry-After header so well-behaved clients
+// back off on a hint instead of hammering an overloaded front end — without
+// it, RFC-compliant retry loops default to immediate retry and amplify the
+// overload they are reacting to.
+func writeErrJSON(w http.ResponseWriter, code int, v any) {
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	writeJSON(w, code, v)
 }
 
 // errBody renders the response body for a failed request. Client-fault
@@ -157,7 +177,7 @@ func (f *front) ingest(w http.ResponseWriter, r *http.Request) {
 		}
 		code := errCode(err, decodeErr)
 		res.Error = errBody(code, err)
-		writeJSON(w, code, res)
+		writeErrJSON(w, code, res)
 		return
 	}
 }
@@ -198,7 +218,7 @@ func (f *front) query(w http.ResponseWriter, r *http.Request) {
 	vs, err := f.sv.Query(id, ids)
 	if err != nil {
 		code := errCode(err, false)
-		writeJSON(w, code, IngestResult{Error: errBody(code, err)})
+		writeErrJSON(w, code, IngestResult{Error: errBody(code, err)})
 		return
 	}
 	writeJSON(w, http.StatusOK, vs)
@@ -213,7 +233,7 @@ func (f *front) report(w http.ResponseWriter, r *http.Request) {
 	rep, err := f.sv.Report(id)
 	if err != nil {
 		code := errCode(err, false)
-		writeJSON(w, code, IngestResult{Error: errBody(code, err)})
+		writeErrJSON(w, code, IngestResult{Error: errBody(code, err)})
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)

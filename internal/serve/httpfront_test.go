@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -451,5 +452,40 @@ func TestServerFaultBodiesRedacted(t *testing.T) {
 	var out []TaskVerdict
 	if resp := getJSON(t, ts, "/query?job=999&tasks=0", &out); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("query for an unknown job: %s", resp.Status)
+	}
+}
+
+// TestHTTP429RetryAfter: every ErrOverloaded→429 response must carry a
+// Retry-After back-off hint (integer seconds), on the ingest path and on the
+// read paths alike. Without the header, RFC-compliant retry loops default to
+// immediate retry and amplify the very overload the 429 reports.
+func TestHTTP429RetryAfter(t *testing.T) {
+	sv := NewServer(Config{Shards: 1, MaxJobs: 1})
+	ts := httptest.NewServer(NewHandler(sv))
+	defer ts.Close()
+	specs := []JobSpec{
+		{JobID: 1, Schema: []string{"a"}, NumTasks: 4, TauStra: 5, Horizon: 100},
+		{JobID: 2, Schema: []string{"a"}, NumTasks: 4, TauStra: 5, Horizon: 100},
+	}
+	resp, res := postIngest(t, ts, wireBody(t, specs, nil))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("budget exhaustion: status %d (%s), want 429", resp.StatusCode, res.Error)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("429 response carries no Retry-After header")
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer seconds hint", ra)
+	}
+
+	// Successful responses must not advertise a back-off.
+	resp2, res2 := postIngest(t, ts, wireBody(t, nil, nil))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("empty ingest: status %d (%s)", resp2.StatusCode, res2.Error)
+	}
+	if got := resp2.Header.Get("Retry-After"); got != "" {
+		t.Errorf("200 response carries Retry-After %q", got)
 	}
 }

@@ -48,16 +48,79 @@ type ReplayStats struct {
 	// acknowledged with 200 (elements queued in a failed flush are not
 	// counted).
 	Specs, Events int
-	// Wall is the wall-clock duration of the replay.
+	// Wall is the wall-clock duration of the replay, measured from the
+	// first paced event (pacing on) or from the start of the dump (pacing
+	// off).
 	Wall time.Duration
+	// MaxLag is the worst observed distance behind the absolute pacing
+	// schedule: how late the slowest event fired relative to
+	// start + (eventTime - firstEventTime)/speedup. Zero when unpaced. A
+	// paced replay that cannot keep up (slow server, slow disk) shows it
+	// here instead of silently stretching the schedule.
+	MaxLag time.Duration
 }
 
-// Rate returns the achieved ingest rate in events per second.
+// Rate returns the achieved ingest rate in events per second: 0 for an
+// empty replay or a non-positive wall time (never Inf or NaN).
 func (st ReplayStats) Rate() float64 {
-	if st.Wall <= 0 {
+	if st.Wall <= 0 || st.Events == 0 {
 		return 0
 	}
 	return float64(st.Events) / st.Wall.Seconds()
+}
+
+// pacer maps a dump's recorded virtual timeline onto the wall clock against
+// an ABSOLUTE schedule: every event's due time is derived from one fixed
+// origin (first paced event = origin instant), never from the previous
+// event's actual send. Per-event sleep jitter therefore cannot accumulate
+// into drift — an oversleep makes the next ahead smaller, and the schedule
+// self-corrects (regression-tested by TestReplayPacingNoDrift).
+type pacer struct {
+	speedup float64
+	origin  time.Time
+	t0      float64
+	on      bool
+	maxLag  time.Duration
+}
+
+// schedule returns how far ahead of the event's due time the clock is
+// (negative when behind). The first call fixes the schedule origin at the
+// current instant. Lateness is folded into maxLag.
+func (p *pacer) schedule(evTime float64) time.Duration {
+	if p.speedup <= 0 {
+		return 0
+	}
+	if !p.on {
+		// The recorded timeline starts at the first event; clock the pacing
+		// from there so leading registration time is free.
+		p.t0, p.on = evTime, true
+		p.origin = time.Now()
+		return 0
+	}
+	due := time.Duration((evTime - p.t0) / p.speedup * float64(time.Second))
+	ahead := due - time.Since(p.origin)
+	if lag := -ahead; lag > p.maxLag {
+		p.maxLag = lag
+	}
+	return ahead
+}
+
+// sleep blocks for ahead when it exceeds the 1ms scheduling tolerance
+// (sleeping for less costs more in timer overhead than it buys in
+// fidelity; the absolute schedule absorbs the slack).
+func (p *pacer) sleep(ahead time.Duration) {
+	if ahead > time.Millisecond {
+		time.Sleep(ahead)
+	}
+}
+
+// wall returns the replay duration: since the schedule origin when pacing
+// engaged, else since fallback.
+func (p *pacer) wall(fallback time.Time) time.Duration {
+	if p.on {
+		return time.Since(p.origin)
+	}
+	return time.Since(fallback)
 }
 
 // Replay streams a recorded dump from r into sv. Spec frames register jobs
@@ -81,12 +144,12 @@ func ReplayFrom(sv *Server, r io.Reader, speedup float64, skip int) (ReplayStats
 	var st ReplayStats
 	wr := NewWireReader(r)
 	start := time.Now()
-	var t0 float64
-	paced := false
+	pc := pacer{speedup: speedup}
 	for {
 		sp, ev, err := wr.Next()
 		if err == io.EOF {
-			st.Wall = time.Since(start)
+			st.Wall = pc.wall(start)
+			st.MaxLag = pc.maxLag
 			return st, nil
 		}
 		if err != nil {
@@ -103,18 +166,7 @@ func ReplayFrom(sv *Server, r io.Reader, speedup float64, skip int) (ReplayStats
 			st.Specs++
 			continue
 		}
-		if speedup > 0 {
-			if !paced {
-				// The recorded timeline starts at the first event; clock the
-				// pacing from there so leading registration time is free.
-				t0, paced = ev.Time, true
-				start = time.Now()
-			}
-			due := time.Duration((ev.Time - t0) / speedup * float64(time.Second))
-			if ahead := due - time.Since(start); ahead > time.Millisecond {
-				time.Sleep(ahead)
-			}
-		}
+		pc.sleep(pc.schedule(ev.Time))
 		if err := sv.Ingest(*ev); err != nil {
 			return st, fmt.Errorf("serve: replay event %d: %w", st.Events, err)
 		}
@@ -170,15 +222,15 @@ func ReplayHTTPFrom(client *http.Client, baseURL string, r io.Reader, speedup fl
 		return nil
 	}
 	start := time.Now()
-	var t0 float64
-	paced := false
+	pc := pacer{speedup: speedup}
 	for {
 		sp, ev, err := wr.Next()
 		if err == io.EOF {
 			if err := flush(); err != nil {
 				return st, err
 			}
-			st.Wall = time.Since(start)
+			st.Wall = pc.wall(start)
+			st.MaxLag = pc.maxLag
 			return st, nil
 		}
 		if err != nil {
@@ -194,20 +246,13 @@ func ReplayHTTPFrom(client *http.Client, baseURL string, r io.Reader, speedup fl
 			}
 			qSpecs++
 		} else {
-			if speedup > 0 {
-				if !paced {
-					t0, paced = ev.Time, true
-					start = time.Now()
+			if ahead := pc.schedule(ev.Time); ahead > time.Millisecond {
+				// Ship what is queued before sleeping so the server's
+				// view stays current while the replay idles.
+				if err := flush(); err != nil {
+					return st, err
 				}
-				due := time.Duration((ev.Time - t0) / speedup * float64(time.Second))
-				if ahead := due - time.Since(start); ahead > time.Millisecond {
-					// Ship what is queued before sleeping so the server's
-					// view stays current while the replay idles.
-					if err := flush(); err != nil {
-						return st, err
-					}
-					time.Sleep(ahead)
-				}
+				pc.sleep(ahead)
 			}
 			if body, err = EncodeEvent(body, *ev); err != nil {
 				return st, err

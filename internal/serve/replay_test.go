@@ -2,10 +2,12 @@ package serve
 
 import (
 	"bytes"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // scaledWorkload shrinks a real trace job's virtual timeline by factor c so
@@ -192,5 +194,107 @@ func TestReplayHTTPStatsOnFlushFailure(t *testing.T) {
 	}
 	if st.Specs != 0 || st.Events != 0 {
 		t.Errorf("stats count unacknowledged elements: %d specs, %d events", st.Specs, st.Events)
+	}
+}
+
+// TestReplayPacingSchedule is the pacing-drift regression: the pacer derives
+// every due time from one fixed origin, so per-event sleep overshoot must not
+// accumulate. A chained relative-sleep implementation (sleep the inter-event
+// gap, each sleep overshooting by the timer granularity) fails this test —
+// with hundreds of events, milliseconds of per-event overshoot stack into a
+// wall time far past the schedule; the absolute schedule self-corrects.
+func TestReplayPacingSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paced replay sleeps on the wall clock")
+	}
+	specs, events := scaledWorkload(t, 2, 47, 0.0005)
+	var dump bytes.Buffer
+	if err := WriteDump(&dump, specs, events); err != nil {
+		t.Fatal(err)
+	}
+	span := events[len(events)-1].Time - events[0].Time
+	// Pick the speedup so the schedule spans ~400ms of wall clock.
+	speedup := span / 0.4
+	sv := NewServer(Config{Shards: 2})
+	st, err := Replay(sv, bytes.NewReader(dump.Bytes()), speedup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(span / speedup * float64(time.Second))
+	// The last event is due exactly at `want`; the 1ms scheduling tolerance
+	// lets the replay land slightly early. Drift shows up as overshoot, so
+	// the upper bound is the one doing the regression work: per-event sleep
+	// overshoot of even 0.5ms across len(events) paced events would blow
+	// well past 25% of the schedule.
+	if st.Wall < want-50*time.Millisecond {
+		t.Errorf("paced replay finished in %v, schedule spans %v", st.Wall, want)
+	}
+	if lim := want + want/4 + 100*time.Millisecond; st.Wall > lim {
+		t.Errorf("paced replay took %v for a %v schedule (%d events): pacing drift", st.Wall, want, len(events))
+	}
+	if st.MaxLag < 0 {
+		t.Errorf("MaxLag = %v, want >= 0", st.MaxLag)
+	}
+
+	// Unpaced replay never engages the schedule: no lag is recorded.
+	st0, err := Replay(NewServer(Config{Shards: 2}), bytes.NewReader(dump.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st0.MaxLag != 0 {
+		t.Errorf("unpaced replay recorded MaxLag %v, want 0", st0.MaxLag)
+	}
+}
+
+// TestReplayStatsRate pins the Rate guard: empty dumps, single-event dumps,
+// and degenerate wall times must yield a finite rate — never Inf or NaN.
+func TestReplayStatsRate(t *testing.T) {
+	// Constructed degenerate stats.
+	for _, tc := range []struct {
+		st   ReplayStats
+		want float64
+	}{
+		{ReplayStats{Events: 10, Wall: 0}, 0},
+		{ReplayStats{Events: 10, Wall: -time.Second}, 0},
+		{ReplayStats{Events: 0, Wall: time.Second}, 0},
+		{ReplayStats{Events: 10, Wall: 2 * time.Second}, 5},
+	} {
+		got := tc.st.Rate()
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("Rate(%+v) = %v: not finite", tc.st, got)
+		}
+		if got != tc.want {
+			t.Errorf("Rate(%+v) = %v, want %v", tc.st, got, tc.want)
+		}
+	}
+
+	// An empty dump (header only) replays to zero events in ~zero wall time.
+	var empty bytes.Buffer
+	if err := WriteDump(&empty, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(NewServer(Config{Shards: 1}), bytes.NewReader(empty.Bytes()), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := st.Rate(); r != 0 || math.IsNaN(r) {
+		t.Errorf("empty dump Rate() = %v, want 0", r)
+	}
+
+	// A single-event dump: one spec, the stream's first event.
+	specs, events := scaledWorkload(t, 1, 59, 0.001)
+	var one bytes.Buffer
+	if err := WriteDump(&one, specs, events[:1]); err != nil {
+		t.Fatal(err)
+	}
+	st, err = Replay(NewServer(Config{Shards: 1}), bytes.NewReader(one.Bytes()), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != 1 {
+		t.Fatalf("single-event dump applied %d events", st.Events)
+	}
+	if r := st.Rate(); math.IsInf(r, 0) || math.IsNaN(r) || r < 0 {
+		t.Errorf("single-event dump Rate() = %v: not a finite non-negative rate", r)
 	}
 }

@@ -96,6 +96,25 @@ func (g *Generator) Jobs(n int) []*Job {
 	return out
 }
 
+// GenJob generates a single job with explicitly chosen shape parameters —
+// the entry point for workload synthesis layers that draw task counts and
+// profiles from their own distributions instead of this package's uniform
+// MinTasks/MaxTasks config. The job is deterministic in (mode, id, seed,
+// ntasks, profile).
+func GenJob(mode Mode, id, seed uint64, ntasks int, profile Profile) (*Job, error) {
+	if ntasks < 10 {
+		return nil, fmt.Errorf("trace: GenJob needs >= 10 tasks, got %d", ntasks)
+	}
+	switch mode {
+	case ModeGoogle:
+		return genGoogleJob(id, seed, ntasks, profile), nil
+	case ModeAlibaba:
+		return genAlibabaJob(id, seed, ntasks, profile), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown mode %d", mode)
+	}
+}
+
 // The causal model. Every task has latent work W (input size) and speed S
 // (effective machine throughput); latency L = W/S, with per-job scale. All
 // monitored usage features derive from (W, S, io-intensity, footprint), so

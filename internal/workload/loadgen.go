@@ -1,0 +1,373 @@
+package workload
+
+// loadgen.go is the open-loop load driver: it fires a synthesized
+// workload's timeline at a serving front end on the timeline's absolute
+// schedule, regardless of how long responses take. That discipline is the
+// whole point — a closed-loop driver (send, wait, send) silently stretches
+// its schedule whenever the server stalls, so the stall never shows up in
+// the recorded latencies (coordinated omission). Here every request has a
+// due time fixed before the run starts; if the lane is late (a previous
+// response is still in flight), the request fires immediately, the lateness
+// is recorded as queue delay, and the request's latency is measured from
+// its DUE time, not its actual send — a p99 from this harness includes
+// every millisecond a client would actually have waited.
+//
+// Each scenario client is one delivery lane: elements of a lane are sent in
+// timeline order over one sequential request stream (per-job event order is
+// a protocol requirement), and lanes run concurrently. Malformed frames are
+// always fired as their own single-frame request so the expected 400 cannot
+// poison neighboring traffic in a shared batch.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Options shape one load run.
+type Options struct {
+	// Speedup compresses virtual time onto the wall clock: 2 runs a
+	// scenario in half its virtual duration. 0 or negative defaults to 1.
+	Speedup float64
+	// MaxBatch caps the frames coalesced into one request (default 256).
+	MaxBatch int
+	// Window caps the virtual time one request may span (default 0.05 s):
+	// elements further apart are sent in separate requests so batching
+	// cannot smear the arrival schedule.
+	Window float64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Speedup <= 0 {
+		out.Speedup = 1
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 256
+	}
+	if out.Window <= 0 {
+		out.Window = 0.05
+	}
+	return out
+}
+
+// PostResult is a target's view of one ingest response.
+type PostResult struct {
+	// Status is the HTTP status code.
+	Status int
+	// Specs and Events are the element counts the front end reports having
+	// applied (present on errors too: the counts before the failure).
+	Specs, Events int
+	// RetryAfter is the Retry-After header value, if any.
+	RetryAfter string
+	// Err carries the front end's error string, if any.
+	Err string
+}
+
+// Target abstracts where batches are posted, so tests can drive an
+// in-process front end and the CLI a remote one through the same path.
+type Target interface {
+	// Post sends one wire-encoded body to the ingest endpoint. A non-2xx
+	// status is returned in PostResult, not as an error; error means the
+	// request could not be completed at all (transport failure).
+	Post(body []byte) (PostResult, error)
+}
+
+// HTTPTarget posts to a serving front end over HTTP.
+type HTTPTarget struct {
+	// Client is the HTTP client (nil uses http.DefaultClient).
+	Client *http.Client
+	// BaseURL addresses the front end, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+}
+
+// Post implements Target.
+func (t *HTTPTarget) Post(body []byte) (PostResult, error) {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(t.BaseURL+"/ingest", "application/x-nurd-wire", bytes.NewReader(body))
+	if err != nil {
+		return PostResult{}, err
+	}
+	defer resp.Body.Close()
+	var res serve.IngestResult
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	_ = json.Unmarshal(msg, &res) // non-JSON bodies leave zero counts
+	return PostResult{
+		Status:     resp.StatusCode,
+		Specs:      res.Specs,
+		Events:     res.Events,
+		RetryAfter: resp.Header.Get("Retry-After"),
+		Err:        res.Error,
+	}, nil
+}
+
+// Report is the JSON result of one open-loop load run.
+type Report struct {
+	// Scenario and Seed identify the workload; with the checked-in spec
+	// files they fully reproduce the run's traffic.
+	Scenario string  `json:"scenario"`
+	Seed     uint64  `json:"seed"`
+	Speedup  float64 `json:"speedup"`
+
+	// Jobs / Events / Malformed are the synthesized element counts;
+	// Requests is how many HTTP posts carried them.
+	Jobs      int `json:"jobs"`
+	Events    int `json:"events"`
+	Malformed int `json:"malformed"`
+	Requests  int `json:"requests"`
+
+	// OfferedRate is the schedule's demand: well-formed events per wall
+	// second had every send fired exactly on time. AchievedRate is what the
+	// server acknowledged per wall second of the actual run; RateGap is
+	// (offered-achieved)/offered — the honesty metric a closed-loop driver
+	// cannot produce.
+	OfferedRate  float64 `json:"offered_events_per_s"`
+	AchievedRate float64 `json:"achieved_events_per_s"`
+	RateGap      float64 `json:"rate_gap"`
+	WallSeconds  float64 `json:"wall_s"`
+
+	// AckedEvents / AckedSpecs are the element counts the front end
+	// reported applied across all responses.
+	AckedEvents int `json:"acked_events"`
+	AckedSpecs  int `json:"acked_specs"`
+
+	// Error taxonomy. Rejected429 counts overload rejections (their
+	// Retry-After hints are surfaced via RetryAfterSeen); BadFrameRejects
+	// counts 400s earned by injected malformed frames (expected in hostile
+	// scenarios); Errors counts everything unexpected, with FirstError
+	// carrying the first message for diagnosis.
+	Rejected429     int    `json:"rejected_429"`
+	RetryAfterSeen  int    `json:"retry_after_seen"`
+	BadFrameRejects int    `json:"bad_frame_rejects"`
+	Errors          int    `json:"errors"`
+	FirstError      string `json:"first_error,omitempty"`
+
+	// Latency is per-request latency measured from each request's DUE time
+	// (open loop: queue delay is inside, coordinated omission is not).
+	Latency Percentiles `json:"latency"`
+	// QueueDelay isolates the lateness component: actual send minus due.
+	QueueDelay Percentiles `json:"queue_delay"`
+}
+
+// request is one prepared post: a body of coalesced frames due at a fixed
+// offset from run start.
+type request struct {
+	due       float64 // virtual seconds from scenario start
+	body      []byte
+	frames    int
+	events    int // well-formed events carried
+	malformed bool
+}
+
+// buildLane slices one client's items into requests: frames coalesce into a
+// shared request until the batch cap or the virtual-time window is hit, and
+// malformed frames always travel alone.
+func buildLane(items []*Item, opts Options) ([]request, error) {
+	var reqs []request
+	cur := -1 // index into reqs of the open batch, -1 when none
+	for _, it := range items {
+		if it.Malformed() {
+			body, err := AppendItemWire(serve.AppendHeader(nil), it, true)
+			if err != nil {
+				return nil, err
+			}
+			reqs = append(reqs, request{due: it.At, body: body, frames: 1, malformed: true})
+			cur = -1
+			continue
+		}
+		if cur < 0 || reqs[cur].frames >= opts.MaxBatch || it.At-reqs[cur].due > opts.Window {
+			reqs = append(reqs, request{due: it.At, body: serve.AppendHeader(nil)})
+			cur = len(reqs) - 1
+		}
+		var err error
+		reqs[cur].body, err = AppendItemWire(reqs[cur].body, it, false)
+		if err != nil {
+			return nil, err
+		}
+		reqs[cur].frames++
+		if it.Event != nil {
+			reqs[cur].events++
+		}
+	}
+	return reqs, nil
+}
+
+// laneStats accumulates one lane's measurements; lanes are merged at the
+// end so the hot path takes no shared locks.
+type laneStats struct {
+	latency, queue   Hist
+	maxLat, maxQueue float64
+	ackedEvents      int
+	ackedSpecs       int
+	rejected429      int
+	retryAfterSeen   int
+	badFrameRejects  int
+	errors           int
+	firstError       string
+}
+
+func (ls *laneStats) fail(msg string) {
+	ls.errors++
+	if ls.firstError == "" {
+		ls.firstError = msg
+	}
+}
+
+// Run drives the workload against the target and reports percentiles and
+// rate accounting. The timeline is prepared (batched and wire-encoded)
+// before the clock starts, so synthesis and encoding cost never pollute the
+// measured schedule.
+func Run(wl *Workload, tgt Target, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+
+	// Partition items into per-client lanes, preserving timeline order.
+	lanes := make([][]*Item, len(wl.Spec.Clients))
+	for i := range wl.Items {
+		it := &wl.Items[i]
+		lanes[it.Client] = append(lanes[it.Client], it)
+	}
+	laneReqs := make([][]request, 0, len(lanes))
+	totalReqs := 0
+	for _, items := range lanes {
+		if len(items) == 0 {
+			continue
+		}
+		reqs, err := buildLane(items, opts)
+		if err != nil {
+			return nil, err
+		}
+		laneReqs = append(laneReqs, reqs)
+		totalReqs += len(reqs)
+	}
+
+	results := make([]laneStats, len(laneReqs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for li, reqs := range laneReqs {
+		wg.Add(1)
+		go func(li int, reqs []request) {
+			defer wg.Done()
+			ls := &results[li]
+			for i := range reqs {
+				req := &reqs[i]
+				due := start.Add(time.Duration(req.due / opts.Speedup * float64(time.Second)))
+				// Absolute schedule: sleep until due (1ms tolerance, like
+				// the replay pacer); when late, fire immediately — the
+				// lateness is queue delay, never a reschedule.
+				if ahead := time.Until(due); ahead > time.Millisecond {
+					time.Sleep(ahead)
+				}
+				queued := time.Since(due)
+				if queued < 0 {
+					queued = 0
+				}
+				res, err := tgt.Post(req.body)
+				lat := time.Since(due)
+				if lat < 0 {
+					lat = 0
+				}
+				ls.queue.Record(queued)
+				if qs := queued.Seconds(); qs > ls.maxQueue {
+					ls.maxQueue = qs
+				}
+				if err != nil {
+					ls.fail(fmt.Sprintf("post: %v", err))
+					continue
+				}
+				ls.latency.Record(lat)
+				if s := lat.Seconds(); s > ls.maxLat {
+					ls.maxLat = s
+				}
+				ls.ackedEvents += res.Events
+				ls.ackedSpecs += res.Specs
+				if res.RetryAfter != "" {
+					ls.retryAfterSeen++
+				}
+				switch {
+				case res.Status < 300:
+				case res.Status == http.StatusTooManyRequests:
+					ls.rejected429++
+				case res.Status == http.StatusBadRequest && req.malformed:
+					ls.badFrameRejects++
+				default:
+					ls.fail(fmt.Sprintf("status %d: %s", res.Status, res.Err))
+				}
+			}
+		}(li, reqs)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &Report{
+		Scenario:  wl.Spec.Name,
+		Seed:      wl.Spec.Seed,
+		Speedup:   opts.Speedup,
+		Jobs:      wl.Jobs,
+		Events:    wl.Events,
+		Malformed: wl.Malformed,
+		Requests:  totalReqs,
+	}
+	var latency, queue Hist
+	var maxLat, maxQueue float64
+	for i := range results {
+		ls := &results[i]
+		latency.Merge(&ls.latency)
+		queue.Merge(&ls.queue)
+		maxLat = maxf(maxLat, ls.maxLat)
+		maxQueue = maxf(maxQueue, ls.maxQueue)
+		rep.AckedEvents += ls.ackedEvents
+		rep.AckedSpecs += ls.ackedSpecs
+		rep.Rejected429 += ls.rejected429
+		rep.RetryAfterSeen += ls.retryAfterSeen
+		rep.BadFrameRejects += ls.badFrameRejects
+		rep.Errors += ls.errors
+		if rep.FirstError == "" {
+			rep.FirstError = ls.firstError
+		}
+	}
+	rep.WallSeconds = wall.Seconds()
+	scheduled := wl.Span / opts.Speedup
+	if scheduled > 0 {
+		rep.OfferedRate = float64(wl.Events) / scheduled
+	}
+	if rep.WallSeconds > 0 {
+		rep.AchievedRate = float64(rep.AckedEvents) / rep.WallSeconds
+	}
+	if rep.OfferedRate > 0 {
+		rep.RateGap = (rep.OfferedRate - rep.AchievedRate) / rep.OfferedRate
+	}
+	rep.Latency = latency.report(maxLat)
+	rep.QueueDelay = queue.report(maxQueue)
+	return rep, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders the operator-facing one-glance summary.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"scenario %s (seed %d, speedup %g): %d jobs, %d events in %d requests over %.2fs wall\n"+
+			"  offered %.0f ev/s, achieved %.0f ev/s (gap %.1f%%)\n"+
+			"  latency p50 %.2fms p95 %.2fms p99 %.2fms p99.9 %.2fms max %.2fms\n"+
+			"  queue-delay p99 %.2fms max %.2fms\n"+
+			"  acked %d specs / %d events; 429s %d (retry-after on %d), expected bad-frame 400s %d/%d, errors %d",
+		r.Scenario, r.Seed, r.Speedup, r.Jobs, r.Events, r.Requests, r.WallSeconds,
+		r.OfferedRate, r.AchievedRate, 100*r.RateGap,
+		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.P999, r.Latency.Max,
+		r.QueueDelay.P99, r.QueueDelay.Max,
+		r.AckedSpecs, r.AckedEvents, r.Rejected429, r.RetryAfterSeen, r.BadFrameRejects, r.Malformed, r.Errors)
+}

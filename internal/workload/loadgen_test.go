@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// finite fails the test if v is Inf or NaN.
+func finite(t *testing.T, label string, v float64) {
+	t.Helper()
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("%s = %v: not finite", label, v)
+	}
+}
+
+// runScenario synthesizes a builtin and drives it at an in-process front end.
+func runScenario(t *testing.T, name string, speedup float64) *Report {
+	t.Helper()
+	ws, ok := Builtin(name)
+	if !ok {
+		t.Fatalf("builtin %q missing", name)
+	}
+	wl, err := Synthesize(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := serve.NewServer(serve.Config{Shards: 4})
+	ts := httptest.NewServer(serve.NewHandler(sv))
+	defer ts.Close()
+	rep, err := Run(wl, &HTTPTarget{Client: ts.Client(), BaseURL: ts.URL}, Options{Speedup: speedup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestLoadgenSmoke is the CI gate run in-process: the smoke scenario against
+// a local server must produce a parseable report with finite percentiles,
+// full acknowledgement, and an offered-vs-achieved gap under 20%.
+func TestLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("open-loop run sleeps on the wall clock")
+	}
+	rep := runScenario(t, "smoke", 4)
+
+	// The report must survive a JSON round trip (it is BENCH_loadgen.json's
+	// payload).
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+
+	if rep.Errors > 0 {
+		t.Fatalf("%d unexpected errors, first: %s", rep.Errors, rep.FirstError)
+	}
+	if rep.AckedEvents != rep.Events || rep.AckedSpecs != rep.Jobs {
+		t.Errorf("acked %d/%d events, %d/%d specs: local server dropped traffic",
+			rep.AckedEvents, rep.Events, rep.AckedSpecs, rep.Jobs)
+	}
+	finite(t, "p50", rep.Latency.P50)
+	finite(t, "p99", rep.Latency.P99)
+	finite(t, "p999", rep.Latency.P999)
+	finite(t, "offered", rep.OfferedRate)
+	finite(t, "achieved", rep.AchievedRate)
+	if rep.Latency.P99 <= 0 {
+		t.Errorf("p99 = %v ms, want > 0", rep.Latency.P99)
+	}
+	if rep.Latency.P50 > rep.Latency.P99 {
+		t.Errorf("p50 %v > p99 %v", rep.Latency.P50, rep.Latency.P99)
+	}
+	if math.Abs(rep.RateGap) > 0.2 {
+		t.Errorf("offered %v vs achieved %v ev/s: gap %.1f%% exceeds 20%%",
+			rep.OfferedRate, rep.AchievedRate, 100*rep.RateGap)
+	}
+}
+
+// TestLoadgenHostile: malformed frames must come back as the expected 400s —
+// counted as bad-frame rejects, not errors — while the clean traffic is fully
+// acknowledged around them.
+func TestLoadgenHostile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("open-loop run sleeps on the wall clock")
+	}
+	ws, _ := Builtin("hostile")
+	ws.Duration = 8 // shrink to test time; keeps both clients active
+	wl, err := Synthesize(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Malformed == 0 {
+		t.Fatal("hostile scenario injected nothing")
+	}
+	sv := serve.NewServer(serve.Config{Shards: 4})
+	ts := httptest.NewServer(serve.NewHandler(sv))
+	defer ts.Close()
+	rep, err := Run(wl, &HTTPTarget{Client: ts.Client(), BaseURL: ts.URL}, Options{Speedup: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("%d unexpected errors, first: %s", rep.Errors, rep.FirstError)
+	}
+	if rep.BadFrameRejects != wl.Malformed {
+		t.Errorf("%d bad-frame 400s for %d injected frames", rep.BadFrameRejects, wl.Malformed)
+	}
+	if rep.AckedEvents != rep.Events {
+		t.Errorf("acked %d of %d clean events: injection poisoned clean traffic", rep.AckedEvents, rep.Events)
+	}
+}
+
+// TestLoadgenOverload: a server with a one-job budget must answer the rest
+// with 429s that carry Retry-After — the load harness is how the back-off
+// contract is observed end to end.
+func TestLoadgenOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("open-loop run sleeps on the wall clock")
+	}
+	ws, _ := Builtin("smoke")
+	wl, err := Synthesize(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Jobs < 2 {
+		t.Skip("smoke synthesized fewer than 2 jobs")
+	}
+	sv := serve.NewServer(serve.Config{Shards: 1, MaxJobs: 1})
+	ts := httptest.NewServer(serve.NewHandler(sv))
+	defer ts.Close()
+	rep, err := Run(wl, &HTTPTarget{Client: ts.Client(), BaseURL: ts.URL}, Options{Speedup: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected429 == 0 {
+		t.Fatal("one-job server rejected nothing")
+	}
+	if rep.RetryAfterSeen < rep.Rejected429 {
+		t.Errorf("%d of %d 429s carried Retry-After", rep.RetryAfterSeen, rep.Rejected429)
+	}
+}
+
+// TestBuildLaneBatching pins the coalescing rules: batch cap, virtual-time
+// window, and malformed isolation.
+func TestBuildLaneBatching(t *testing.T) {
+	ws, _ := Builtin("hostile")
+	wl, err := Synthesize(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lane []*Item
+	for i := range wl.Items {
+		if wl.Items[i].Client == 1 { // the attacker lane has malformed frames
+			lane = append(lane, &wl.Items[i])
+		}
+	}
+	o := Options{MaxBatch: 4, Window: 0.5}
+	opts := o.withDefaults()
+	reqs, err := buildLane(lane, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, r := range reqs {
+		total += r.frames
+		if r.frames > opts.MaxBatch {
+			t.Fatalf("request %d carries %d frames, cap is %d", i, r.frames, opts.MaxBatch)
+		}
+		if r.malformed && r.frames != 1 {
+			t.Fatalf("request %d is malformed but batched %d frames", i, r.frames)
+		}
+		if i > 0 && r.due < reqs[i-1].due {
+			t.Fatalf("request %d due %v before predecessor %v", i, r.due, reqs[i-1].due)
+		}
+	}
+	if total != len(lane) {
+		t.Fatalf("batched %d frames from %d items", total, len(lane))
+	}
+}
