@@ -98,6 +98,13 @@ func main() {
 		walVerify = flag.String("wal-verify", "", "offline: replay the WAL directory's structure and print the recoverable LSN per shard, then exit (no server is started)")
 		refitMode = flag.String("refit-mode", "scratch", "checkpoint refit strategy: scratch (bit-identical to the offline Table 3 path) or warm (warm-started incremental boosting, several times cheaper per refit)")
 		refitWork = flag.Int("refit-workers", 0, "background refit workers per shard (0 = default); model fits run on these, off the ingest path")
+
+		// Overload-control knobs (see the README's "Overload behavior").
+		ingQueue = flag.Int("ingest-queue", 0, "per-shard ingest queue bound; heartbeats shed (429-class) when full, label-bearing events wait (0 = default, negative = unbounded)")
+		refQueue = flag.Int("refit-queue", 0, "per-shard refit queue bound; saturated fits run inline on the ingest path (0 = default, negative = unbounded)")
+		cliRate  = flag.Float64("client-rate", 0, "per-client token-bucket refill in frames/s on the HTTP front (0 = no rate limiting)")
+		cliBurst = flag.Int("client-burst", 0, "per-client token-bucket burst (0 = derived from -client-rate)")
+		degAfter = flag.Duration("degraded-after", 0, "serve stale flagged verdicts when a job lock is not free within this (0 = queries always wait)")
 	)
 	flag.Parse()
 	mode, err := serve.ParseRefitMode(*refitMode)
@@ -111,7 +118,11 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		CheckpointBytes: *ckptBytes,
 	}
-	scfg := servingConfig{shards: *shards, refitMode: mode, refitWorkers: *refitWork}
+	scfg := servingConfig{
+		shards: *shards, refitMode: mode, refitWorkers: *refitWork,
+		ingestQueue: *ingQueue, refitQueue: *refQueue,
+		clientRate: *cliRate, clientBurst: *cliBurst, degradedAfter: *degAfter,
+	}
 	switch {
 	case *walVerify != "":
 		err = runWALVerify(*walVerify, os.Stdout)
@@ -146,9 +157,14 @@ func runWALVerify(dir string, w io.Writer) error {
 
 // servingConfig carries the CLI's server-shape flags.
 type servingConfig struct {
-	shards       int
-	refitMode    serve.RefitMode
-	refitWorkers int
+	shards        int
+	refitMode     serve.RefitMode
+	refitWorkers  int
+	ingestQueue   int
+	refitQueue    int
+	clientRate    float64
+	clientBurst   int
+	degradedAfter time.Duration
 }
 
 func (sc servingConfig) apply(cfg serve.Config) serve.Config {
@@ -157,6 +173,11 @@ func (sc servingConfig) apply(cfg serve.Config) serve.Config {
 	}
 	cfg.RefitMode = sc.refitMode
 	cfg.RefitWorkers = sc.refitWorkers
+	cfg.IngestQueue = sc.ingestQueue
+	cfg.RefitQueue = sc.refitQueue
+	cfg.ClientRate = sc.clientRate
+	cfg.ClientBurst = sc.clientBurst
+	cfg.DegradedAfter = sc.degradedAfter
 	return cfg
 }
 

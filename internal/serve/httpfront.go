@@ -25,17 +25,22 @@ package serve
 //
 // Error mapping: malformed wire bodies and unparseable parameters are 400;
 // events or queries for unregistered jobs are 404 (ErrUnknownJob);
-// registrations beyond the server's job/task budget are 429
-// (ErrOverloaded); a wedged or closed write-ahead log is 503
-// (ErrWALFailed/ErrWALClosed — retry after the operator intervenes). 429
-// and 503 responses carry a Retry-After header (seconds) so compliant
-// clients back off instead of hammering an overloaded front end;
-// protocol violations the server rejects (duplicate registration,
-// out-of-range tasks, schema mismatches) are 422. Client-fault (4xx)
-// bodies carry the typed error detail; server-fault (5xx) bodies are
-// redacted to a generic message so internal paths and wrapped diagnostics
-// never reach remote clients (operators read them via /stats and the
-// process's own stderr instead).
+// registrations beyond the server's job/task budget, and requests refused
+// by per-client rate limiting (Config.ClientRate), are 429; a wedged or
+// closed write-ahead log is 503 (ErrWALFailed/ErrWALClosed — retry after
+// the operator intervenes). 429 and 503 responses carry a Retry-After
+// header (seconds) — 429 hints are load-aware (Server.RetryHint tracks
+// queue occupancy; rate-limit refusals hint the client's own bucket
+// deficit), while 503 carries the fixed, longer retryAfterOutageSeconds
+// because an outage clears on operator timescales. Heartbeat frames shed
+// under overload (ErrShed, or an empty rate-limit bucket) do NOT fail the
+// batch: they are counted in IngestResult.Shed and the batch continues —
+// shedding is policy, not an error. Protocol violations the server rejects
+// (duplicate registration, out-of-range tasks, schema mismatches) are 422.
+// Client-fault (4xx) bodies carry the typed error detail; server-fault
+// (5xx) bodies are redacted to a generic message so internal paths and
+// wrapped diagnostics never reach remote clients (operators read them via
+// /stats and the process's own stderr instead).
 
 import (
 	"encoding/json"
@@ -59,6 +64,11 @@ type IngestResult struct {
 	// Specs and Events count the frames applied (on error: before it).
 	Specs  int `json:"specs"`
 	Events int `json:"events"`
+	// Shed counts heartbeat frames refused by load shedding (saturated
+	// ingest queue or empty rate-limit bucket). Shed frames do not fail the
+	// batch; a client that must deliver an observation resends it, but the
+	// intended reaction is none — the task's next heartbeat supersedes it.
+	Shed int `json:"shed,omitempty"`
 	// Error carries the failure, if any.
 	Error string `json:"error,omitempty"`
 }
@@ -67,6 +77,9 @@ type IngestResult struct {
 // httpfront.go for routes and error mapping.
 func NewHandler(sv *Server) http.Handler {
 	f := &front{sv: sv}
+	if sv.cfg.ClientRate > 0 {
+		f.limits = newClientLimiter(sv.cfg.ClientRate, sv.cfg.ClientBurst)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", f.ingest)
 	mux.HandleFunc("/query", f.query)
@@ -78,6 +91,10 @@ func NewHandler(sv *Server) http.Handler {
 
 type front struct {
 	sv *Server
+	// limits is the per-client token-bucket rate limiter, nil unless
+	// Config.ClientRate is set. It lives on the front, not the Server: rate
+	// limiting is a transport-edge policy (in-process callers are trusted).
+	limits *clientLimiter
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -86,22 +103,31 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// retryAfterSeconds is the back-off hint attached to throttling responses.
-// Overload here means the job/task budget is exhausted; capacity frees when
-// jobs finish, which happens on a human-scale cadence, so a short fixed hint
-// beats pretending to predict it.
-const retryAfterSeconds = 1
-
 // writeErrJSON is writeJSON for failure responses. Throttling (429) and
 // outage (503) responses carry a Retry-After header so well-behaved clients
 // back off on a hint instead of hammering an overloaded front end — without
 // it, RFC-compliant retry loops default to immediate retry and amplify the
-// overload they are reacting to.
-func writeErrJSON(w http.ResponseWriter, code int, v any) {
-	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+// overload they are reacting to. retryAfter is the hint in seconds (0 =
+// no header); callers derive it per class with front.retryHint.
+func writeErrJSON(w http.ResponseWriter, code, retryAfter int, v any) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	}
 	writeJSON(w, code, v)
+}
+
+// retryHint picks the Retry-After value for an error class: transient
+// throttling (429) tracks live queue occupancy, so a client that obeys the
+// hint naturally backs off harder as the server fills; an outage (503) gets
+// the fixed, longer operator-timescale hint. Everything else carries none.
+func (f *front) retryHint(code int) int {
+	switch code {
+	case http.StatusTooManyRequests:
+		return f.sv.RetryHint()
+	case http.StatusServiceUnavailable:
+		return retryAfterOutageSeconds
+	}
+	return 0
 }
 
 // errBody renders the response body for a failed request. Client-fault
@@ -153,6 +179,22 @@ func (f *front) ingest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, IngestResult{Error: "POST only"})
 		return
 	}
+	// Rate-limit admission happens before the body is read: a refused
+	// request has NOTHING applied, so resending the identical batch is
+	// always safe. That atomicity is deliberate — mid-batch 429s would
+	// leave a half-applied batch no client could safely retry. Mid-batch,
+	// an empty bucket only sheds heartbeats (recorded in res.Shed); every
+	// other frame runs the bucket negative and the debt is settled here, at
+	// the next request's admission.
+	var client string
+	if f.limits != nil {
+		client = clientID(r)
+		if wait, ok := f.limits.admit(client); !ok {
+			writeErrJSON(w, http.StatusTooManyRequests, wait,
+				IngestResult{Error: fmt.Sprintf("rate limit: client %q exceeds %g frames/s; retry after %ds", client, f.limits.rate, wait)})
+			return
+		}
+	}
 	wr := NewWireReader(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	var res IngestResult
 	for {
@@ -164,12 +206,29 @@ func (f *front) ingest(w http.ResponseWriter, r *http.Request) {
 		decodeErr := err != nil
 		if err == nil {
 			if sp != nil {
+				f.charge(client, false)
 				if err = f.sv.StartJob(*sp, nil); err == nil {
 					res.Specs++
 					continue
 				}
 			} else {
-				if err = f.sv.Ingest(*ev); err == nil {
+				if ev.Kind == EventHeartbeat {
+					if !f.charge(client, true) {
+						res.Shed++
+						continue
+					}
+				} else {
+					f.charge(client, false)
+				}
+				err = f.sv.Ingest(*ev)
+				if errors.Is(err, ErrShed) {
+					// Shed by the shard's ingest queue: counted, batch
+					// continues. Shedding is the overload policy working,
+					// not a failure.
+					res.Shed++
+					continue
+				}
+				if err == nil {
 					res.Events++
 					continue
 				}
@@ -177,9 +236,18 @@ func (f *front) ingest(w http.ResponseWriter, r *http.Request) {
 		}
 		code := errCode(err, decodeErr)
 		res.Error = errBody(code, err)
-		writeErrJSON(w, code, res)
+		writeErrJSON(w, code, f.retryHint(code), res)
 		return
 	}
+}
+
+// charge pays one rate-limit token for a frame (no-op without a limiter).
+// False means the frame must be shed — only possible for sheddable frames.
+func (f *front) charge(client string, sheddable bool) bool {
+	if f.limits == nil {
+		return true
+	}
+	return f.limits.charge(client, sheddable)
 }
 
 // jobParam parses the mandatory ?job= query parameter.
@@ -218,7 +286,7 @@ func (f *front) query(w http.ResponseWriter, r *http.Request) {
 	vs, err := f.sv.Query(id, ids)
 	if err != nil {
 		code := errCode(err, false)
-		writeErrJSON(w, code, IngestResult{Error: errBody(code, err)})
+		writeErrJSON(w, code, f.retryHint(code), IngestResult{Error: errBody(code, err)})
 		return
 	}
 	writeJSON(w, http.StatusOK, vs)
@@ -233,14 +301,21 @@ func (f *front) report(w http.ResponseWriter, r *http.Request) {
 	rep, err := f.sv.Report(id)
 	if err != nil {
 		code := errCode(err, false)
-		writeErrJSON(w, code, IngestResult{Error: errBody(code, err)})
+		writeErrJSON(w, code, f.retryHint(code), IngestResult{Error: errBody(code, err)})
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
 }
 
 func (f *front) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, f.sv.Stats())
+	st := f.sv.Stats()
+	if f.limits != nil {
+		// Rate limiting is enforced at this front, so its counters live
+		// here; fold them into the server-wide view operators poll.
+		st.Overload.RateLimited = f.limits.rejected.Load()
+		st.Overload.RateShedHeartbeats = f.limits.shedHB.Load()
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // snapshotWriter tracks whether any response byte was attempted: once a

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/nurd"
@@ -96,6 +97,14 @@ type jobState struct {
 	// warmFits / scratchFits split refits by fit strategy (serialized in
 	// snapshots so restored servers keep reporting cumulative counts).
 	warmFits, scratchFits uint64
+
+	// stale is the degraded-query view: every task's verdict as of the last
+	// applied refit, precomputed under j.mu and read lock-free by queries
+	// that gave up waiting for the lock (see shard.query). Maintained only
+	// when staleEnabled (Config.DegradedAfter > 0) — building it costs one
+	// model prediction per running task per refit.
+	staleEnabled bool
+	stale        atomic.Pointer[staleView]
 }
 
 func newJobState(spec JobSpec, pred simulator.Predictor) *jobState {
@@ -190,6 +199,11 @@ func (j *jobState) handle(e Event) error {
 		// DropJob's reclamation) see every checkpoint's outcome applied.
 		j.applyRefit()
 		j.done = true
+		// Final refresh at close: the stream is complete, so the degraded
+		// view converges to the exact final verdicts (still Stale-flagged —
+		// the caller took the degraded path, and staleness is a property of
+		// the path, not the data's age).
+		j.refreshStale()
 		return nil
 	}
 	switch e.Kind {
@@ -301,7 +315,17 @@ func (j *jobState) startRefit(cp *simulator.Checkpoint, k int) {
 		return
 	}
 	j.pool.lag.Add(1)
-	j.pool.enqueue(t)
+	if !j.pool.enqueue(t) {
+		// Refit queue at its bound: run the fit here, on the ingesting
+		// goroutine, holding only this job's lock. The result lands in the
+		// buffered channel and is applied at the next boundary exactly as a
+		// pooled fit would be — identical stream position, identical
+		// determinism — at the cost of this one ingest call absorbing the
+		// fit latency. That is the backpressure that keeps the queue from
+		// growing without limit.
+		j.pool.inlineFits.Add(1)
+		t.run()
+	}
 }
 
 // applyRefit applies the pending refit's outcome under the job lock:
@@ -364,6 +388,25 @@ func (j *jobState) applyRefit() {
 		j.terminated++
 	}
 	j.publish()
+	j.refreshStale()
+}
+
+// refreshStale recomputes the degraded-query view from the freshly
+// published generation. Caller holds j.mu. No-op unless the owning server
+// enabled degraded queries — the view costs one prediction per running task
+// per refresh.
+func (j *jobState) refreshStale() {
+	if !j.staleEnabled {
+		return
+	}
+	sv := &staleView{checkpoint: j.checkpoint, verdicts: make([]TaskVerdict, len(j.tasks))}
+	for id := range j.tasks {
+		v := j.verdict(id)
+		v.Stale = true
+		v.AsOfCheckpoint = j.checkpoint
+		sv.verdicts[id] = v
+	}
+	j.stale.Store(sv)
 }
 
 // publish swaps the query-visible model to the predictor's current one. The

@@ -1,0 +1,508 @@
+package serve
+
+// overload_test.go pins the overload-control contracts from overload.go:
+// the shedding priority order (heartbeats shed, label-bearing events wait,
+// finishes never shed), the no-WAL-trace property that keeps recovery
+// equivalence intact under shedding, the refit-queue inline fallback,
+// degraded queries (staleness flags, and their survival across
+// snapshot/restore and WAL recovery), per-client rate limiting, and the
+// two Retry-After classes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/simulator"
+)
+
+// TestShedPriorityOrder: with the ingest queue full, a heartbeat is shed
+// immediately (ErrShed, before any state is touched) while a finish — which
+// carries a ground-truth label — waits for a slot instead. ShedFinishes
+// must stay zero: the counter exists to make the invariant observable.
+func TestShedPriorityOrder(t *testing.T) {
+	sv := NewServer(Config{Shards: 1, IngestQueue: 1})
+	if err := sv.StartJob(pipelineSpec(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Ingest(Event{Kind: EventTaskStart, JobID: 1, TaskID: 0, Time: 0}); err != nil {
+		t.Fatal(err)
+	}
+	s := sv.reg.shardFor(1)
+	s.sem <- struct{}{} // occupy the only queue slot
+
+	err := sv.Ingest(Event{Kind: EventHeartbeat, JobID: 1, TaskID: 0, Time: 1, Features: []float64{1, 1}})
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("heartbeat at a full queue: got %v, want ErrShed", err)
+	}
+
+	// The finish must wait, not shed: it blocks until the slot frees.
+	finished := make(chan error, 1)
+	go func() {
+		finished <- sv.Ingest(Event{Kind: EventTaskFinish, JobID: 1, TaskID: 0, Time: 2, Latency: 2})
+	}()
+	select {
+	case err := <-finished:
+		t.Fatalf("finish completed with the queue full (err=%v); it must wait", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	<-s.sem // free the slot
+	select {
+	case err := <-finished:
+		if err != nil {
+			t.Fatalf("finish after the slot freed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("finish never completed after the queue drained")
+	}
+
+	over := sv.Stats().Overload
+	if over.ShedHeartbeats != 1 || over.ShedFinishes != 0 || over.IngestWaits != 1 {
+		t.Fatalf("taxonomy: shed_hb=%d shed_finish=%d waits=%d, want 1/0/1",
+			over.ShedHeartbeats, over.ShedFinishes, over.IngestWaits)
+	}
+	// The shed heartbeat left no trace in the event counters either.
+	if st := sv.Stats(); st.Events != 2 {
+		t.Fatalf("events=%d after start+finish with one shed heartbeat, want 2", st.Events)
+	}
+}
+
+// TestShedLeavesNoWALTrace: a shed heartbeat is not applied, not counted,
+// and not logged — so the WAL records exactly the accepted stream, and a
+// crash recovery of a shedding server reproduces its state verbatim.
+func TestShedLeavesNoWALTrace(t *testing.T) {
+	fs := newMemFS()
+	cfg := cheapCfg(1)
+	cfg.IngestQueue = 1
+	sv, _, _, err := Recover("wal", cfg, WALOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{JobID: 1, Schema: []string{"cpu"}, NumTasks: 4, TauStra: 10,
+		Horizon: 100, Checkpoints: 4, WarmFrac: 0.25, Seed: 1}
+	if err := sv.StartJob(spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Ingest(Event{Kind: EventTaskStart, JobID: 1, TaskID: 0, Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := sv.reg.shardFor(1)
+	s.sem <- struct{}{}
+	for i := 0; i < 3; i++ {
+		err := sv.Ingest(Event{Kind: EventHeartbeat, JobID: 1, TaskID: 0,
+			Time: float64(2 + i), Features: []float64{1}})
+		if !errors.Is(err, ErrShed) {
+			t.Fatalf("heartbeat %d: got %v, want ErrShed", i, err)
+		}
+	}
+	<-s.sem
+	if err := sv.Ingest(Event{Kind: EventTaskFinish, JobID: 1, TaskID: 0, Time: 6, Latency: 5}); err != nil {
+		t.Fatal(err)
+	}
+	probe := []int{0, 1, 2, 3}
+	want, err := sv.Query(1, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEvents := sv.Stats().Events
+
+	// Crash (the WAL is deliberately not closed) and recover from the
+	// directory alone: spec + start + finish = 3 mutations, no more.
+	revived, wal2, rst, err := Recover("wal", cheapCfg(1), WALOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	if got := int(rst.NextLSN) - 1; got != 3 {
+		t.Fatalf("recovered %d mutations, want 3 (shed heartbeats must not be logged)", got)
+	}
+	got, err := revived.Query(1, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("recovered verdicts differ from the shedding server's:\n want %+v\n  got %+v", want, got)
+	}
+	if ev := revived.Stats().Events; ev != wantEvents {
+		t.Fatalf("recovered events=%d, live server counted %d", ev, wantEvents)
+	}
+}
+
+// TestRefitQueueSaturationInline: when the refit queue is at its bound, the
+// overflow fit runs inline on the ingesting goroutine (counted) and its
+// result still lands at the next boundary crossing, exactly like a pooled
+// fit.
+func TestRefitQueueSaturationInline(t *testing.T) {
+	gate1 := make(chan struct{})
+	closed := make(chan struct{})
+	close(closed)
+	cfg := Config{Shards: 1, RefitWorkers: 1, RefitQueue: 1,
+		NewPredictor: func(sp JobSpec) simulator.Predictor {
+			if sp.JobID == 1 {
+				return &gatedPredictor{gate: gate1} // stalls the only worker
+			}
+			return &gatedPredictor{gate: closed} // instant
+		}}
+	sv := NewServer(cfg)
+	for id := uint64(1); id <= 3; id++ {
+		if err := sv.StartJob(pipelineSpec(id), nil); err != nil {
+			t.Fatal(err)
+		}
+		pipelineWarmup(t, sv, id, 2)
+	}
+	pool := sv.reg.shardFor(1).pool
+	cross := func(id uint64, tm float64) {
+		t.Helper()
+		if err := sv.Ingest(Event{Kind: EventHeartbeat, JobID: id, TaskID: 2, Time: tm,
+			Features: []float64{2, 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Job 1 crosses its first boundary: the fit starts on the single worker
+	// and stalls on the gate. Wait until it is executing (not queued).
+	cross(1, 11)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if q, infl := pool.depths(); q == 0 && infl == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job 1's fit never reached the worker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Job 2's fit queues behind it (bound 1: the queue is now full); job
+	// 3's enqueue is refused and the fit runs inline, synchronously, on
+	// this goroutine.
+	cross(2, 11)
+	cross(3, 11)
+	if got := sv.Stats().Overload.InlineRefits; got != 1 {
+		t.Fatalf("inline_refits=%d after a saturated enqueue, want 1", got)
+	}
+	// The inline fit's outcome applies at job 3's next boundary, exactly
+	// like a pooled one.
+	cross(3, 21)
+	rep, err := sv.Report(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generation != 1 {
+		t.Fatalf("job 3 generation=%d after its inline fit applied, want 1", rep.Generation)
+	}
+	close(gate1) // release the stalled worker before the server drains
+}
+
+// degradedServer builds a 1-shard server with degraded queries enabled and
+// one fully closed job (the close refreshes the stale view), returning the
+// server and its jobState for lock-holding tests.
+func degradedServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	sv := NewServer(cfg)
+	if err := sv.StartJob(pipelineSpec(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	pipelineWarmup(t, sv, 1, 2)
+	if err := sv.Ingest(Event{Kind: EventJobFinish, JobID: 1, Time: 100}); err != nil {
+		t.Fatal(err)
+	}
+	return sv
+}
+
+// jobOf fetches a job's state for white-box lock holding.
+func jobOf(sv *Server, id uint64) *jobState {
+	j, _ := sv.reg.shardFor(id).lookup(id)
+	return j
+}
+
+// stripStale clears the degraded-path markers so content can be compared
+// against a live answer.
+func stripStale(vs []TaskVerdict) []TaskVerdict {
+	out := make([]TaskVerdict, len(vs))
+	copy(out, vs)
+	for i := range out {
+		out[i].Stale, out[i].AsOfCheckpoint = false, 0
+	}
+	return out
+}
+
+// TestDegradedQueryServesStale: with the job lock held past DegradedAfter,
+// queries answer from the last published view — every verdict flagged
+// Stale with its AsOfCheckpoint — instead of waiting, and the content
+// matches what a live query reports once the lock frees.
+func TestDegradedQueryServesStale(t *testing.T) {
+	sv := degradedServer(t, Config{Shards: 1, DegradedAfter: time.Millisecond})
+	j := jobOf(sv, 1)
+	j.mu.Lock()
+	probe := []int{0, 1, 5, 99} // 99 is out of range: still answered, still stale
+	stale, err := sv.Query(1, probe)
+	if err != nil {
+		j.mu.Unlock()
+		t.Fatal(err)
+	}
+	j.mu.Unlock()
+	for i, v := range stale {
+		if !v.Stale {
+			t.Fatalf("verdict %d under a held lock is not stale: %+v", i, v)
+		}
+		if v.AsOfCheckpoint != pipelineSpec(1).Checkpoints {
+			t.Fatalf("verdict %d stale as of checkpoint %d, want %d (job closed)",
+				i, v.AsOfCheckpoint, pipelineSpec(1).Checkpoints)
+		}
+	}
+	if got := sv.Stats().Overload.DegradedQueries; got != uint64(len(probe)) {
+		t.Fatalf("degraded=%d, want %d", got, len(probe))
+	}
+	live, err := sv.Query(1, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range live {
+		if v.Stale {
+			t.Fatalf("verdict with a free lock is stale: %+v", v)
+		}
+	}
+	if !reflect.DeepEqual(stripStale(stale), live) {
+		t.Fatalf("stale content differs from live:\n stale %+v\n  live %+v", stale, live)
+	}
+}
+
+// TestStaleViewSurvivesSnapshotRestore: the degraded-query view is never
+// serialized — a restored server recomputes it from durable state, so
+// degraded answers (staleness flags included) survive snapshot/restore.
+func TestStaleViewSurvivesSnapshotRestore(t *testing.T) {
+	cfg := Config{Shards: 1, DegradedAfter: time.Millisecond}
+	sv := degradedServer(t, cfg)
+	var snap bytes.Buffer
+	if err := sv.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreServer(bytes.NewReader(snap.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []int{0, 1, 5}
+	j := jobOf(sv, 1)
+	j.mu.Lock()
+	want, err := sv.Query(1, probe)
+	j.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj := jobOf(restored, 1)
+	rj.mu.Lock()
+	got, err := restored.Query(1, probe)
+	rj.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("degraded answers diverge after restore:\n want %+v\n  got %+v", want, got)
+	}
+}
+
+// TestStaleViewSurvivesWALRecovery: same property through a crash — the
+// recovered server serves the same flagged-stale answers under lock
+// contention as the one that died.
+func TestStaleViewSurvivesWALRecovery(t *testing.T) {
+	fs := newMemFS()
+	cfg := cheapCfg(1)
+	cfg.DegradedAfter = time.Millisecond
+	sv, _, _, err := Recover("wal", cfg, WALOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{JobID: 1, Schema: []string{"cpu"}, NumTasks: 4, TauStra: 10,
+		Horizon: 100, Checkpoints: 4, WarmFrac: 0.25, Seed: 1}
+	if err := sv.StartJob(spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := sv.Ingest(Event{Kind: EventTaskStart, JobID: 1, TaskID: i, Time: 0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sv.Ingest(Event{Kind: EventHeartbeat, JobID: 1, TaskID: i, Time: 1, Features: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sv.Ingest(Event{Kind: EventJobFinish, JobID: 1, Time: 100}); err != nil {
+		t.Fatal(err)
+	}
+	probe := []int{0, 1, 2, 3}
+	j := jobOf(sv, 1)
+	j.mu.Lock()
+	want, err := sv.Query(1, probe)
+	j.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	revived, wal2, _, err := Recover("wal", cfg, WALOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal2.Close()
+	rj := jobOf(revived, 1)
+	rj.mu.Lock()
+	got, err := revived.Query(1, probe)
+	rj.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if !v.Stale {
+			t.Fatalf("recovered degraded answer not flagged stale: %+v", v)
+		}
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("degraded answers diverge after recovery:\n want %+v\n  got %+v", want, got)
+	}
+}
+
+// ingestAs posts a wire batch under a client identity.
+func ingestAs(t *testing.T, ts *httptest.Server, client string, body io.Reader) (*http.Response, IngestResult) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/ingest", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wireContentType)
+	req.Header.Set("X-Nurd-Client", client)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res IngestResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decoding %s body: %v", resp.Status, err)
+	}
+	return resp, res
+}
+
+// TestRateLimitPerClient pins the token-bucket contract: refusal is atomic
+// at request start (429, NOTHING applied, load-aware Retry-After in 1..10),
+// mid-batch an empty bucket sheds only heartbeats, other frames run the
+// bucket into debt, and clients are limited independently.
+func TestRateLimitPerClient(t *testing.T) {
+	sv := NewServer(Config{Shards: 1, ClientRate: 5, ClientBurst: 5})
+	ts := httptest.NewServer(NewHandler(sv))
+	defer ts.Close()
+
+	spec := pipelineSpec(1)
+	var events []Event
+	for i := 0; i < spec.NumTasks; i++ {
+		events = append(events, Event{Kind: EventTaskStart, JobID: 1, TaskID: i, Time: 0})
+	}
+	for k := 0; k < 3; k++ {
+		for i := 0; i < spec.NumTasks; i++ {
+			events = append(events, Event{Kind: EventHeartbeat, JobID: 1, TaskID: i,
+				Time: float64(k + 1), Features: []float64{float64(i), 1}})
+		}
+	}
+	// Burst 5 cannot cover 1 spec + 8 starts + 24 heartbeats: the spec and
+	// every start are non-sheddable (debt), the heartbeats past the budget
+	// are shed mid-batch.
+	resp, res := ingestAs(t, ts, "a", wireBody(t, []JobSpec{spec}, events))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: %s (%s)", resp.Status, res.Error)
+	}
+	if res.Specs != 1 || res.Events != spec.NumTasks {
+		t.Fatalf("specs=%d events=%d, want 1/%d (starts are never shed)", res.Specs, res.Events, spec.NumTasks)
+	}
+	if res.Shed < 20 {
+		t.Fatalf("shed=%d heartbeats mid-batch, want >=20 (burst 5)", res.Shed)
+	}
+
+	// The bucket is now deep in debt: the next request is refused
+	// atomically with a load-aware hint.
+	resp, res = ingestAs(t, ts, "a", wireBody(t, nil, []Event{
+		{Kind: EventTaskFinish, JobID: 1, TaskID: 0, Time: 5, Latency: 5}}))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget client: %s, want 429", resp.Status)
+	}
+	if res.Specs != 0 || res.Events != 0 || res.Shed != 0 {
+		t.Fatalf("429 applied something: %+v (refusal must be atomic)", res)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > maxRetryHintSeconds {
+		t.Fatalf("429 Retry-After %q, want integer in [1,%d]", resp.Header.Get("Retry-After"), maxRetryHintSeconds)
+	}
+
+	// A different client has its own bucket.
+	resp, res = ingestAs(t, ts, "b", wireBody(t, nil, []Event{
+		{Kind: EventTaskFinish, JobID: 1, TaskID: 0, Time: 5, Latency: 5}}))
+	if resp.StatusCode != http.StatusOK || res.Events != 1 {
+		t.Fatalf("independent client refused: %s %+v", resp.Status, res)
+	}
+
+	// The front folds limiter counters into /stats.
+	sresp, err2 := ts.Client().Get(ts.URL + "/stats")
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	defer sresp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Overload.RateLimited < 1 || st.Overload.RateShedHeartbeats < 20 {
+		t.Fatalf("stats: rate_limited=%d rate_shed=%d, want >=1 and >=20",
+			st.Overload.RateLimited, st.Overload.RateShedHeartbeats)
+	}
+}
+
+// TestRetryAfterClasses: 429 (transient load) and 503 (durability outage)
+// back off on different timescales — the 429 hint is load-derived and small,
+// the 503 hint is the fixed, longer outage constant.
+func TestRetryAfterClasses(t *testing.T) {
+	fs := newMemFS()
+	sv, wal, _, err := Recover("wal", cheapCfg(1), WALOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	spec := JobSpec{JobID: 7, Schema: []string{"cpu"}, NumTasks: 2, TauStra: 10,
+		Horizon: 100, Checkpoints: 4, WarmFrac: 0.25, Seed: 7}
+	if err := sv.StartJob(spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	fs.setBudget(fs.totalWritten()) // wedge the WAL
+	ts := httptest.NewServer(NewHandler(sv))
+	defer ts.Close()
+	resp, _ := postIngest(t, ts, wireBody(t, nil, []Event{
+		{Kind: EventTaskStart, JobID: 7, TaskID: 0, Time: 1}}))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("wedged WAL: %s, want 503", resp.Status)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "30" {
+		t.Fatalf("503 Retry-After %q, want the fixed outage hint \"30\"", got)
+	}
+}
+
+// TestRetryHintTracksLoad: the 429 hint grows with queue occupancy — 1s on
+// an idle server, maxRetryHintSeconds when a queue is at its bound.
+func TestRetryHintTracksLoad(t *testing.T) {
+	sv := NewServer(Config{Shards: 1, IngestQueue: 2})
+	if got := sv.RetryHint(); got != 1 {
+		t.Fatalf("idle hint %d, want 1", got)
+	}
+	s := sv.reg.shardFor(1)
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	if got := sv.RetryHint(); got != maxRetryHintSeconds {
+		t.Fatalf("full-queue hint %d, want %d", got, maxRetryHintSeconds)
+	}
+	<-s.sem
+	if got := sv.RetryHint(); got <= 1 || got >= maxRetryHintSeconds {
+		t.Fatalf("half-queue hint %d, want strictly between 1 and %d", got, maxRetryHintSeconds)
+	}
+	<-s.sem
+}

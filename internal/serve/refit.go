@@ -145,42 +145,59 @@ func (t refitTask) predict() (verdicts []bool, err error) {
 // refitPool is one shard's bounded refit worker pool. Workers are spawned on
 // demand up to the configured bound and exit when the queue drains, so an
 // idle server holds no pipeline goroutines and servers need no explicit
-// shutdown. The queue itself is not bounded by count — its depth is naturally
-// limited to the shard's job population, because each job can have at most
-// one captured-but-unapplied view at a time.
+// shutdown. The queue's depth is naturally limited to the shard's job
+// population (each job has at most one captured-but-unapplied view at a
+// time), and additionally bounded by count (maxQueue, from
+// Config.RefitQueue): a shard whose job population outruns its workers hits
+// the bound and the overflow fit runs inline on the ingesting goroutine
+// (see jobState.startRefit) instead of growing the queue without limit.
 type refitPool struct {
 	mu       sync.Mutex
 	queue    []refitTask
 	workers  int
 	max      int
+	maxQueue int // queue bound; 0 = unbounded
 	inflight int
 
 	// lag counts captured-but-unapplied refits across the shard's jobs (the
 	// generation lag queries can observe); warmFits/scratchFits accumulate
-	// fit-strategy counts as results are applied. Atomics so Stats reads and
-	// job-lock-holding updates never contend on the pool mutex.
+	// fit-strategy counts as results are applied; inlineFits counts fits
+	// that ran on the ingest path because the queue was at its bound.
+	// Atomics so Stats reads and job-lock-holding updates never contend on
+	// the pool mutex.
 	lag                   atomic.Int64
 	warmFits, scratchFits atomic.Uint64
+	inlineFits            atomic.Uint64
 }
 
-func newRefitPool(max int) *refitPool {
+func newRefitPool(max, maxQueue int) *refitPool {
 	if max < 1 {
 		max = 1
 	}
-	return &refitPool{max: max}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &refitPool{max: max, maxQueue: maxQueue}
 }
 
-// enqueue queues one fit and ensures a worker will pick it up. Never blocks:
-// backpressure comes from the apply-at-next-boundary protocol (a job cannot
-// capture a second view until its first is applied), not from the queue.
-func (p *refitPool) enqueue(t refitTask) {
+// enqueue queues one fit and ensures a worker will pick it up, unless the
+// queue is at its count bound — then it reports false and the caller runs
+// the fit itself. Never blocks: backpressure comes from the
+// apply-at-next-boundary protocol (a job cannot capture a second view until
+// its first is applied) plus the inline fallback, not from queue waits.
+func (p *refitPool) enqueue(t refitTask) bool {
 	p.mu.Lock()
+	if p.maxQueue > 0 && len(p.queue) >= p.maxQueue {
+		p.mu.Unlock()
+		return false
+	}
 	p.queue = append(p.queue, t)
 	if p.workers < p.max {
 		p.workers++
 		go p.work()
 	}
 	p.mu.Unlock()
+	return true
 }
 
 // work drains the queue, exiting when it is empty.

@@ -7,13 +7,13 @@ type registry struct {
 	shards []*shard
 }
 
-func newRegistry(n, refitWorkers int) *registry {
+func newRegistry(n int, sc shardConfig) *registry {
 	if n < 1 {
 		n = 1
 	}
 	r := &registry{shards: make([]*shard, n)}
 	for i := range r.shards {
-		r.shards[i] = newShard(refitWorkers)
+		r.shards[i] = newShard(sc)
 	}
 	return r
 }

@@ -12,6 +12,7 @@ package serve
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -48,6 +49,12 @@ type ReplayStats struct {
 	// acknowledged with 200 (elements queued in a failed flush are not
 	// counted).
 	Specs, Events int
+	// Shed counts heartbeats the server refused under overload (ErrShed);
+	// the replay continues past them — shedding is load policy, not a dump
+	// error. Only possible when replaying into a server that is also
+	// taking other traffic: a lone replayer can never saturate the ingest
+	// queue by itself.
+	Shed int
 	// Wall is the wall-clock duration of the replay, measured from the
 	// first paced event (pacing on) or from the start of the dump (pacing
 	// off).
@@ -168,6 +175,10 @@ func ReplayFrom(sv *Server, r io.Reader, speedup float64, skip int) (ReplayStats
 		}
 		pc.sleep(pc.schedule(ev.Time))
 		if err := sv.Ingest(*ev); err != nil {
+			if errors.Is(err, ErrShed) {
+				st.Shed++
+				continue
+			}
 			return st, fmt.Errorf("serve: replay event %d: %w", st.Events, err)
 		}
 		st.Events++

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/nurd"
 	"repro/internal/predictor"
@@ -85,6 +86,33 @@ type Config struct {
 	// it, and the fit's outcome is applied at the next boundary crossing —
 	// see refit.go for the pipeline's determinism contract.
 	RefitWorkers int
+
+	// IngestQueue bounds each shard's concurrently admitted ingest calls.
+	// At the bound, heartbeats are shed (ErrShed — they carry refreshable
+	// observations, not labels) and every other event class waits for a
+	// slot. 0 means DefaultIngestQueue; negative means unbounded (the
+	// pre-overload-control behavior). See overload.go for the shedding
+	// policy and its recovery-equivalence argument.
+	IngestQueue int
+	// RefitQueue bounds each shard's refit pool queue by count. At the
+	// bound a new fit runs inline on the ingesting goroutine (counted in
+	// OverloadStats.InlineRefits) instead of growing the queue. 0 means
+	// DefaultRefitQueue; negative means unbounded.
+	RefitQueue int
+	// ClientRate, when positive, arms per-client token-bucket rate
+	// limiting on the HTTP front end: each ingest frame costs one token,
+	// refilled at ClientRate tokens/s up to ClientBurst (default
+	// 2*ClientRate). Clients are identified by the X-Nurd-Client header,
+	// falling back to the remote host. Only the HTTP front enforces this —
+	// in-process callers are trusted. 0 disables.
+	ClientRate  float64
+	ClientBurst int
+	// DegradedAfter, when positive, enables degraded queries: a query that
+	// cannot take the job lock within this duration is answered from the
+	// last published generation's precomputed verdicts, flagged Stale,
+	// instead of queueing behind a refit or an ingest burst. 0 disables
+	// (queries always wait for the lock).
+	DegradedAfter time.Duration
 }
 
 // DefaultConfig returns a NURD-serving configuration.
@@ -154,7 +182,47 @@ func NewServer(cfg Config) *Server {
 	if cfg.RefitWorkers < 1 {
 		cfg.RefitWorkers = 2
 	}
-	return &Server{cfg: cfg, reg: newRegistry(cfg.Shards, cfg.RefitWorkers)}
+	if cfg.IngestQueue == 0 {
+		cfg.IngestQueue = DefaultIngestQueue
+	}
+	if cfg.RefitQueue == 0 {
+		cfg.RefitQueue = DefaultRefitQueue
+	}
+	sc := shardConfig{refitWorkers: cfg.RefitWorkers, degradedAfter: cfg.DegradedAfter}
+	if cfg.IngestQueue > 0 {
+		sc.ingestQueue = cfg.IngestQueue
+	}
+	if cfg.RefitQueue > 0 {
+		sc.refitQueue = cfg.RefitQueue
+	}
+	return &Server{cfg: cfg, reg: newRegistry(cfg.Shards, sc)}
+}
+
+// RetryHint derives the transient back-off hint (seconds) attached to 429
+// responses from live load: 1s when queues are idle, rising toward
+// maxRetryHintSeconds as the fullest shard's ingest or refit queue
+// approaches its bound. Unbounded queues contribute nothing. Outage (503)
+// responses use the fixed, longer retryAfterOutageSeconds instead — a
+// wedged WAL clears on operator timescales, not queue-drain timescales.
+func (sv *Server) RetryHint() int {
+	var occ float64
+	sv.reg.each(func(s *shard) {
+		if s.sem != nil {
+			if o := float64(len(s.sem)) / float64(cap(s.sem)); o > occ {
+				occ = o
+			}
+		}
+		if bound := s.pool.maxQueue; bound > 0 {
+			q, _ := s.pool.depths()
+			if o := float64(q) / float64(bound); o > occ {
+				occ = o
+			}
+		}
+	})
+	if occ > 1 {
+		occ = 1
+	}
+	return 1 + int(occ*float64(maxRetryHintSeconds-1)+0.5)
 }
 
 // reserve claims budget for one numTasks-task job, failing with
@@ -273,10 +341,12 @@ func (sv *Server) Ingest(e Event) error {
 }
 
 // IngestBatch applies a batch of events in order, stopping at the first
-// error.
+// error. Heartbeats shed under overload (ErrShed) are skipped, not errors:
+// shedding is policy, and aborting the batch would turn one coalesced
+// observation into the loss of every event after it.
 func (sv *Server) IngestBatch(events []Event) error {
 	for i := range events {
-		if err := sv.Ingest(events[i]); err != nil {
+		if err := sv.Ingest(events[i]); err != nil && !errors.Is(err, ErrShed) {
 			return fmt.Errorf("event %d: %w", i, err)
 		}
 	}
@@ -325,6 +395,13 @@ func (sv *Server) Report(jobID uint64) (*JobReport, error) {
 func (sv *Server) Stats() Stats {
 	var st Stats
 	sv.reg.each(func(s *shard) { s.addStats(&st) })
+	if sv.cfg.IngestQueue > 0 {
+		st.Overload.IngestQueueBound = sv.cfg.IngestQueue
+	}
+	if sv.cfg.RefitQueue > 0 {
+		st.Overload.RefitQueueBound = sv.cfg.RefitQueue
+	}
+	st.Overload.RetryHintSeconds = sv.RetryHint()
 	if sv.wal != nil {
 		w := sv.wal.Stats()
 		st.WAL = &w

@@ -41,6 +41,15 @@ type shard struct {
 	// shards' traffic. Set once by Server.attachWAL before any traffic.
 	wal *WAL
 
+	// sem is the bounded ingest admission queue (nil = unbounded): every
+	// ingest holds one slot for its duration. When full, heartbeats are
+	// shed before any state is touched (see overload.go) and every other
+	// event class blocks for a slot. degradedAfter, when positive, bounds
+	// how long a query waits for a job lock before answering from the
+	// stale published view.
+	sem           chan struct{}
+	degradedAfter time.Duration
+
 	// Counters accumulate as events happen (not derived from live jobs) so
 	// they survive DropJob's reclamation of per-job state. Durations are in
 	// nanoseconds.
@@ -52,10 +61,35 @@ type shard struct {
 	refitDur     atomic.Int64
 	refitMax     atomic.Int64
 	finished     atomic.Int64 // jobs whose stream has closed
+
+	// Overload taxonomy (see OverloadStats). shedFinishes is structurally
+	// zero — it exists so the finishes-are-never-shed invariant is
+	// observable rather than assumed.
+	shedHeartbeats atomic.Uint64
+	shedFinishes   atomic.Uint64
+	ingestWaits    atomic.Uint64
+	degraded       atomic.Uint64
 }
 
-func newShard(refitWorkers int) *shard {
-	return &shard{jobs: make(map[uint64]*jobState), pool: newRefitPool(refitWorkers)}
+// shardConfig carries the per-shard knobs from Config (normalized: zero
+// values mean the feature is off/unbounded, never "use a default").
+type shardConfig struct {
+	refitWorkers  int
+	refitQueue    int           // refit queue bound; 0 = unbounded
+	ingestQueue   int           // ingest admission bound; 0 = unbounded
+	degradedAfter time.Duration // degraded-query lock patience; 0 = disabled
+}
+
+func newShard(sc shardConfig) *shard {
+	s := &shard{
+		jobs:          make(map[uint64]*jobState),
+		pool:          newRefitPool(sc.refitWorkers, sc.refitQueue),
+		degradedAfter: sc.degradedAfter,
+	}
+	if sc.ingestQueue > 0 {
+		s.sem = make(chan struct{}, sc.ingestQueue)
+	}
+	return s
 }
 
 // lookup fetches a job under the shard lock.
@@ -77,6 +111,7 @@ func (s *shard) startJob(spec JobSpec, pred simulator.Predictor) error {
 	}
 	j := newJobState(spec, pred)
 	j.pool = s.pool
+	j.staleEnabled = s.degradedAfter > 0
 	if s.wal != nil {
 		lsn, err := s.wal.appendSpec(&spec)
 		if err != nil {
@@ -91,6 +126,24 @@ func (s *shard) startJob(spec JobSpec, pred simulator.Predictor) error {
 // ingest applies one event to its job, then folds the job's counter deltas
 // into the shard.
 func (s *shard) ingest(e Event) error {
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// Queue full. Shed heartbeats before touching any state — a shed
+			// event must leave no trace (not applied, not counted, not
+			// logged) so recovery replays exactly the accepted stream.
+			// Everything else carries labels or protocol structure and waits
+			// for a slot instead: backpressure, never loss.
+			if e.Kind == EventHeartbeat {
+				s.shedHeartbeats.Add(1)
+				return fmt.Errorf("serve: event %s for job %d: %w", e.Kind, e.JobID, ErrShed)
+			}
+			s.ingestWaits.Add(1)
+			s.sem <- struct{}{}
+		}
+		defer func() { <-s.sem }()
+	}
 	j, ok := s.lookup(e.JobID)
 	if !ok {
 		return fmt.Errorf("serve: event %s for job %d: %w", e.Kind, e.JobID, ErrUnknownJob)
@@ -183,14 +236,38 @@ func atomicMax(v *atomic.Int64, x int64) {
 	}
 }
 
-// query answers a batch of per-task verdicts for one job.
+// query answers a batch of per-task verdicts for one job. With degraded
+// queries enabled, a query that cannot take the job lock within
+// degradedAfter is answered from the job's stale published view (last
+// applied generation, Stale-flagged) instead of queueing behind whatever
+// holds the lock — a refit drain, an ingest burst — so query latency stays
+// bounded under overload. Jobs with no published view yet (no refit has
+// applied) fall through to the blocking path: there is nothing stale to
+// serve, and pre-warmup locks are never held long.
 func (s *shard) query(jobID uint64, taskIDs []int) ([]TaskVerdict, error) {
 	j, ok := s.lookup(jobID)
 	if !ok {
 		return nil, fmt.Errorf("serve: query for job %d: %w", jobID, ErrUnknownJob)
 	}
+	if s.degradedAfter > 0 && !lockWithin(&j.mu, s.degradedAfter) {
+		if sv := j.stale.Load(); sv != nil {
+			out := make([]TaskVerdict, len(taskIDs))
+			for i, id := range taskIDs {
+				if id >= 0 && id < len(sv.verdicts) {
+					out[i] = sv.verdicts[id]
+				} else {
+					out[i] = TaskVerdict{TaskID: id, Stale: true, AsOfCheckpoint: sv.checkpoint}
+				}
+			}
+			s.degraded.Add(uint64(len(taskIDs)))
+			s.queries.Add(uint64(len(taskIDs)))
+			return out, nil
+		}
+		j.mu.Lock()
+	} else if s.degradedAfter <= 0 {
+		j.mu.Lock()
+	}
 	out := make([]TaskVerdict, len(taskIDs))
-	j.mu.Lock()
 	for i, id := range taskIDs {
 		out[i] = j.verdict(id)
 	}
@@ -264,6 +341,14 @@ func (s *shard) install(j *jobState) error {
 		return fmt.Errorf("serve: restore: job %d already registered", j.spec.JobID)
 	}
 	j.pool = s.pool
+	j.staleEnabled = s.degradedAfter > 0
+	// Rebuild the degraded-query view from the restored published model:
+	// staleness flags survive snapshot/restore and WAL recovery because the
+	// view is recomputed from durable state (generation, tasks, published
+	// model), never persisted itself.
+	j.mu.Lock()
+	j.refreshStale()
+	j.mu.Unlock()
 	s.pool.warmFits.Add(j.warmFits)
 	s.pool.scratchFits.Add(j.scratchFits)
 	// A snapshot taken with a refit in flight recorded one more captured
@@ -311,4 +396,12 @@ func (s *shard) addStats(st *Stats) {
 	st.RefitLag += int(s.pool.lag.Load())
 	st.WarmFits += s.pool.warmFits.Load()
 	st.ScratchFits += s.pool.scratchFits.Load()
+	st.Overload.ShedHeartbeats += s.shedHeartbeats.Load()
+	st.Overload.ShedFinishes += s.shedFinishes.Load()
+	st.Overload.IngestWaits += s.ingestWaits.Load()
+	st.Overload.DegradedQueries += s.degraded.Load()
+	st.Overload.InlineRefits += s.pool.inlineFits.Load()
+	if s.sem != nil {
+		st.Overload.IngestQueueDepth += len(s.sem)
+	}
 }

@@ -28,6 +28,14 @@ type TaskVerdict struct {
 	// tasks, the true latency test for finished ones, and the model's
 	// adjusted-latency test for running ones.
 	Straggler bool
+	// Stale marks a degraded-mode answer: the job's lock was not free
+	// within Config.DegradedAfter, so this verdict was served from the last
+	// published generation's precomputed view instead of live state.
+	// AsOfCheckpoint is the checkpoint that view reflects. Staleness is
+	// bounded by one refit application; clients needing a live answer
+	// retry.
+	Stale          bool `json:",omitempty"`
+	AsOfCheckpoint int  `json:",omitempty"`
 }
 
 // JobReport summarizes one job's serving run.
@@ -110,6 +118,10 @@ type Stats struct {
 	// WarmFits / ScratchFits split Refits by fit strategy (warm-started
 	// ensemble extension vs full scratch fit).
 	WarmFits, ScratchFits uint64
+	// Overload is the overload-control taxonomy: shed counts by class,
+	// queue depths and bounds, rate-limit rejections, degraded-query count,
+	// and the current load-derived Retry-After hint (see overload.go).
+	Overload OverloadStats
 	// WAL carries the write-ahead log's counters (segments, per-shard
 	// streams, next LSN, group-commit backlog, checkpoints) when the server
 	// runs with one; nil otherwise.
@@ -128,6 +140,7 @@ func (s Stats) RefitMean() time.Duration {
 func (s Stats) String() string {
 	base := fmt.Sprintf("jobs=%d active=%d events=%d dropped=%d refits=%d refit_mean=%s refit_max=%s refit_lag=%d warm=%d scratch=%d terminations=%d queries=%d",
 		s.Jobs, s.ActiveJobs, s.Events, s.DroppedEvents, s.Refits, s.RefitMean(), s.RefitMax, s.RefitLag, s.WarmFits, s.ScratchFits, s.Terminations, s.Queries)
+	base += " " + s.Overload.String()
 	if s.WAL != nil {
 		base += fmt.Sprintf(" wal_streams=%d wal_segments=%d wal_next_lsn=%d wal_pending=%dB wal_checkpoints=%d",
 			s.WAL.Streams, s.WAL.Segments, s.WAL.NextLSN, s.WAL.PendingBytes, s.WAL.Checkpoints)

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +43,25 @@ type Options struct {
 	// elements further apart are sent in separate requests so batching
 	// cannot smear the arrival schedule.
 	Window float64
+	// QueryRate, when positive, runs an open-loop query prober alongside
+	// the ingest lanes: verdict queries at this rate (per virtual second,
+	// so the wall rate scales with Speedup) round-robin across the jobs
+	// registered so far, measured from due time like every other request.
+	// Requires a Target that implements QueryTarget; silently off
+	// otherwise.
+	QueryRate float64
+	// QueryTasks is how many task IDs one probe queries (default 4).
+	QueryTasks int
+	// Retry429 resends a request refused with a whole-request 429 (nothing
+	// applied — rate-limit or budget refusals are atomic), honoring its
+	// Retry-After hint up to RetryCap per attempt and RetryMax attempts.
+	// The waits land in the request's open-loop latency, so retried
+	// overload shows up as tail latency, exactly as a client would feel
+	// it. Partially applied 429s (the budget tripping mid-batch) are never
+	// retried: resending would double-apply the prefix.
+	Retry429 bool
+	RetryMax int           // default 3
+	RetryCap time.Duration // default 1s
 }
 
 func (o *Options) withDefaults() Options {
@@ -54,6 +75,15 @@ func (o *Options) withDefaults() Options {
 	if out.Window <= 0 {
 		out.Window = 0.05
 	}
+	if out.QueryTasks <= 0 {
+		out.QueryTasks = 4
+	}
+	if out.RetryMax <= 0 {
+		out.RetryMax = 3
+	}
+	if out.RetryCap <= 0 {
+		out.RetryCap = time.Second
+	}
 	return out
 }
 
@@ -64,6 +94,10 @@ type PostResult struct {
 	// Specs and Events are the element counts the front end reports having
 	// applied (present on errors too: the counts before the failure).
 	Specs, Events int
+	// Shed counts heartbeat frames the server refused by load-shedding
+	// policy (IngestResult.Shed) — accounted separately from errors so the
+	// offered-vs-achieved gap stays honest under deliberate shedding.
+	Shed int
 	// RetryAfter is the Retry-After header value, if any.
 	RetryAfter string
 	// Err carries the front end's error string, if any.
@@ -73,10 +107,28 @@ type PostResult struct {
 // Target abstracts where batches are posted, so tests can drive an
 // in-process front end and the CLI a remote one through the same path.
 type Target interface {
-	// Post sends one wire-encoded body to the ingest endpoint. A non-2xx
-	// status is returned in PostResult, not as an error; error means the
-	// request could not be completed at all (transport failure).
-	Post(body []byte) (PostResult, error)
+	// Post sends one wire-encoded body to the ingest endpoint on behalf of
+	// the named scenario client (the rate-limit principal; targets that
+	// cannot convey it may ignore it). A non-2xx status is returned in
+	// PostResult, not as an error; error means the request could not be
+	// completed at all (transport failure).
+	Post(client string, body []byte) (PostResult, error)
+}
+
+// QueryResult is a target's view of one verdict-query response.
+type QueryResult struct {
+	// Status is the HTTP status code.
+	Status int
+	// Verdicts carries the answered batch on 2xx.
+	Verdicts []serve.TaskVerdict
+}
+
+// QueryTarget is implemented by targets that can also answer verdict
+// queries and fetch job reports (HTTPTarget does); the query prober and the
+// accuracy scorer need it.
+type QueryTarget interface {
+	Query(jobID uint64, tasks []int) (QueryResult, error)
+	Report(jobID uint64) (*serve.JobReport, int, error)
 }
 
 // HTTPTarget posts to a serving front end over HTTP.
@@ -87,13 +139,27 @@ type HTTPTarget struct {
 	BaseURL string
 }
 
-// Post implements Target.
-func (t *HTTPTarget) Post(body []byte) (PostResult, error) {
-	client := t.Client
-	if client == nil {
-		client = http.DefaultClient
+func (t *HTTPTarget) httpClient() *http.Client {
+	if t.Client != nil {
+		return t.Client
 	}
-	resp, err := client.Post(t.BaseURL+"/ingest", "application/x-nurd-wire", bytes.NewReader(body))
+	return http.DefaultClient
+}
+
+// Post implements Target. The scenario client's name travels as
+// X-Nurd-Client, the front end's rate-limit principal, so per-client
+// token buckets see scenario lanes as distinct clients even though every
+// lane shares one source address.
+func (t *HTTPTarget) Post(client string, body []byte) (PostResult, error) {
+	req, err := http.NewRequest(http.MethodPost, t.BaseURL+"/ingest", bytes.NewReader(body))
+	if err != nil {
+		return PostResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/x-nurd-wire")
+	if client != "" {
+		req.Header.Set("X-Nurd-Client", client)
+	}
+	resp, err := t.httpClient().Do(req)
 	if err != nil {
 		return PostResult{}, err
 	}
@@ -105,9 +171,48 @@ func (t *HTTPTarget) Post(body []byte) (PostResult, error) {
 		Status:     resp.StatusCode,
 		Specs:      res.Specs,
 		Events:     res.Events,
+		Shed:       res.Shed,
 		RetryAfter: resp.Header.Get("Retry-After"),
 		Err:        res.Error,
 	}, nil
+}
+
+// Query implements QueryTarget.
+func (t *HTTPTarget) Query(jobID uint64, tasks []int) (QueryResult, error) {
+	ids := make([]string, len(tasks))
+	for i, id := range tasks {
+		ids[i] = strconv.Itoa(id)
+	}
+	resp, err := t.httpClient().Get(fmt.Sprintf("%s/query?job=%d&tasks=%s", t.BaseURL, jobID, strings.Join(ids, ",")))
+	if err != nil {
+		return QueryResult{}, err
+	}
+	defer resp.Body.Close()
+	qr := QueryResult{Status: resp.StatusCode}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode < 300 {
+		_ = json.Unmarshal(body, &qr.Verdicts)
+	}
+	return qr, nil
+}
+
+// Report implements QueryTarget: the job's JobReport, or a nil report with
+// the non-2xx status.
+func (t *HTTPTarget) Report(jobID uint64) (*serve.JobReport, int, error) {
+	resp, err := t.httpClient().Get(fmt.Sprintf("%s/report?job=%d", t.BaseURL, jobID))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if resp.StatusCode >= 300 {
+		return nil, resp.StatusCode, nil
+	}
+	var rep serve.JobReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return &rep, resp.StatusCode, nil
 }
 
 // Report is the JSON result of one open-loop load run.
@@ -140,20 +245,48 @@ type Report struct {
 	AckedEvents int `json:"acked_events"`
 	AckedSpecs  int `json:"acked_specs"`
 
-	// Error taxonomy. Rejected429 counts overload rejections (their
-	// Retry-After hints are surfaced via RetryAfterSeen); BadFrameRejects
-	// counts 400s earned by injected malformed frames (expected in hostile
-	// scenarios); Errors counts everything unexpected, with FirstError
-	// carrying the first message for diagnosis.
+	// Error taxonomy. Rejected429 counts transient overload rejections and
+	// Rejected503 durability outages — separate classes because their
+	// Retry-After semantics differ (load-tracking hint vs fixed
+	// operator-timescale hint; hints seen at all are counted in
+	// RetryAfterSeen). BadFrameRejects counts 400s earned by injected
+	// malformed frames (expected in hostile scenarios); Errors counts
+	// everything unexpected, with FirstError carrying the first message
+	// for diagnosis.
 	Rejected429     int    `json:"rejected_429"`
+	Rejected503     int    `json:"rejected_503"`
 	RetryAfterSeen  int    `json:"retry_after_seen"`
+	Retries         int    `json:"retries_429"`
 	BadFrameRejects int    `json:"bad_frame_rejects"`
 	Errors          int    `json:"errors"`
 	FirstError      string `json:"first_error,omitempty"`
 
-	// Latency is per-request latency measured from each request's DUE time
-	// (open loop: queue delay is inside, coordinated omission is not).
-	Latency Percentiles `json:"latency"`
+	// Shedding accounting — what keeps the offered-vs-achieved gap honest
+	// under deliberate overload. ShedEvents counts heartbeats the server
+	// refused by policy (acknowledged as shed, never silently lost).
+	// ThrottledEvents counts events carried by whole-request 429/503
+	// rejections: refused atomically, retryable, not lost. LostEvents is
+	// the residue on 2xx responses — events neither applied nor
+	// acknowledged shed — and must be zero: finishes are never shed, so
+	// any nonzero value is a served-traffic integrity failure.
+	ShedEvents      int `json:"shed_events"`
+	ThrottledEvents int `json:"throttled_events"`
+	LostEvents      int `json:"lost_events"`
+
+	// Query-prober results (zero unless Options.QueryRate is set).
+	// QueryMisses are 404s — probes that raced their job's (possibly
+	// lagging) registration; StaleQueries counts degraded-mode answers
+	// (any verdict flagged Stale).
+	Queries      int `json:"queries"`
+	QueryMisses  int `json:"query_misses"`
+	StaleQueries int `json:"stale_queries"`
+	QueryErrors  int `json:"query_errors"`
+
+	// Latency is per-request ingest latency measured from each request's
+	// DUE time (open loop: queue delay is inside, coordinated omission is
+	// not); QueryLatency is the same discipline for the query prober.
+	Latency      Percentiles `json:"latency"`
+	QueryLatency Percentiles `json:"query_latency"`
 	// QueueDelay isolates the lateness component: actual send minus due.
 	QueueDelay Percentiles `json:"queue_delay"`
 }
@@ -209,8 +342,13 @@ type laneStats struct {
 	ackedEvents      int
 	ackedSpecs       int
 	rejected429      int
+	rejected503      int
+	retries          int
 	retryAfterSeen   int
 	badFrameRejects  int
+	shedEvents       int
+	throttledEvents  int
+	lostEvents       int
 	errors           int
 	firstError       string
 }
@@ -249,14 +387,34 @@ func Run(wl *Workload, tgt Target, opts Options) (*Report, error) {
 		totalReqs += len(reqs)
 	}
 
+	// clientName maps lane index back to its scenario client's name (the
+	// rate-limit principal the target conveys).
+	clientNames := make([]string, 0, len(laneReqs))
+	for ci, items := range lanes {
+		if len(items) > 0 {
+			clientNames = append(clientNames, wl.Spec.Clients[ci].Name)
+		}
+	}
+
 	results := make([]laneStats, len(laneReqs))
+	var qs queryStats
 	start := time.Now()
 	var wg sync.WaitGroup
+	if opts.QueryRate > 0 {
+		if qt, ok := tgt.(QueryTarget); ok {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runProber(wl, qt, opts, start, &qs)
+			}()
+		}
+	}
 	for li, reqs := range laneReqs {
 		wg.Add(1)
 		go func(li int, reqs []request) {
 			defer wg.Done()
 			ls := &results[li]
+			client := clientNames[li]
 			for i := range reqs {
 				req := &reqs[i]
 				due := start.Add(time.Duration(req.due / opts.Speedup * float64(time.Second)))
@@ -270,14 +428,28 @@ func Run(wl *Workload, tgt Target, opts Options) (*Report, error) {
 				if queued < 0 {
 					queued = 0
 				}
-				res, err := tgt.Post(req.body)
+				res, err := tgt.Post(client, req.body)
+				// A whole-request 429 applied nothing (admission is atomic),
+				// so resending the identical body is safe; the Retry-After
+				// wait is honored (capped) and lands in the open-loop
+				// latency below. A 429 with a nonzero prefix applied is the
+				// budget tripping mid-batch — never resent.
+				for attempt := 0; opts.Retry429 && err == nil &&
+					res.Status == http.StatusTooManyRequests &&
+					res.Specs == 0 && res.Events == 0 && res.Shed == 0 &&
+					attempt < opts.RetryMax; attempt++ {
+					wait := retryWait(res.RetryAfter, opts.RetryCap)
+					time.Sleep(wait)
+					ls.retries++
+					res, err = tgt.Post(client, req.body)
+				}
 				lat := time.Since(due)
 				if lat < 0 {
 					lat = 0
 				}
 				ls.queue.Record(queued)
-				if qs := queued.Seconds(); qs > ls.maxQueue {
-					ls.maxQueue = qs
+				if qsec := queued.Seconds(); qsec > ls.maxQueue {
+					ls.maxQueue = qsec
 				}
 				if err != nil {
 					ls.fail(fmt.Sprintf("post: %v", err))
@@ -289,13 +461,27 @@ func Run(wl *Workload, tgt Target, opts Options) (*Report, error) {
 				}
 				ls.ackedEvents += res.Events
 				ls.ackedSpecs += res.Specs
+				ls.shedEvents += res.Shed
 				if res.RetryAfter != "" {
 					ls.retryAfterSeen++
 				}
+				// remainder is what the request carried but the response
+				// accounted for neither as applied nor as shed.
+				remainder := req.events - res.Events - res.Shed
+				if remainder < 0 {
+					remainder = 0
+				}
 				switch {
 				case res.Status < 300:
+					// Silent loss on an acknowledged response: must be zero
+					// (finishes are never shed, sheds are always counted).
+					ls.lostEvents += remainder
 				case res.Status == http.StatusTooManyRequests:
 					ls.rejected429++
+					ls.throttledEvents += remainder
+				case res.Status == http.StatusServiceUnavailable:
+					ls.rejected503++
+					ls.throttledEvents += remainder
 				case res.Status == http.StatusBadRequest && req.malformed:
 					ls.badFrameRejects++
 				default:
@@ -327,13 +513,23 @@ func Run(wl *Workload, tgt Target, opts Options) (*Report, error) {
 		rep.AckedEvents += ls.ackedEvents
 		rep.AckedSpecs += ls.ackedSpecs
 		rep.Rejected429 += ls.rejected429
+		rep.Rejected503 += ls.rejected503
+		rep.Retries += ls.retries
 		rep.RetryAfterSeen += ls.retryAfterSeen
 		rep.BadFrameRejects += ls.badFrameRejects
+		rep.ShedEvents += ls.shedEvents
+		rep.ThrottledEvents += ls.throttledEvents
+		rep.LostEvents += ls.lostEvents
 		rep.Errors += ls.errors
 		if rep.FirstError == "" {
 			rep.FirstError = ls.firstError
 		}
 	}
+	rep.Queries = qs.queries
+	rep.QueryMisses = qs.misses
+	rep.StaleQueries = qs.stale
+	rep.QueryErrors = qs.errors
+	rep.QueryLatency = qs.latency.report(qs.maxLat)
 	rep.WallSeconds = wall.Seconds()
 	scheduled := wl.Span / opts.Speedup
 	if scheduled > 0 {
@@ -357,17 +553,123 @@ func maxf(a, b float64) float64 {
 	return b
 }
 
+// retryWait parses a Retry-After hint (whole seconds) into a bounded sleep.
+// The cap keeps harness runs finite — a real client would honor the full
+// hint, but a load run compressing minutes of virtual time cannot sleep 30
+// wall seconds per retry and still measure anything.
+func retryWait(hint string, cap time.Duration) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(hint))
+	if err != nil || secs < 1 {
+		return 100 * time.Millisecond
+	}
+	d := time.Duration(secs) * time.Second
+	if d > cap {
+		return cap
+	}
+	return d
+}
+
+// queryStats accumulates the query prober's measurements.
+type queryStats struct {
+	latency Hist
+	maxLat  float64
+	queries int
+	misses  int
+	stale   int
+	errors  int
+}
+
+// runProber is the open-loop query lane: verdict probes on a fixed
+// due-time schedule (QueryRate per virtual second), round-robin over the
+// jobs whose registration is due by each probe's time, measured from due
+// time exactly like ingest requests. Under overload this is the lane that
+// must stay fast: queries take no ingest-queue slot and, in degraded mode,
+// not even the job lock.
+func runProber(wl *Workload, qt QueryTarget, opts Options, start time.Time, qs *queryStats) {
+	type probeJob struct {
+		at     float64
+		id     uint64
+		ntasks int
+	}
+	var jobs []probeJob
+	for i := range wl.Items {
+		if sp := wl.Items[i].Spec; sp != nil {
+			jobs = append(jobs, probeJob{at: wl.Items[i].At, id: sp.JobID, ntasks: sp.NumTasks})
+		}
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	period := 1 / opts.QueryRate
+	hi, rr := 0, 0
+	for due := jobs[0].at + period; due <= wl.Span; due += period {
+		wallDue := start.Add(time.Duration(due / opts.Speedup * float64(time.Second)))
+		if ahead := time.Until(wallDue); ahead > time.Millisecond {
+			time.Sleep(ahead)
+		}
+		for hi < len(jobs) && jobs[hi].at <= due {
+			hi++
+		}
+		pj := jobs[rr%hi]
+		rr++
+		n := opts.QueryTasks
+		if n > pj.ntasks {
+			n = pj.ntasks
+		}
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		res, err := qt.Query(pj.id, ids)
+		lat := time.Since(wallDue)
+		if lat < 0 {
+			lat = 0
+		}
+		qs.queries++
+		qs.latency.Record(lat)
+		if s := lat.Seconds(); s > qs.maxLat {
+			qs.maxLat = s
+		}
+		switch {
+		case err != nil:
+			qs.errors++
+		case res.Status == http.StatusNotFound:
+			// The job's spec send is behind schedule (or its lane was
+			// throttled): a miss, not an error — the prober's schedule is
+			// independent of the ingest lanes' fate by design.
+			qs.misses++
+		case res.Status >= 300:
+			qs.errors++
+		default:
+			for _, v := range res.Verdicts {
+				if v.Stale {
+					qs.stale++
+					break
+				}
+			}
+		}
+	}
+}
+
 // String renders the operator-facing one-glance summary.
 func (r *Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"scenario %s (seed %d, speedup %g): %d jobs, %d events in %d requests over %.2fs wall\n"+
 			"  offered %.0f ev/s, achieved %.0f ev/s (gap %.1f%%)\n"+
 			"  latency p50 %.2fms p95 %.2fms p99 %.2fms p99.9 %.2fms max %.2fms\n"+
 			"  queue-delay p99 %.2fms max %.2fms\n"+
-			"  acked %d specs / %d events; 429s %d (retry-after on %d), expected bad-frame 400s %d/%d, errors %d",
+			"  acked %d specs / %d events; 429s %d / 503s %d (retry-after on %d, retries %d), expected bad-frame 400s %d/%d, errors %d\n"+
+			"  shed %d, throttled %d, lost %d",
 		r.Scenario, r.Seed, r.Speedup, r.Jobs, r.Events, r.Requests, r.WallSeconds,
 		r.OfferedRate, r.AchievedRate, 100*r.RateGap,
 		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.P999, r.Latency.Max,
 		r.QueueDelay.P99, r.QueueDelay.Max,
-		r.AckedSpecs, r.AckedEvents, r.Rejected429, r.RetryAfterSeen, r.BadFrameRejects, r.Malformed, r.Errors)
+		r.AckedSpecs, r.AckedEvents, r.Rejected429, r.Rejected503, r.RetryAfterSeen, r.Retries, r.BadFrameRejects, r.Malformed, r.Errors,
+		r.ShedEvents, r.ThrottledEvents, r.LostEvents)
+	if r.Queries > 0 {
+		s += fmt.Sprintf("\n  queries %d (misses %d, stale %d, errors %d): p50 %.2fms p99 %.2fms max %.2fms",
+			r.Queries, r.QueryMisses, r.StaleQueries, r.QueryErrors,
+			r.QueryLatency.P50, r.QueryLatency.P99, r.QueryLatency.Max)
+	}
+	return s
 }

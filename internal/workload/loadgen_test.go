@@ -5,6 +5,7 @@ import (
 	"math"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/serve"
 )
@@ -182,4 +183,112 @@ func TestBuildLaneBatching(t *testing.T) {
 	if total != len(lane) {
 		t.Fatalf("batched %d frames from %d items", total, len(lane))
 	}
+}
+
+// TestRetryWait pins the Retry-After parse: whole seconds honored up to the
+// cap, garbage (or sub-second hints) falls back to a short fixed wait.
+func TestRetryWait(t *testing.T) {
+	for _, tc := range []struct {
+		hint string
+		cap  time.Duration
+		want time.Duration
+	}{
+		{"2", 5 * time.Second, 2 * time.Second},
+		{" 3 ", 5 * time.Second, 3 * time.Second},
+		{"30", time.Second, time.Second},     // capped
+		{"0", time.Second, 100 * time.Millisecond},
+		{"-1", time.Second, 100 * time.Millisecond},
+		{"soon", time.Second, 100 * time.Millisecond},
+		{"", time.Second, 100 * time.Millisecond},
+	} {
+		if got := retryWait(tc.hint, tc.cap); got != tc.want {
+			t.Errorf("retryWait(%q, %v) = %v, want %v", tc.hint, tc.cap, got, tc.want)
+		}
+	}
+}
+
+// TestSynthesizeRetainsTruth: the workload keeps each job's ground-truth
+// straggler labels (latency >= tau_stra), sized to the job and aligned with
+// the job's spec — the handle accuracy scoring needs after a load run.
+func TestSynthesizeRetainsTruth(t *testing.T) {
+	ws, _ := Builtin("smoke")
+	wl, err := Synthesize(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Truth) != wl.Jobs {
+		t.Fatalf("truth for %d jobs, synthesized %d", len(wl.Truth), wl.Jobs)
+	}
+	specsSeen := 0
+	for i := range wl.Items {
+		sp := wl.Items[i].Spec
+		if sp == nil {
+			continue
+		}
+		specsSeen++
+		truth, ok := wl.Truth[sp.JobID]
+		if !ok {
+			t.Fatalf("job %d has no truth", sp.JobID)
+		}
+		if len(truth) != sp.NumTasks {
+			t.Fatalf("job %d: %d labels for %d tasks", sp.JobID, len(truth), sp.NumTasks)
+		}
+	}
+	if specsSeen != wl.Jobs {
+		t.Fatalf("saw %d specs, synthesized %d jobs", specsSeen, wl.Jobs)
+	}
+}
+
+// TestLoadgenShedTaxonomy drives a rate-limited server: heartbeats over the
+// per-client budget must come back as SHED (honest offered-vs-achieved
+// accounting: not acked, not lost, not errors), finishes must all land, the
+// query prober must run, and the completed jobs must be scorable against
+// ground truth.
+func TestLoadgenShedTaxonomy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("open-loop run sleeps on the wall clock")
+	}
+	ws, _ := Builtin("smoke")
+	wl, err := Synthesize(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := serve.NewServer(serve.Config{Shards: 1, ClientRate: 150})
+	ts := httptest.NewServer(serve.NewHandler(sv))
+	defer ts.Close()
+	tgt := &HTTPTarget{Client: ts.Client(), BaseURL: ts.URL}
+	rep, err := Run(wl, tgt, Options{Speedup: 4, Retry429: true, QueryRate: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("%d unexpected errors, first: %s", rep.Errors, rep.FirstError)
+	}
+	if rep.ShedEvents == 0 {
+		t.Fatal("rate-limited run shed nothing")
+	}
+	if rep.LostEvents != 0 {
+		t.Fatalf("%d events acknowledged-but-lost", rep.LostEvents)
+	}
+	if rep.AckedEvents+rep.ShedEvents+rep.ThrottledEvents != rep.Events {
+		t.Fatalf("taxonomy does not add up: acked %d + shed %d + throttled %d != offered %d",
+			rep.AckedEvents, rep.ShedEvents, rep.ThrottledEvents, rep.Events)
+	}
+	if rep.Queries == 0 {
+		t.Fatal("query prober recorded nothing")
+	}
+	finite(t, "query p99", rep.QueryLatency.P99)
+
+	scores, err := ScoreJobs(tgt, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, 0, len(scores))
+	for id, s := range scores {
+		ids = append(ids, id)
+		if s.F1 < 0 || s.F1 > 1 || math.IsNaN(s.F1) {
+			t.Fatalf("job %d: F1=%v out of range", id, s.F1)
+		}
+	}
+	finite(t, "macro F1", MacroF1(scores, ids))
 }

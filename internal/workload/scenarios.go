@@ -7,16 +7,20 @@ package workload
 // examples/scenarios/ are the canonical serialized forms; a test pins them
 // equal to these definitions so the files cannot drift from the code.
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // builtinScenarios maps scenario names to constructors (fresh value per
 // call: callers may mutate the returned spec).
 var builtinScenarios = map[string]func() *WorkloadSpec{
-	"steady":  steadyScenario,
-	"diurnal": diurnalScenario,
-	"burst":   burstScenario,
-	"hostile": hostileScenario,
-	"smoke":   smokeScenario,
+	"steady":   steadyScenario,
+	"diurnal":  diurnalScenario,
+	"burst":    burstScenario,
+	"hostile":  hostileScenario,
+	"smoke":    smokeScenario,
+	"overload": overloadScenario,
 }
 
 // ScenarioNames lists the built-in scenario names, sorted.
@@ -30,7 +34,8 @@ func ScenarioNames() []string {
 }
 
 // BenchScenarioNames is the four-scenario suite BENCH_loadgen.json records
-// ("smoke" is a CI-sized variant of steady, not part of the bench suite).
+// ("smoke" is a CI-sized variant of steady and "overload" a CI-sized
+// shedding stressor; neither is part of the bench suite).
 func BenchScenarioNames() []string {
 	return []string{"steady", "diurnal", "burst", "hostile"}
 }
@@ -168,6 +173,34 @@ func hostileScenario() *WorkloadSpec {
 				MalformedRate: 0.15,
 			},
 		},
+	}
+}
+
+// overloadScenario: sustained multi-lane pressure for the overload-control
+// proof. Six concurrent clients of small, fast jobs produce far more
+// simultaneous ingest streams than a deliberately under-provisioned server
+// (one shard, a tiny ingest queue) can admit, forcing the shedding policy to
+// act continuously: heartbeats shed, finishes wait, and a query prober
+// (nurdload -query-rate) measures whether verdict latency stays bounded
+// while the ingest side saturates. CI-sized like smoke — seconds, not
+// minutes, on shared runners.
+func overloadScenario() *WorkloadSpec {
+	clients := make([]ClientSpec, 6)
+	for i := range clients {
+		clients[i] = ClientSpec{
+			Name:        fmt.Sprintf("lane-%d", i),
+			Arrival:     ArrivalSpec{Process: ArrivalPoisson, Rate: 0.9},
+			JobTasks:    DistSpec{Dist: DistLogNormal, Mu: 3.6, Sigma: 0.3, Min: 25, Max: 100},
+			JobDuration: DistSpec{Dist: DistLogNormal, Mu: 1.1, Sigma: 0.4, Min: 1.5, Max: 8},
+			FarFraction: 0.5,
+		}
+	}
+	return &WorkloadSpec{
+		Name:     "overload",
+		Seed:     42,
+		Duration: 10,
+		Trace:    "google",
+		Clients:  clients,
 	}
 }
 

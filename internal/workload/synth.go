@@ -61,6 +61,11 @@ type Workload struct {
 	Malformed int
 	// Span is the timeline's extent: the last item's At, in virtual seconds.
 	Span float64
+	// Truth maps job ID -> per-task ground-truth straggler labels (true
+	// latency >= the job's tau_stra), retained from synthesis so a load run
+	// can be scored for accuracy — e.g. comparing macro F1 with and without
+	// load shedding — against the same labels the offline evaluation uses.
+	Truth map[uint64][]bool
 }
 
 // arrival is one phase-one record: everything about a job except its
@@ -133,7 +138,7 @@ func Synthesize(ws *WorkloadSpec) (*Workload, error) {
 
 	// Phase two: generate content in arrival order. Job IDs are 1-based
 	// arrival ranks, so a scenario's job IDs are stable and human-readable.
-	wl := &Workload{Spec: ws}
+	wl := &Workload{Spec: ws, Truth: make(map[uint64][]bool, len(arrivals))}
 	for rank, a := range arrivals {
 		id := uint64(rank + 1)
 		job, err := trace.GenJob(mode, id, a.genSeed, a.ntasks, a.profile)
@@ -164,6 +169,11 @@ func Synthesize(ws *WorkloadSpec) (*Workload, error) {
 		spec := sp // heap copy per job; items alias it
 		wl.Items = append(wl.Items, Item{At: a.at, Client: a.client, Spec: &spec})
 		wl.Jobs++
+		truth := make([]bool, len(job.Tasks))
+		for i := range job.Tasks {
+			truth[i] = job.Tasks[i].Latency >= sp.TauStra
+		}
+		wl.Truth[id] = truth
 		crng := stats.NewRNG(a.corSeed)
 		mrate := ws.Clients[a.client].MalformedRate
 		for i := range events {
