@@ -1,0 +1,186 @@
+package gbt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/tree"
+)
+
+// ErrRowWidth reports a feature row too narrow for the compiled ensemble:
+// some tree splits on a feature index the row does not have. Width-checked
+// entry points (Flat.CheckWidth, nurd.Model.Predict) return it instead of
+// letting the traversal panic.
+var ErrRowWidth = errors.New("gbt: row narrower than the ensemble's max split feature")
+
+// Flat is a fitted Model compiled into one contiguous struct-of-arrays node
+// table: every tree's nodes packed into parallel feature/threshold/value/
+// left/right slices, with per-tree root offsets delimiting the trees. A
+// predict walk touches five flat arrays instead of len(Trees) separate node
+// slices, and PredictBatch walks task-major (all rows through tree t before
+// tree t+1) so each tree's nodes stay cache-hot across the whole batch.
+//
+// Compilation preserves bit-identity with the per-tree path: each row's
+// output accumulates as Init + sum over trees of LR*leaf in tree order —
+// exactly the float operation order of Model.Predict — so verdicts, F1, and
+// reports are unchanged, only faster.
+//
+// A Flat is immutable after Compile and safe for concurrent use.
+type Flat struct {
+	init     float64
+	lr       float64
+	logistic bool
+	nodes    tree.SoA
+	roots    []int32 // root node index of each tree, in boosting order
+	maxFeat  int     // largest feature index any node splits on; -1 if none
+}
+
+// Compile flattens the fitted ensemble into a Flat inference engine. The
+// model must not be mutated afterwards (published gbt models are already
+// immutable by convention; Extend copies).
+func (m *Model) Compile() *Flat {
+	total := 0
+	for _, t := range m.Trees {
+		total += t.NumNodes()
+	}
+	f := &Flat{
+		init:     m.Init,
+		lr:       m.LR,
+		logistic: m.Logistic,
+		nodes: tree.SoA{
+			Feature:   make([]int32, 0, total),
+			Threshold: make([]float64, 0, total),
+			Value:     make([]float64, 0, total),
+			Left:      make([]int32, 0, total),
+			Right:     make([]int32, 0, total),
+		},
+		roots:   make([]int32, 0, len(m.Trees)),
+		maxFeat: -1,
+	}
+	for _, t := range m.Trees {
+		f.roots = append(f.roots, t.AppendSoA(&f.nodes))
+		if mf := t.MaxFeature(); mf > f.maxFeat {
+			f.maxFeat = mf
+		}
+	}
+	return f
+}
+
+// NumTrees reports how many trees were compiled in.
+func (f *Flat) NumTrees() int { return len(f.roots) }
+
+// NumNodes reports the total node count of the flat table.
+func (f *Flat) NumNodes() int { return f.nodes.Len() }
+
+// MaxFeature returns the largest feature index any compiled node splits on,
+// or -1 for an ensemble with no splits.
+func (f *Flat) MaxFeature() int { return f.maxFeat }
+
+// CheckWidth returns ErrRowWidth (wrapped with the widths) when rows of n
+// columns are too narrow to traverse the compiled ensemble.
+func (f *Flat) CheckWidth(n int) error {
+	if n <= f.maxFeat {
+		return fmt.Errorf("%w: %d columns, need at least %d", ErrRowWidth, n, f.maxFeat+1)
+	}
+	return nil
+}
+
+// Traversal note. The walk selects children with sign-bit arithmetic
+// instead of a compare-and-branch:
+//
+//	mask = sign(thr[i] - x[ft])  → 0 select left, -1 select right
+//
+// Split thresholds are branch-unpredictable by construction (they bisect
+// the data), so the branching walk pays a pipeline flush at nearly every
+// level; the arithmetic select turns that into a pure ~3-op data
+// dependency and measures about 2x faster on batched prediction. It is
+// exactly equivalent to `x[ft] <= thr → left` for every non-NaN input:
+// thr is always finite and never -0.0 (thresholds are midpoints of two
+// distinct finite training values), so thr-x is +0.0 (left, matching <=)
+// on equality, negative iff x > thr, and the correct infinity when x is
+// ±Inf. A NaN feature walks an unspecified but deterministic child (the
+// comparison form always goes right); both Flat entry points share this
+// step, so flat results are self-consistent on any input.
+func flatStep(thr float64, xf float64, l, r int32) int32 {
+	mask := int32(int64(math.Float64bits(thr-xf)) >> 63) // 0 or -1
+	return (l &^ mask) | (r & mask)
+}
+
+// Predict returns the compiled ensemble's raw prediction for x,
+// bit-identical to Model.Predict on the source model (non-NaN features;
+// see the traversal note). x must have at least MaxFeature()+1 columns
+// (see CheckWidth).
+func (f *Flat) Predict(x []float64) float64 {
+	feat := f.nodes.Feature
+	// Reslicing to len(feat) lets the compiler prove the per-node bounds
+	// checks away after the feat[i] check.
+	thr := f.nodes.Threshold[:len(feat)]
+	val := f.nodes.Value[:len(feat)]
+	left := f.nodes.Left[:len(feat)]
+	right := f.nodes.Right[:len(feat)]
+	out := f.init
+	for _, root := range f.roots {
+		i := root
+		for {
+			ft := feat[i]
+			if ft < 0 {
+				break
+			}
+			i = flatStep(thr[i], x[ft], left[i], right[i])
+		}
+		out += f.lr * val[i]
+	}
+	return out
+}
+
+// PredictBatch predicts for each row of X. Equivalent to calling Predict
+// per row (bit-identical) but walks task-major for cache locality.
+func (f *Flat) PredictBatch(X [][]float64) []float64 {
+	return f.PredictBatchInto(X, nil)
+}
+
+// PredictBatchInto is PredictBatch with a caller-owned scratch buffer: out
+// is reused when its capacity allows (contents are overwritten) and the
+// resulting slice of len(X) predictions is returned. Pass the returned
+// slice back in on the next call to keep the hot path allocation-free.
+//
+// The walk is task-major — every row advances through tree t before any row
+// touches tree t+1 — but each row's accumulator still applies Init and the
+// per-tree LR*leaf terms in tree order, so results are bit-identical to the
+// per-tree path.
+func (f *Flat) PredictBatchInto(X [][]float64, out []float64) []float64 {
+	if cap(out) < len(X) {
+		out = make([]float64, len(X))
+	} else {
+		out = out[:len(X)]
+	}
+	for i := range out {
+		out[i] = f.init
+	}
+	feat := f.nodes.Feature
+	thr := f.nodes.Threshold[:len(feat)]
+	val := f.nodes.Value[:len(feat)]
+	left := f.nodes.Left[:len(feat)]
+	right := f.nodes.Right[:len(feat)]
+	for _, root := range f.roots {
+		for r, x := range X {
+			i := root
+			for {
+				ft := feat[i]
+				if ft < 0 {
+					break
+				}
+				i = flatStep(thr[i], x[ft], left[i], right[i])
+			}
+			out[r] += f.lr * val[i]
+		}
+	}
+	return out
+}
+
+// PredictProb maps the raw output through the logistic function; like
+// Model.PredictProb it is only meaningful for classifier ensembles.
+func (f *Flat) PredictProb(x []float64) float64 {
+	return sigmoid(f.Predict(x))
+}

@@ -93,10 +93,29 @@ func (m *Model) PredictBatch(X [][]float64) []float64 {
 	return out
 }
 
+// MaxFeature returns the largest feature index any tree splits on, or -1
+// for an ensemble with no splits.
+func (m *Model) MaxFeature() int {
+	max := -1
+	for _, t := range m.Trees {
+		if mf := t.MaxFeature(); mf > max {
+			max = mf
+		}
+	}
+	return max
+}
+
 // FeatureImportance returns per-feature split frequencies over the
 // ensemble, normalized to sum to 1 (all zeros if no splits occurred).
-// ncols must match the training width.
+// ncols is validated against the ensemble's max split feature: a caller
+// width smaller than the training width used to silently drop the split
+// mass of every feature beyond it (skewing the normalized shares), so the
+// result is widened to max(ncols, MaxFeature()+1) and always accounts for
+// every split.
 func (m *Model) FeatureImportance(ncols int) []float64 {
+	if need := m.MaxFeature() + 1; ncols < need {
+		ncols = need
+	}
 	imp := make([]float64, ncols)
 	for _, t := range m.Trees {
 		t.AddFeatureImportance(imp)
@@ -256,10 +275,18 @@ func (m *Model) Extend(X [][]float64, y []float64, rounds int, cfg Config) (*Mod
 	}
 	cfg.LearningRate = out.LR // one shrinkage factor across old and new trees
 	cfg.NumTrees = rounds
-	f := make([]float64, len(X))
+	// The initial residual pass predicts every training row through the
+	// inherited ensemble — the dominant cost of a warm refit. Compile once
+	// and walk task-major; bit-identical to per-row out.Predict. Rows are
+	// width-checked first: this pass runs before tree.Fit's own ragged-row
+	// validation gets a chance to reject bad input.
+	flat := out.Compile()
 	for i, x := range X {
-		f[i] = out.Predict(x)
+		if err := flat.CheckWidth(len(x)); err != nil {
+			return nil, fmt.Errorf("gbt: Extend row %d: %w", i, err)
+		}
 	}
+	f := flat.PredictBatchInto(X, nil)
 	loss := func(f []float64, g, h []float64) {
 		for i := range f {
 			g[i] = f[i] - y[i]

@@ -105,8 +105,9 @@ type Model struct {
 	delta float64
 	ready bool
 
-	h *gbt.Model         // latency predictor
-	g *linmodel.Logistic // propensity model
+	h  *gbt.Model         // latency predictor
+	hc *gbt.Flat          // h compiled into the flat SoA engine; replaced with h
+	g  *linmodel.Logistic // propensity model
 
 	// warmFits / scratchFits count how the latency model was refitted
 	// (Extend vs FitRegressor); serving telemetry reads them via RefitCounts.
@@ -172,7 +173,7 @@ func (m *Model) Update(finX [][]float64, finY []float64, runX [][]float64) error
 	if err != nil {
 		return fmt.Errorf("nurd: fitting latency model: %w", err)
 	}
-	m.h = h
+	m.setLatencyModel(h)
 	m.scratchFits++
 	return m.fitPropensity(finX, runX)
 }
@@ -209,10 +210,25 @@ func (m *Model) Refit(finX [][]float64, finY []float64, runX [][]float64) error 
 	if err != nil {
 		return fmt.Errorf("nurd: extending latency model: %w", err)
 	}
-	m.h = h
+	m.setLatencyModel(h)
 	m.warmFits++
 	return m.fitPropensity(finX, runX)
 }
+
+// setLatencyModel installs a freshly fitted ensemble and compiles it into
+// the flat SoA engine every query rides. Compilation happens here — on the
+// refit path, off the ingest/query hot paths — so published models always
+// carry a ready compiled artifact; because the fit itself is deterministic
+// given the training view, snapshot/WAL recovery replays the same fits and
+// regenerates bit-identical compiled engines for every generation.
+func (m *Model) setLatencyModel(h *gbt.Model) {
+	m.h = h
+	m.hc = h.Compile()
+}
+
+// Compiled exposes the flat engine backing Predict (nil before the first
+// Update); tests pin that published models always carry one.
+func (m *Model) Compiled() *gbt.Flat { return m.hc }
 
 // RefitCounts reports how many refits warm-started the latency model vs
 // fitted it from scratch (serving telemetry; the split is deterministic given
@@ -280,15 +296,26 @@ type Prediction struct {
 	Adjusted float64
 }
 
-// Predict evaluates one running task (Algorithm 1 lines 13-16).
+// Predict evaluates one running task (Algorithm 1 lines 13-16) through the
+// compiled flat engine. Rows narrower than the ensemble's max split feature
+// return a typed error (errors.Is gbt.ErrRowWidth) instead of panicking.
 func (m *Model) Predict(x []float64) (Prediction, error) {
 	if m.h == nil {
 		return Prediction{}, fmt.Errorf("nurd: Predict called before Update")
 	}
-	p := Prediction{Latency: m.h.Predict(x), Propensity: 1}
+	if err := m.hc.CheckWidth(len(x)); err != nil {
+		return Prediction{}, fmt.Errorf("nurd: %w", err)
+	}
+	p := Prediction{Latency: m.hc.Predict(x), Propensity: 1}
 	if m.g != nil {
 		p.Propensity = m.g.Prob(logFeatures(x))
 	}
+	return m.finishPrediction(p), nil
+}
+
+// finishPrediction applies the shared calibration/clipping tail of
+// Algorithm 1 lines 14-16 to a raw (Latency, Propensity) pair.
+func (m *Model) finishPrediction(p Prediction) Prediction {
 	w := p.Propensity
 	if m.cfg.Calibrate {
 		w += m.delta
@@ -301,7 +328,49 @@ func (m *Model) Predict(x []float64) (Prediction, error) {
 	}
 	p.Weight = w
 	p.Adjusted = p.Latency / w
-	return p, nil
+	return p
+}
+
+// PredictScratch holds the reusable buffers of a PredictBatch caller; its
+// zero value is ready to use. Not safe for concurrent use — each batching
+// caller (e.g. a predictor evaluating one checkpoint) owns its own.
+type PredictScratch struct {
+	preds []Prediction
+	lat   []float64
+	logx  []float64
+}
+
+// PredictBatch evaluates every running row of X, bit-identical to calling
+// Predict per row but with one task-major pass through the compiled flat
+// ensemble and no per-row allocations (buffers live in scratch and are
+// reused across calls; the returned slice aliases scratch and is only valid
+// until the next call). scratch may be nil for a one-shot call.
+func (m *Model) PredictBatch(X [][]float64, scratch *PredictScratch) ([]Prediction, error) {
+	if m.h == nil {
+		return nil, fmt.Errorf("nurd: Predict called before Update")
+	}
+	for i, x := range X {
+		if err := m.hc.CheckWidth(len(x)); err != nil {
+			return nil, fmt.Errorf("nurd: row %d: %w", i, err)
+		}
+	}
+	if scratch == nil {
+		scratch = &PredictScratch{}
+	}
+	scratch.lat = m.hc.PredictBatchInto(X, scratch.lat)
+	if cap(scratch.preds) < len(X) {
+		scratch.preds = make([]Prediction, len(X))
+	}
+	out := scratch.preds[:len(X)]
+	for i, x := range X {
+		p := Prediction{Latency: scratch.lat[i], Propensity: 1}
+		if m.g != nil {
+			scratch.logx = logFeaturesInto(x, scratch.logx)
+			p.Propensity = m.g.Prob(scratch.logx)
+		}
+		out[i] = m.finishPrediction(p)
+	}
+	return out, nil
 }
 
 // logFeatures maps each non-negative monitored feature through log1p so
@@ -311,7 +380,17 @@ func (m *Model) Predict(x []float64) (Prediction, error) {
 // only g_t uses it. Negative values (none in the trace schemas) pass
 // through untouched.
 func logFeatures(x []float64) []float64 {
-	out := make([]float64, len(x))
+	return logFeaturesInto(x, nil)
+}
+
+// logFeaturesInto is logFeatures with a reusable output buffer (grown when
+// too small), for allocation-free batched prediction.
+func logFeaturesInto(x, out []float64) []float64 {
+	if cap(out) < len(x) {
+		out = make([]float64, len(x))
+	} else {
+		out = out[:len(x)]
+	}
 	for i, v := range x {
 		if v > 0 {
 			out[i] = math.Log1p(v)

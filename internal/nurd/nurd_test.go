@@ -1,10 +1,12 @@
 package nurd
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/gbt"
 	"repro/internal/stats"
 )
 
@@ -363,5 +365,75 @@ func TestRefitWarmDeterministic(t *testing.T) {
 		if pa != pb {
 			t.Fatalf("warm replay diverged: %+v vs %+v", pa, pb)
 		}
+	}
+}
+
+// PredictBatch must be bit-identical to per-row Predict — same flat engine,
+// same accumulation order — with the scratch reused across checkpoints, and
+// every fitted model (scratch or warm) must carry a compiled engine.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Calibrate = true
+	cfg.WarmRounds = 4
+	m := New(cfg)
+	fin, run, _ := split(80, 40, 5, 1.0, 21)
+	if err := m.Init(fin, run); err != nil {
+		t.Fatal(err)
+	}
+	if m.Compiled() != nil {
+		t.Fatal("compiled engine before first Update")
+	}
+	var scratch PredictScratch
+	for ckpt := 0; ckpt < 3; ckpt++ {
+		fin2, run2, finY2 := split(80+20*ckpt, 40, 5, 1.0, 21+uint64(ckpt))
+		if err := m.Refit(fin2, finY2, run2); err != nil {
+			t.Fatal(err)
+		}
+		if m.Compiled() == nil {
+			t.Fatalf("checkpoint %d: no compiled engine after refit", ckpt)
+		}
+		if got, want := m.Compiled().NumTrees(), m.LatencyModelTrees(); got != want {
+			t.Fatalf("checkpoint %d: compiled %d trees, model has %d", ckpt, got, want)
+		}
+		batch, err := m.PredictBatch(run2, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range run2 {
+			want, err := m.Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := batch[i]
+			if math.Float64bits(got.Latency) != math.Float64bits(want.Latency) ||
+				math.Float64bits(got.Propensity) != math.Float64bits(want.Propensity) ||
+				math.Float64bits(got.Weight) != math.Float64bits(want.Weight) ||
+				math.Float64bits(got.Adjusted) != math.Float64bits(want.Adjusted) {
+				t.Fatalf("checkpoint %d row %d: batch %+v, per-row %+v", ckpt, i, got, want)
+			}
+		}
+	}
+}
+
+// Rows narrower than the ensemble's max split feature must surface as a
+// typed error from both Predict and PredictBatch, not a panic.
+func TestPredictRejectsNarrowRows(t *testing.T) {
+	m := New(DefaultConfig())
+	fin, run, finY := split(100, 50, 6, 1.5, 33)
+	if err := m.Init(fin, run); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(fin, finY, run); err != nil {
+		t.Fatal(err)
+	}
+	if m.Compiled().MaxFeature() < 1 {
+		t.Skip("ensemble split on too few features to form a narrow row")
+	}
+	narrow := []float64{1}
+	if _, err := m.Predict(narrow); !errors.Is(err, gbt.ErrRowWidth) {
+		t.Fatalf("Predict on narrow row: err = %v, want gbt.ErrRowWidth", err)
+	}
+	if _, err := m.PredictBatch([][]float64{run[0], narrow}, nil); !errors.Is(err, gbt.ErrRowWidth) {
+		t.Fatalf("PredictBatch on narrow row: err = %v, want gbt.ErrRowWidth", err)
 	}
 }

@@ -123,6 +123,10 @@ type NURDPredictor struct {
 	streak map[int]int
 	// flagged counts terminations issued so far (for the flag budget).
 	flagged int
+	// scratch holds PredictBatch's reusable buffers; a predictor is driven
+	// by one goroutine at a time (the simulator loop or a refit worker), so
+	// unsynchronized reuse is safe.
+	scratch nurd.PredictScratch
 }
 
 // NewNURD returns the full method with calibration.
@@ -215,11 +219,14 @@ func (p *NURDPredictor) Predict(cp *simulator.Checkpoint) ([]bool, error) {
 		margin float64
 	}
 	var cands []cand
-	for i, x := range cp.RunningX {
-		pr, err := p.model.Predict(x)
-		if err != nil {
-			return nil, err
-		}
+	// One task-major pass through the compiled flat ensemble, bit-identical
+	// to per-row Predict; the scratch buffers persist across checkpoints.
+	preds, err := p.model.PredictBatch(cp.RunningX, &p.scratch)
+	if err != nil {
+		return nil, err
+	}
+	for i := range cp.RunningX {
+		pr := preds[i]
 		id := cp.RunningIDs[i]
 		switch {
 		case pr.Adjusted >= strongMargin*bar:
@@ -280,8 +287,8 @@ func (p *GBTR) Predict(cp *simulator.Checkpoint) ([]bool, error) {
 		return nil, fmt.Errorf("gbtr: %w", err)
 	}
 	out := make([]bool, len(cp.RunningX))
-	for i, x := range cp.RunningX {
-		out[i] = m.Predict(x) >= cp.TauStra
+	for i, lat := range m.Compile().PredictBatch(cp.RunningX) {
+		out[i] = lat >= cp.TauStra
 	}
 	return out, nil
 }

@@ -132,8 +132,8 @@ func (p *GrabitPredictor) Predict(cp *simulator.Checkpoint) ([]bool, error) {
 		return nil, fmt.Errorf("grabit: %w", err)
 	}
 	out := make([]bool, len(cp.RunningX))
-	for i, x := range cp.RunningX {
-		out[i] = m.Predict(x) >= cp.TauStra
+	for i, lat := range m.Compile().PredictBatch(cp.RunningX) {
+		out[i] = lat >= cp.TauStra
 	}
 	return out, nil
 }

@@ -72,10 +72,19 @@ type Event struct {
 	// Server takes ownership of the slice at Ingest: it is retained as the
 	// task's current observation until the next heartbeat, so callers must
 	// not reuse or mutate it afterwards (allocate per event, as
-	// trace.Job.ObservedFeatures does).
+	// trace.Job.ObservedFeatures does, or draw from the ingest observation
+	// pool via WireReader.NextInto, which tags the Event so the Server can
+	// recycle the slice once it provably has no readers).
 	Features []float64
 	// Latency is the finished task's true execution duration (TaskFinish).
 	Latency float64
+	// pooled marks Features as drawn from the package observation pool
+	// (set only by the pooled wire-decode path). Only pooled slices are
+	// ever recycled: in-process callers keep the documented
+	// allocate-per-event contract and their slices are never returned to
+	// the pool, so a caller that (illegally or historically) reuses its own
+	// buffers cannot corrupt pooled memory.
+	pooled bool
 }
 
 // JobSpec declares a job to the Server before any of its events arrive.

@@ -197,8 +197,13 @@ func (f *front) ingest(w http.ResponseWriter, r *http.Request) {
 	}
 	wr := NewWireReader(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	var res IngestResult
+	// One Event reused across the batch; NextInto draws its feature slices
+	// from the ingest observation pool and recycleAfterIngest returns each
+	// one the server did not retain, so a steady heartbeat stream ingests
+	// without per-event heap allocation.
+	var ev Event
 	for {
-		sp, ev, err := wr.Next()
+		sp, err := wr.NextInto(&ev)
 		if err == io.EOF {
 			writeJSON(w, http.StatusOK, res)
 			return
@@ -215,12 +220,14 @@ func (f *front) ingest(w http.ResponseWriter, r *http.Request) {
 				if ev.Kind == EventHeartbeat {
 					if !f.charge(client, true) {
 						res.Shed++
+						recycleAfterIngest(&ev, ErrShed) // never ingested
 						continue
 					}
 				} else {
 					f.charge(client, false)
 				}
-				err = f.sv.Ingest(*ev)
+				err = f.sv.Ingest(ev)
+				recycleAfterIngest(&ev, err)
 				if errors.Is(err, ErrShed) {
 					// Shed by the shard's ingest queue: counted, batch
 					// continues. Shedding is the overload policy working,

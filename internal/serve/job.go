@@ -12,9 +12,17 @@ import (
 
 // taskState tracks one task of a streamed job.
 type taskState struct {
-	started    bool
-	start      float64
-	features   []float64 // latest heartbeat observation
+	started  bool
+	start    float64
+	features []float64 // latest heartbeat observation
+	// pooled marks features as drawn from the ingest observation pool
+	// (Event.pooled provenance, see pool.go); only such slices may be
+	// recycled when a newer heartbeat replaces them.
+	pooled bool
+	// captured marks features as aliased into a checkpoint view (snapshot
+	// appends the slice to FinishedX/RunningX). Captured slices feed the
+	// job's refit history for its whole lifetime and are never recycled.
+	captured   bool
 	finished   bool
 	latency    float64
 	terminated bool
@@ -223,7 +231,17 @@ func (j *jobState) handle(e Event) error {
 		// checkpoint, and the streamed protocol must see the same training
 		// rows to stay equivalent. Pipelines that freeze features at
 		// completion simply stop heartbeating, which degrades gracefully.
+		//
+		// The replaced observation is recycled into the ingest pool when it
+		// came from there and no checkpoint view captured it — the replace
+		// happens under the job lock, after any WAL append or query that
+		// read it, so a never-captured slice provably has no readers left.
+		if ts.pooled && !ts.captured && ts.features != nil {
+			putObservation(ts.features)
+		}
 		ts.features = e.Features
+		ts.pooled = e.pooled
+		ts.captured = false
 	case EventTaskFinish:
 		if ts.terminated {
 			return errDropped
@@ -258,6 +276,10 @@ func (j *jobState) snapshot(k int) *simulator.Checkpoint {
 		if !ts.started || ts.terminated || ts.start > tau || ts.features == nil {
 			continue
 		}
+		// Either branch aliases ts.features into the view, which outlives
+		// the observation (history retains views for replay): the slice is
+		// now permanently ineligible for pool recycling.
+		ts.captured = true
 		if ts.finished && ts.start+ts.latency <= tau {
 			cp.FinishedIDs = append(cp.FinishedIDs, id)
 			cp.FinishedX = append(cp.FinishedX, ts.features)

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// TestNextIntoMatchesNext pins the pooled decode path to the allocating
+// one: same dump, element by element, identical specs and events — the only
+// difference is the provenance tag.
+func TestNextIntoMatchesNext(t *testing.T) {
+	jobs, sims := smallJobs(t, 2, 91)
+	var specs []JobSpec
+	var streams [][]Event
+	for i := range jobs {
+		specs = append(specs, SpecFor(sims[i], uint64(300+i)))
+		evs := JobEvents(jobs[i], sims[i])
+		for k := range evs {
+			evs[k].JobID = specs[i].JobID
+		}
+		streams = append(streams, evs)
+	}
+	events := MergeStreams(streams...)
+	var dump bytes.Buffer
+	if err := WriteDump(&dump, specs, events); err != nil {
+		t.Fatal(err)
+	}
+
+	plain := NewWireReader(bytes.NewReader(dump.Bytes()))
+	pooled := NewWireReader(bytes.NewReader(dump.Bytes()))
+	var ev Event
+	for n := 0; ; n++ {
+		wantSp, wantEv, wantErr := plain.Next()
+		gotSp, gotErr := pooled.NextInto(&ev)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("element %d: Next err %v, NextInto err %v", n, wantErr, gotErr)
+		}
+		if wantErr == io.EOF {
+			return
+		}
+		if wantErr != nil {
+			t.Fatal(wantErr)
+		}
+		if (wantSp == nil) != (gotSp == nil) {
+			t.Fatalf("element %d: spec/event disagreement", n)
+		}
+		if wantSp != nil {
+			if !reflect.DeepEqual(*wantSp, *gotSp) {
+				t.Fatalf("element %d: spec mismatch\n next    %+v\n nextInto %+v", n, *wantSp, *gotSp)
+			}
+			continue
+		}
+		if !ev.pooled && ev.Features != nil {
+			t.Fatalf("element %d: NextInto event with features not pool-tagged", n)
+		}
+		got := ev
+		got.pooled = false
+		if !reflect.DeepEqual(*wantEv, got) {
+			t.Fatalf("element %d: event mismatch\n next    %+v\n nextInto %+v", n, *wantEv, got)
+		}
+		// Settle ownership exactly like an ingest loop that did not retain
+		// the event, so the next decode may legally reuse the slice.
+		recycleAfterIngest(&ev, errSkipped)
+	}
+}
+
+// TestPooledReplayMatchesDirectIngest streams a workload with several
+// heartbeats per checkpoint interval — so tasks' current observations are
+// repeatedly replaced between boundaries, exercising recycle-on-replace of
+// never-captured slices while captured ones feed refit history — once
+// through the pooled Replay path and once through in-process IngestBatch
+// with freshly allocated events. Reports and verdicts must be identical:
+// pooling moves allocations, never bytes.
+func TestPooledReplayMatchesDirectIngest(t *testing.T) {
+	jobs, sims := smallJobs(t, 2, 137)
+	var specs []JobSpec
+	var streams [][]Event
+	for i := range jobs {
+		sp := SpecFor(sims[i], uint64(700+i))
+		specs = append(specs, sp)
+		evs := JobEvents(jobs[i], sims[i])
+		for k := range evs {
+			evs[k].JobID = sp.JobID
+		}
+		// Interleave an extra mid-interval heartbeat after each original
+		// one: same task, same tick, slightly later time, perturbed copy of
+		// the features. The later observation replaces the earlier in both
+		// servers; only the pooled server recycles the replaced slice.
+		var dense []Event
+		for _, e := range evs {
+			dense = append(dense, e)
+			// No extras on the final tick: they would sort after the
+			// job-finish event, which rejects the stream.
+			if e.Kind != EventHeartbeat || e.Features == nil || e.Tick >= sp.Checkpoints {
+				continue
+			}
+			extra := e
+			extra.Time += 1e-9
+			extra.Features = append([]float64(nil), e.Features...)
+			for j := range extra.Features {
+				extra.Features[j] *= 1.0000001
+			}
+			dense = append(dense, extra)
+		}
+		streams = append(streams, dense)
+	}
+	events := MergeStreams(streams...)
+
+	var dump bytes.Buffer
+	if err := WriteDump(&dump, specs, events); err != nil {
+		t.Fatal(err)
+	}
+	pooledSv := NewServer(Config{Shards: 2})
+	if _, err := Replay(pooledSv, bytes.NewReader(dump.Bytes()), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	directSv := NewServer(Config{Shards: 2})
+	for _, sp := range specs {
+		if err := directSv.StartJob(sp, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// IngestBatch events carry caller-allocated slices (pooled tag unset);
+	// clone the features so the two servers share no memory at all.
+	fresh := make([]Event, len(events))
+	for i, e := range events {
+		if e.Features != nil {
+			e.Features = append([]float64(nil), e.Features...)
+		}
+		fresh[i] = e
+	}
+	if err := directSv.IngestBatch(fresh); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sp := range specs {
+		want, err := directSv.Report(sp.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pooledSv.Report(sp.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(coreOf(want), coreOf(got)) {
+			t.Fatalf("job %d: pooled replay diverges from direct ingest:\n direct %+v\n pooled %+v",
+				sp.JobID, coreOf(want), coreOf(got))
+		}
+		wantV, err := directSv.Query(sp.JobID, allTaskIDs(sp.NumTasks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotV, err := pooledSv.Query(sp.JobID, allTaskIDs(sp.NumTasks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantV, gotV) {
+			t.Fatalf("job %d: pooled replay verdicts diverge from direct ingest", sp.JobID)
+		}
+	}
+}
+
+// TestObservationPoolBounds pins the pool's self-protection: zero-capacity
+// slices are dropped, oversized ones are not retained, and a recycled
+// buffer is reissued at the requested length.
+func TestObservationPoolBounds(t *testing.T) {
+	putObservation(nil) // must not panic or pool a useless entry
+	big := make([]float64, maxPooledObs+1)
+	putObservation(big) // over the cap: dropped
+	s := make([]float64, 8, 16)
+	for i := range s {
+		s[i] = float64(i)
+	}
+	putObservation(s)
+	got := getObservation(12)
+	if len(got) != 12 {
+		t.Fatalf("getObservation(12) returned len %d", len(got))
+	}
+	got2 := getObservation(64)
+	if len(got2) != 64 {
+		t.Fatalf("getObservation(64) returned len %d", len(got2))
+	}
+}

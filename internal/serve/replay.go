@@ -152,8 +152,12 @@ func ReplayFrom(sv *Server, r io.Reader, speedup float64, skip int) (ReplayStats
 	wr := NewWireReader(r)
 	start := time.Now()
 	pc := pacer{speedup: speedup}
+	// Pooled decode, as in the HTTP ingest loop: one Event reused across
+	// the dump, feature slices drawn from (and, when not retained,
+	// returned to) the ingest observation pool.
+	var ev Event
 	for {
-		sp, ev, err := wr.Next()
+		sp, err := wr.NextInto(&ev)
 		if err == io.EOF {
 			st.Wall = pc.wall(start)
 			st.MaxLag = pc.maxLag
@@ -164,6 +168,7 @@ func ReplayFrom(sv *Server, r io.Reader, speedup float64, skip int) (ReplayStats
 		}
 		if skip > 0 {
 			skip--
+			recycleAfterIngest(&ev, errSkipped)
 			continue
 		}
 		if sp != nil {
@@ -174,7 +179,9 @@ func ReplayFrom(sv *Server, r io.Reader, speedup float64, skip int) (ReplayStats
 			continue
 		}
 		pc.sleep(pc.schedule(ev.Time))
-		if err := sv.Ingest(*ev); err != nil {
+		err = sv.Ingest(ev)
+		recycleAfterIngest(&ev, err)
+		if err != nil {
 			if errors.Is(err, ErrShed) {
 				st.Shed++
 				continue
@@ -184,6 +191,10 @@ func ReplayFrom(sv *Server, r io.Reader, speedup float64, skip int) (ReplayStats
 		st.Events++
 	}
 }
+
+// errSkipped marks a decoded-but-not-applied replay element so its pooled
+// observation is recycled like any other non-ingested event.
+var errSkipped = errors.New("serve: replay element skipped")
 
 // ReplayHTTP streams a recorded dump to a serving front end (NewHandler)
 // as a sequence of POST /ingest requests of at most batch frames each,
@@ -234,8 +245,11 @@ func ReplayHTTPFrom(client *http.Client, baseURL string, r io.Reader, speedup fl
 	}
 	start := time.Now()
 	pc := pacer{speedup: speedup}
+	// Pooled decode: events are re-encoded into the request body (copied),
+	// never retained, so every observation goes straight back to the pool.
+	var ev Event
 	for {
-		sp, ev, err := wr.Next()
+		sp, err := wr.NextInto(&ev)
 		if err == io.EOF {
 			if err := flush(); err != nil {
 				return st, err
@@ -249,6 +263,7 @@ func ReplayHTTPFrom(client *http.Client, baseURL string, r io.Reader, speedup fl
 		}
 		if skip > 0 {
 			skip--
+			recycleAfterIngest(&ev, errSkipped)
 			continue
 		}
 		if sp != nil {
@@ -265,7 +280,9 @@ func ReplayHTTPFrom(client *http.Client, baseURL string, r io.Reader, speedup fl
 				}
 				pc.sleep(ahead)
 			}
-			if body, err = EncodeEvent(body, *ev); err != nil {
+			body, err = EncodeEvent(body, ev)
+			recycleAfterIngest(&ev, errSkipped)
+			if err != nil {
 				return st, err
 			}
 			qEvents++

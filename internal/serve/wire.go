@@ -285,11 +285,20 @@ func appendEventPayload(e *wireEnc, ev *Event) {
 }
 
 func decodeEventPayload(p []byte) (Event, error) {
-	d := wireDec{b: p}
 	var ev Event
+	err := decodeEventInto(p, &ev, false)
+	return ev, err
+}
+
+// decodeEventInto decodes an event payload into *ev. With pooled set the
+// feature slice is drawn from the ingest observation pool and the event is
+// tagged for recycling (see pool.go); otherwise it is allocated fresh.
+func decodeEventInto(p []byte, ev *Event, pooled bool) error {
+	d := wireDec{b: p}
+	*ev = Event{}
 	k := d.u8()
 	if d.err == nil && k > uint8(EventJobFinish) {
-		return ev, fmt.Errorf("%w: unknown event kind %d", ErrCorrupt, k)
+		return fmt.Errorf("%w: unknown event kind %d", ErrCorrupt, k)
 	}
 	ev.Kind = EventKind(k)
 	ev.JobID = d.u64()
@@ -297,8 +306,18 @@ func decodeEventPayload(p []byte) (Event, error) {
 	ev.Time = d.f64()
 	ev.Tick = int(d.i64())
 	ev.Latency = d.f64()
-	ev.Features = d.floats(maxWireFeatures, "features")
-	return ev, d.finish()
+	if n := d.count(maxWireFeatures, "features"); n > 0 && d.need(8*n) {
+		if pooled {
+			ev.Features = getObservation(n)
+			ev.pooled = true
+		} else {
+			ev.Features = make([]float64, n)
+		}
+		for i := range ev.Features {
+			ev.Features[i] = d.f64()
+		}
+	}
+	return d.finish()
 }
 
 func appendSpecPayload(e *wireEnc, sp *JobSpec) error {
@@ -703,6 +722,7 @@ func (wr *WireReader) Next() (*JobSpec, *Event, error) {
 		// decodeEventPayload allocates the feature slice fresh (it never
 		// aliases the reader's scratch buffer), so the Event is safe to hand
 		// to a Server, which retains Features as the task's observation.
+		// NextInto is the pooled variant for ingest loops.
 		ev, err := decodeEventPayload(payload)
 		if err != nil {
 			return nil, nil, err
@@ -710,5 +730,44 @@ func (wr *WireReader) Next() (*JobSpec, *Event, error) {
 		return nil, &ev, nil
 	default:
 		return nil, nil, fmt.Errorf("%w: frame kind %d in a spec/event stream", ErrCorrupt, kind)
+	}
+}
+
+// NextInto is Next for allocation-disciplined ingest loops: event elements
+// decode into the caller's Event (reused across iterations) with the
+// feature slice drawn from the ingest observation pool instead of the heap;
+// spec elements are returned exactly as Next returns them, and (sp != nil)
+// distinguishes the two. The decoded feature slice still never aliases the
+// reader's scratch buffer, so the Event remains safe to hand to a Server —
+// but because it is pool-tagged, the caller MUST settle its ownership
+// before the next NextInto call: pass it to Ingest and then
+// recycleAfterIngest (the in-package ingest loops), or recycle it directly
+// when it is not ingested.
+func (wr *WireReader) NextInto(ev *Event) (*JobSpec, error) {
+	kind, payload, err := wr.next()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case FrameSpec:
+		sp, err := decodeSpecPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &sp, nil
+	case FrameEvent:
+		if err := decodeEventInto(payload, ev, true); err != nil {
+			// A payload that fails validation after the feature draw (e.g.
+			// trailing bytes) must not strand the pooled slice on an event
+			// the caller will discard.
+			if ev.pooled && ev.Features != nil {
+				putObservation(ev.Features)
+			}
+			*ev = Event{}
+			return nil, err
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: frame kind %d in a spec/event stream", ErrCorrupt, kind)
 	}
 }

@@ -1,14 +1,32 @@
 // Package tree implements CART-style regression trees used as the base
-// learner for gradient boosting (package gbt) and for the isolation forest
-// detector. Splits minimize within-node squared error; growth is bounded by
-// depth and minimum leaf size.
+// learner for gradient boosting (package gbt). Splits minimize within-node
+// squared error; growth is bounded by depth and minimum leaf size.
+//
+// A fitted Regressor is not a pointer-chasing structure: nodes live in a
+// single index-based slice (children are int32 indices into it), so a
+// predict walk touches one contiguous allocation. AppendSoA exposes that
+// table as parallel struct-of-arrays slices, which is how gbt compiles a
+// whole fitted ensemble into one contiguous flat node table (gbt.Flat) for
+// cache-friendly batched inference.
 package tree
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/stats"
+)
+
+// Typed fit errors, errors.Is-matchable through every wrapping layer.
+var (
+	// ErrRaggedRows reports a training matrix whose rows differ in width.
+	// Without this check a short row panics with index-out-of-range deep
+	// inside split scanning — possibly on a background refit worker.
+	ErrRaggedRows = errors.New("tree: ragged training rows")
+	// ErrBadConfig reports a Config that cannot drive growth (for example
+	// feature subsampling requested without an RNG).
+	ErrBadConfig = errors.New("tree: invalid config")
 )
 
 // Config controls tree growth.
@@ -31,7 +49,7 @@ func DefaultConfig() Config {
 	return Config{MaxDepth: 3, MinLeaf: 5, MinSplit: 10}
 }
 
-func (c *Config) normalize() {
+func (c *Config) normalize() error {
 	if c.MaxDepth <= 0 {
 		c.MaxDepth = 3
 	}
@@ -41,6 +59,13 @@ func (c *Config) normalize() {
 	if c.MinSplit < 2*c.MinLeaf {
 		c.MinSplit = 2 * c.MinLeaf
 	}
+	if c.FeatureFrac < 0 || c.FeatureFrac > 1 {
+		return fmt.Errorf("%w: FeatureFrac %v outside [0, 1]", ErrBadConfig, c.FeatureFrac)
+	}
+	if c.FeatureFrac > 0 && c.FeatureFrac < 1 && c.RNG == nil {
+		return fmt.Errorf("%w: FeatureFrac %v requires an RNG", ErrBadConfig, c.FeatureFrac)
+	}
+	return nil
 }
 
 // node is one tree node; leaves have feature == -1.
@@ -59,7 +84,9 @@ type Regressor struct {
 }
 
 // Fit grows a regression tree on X, y (optionally with per-sample weights;
-// pass nil for uniform). It returns an error for empty or mismatched input.
+// pass nil for uniform). It returns an error for empty or mismatched input:
+// ErrRaggedRows when rows differ in width, ErrBadConfig when cfg cannot
+// drive growth.
 func Fit(X [][]float64, y []float64, w []float64, cfg Config) (*Regressor, error) {
 	if len(X) == 0 {
 		return nil, fmt.Errorf("tree: empty training set")
@@ -70,8 +97,16 @@ func Fit(X [][]float64, y []float64, w []float64, cfg Config) (*Regressor, error
 	if w != nil && len(w) != len(X) {
 		return nil, fmt.Errorf("tree: %d weights for %d rows", len(w), len(X))
 	}
-	cfg.normalize()
-	t := &Regressor{ncols: len(X[0])}
+	ncols := len(X[0])
+	for i, row := range X {
+		if len(row) != ncols {
+			return nil, fmt.Errorf("%w: row %d has %d columns, row 0 has %d", ErrRaggedRows, i, len(row), ncols)
+		}
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	t := &Regressor{ncols: ncols}
 	idx := make([]int, len(X))
 	for i := range idx {
 		idx[i] = i
@@ -193,7 +228,11 @@ func (b *builder) bestSplit(idx []int, totW, totWY float64) (feat int, thr float
 	return feat, thr, ok
 }
 
-// Predict returns the tree's prediction for x.
+// Predict returns the tree's prediction for x. x must have at least
+// MaxFeature()+1 columns (NumCols() — the training width — always
+// suffices); shorter rows are a caller bug. Width-checked entry points
+// with typed errors live one layer up (gbt.Flat.CheckWidth, nurd.Model),
+// keeping this innermost walk branch-light.
 func (t *Regressor) Predict(x []float64) float64 {
 	i := int32(0)
 	for {
@@ -220,6 +259,57 @@ func (t *Regressor) PredictBatch(X [][]float64) []float64 {
 
 // NumNodes reports the node count (for tests and diagnostics).
 func (t *Regressor) NumNodes() int { return len(t.nodes) }
+
+// NumCols reports the training-set width the tree was fitted on.
+func (t *Regressor) NumCols() int { return t.ncols }
+
+// MaxFeature returns the largest feature index any node splits on, or -1
+// for a tree with no splits. Rows at least MaxFeature()+1 wide are safe to
+// Predict even if narrower than the training width.
+func (t *Regressor) MaxFeature() int {
+	max := -1
+	for i := range t.nodes {
+		if f := t.nodes[i].feature; f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// SoA is a struct-of-arrays node table: parallel slices with one entry per
+// node, leaves marked by Feature < 0 with the prediction in Value. Child
+// indices are absolute positions in the same table, so many trees can share
+// one contiguous SoA with per-tree root offsets — gbt.Flat compiles a whole
+// fitted ensemble this way for cache-friendly batched traversal.
+type SoA struct {
+	Feature   []int32
+	Threshold []float64
+	Value     []float64
+	Left      []int32
+	Right     []int32
+}
+
+// Len reports the number of nodes in the table.
+func (s *SoA) Len() int { return len(s.Feature) }
+
+// AppendSoA appends the tree's node table to s, rebasing child indices to
+// their absolute positions in the destination, and returns the index of the
+// appended root. Traversal from that root visits exactly the same nodes in
+// the same order as Predict, so compiled predictions are bit-identical.
+func (t *Regressor) AppendSoA(s *SoA) int32 {
+	base := int32(len(s.Feature))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		s.Feature = append(s.Feature, int32(n.feature))
+		s.Threshold = append(s.Threshold, n.threshold)
+		s.Value = append(s.Value, n.value)
+		// Leaves keep zero children; rebased they point at the tree's own
+		// root, but Feature < 0 stops the walk before they are read.
+		s.Left = append(s.Left, n.left+base)
+		s.Right = append(s.Right, n.right+base)
+	}
+	return base
+}
 
 // Depth returns the maximum depth of the tree (a lone leaf has depth 0).
 func (t *Regressor) Depth() int {

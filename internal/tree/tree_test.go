@@ -1,6 +1,7 @@
 package tree
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -238,5 +239,91 @@ func TestPredictionsWithinTargetRangeProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression: a ragged training matrix used to panic with
+// index-out-of-range deep inside split scanning (possibly on a background
+// refit worker); Fit must reject it up front with ErrRaggedRows.
+func TestFitRejectsRaggedRows(t *testing.T) {
+	X := [][]float64{{1, 2, 3}, {4, 5}, {6, 7, 8}}
+	y := []float64{1, 2, 3}
+	_, err := Fit(X, y, nil, Config{MaxDepth: 3, MinLeaf: 1, MinSplit: 2})
+	if !errors.Is(err, ErrRaggedRows) {
+		t.Fatalf("Fit on ragged rows: err = %v, want ErrRaggedRows", err)
+	}
+}
+
+// Regression: FeatureFrac in (0,1) with a nil RNG used to silently fit
+// without subsampling instead of failing fast; Fit must reject the config
+// with ErrBadConfig so the misconfiguration surfaces at the boundary.
+func TestFitRejectsFeatureFracWithoutRNG(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	y := []float64{1, 2, 3, 4}
+	_, err := Fit(X, y, nil, Config{MaxDepth: 3, MinLeaf: 1, MinSplit: 2, FeatureFrac: 0.5})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("Fit with FeatureFrac and nil RNG: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := Fit(X, y, nil, Config{MaxDepth: 3, MinLeaf: 1, MinSplit: 2, FeatureFrac: 1.5, RNG: stats.NewRNG(1)}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("Fit with FeatureFrac 1.5: err = %v, want ErrBadConfig", err)
+	}
+	// The boundary values 0 and 1 mean "no subsampling" and stay legal
+	// without an RNG.
+	if _, err := Fit(X, y, nil, Config{MaxDepth: 3, MinLeaf: 1, MinSplit: 2, FeatureFrac: 1}); err != nil {
+		t.Fatalf("Fit with FeatureFrac 1: %v", err)
+	}
+}
+
+// AppendSoA must reproduce the tree's traversal exactly: same leaf, bit-for-
+// bit the same value, for several trees packed into one shared table.
+func TestAppendSoAMatchesPredict(t *testing.T) {
+	rng := stats.NewRNG(42)
+	var s SoA
+	type fitted struct {
+		tr   *Regressor
+		root int32
+	}
+	var trees []fitted
+	for k := 0; k < 5; k++ {
+		n := 40 + rng.Intn(60)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range X {
+			X[i] = []float64{rng.Normal(0, 1), rng.Normal(0, 1), rng.Normal(0, 1)}
+			y[i] = X[i][0]*2 - X[i][1] + rng.Normal(0, 0.1)
+		}
+		tr, err := Fit(X, y, nil, Config{MaxDepth: 4, MinLeaf: 2, MinSplit: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, fitted{tr, tr.AppendSoA(&s)})
+	}
+	walk := func(x []float64, root int32) float64 {
+		i := root
+		for s.Feature[i] >= 0 {
+			if x[s.Feature[i]] <= s.Threshold[i] {
+				i = s.Left[i]
+			} else {
+				i = s.Right[i]
+			}
+		}
+		return s.Value[i]
+	}
+	total := 0
+	for _, f := range trees {
+		total += f.tr.NumNodes()
+		if mf := f.tr.MaxFeature(); mf >= f.tr.NumCols() {
+			t.Fatalf("MaxFeature %d >= NumCols %d", mf, f.tr.NumCols())
+		}
+		for i := 0; i < 50; i++ {
+			x := []float64{rng.Normal(0, 2), rng.Normal(0, 2), rng.Normal(0, 2)}
+			want := f.tr.Predict(x)
+			if got := walk(x, f.root); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("SoA walk %v, tree Predict %v", got, want)
+			}
+		}
+	}
+	if s.Len() != total {
+		t.Fatalf("SoA holds %d nodes, trees total %d", s.Len(), total)
 	}
 }
