@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"repro/internal/serve"
+	"repro/internal/servehttp"
 	"repro/internal/workload"
 )
 
@@ -199,7 +200,7 @@ func runOne(name, url string, cfg serve.Config, opts workload.Options, score boo
 	tgt := &workload.HTTPTarget{BaseURL: strings.TrimSuffix(url, "/")}
 	if url == "" {
 		sv := serve.NewServer(cfg)
-		ts := httptest.NewUnstartedServer(serve.NewHandler(sv))
+		ts := httptest.NewUnstartedServer(servehttp.NewHandler(sv))
 		ts.Start()
 		defer ts.Close()
 		tgt.BaseURL = ts.URL

@@ -69,10 +69,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/predictor"
 	"repro/internal/serve"
+	"repro/internal/servehttp"
 	"repro/internal/simulator"
 	"repro/internal/trace"
 )
@@ -87,6 +89,7 @@ func main() {
 		rate      = flag.Float64("rate", 0, "target ingest rate in events/s across all workers (0 = unthrottled)")
 		tolerance = flag.Float64("tolerance", 1e-9, "max tolerated per-job |served F1 - offline F1|")
 		listen    = flag.String("listen", "", "HTTP listen address for the wire front end (e.g. :8080); empty = load-driver mode")
+		nodes     = flag.Int("nodes", 1, "in-process cluster size: jobs are routed across this many serve nodes by a consistent-hash ring (1 = single node; with -wal each node logs to its own subdirectory)")
 		replay    = flag.String("replay", "", "wire-format trace dump to replay (tracegen -format wire)")
 		speedup   = flag.Float64("speedup", 0, "replay pacing as a multiple of recorded time (0 = as fast as possible)")
 		hold      = flag.Duration("hold", 0, "with -listen and -replay: keep serving this long after the replay drains")
@@ -126,8 +129,8 @@ func main() {
 	switch {
 	case *walVerify != "":
 		err = runWALVerify(*walVerify, os.Stdout)
-	case *listen != "" || *replay != "" || *walDir != "":
-		err = serveMode(*listen, *replay, scfg, *speedup, *hold, *walDir, wopts)
+	case *listen != "" || *replay != "" || *walDir != "" || *nodes > 1:
+		err = serveMode(*listen, *replay, *nodes, scfg, *speedup, *hold, *walDir, wopts)
 	default:
 		err = run(*traceName, *jobs, *seed, *workers, scfg, *rate, *tolerance)
 	}
@@ -206,20 +209,68 @@ func setupServer(walDir string, scfg servingConfig, wopts serve.WALOptions) (*se
 	return sv, wal, rst, nil
 }
 
+// backend is the serving surface serveMode drives: the HTTP front's
+// Backend plus the operator-facing reads. Both the single-node
+// *serve.Server and the multi-node *cluster.Cluster satisfy it.
+type backend interface {
+	servehttp.Backend
+	NumShards() int
+	JobIDs() []uint64
+}
+
 // serveMode runs the durable wire-facing server: an HTTP front end, a
 // dump replay, or both (dump streamed through the front end), optionally
-// on top of a write-ahead log with automatic recovery.
-func serveMode(listen, replay string, scfg servingConfig, speedup float64, hold time.Duration, walDir string, wopts serve.WALOptions) error {
-	sv, wal, rst, err := setupServer(walDir, scfg, wopts)
-	if err != nil {
-		return err
+// on top of a write-ahead log with automatic recovery. With nodes > 1 the
+// server is an in-process consistent-hash cluster: each job's whole stream
+// lands on one of nodes serve.Servers (each with its own WAL subdirectory
+// under -wal), and /query, /report and /stats scatter-gather across them.
+func serveMode(listen, replay string, nodes int, scfg servingConfig, speedup float64, hold time.Duration, walDir string, wopts serve.WALOptions) error {
+	var (
+		sv        backend
+		wal       *serve.WAL
+		cl        *cluster.Cluster
+		recovered int
+	)
+	if nodes > 1 {
+		if walDir != "" {
+			if info, err := os.Stat(walDir); err != nil {
+				return fmt.Errorf("wal dir %s: %w (create it first)", walDir, err)
+			} else if !info.IsDir() {
+				return fmt.Errorf("wal dir %s: not a directory", walDir)
+			}
+			for i := 0; i < nodes; i++ {
+				if err := os.MkdirAll(cluster.NodeDir(walDir, i), 0o777); err != nil {
+					return err
+				}
+			}
+			c, rsts, err := cluster.Recover(walDir, nodes, scfg.apply(serve.DefaultConfig()), wopts)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			for _, rst := range rsts {
+				recovered += int(rst.NextLSN) - 1
+			}
+			fmt.Fprintf(os.Stderr, "nurdserve: wal %s: %d nodes recovered %d mutations\n", walDir, nodes, recovered)
+			cl, sv = c, c
+		} else {
+			c := cluster.New(nodes, scfg.apply(serve.DefaultConfig()))
+			cl, sv = c, c
+		}
+		fmt.Fprintf(os.Stderr, "nurdserve: %d-node cluster (%d virtual points/node)\n", nodes, cluster.VNodesPerNode)
+	} else {
+		single, w, rst, err := setupServer(walDir, scfg, wopts)
+		if err != nil {
+			return err
+		}
+		sv, wal = single, w
+		if wal != nil {
+			defer wal.Close()
+			recovered = int(rst.NextLSN) - 1
+			fmt.Fprintf(os.Stderr, "nurdserve: wal %s: recovered %d mutations (%v)\n", walDir, recovered, rst)
+		}
 	}
-	recovered := 0
-	if wal != nil {
-		defer wal.Close()
-		recovered = int(rst.NextLSN) - 1
-		fmt.Fprintf(os.Stderr, "nurdserve: wal %s: recovered %d mutations (%v)\n", walDir, recovered, rst)
-	}
+	durable := wal != nil || (cl != nil && walDir != "")
 
 	// With a WAL, resuming a -replay after a crash maps the recovered LSN
 	// back to a dump position — which is only exact if the dump was the
@@ -238,7 +289,7 @@ func serveMode(listen, replay string, scfg servingConfig, speedup float64, hold 
 		}
 		base = "http://" + ln.Addr().String()
 		fmt.Fprintf(os.Stderr, "nurdserve: serving %d shards on %s\n", sv.NumShards(), base)
-		srv = &http.Server{Handler: serve.NewHandler(sv)}
+		srv = &http.Server{Handler: servehttp.NewHandler(sv)}
 		go srv.Serve(ln)
 		return nil
 	}
@@ -247,7 +298,7 @@ func serveMode(listen, replay string, scfg servingConfig, speedup float64, hold 
 			srv.Close()
 		}
 	}()
-	if wal == nil || replay == "" {
+	if !durable || replay == "" {
 		if err := startListener(); err != nil {
 			return err
 		}
@@ -264,16 +315,16 @@ func serveMode(listen, replay string, scfg servingConfig, speedup float64, hold 
 		if recovered > 0 {
 			fmt.Fprintf(os.Stderr, "nurdserve: resuming replay at element %d (the WAL already holds the rest)\n", recovered)
 		}
-		var st serve.ReplayStats
+		var st servehttp.ReplayStats
 		if base != "" {
 			// Only reachable without -wal (the listener is deferred until
 			// the replay drains otherwise), so there is never anything to
 			// skip on this path; crash-resume replays run in-process.
 			fmt.Fprintf(os.Stderr, "nurdserve: replaying %s through POST %s/ingest (speedup %g)\n", replay, base, speedup)
-			st, err = serve.ReplayHTTP(nil, base, f, speedup, 2048)
+			st, err = servehttp.ReplayHTTP(nil, base, f, speedup, 2048)
 		} else {
 			fmt.Fprintf(os.Stderr, "nurdserve: replaying %s in-process (speedup %g)\n", replay, speedup)
-			st, err = serve.ReplayFrom(sv, f, speedup, recovered)
+			st, err = servehttp.ReplayFrom(sv, f, speedup, recovered)
 		}
 		if err != nil {
 			return err
@@ -282,11 +333,17 @@ func serveMode(listen, replay string, scfg servingConfig, speedup float64, hold 
 			st.Specs, st.Events, st.Wall.Round(time.Millisecond), st.Rate(),
 			st.MaxLag.Round(time.Millisecond))
 		if wal != nil {
-			path, retired, err := sv.CheckpointWAL()
+			path, retired, err := sv.(*serve.Server).CheckpointWAL()
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "nurdserve: checkpointed to %s (%d segments retired)\n", path, retired)
+		} else if cl != nil && durable {
+			paths, err := cl.CheckpointWAL()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "nurdserve: checkpointed %d node snapshots\n", len(paths))
 		}
 		fmt.Printf("%8s %6s %6s %6s %6s %7s %10s %5s\n",
 			"job", "cp", "start", "finis", "term", "refits", "refit-mean", "done")

@@ -1,6 +1,6 @@
-// Package cluster implements k-means++ clustering, the substrate for the
+// Package kmeans implements k-means++ clustering, the substrate for the
 // CBLOF outlier detector and the locality partitioning in LSCP.
-package cluster
+package kmeans
 
 import (
 	"fmt"

@@ -3,7 +3,7 @@ package outlier
 import (
 	"math"
 
-	"repro/internal/cluster"
+	"repro/internal/kmeans"
 	"repro/internal/knnindex"
 	"repro/internal/stats"
 	"repro/internal/vecmath"
@@ -135,7 +135,7 @@ func (d *CBLOF) Fit(X [][]float64) error {
 	}
 	Z := d.transform(X)
 	rng := stats.NewRNG(d.Seed ^ 0xcb10f)
-	res, err := cluster.KMeans(Z, d.K, 50, rng)
+	res, err := kmeans.KMeans(Z, d.K, 50, rng)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,88 @@
+package serve
+
+// compat_alias_test.go is the compile-time half of compat.go's contract:
+// every aliased name must be THE type or value from its home package, not
+// a converted lookalike. Type identity is asserted by assignments that
+// only compile when the two sides are the same type; error identity is
+// asserted both ways through errors.Is, because a var alias that was
+// accidentally rewrapped (`var ErrCorrupt = fmt.Errorf("%w", ...)`) would
+// still compile but break every caller matching on the home package's
+// value.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// Compile-time type identity: an alias is the same type, so a value of the
+// home type assigns without conversion. These lines fail to compile if any
+// alias decays into a defined (distinct) type.
+var (
+	_ = func(e wire.Event) Event { return e }
+	_ = func(k wire.EventKind) EventKind { return k }
+	_ = func(s wire.JobSpec) JobSpec { return s }
+	_ = func(m wire.RefitMode) RefitMode { return m }
+	_ = func(w *wal.WAL) *WAL { return w }
+	_ = func(o wal.Options) WALOptions { return o }
+	_ = func(f wal.FS) WALFS { return f }
+	_ = func(f wal.File) WALFile { return f }
+	_ = func(s wal.Stats) WALStats { return s }
+	_ = func(s wal.StreamStats) WALStreamStats { return s }
+	_ = func(r wal.RecoveryStats) RecoveryStats { return r }
+	_ = func(r wal.VerifyReport) WALVerifyReport { return r }
+	_ = func(r *wire.Reader) *WireReader { return r }
+	_ = func(w *wire.Writer) *WireWriter { return w }
+)
+
+// Compile-time value identity for the error aliases the issue pins: the
+// serve-package names must BE error values (and for the moved ones, the
+// same variable as the home package's).
+var (
+	_ error = ErrUnknownJob
+	_ error = ErrOverloaded
+	_ error = ErrCorrupt
+)
+
+// TestErrorAliasIdentity: errors.Is must match in both directions through
+// every alias — the exact identities cmd/ and the HTTP front's error
+// mapping rely on.
+func TestErrorAliasIdentity(t *testing.T) {
+	pairs := []struct {
+		name       string
+		alias, hom error
+	}{
+		{"ErrCorrupt", ErrCorrupt, wire.ErrCorrupt},
+		{"ErrBadMagic", ErrBadMagic, wire.ErrBadMagic},
+		{"ErrVersion", ErrVersion, wire.ErrVersion},
+		{"ErrTruncated", ErrTruncated, wire.ErrTruncated},
+		{"ErrWALFailed", ErrWALFailed, wal.ErrFailed},
+		{"ErrWALClosed", ErrWALClosed, wal.ErrClosed},
+		{"ErrWALGap", ErrWALGap, wal.ErrGap},
+	}
+	for _, p := range pairs {
+		if p.alias != p.hom {
+			t.Errorf("%s is not the home package's value", p.name)
+		}
+		if !errors.Is(p.alias, p.hom) || !errors.Is(p.hom, p.alias) {
+			t.Errorf("%s: errors.Is does not match both ways", p.name)
+		}
+	}
+	// The serve-native errors still answer to their own identity (they
+	// never moved; the pin is that the split didn't rewrap them).
+	for _, e := range []error{ErrUnknownJob, ErrOverloaded, ErrShed} {
+		if !errors.Is(e, e) {
+			t.Errorf("%v lost self-identity", e)
+		}
+	}
+	// Constants carried over the split.
+	if WireVersion != wire.Version {
+		t.Errorf("WireVersion %d != wire.Version %d", WireVersion, wire.Version)
+	}
+	if DefaultWALSegmentBytes != wal.DefaultSegmentBytes {
+		t.Errorf("DefaultWALSegmentBytes %d != wal.DefaultSegmentBytes %d",
+			DefaultWALSegmentBytes, wal.DefaultSegmentBytes)
+	}
+}

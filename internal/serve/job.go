@@ -16,7 +16,7 @@ type taskState struct {
 	start    float64
 	features []float64 // latest heartbeat observation
 	// pooled marks features as drawn from the ingest observation pool
-	// (Event.pooled provenance, see pool.go); only such slices may be
+	// (Event.Pooled provenance, see pool.go); only such slices may be
 	// recycled when a newer heartbeat replaces them.
 	pooled bool
 	// captured marks features as aliased into a checkpoint view (snapshot
@@ -187,7 +187,7 @@ func (j *jobState) handle(e Event) error {
 		// Mild monitoring-pipeline jitter: never rewind the job clock.
 		t = j.clock
 	}
-	for !j.done && j.nextCP <= j.spec.Checkpoints && t > j.spec.tauRun(j.nextCP) {
+	for !j.done && j.nextCP <= j.spec.Checkpoints && t > j.spec.TauRun(j.nextCP) {
 		j.fireCheckpoint()
 	}
 	if j.done {
@@ -240,7 +240,7 @@ func (j *jobState) handle(e Event) error {
 			putObservation(ts.features)
 		}
 		ts.features = e.Features
-		ts.pooled = e.pooled
+		ts.pooled = e.Pooled
 		ts.captured = false
 	case EventTaskFinish:
 		if ts.terminated {
@@ -263,7 +263,7 @@ var errDropped = fmt.Errorf("serve: event dropped")
 // as most recently observed. Tasks that have started but never heartbeat
 // are invisible — monitoring has not observed them yet.
 func (j *jobState) snapshot(k int) *simulator.Checkpoint {
-	tau := j.spec.tauRun(k)
+	tau := j.spec.TauRun(k)
 	cp := &simulator.Checkpoint{
 		Index:             k,
 		Norm:              float64(k) / float64(j.spec.Checkpoints),

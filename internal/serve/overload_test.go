@@ -5,23 +5,26 @@ package serve
 // finishes never shed), the no-WAL-trace property that keeps recovery
 // equivalence intact under shedding, the refit-queue inline fallback,
 // degraded queries (staleness flags, and their survival across
-// snapshot/restore and WAL recovery), per-client rate limiting, and the
-// two Retry-After classes.
+// snapshot/restore and WAL recovery), and the load-derived retry hint.
+// The HTTP-visible halves of the taxonomy — per-client rate limiting and
+// the two Retry-After classes — are pinned by the servehttp test suite.
 
 import (
 	"bytes"
-	"encoding/json"
 	"errors"
-	"io"
-	"net/http"
-	"net/http/httptest"
 	"reflect"
-	"strconv"
 	"testing"
 	"time"
 
 	"repro/internal/simulator"
+	"repro/internal/wal/waltest"
 )
+
+// cheapCfg is a 1-predictor config for protocol tests where model quality
+// is irrelevant (flagAll is defined in serve_test.go).
+func cheapCfg(shards int) Config {
+	return Config{Shards: shards, NewPredictor: func(JobSpec) simulator.Predictor { return &flagAll{} }}
+}
 
 // TestShedPriorityOrder: with the ingest queue full, a heartbeat is shed
 // immediately (ErrShed, before any state is touched) while a finish — which
@@ -78,7 +81,7 @@ func TestShedPriorityOrder(t *testing.T) {
 // and not logged — so the WAL records exactly the accepted stream, and a
 // crash recovery of a shedding server reproduces its state verbatim.
 func TestShedLeavesNoWALTrace(t *testing.T) {
-	fs := newMemFS()
+	fs := waltest.NewMemFS()
 	cfg := cheapCfg(1)
 	cfg.IngestQueue = 1
 	sv, _, _, err := Recover("wal", cfg, WALOptions{FS: fs})
@@ -312,7 +315,7 @@ func TestStaleViewSurvivesSnapshotRestore(t *testing.T) {
 // recovered server serves the same flagged-stale answers under lock
 // contention as the one that died.
 func TestStaleViewSurvivesWALRecovery(t *testing.T) {
-	fs := newMemFS()
+	fs := waltest.NewMemFS()
 	cfg := cheapCfg(1)
 	cfg.DegradedAfter = time.Millisecond
 	sv, _, _, err := Recover("wal", cfg, WALOptions{FS: fs})
@@ -366,129 +369,8 @@ func TestStaleViewSurvivesWALRecovery(t *testing.T) {
 	}
 }
 
-// ingestAs posts a wire batch under a client identity.
-func ingestAs(t *testing.T, ts *httptest.Server, client string, body io.Reader) (*http.Response, IngestResult) {
-	t.Helper()
-	req, err := http.NewRequest(http.MethodPost, ts.URL+"/ingest", body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	req.Header.Set("Content-Type", wireContentType)
-	req.Header.Set("X-Nurd-Client", client)
-	resp, err := ts.Client().Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var res IngestResult
-	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
-		t.Fatalf("decoding %s body: %v", resp.Status, err)
-	}
-	return resp, res
-}
-
-// TestRateLimitPerClient pins the token-bucket contract: refusal is atomic
-// at request start (429, NOTHING applied, load-aware Retry-After in 1..10),
-// mid-batch an empty bucket sheds only heartbeats, other frames run the
-// bucket into debt, and clients are limited independently.
-func TestRateLimitPerClient(t *testing.T) {
-	sv := NewServer(Config{Shards: 1, ClientRate: 5, ClientBurst: 5})
-	ts := httptest.NewServer(NewHandler(sv))
-	defer ts.Close()
-
-	spec := pipelineSpec(1)
-	var events []Event
-	for i := 0; i < spec.NumTasks; i++ {
-		events = append(events, Event{Kind: EventTaskStart, JobID: 1, TaskID: i, Time: 0})
-	}
-	for k := 0; k < 3; k++ {
-		for i := 0; i < spec.NumTasks; i++ {
-			events = append(events, Event{Kind: EventHeartbeat, JobID: 1, TaskID: i,
-				Time: float64(k + 1), Features: []float64{float64(i), 1}})
-		}
-	}
-	// Burst 5 cannot cover 1 spec + 8 starts + 24 heartbeats: the spec and
-	// every start are non-sheddable (debt), the heartbeats past the budget
-	// are shed mid-batch.
-	resp, res := ingestAs(t, ts, "a", wireBody(t, []JobSpec{spec}, events))
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("first request: %s (%s)", resp.Status, res.Error)
-	}
-	if res.Specs != 1 || res.Events != spec.NumTasks {
-		t.Fatalf("specs=%d events=%d, want 1/%d (starts are never shed)", res.Specs, res.Events, spec.NumTasks)
-	}
-	if res.Shed < 20 {
-		t.Fatalf("shed=%d heartbeats mid-batch, want >=20 (burst 5)", res.Shed)
-	}
-
-	// The bucket is now deep in debt: the next request is refused
-	// atomically with a load-aware hint.
-	resp, res = ingestAs(t, ts, "a", wireBody(t, nil, []Event{
-		{Kind: EventTaskFinish, JobID: 1, TaskID: 0, Time: 5, Latency: 5}}))
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("over-budget client: %s, want 429", resp.Status)
-	}
-	if res.Specs != 0 || res.Events != 0 || res.Shed != 0 {
-		t.Fatalf("429 applied something: %+v (refusal must be atomic)", res)
-	}
-	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
-	if err != nil || ra < 1 || ra > maxRetryHintSeconds {
-		t.Fatalf("429 Retry-After %q, want integer in [1,%d]", resp.Header.Get("Retry-After"), maxRetryHintSeconds)
-	}
-
-	// A different client has its own bucket.
-	resp, res = ingestAs(t, ts, "b", wireBody(t, nil, []Event{
-		{Kind: EventTaskFinish, JobID: 1, TaskID: 0, Time: 5, Latency: 5}}))
-	if resp.StatusCode != http.StatusOK || res.Events != 1 {
-		t.Fatalf("independent client refused: %s %+v", resp.Status, res)
-	}
-
-	// The front folds limiter counters into /stats.
-	sresp, err2 := ts.Client().Get(ts.URL + "/stats")
-	if err2 != nil {
-		t.Fatal(err2)
-	}
-	defer sresp.Body.Close()
-	var st Stats
-	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
-	if st.Overload.RateLimited < 1 || st.Overload.RateShedHeartbeats < 20 {
-		t.Fatalf("stats: rate_limited=%d rate_shed=%d, want >=1 and >=20",
-			st.Overload.RateLimited, st.Overload.RateShedHeartbeats)
-	}
-}
-
-// TestRetryAfterClasses: 429 (transient load) and 503 (durability outage)
-// back off on different timescales — the 429 hint is load-derived and small,
-// the 503 hint is the fixed, longer outage constant.
-func TestRetryAfterClasses(t *testing.T) {
-	fs := newMemFS()
-	sv, wal, _, err := Recover("wal", cheapCfg(1), WALOptions{FS: fs})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer wal.Close()
-	spec := JobSpec{JobID: 7, Schema: []string{"cpu"}, NumTasks: 2, TauStra: 10,
-		Horizon: 100, Checkpoints: 4, WarmFrac: 0.25, Seed: 7}
-	if err := sv.StartJob(spec, nil); err != nil {
-		t.Fatal(err)
-	}
-	fs.setBudget(fs.totalWritten()) // wedge the WAL
-	ts := httptest.NewServer(NewHandler(sv))
-	defer ts.Close()
-	resp, _ := postIngest(t, ts, wireBody(t, nil, []Event{
-		{Kind: EventTaskStart, JobID: 7, TaskID: 0, Time: 1}}))
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("wedged WAL: %s, want 503", resp.Status)
-	}
-	if got := resp.Header.Get("Retry-After"); got != "30" {
-		t.Fatalf("503 Retry-After %q, want the fixed outage hint \"30\"", got)
-	}
-}
-
 // TestRetryHintTracksLoad: the 429 hint grows with queue occupancy — 1s on
-// an idle server, maxRetryHintSeconds when a queue is at its bound.
+// an idle server, MaxRetryHintSeconds when a queue is at its bound.
 func TestRetryHintTracksLoad(t *testing.T) {
 	sv := NewServer(Config{Shards: 1, IngestQueue: 2})
 	if got := sv.RetryHint(); got != 1 {
@@ -497,12 +379,12 @@ func TestRetryHintTracksLoad(t *testing.T) {
 	s := sv.reg.shardFor(1)
 	s.sem <- struct{}{}
 	s.sem <- struct{}{}
-	if got := sv.RetryHint(); got != maxRetryHintSeconds {
-		t.Fatalf("full-queue hint %d, want %d", got, maxRetryHintSeconds)
+	if got := sv.RetryHint(); got != MaxRetryHintSeconds {
+		t.Fatalf("full-queue hint %d, want %d", got, MaxRetryHintSeconds)
 	}
 	<-s.sem
-	if got := sv.RetryHint(); got <= 1 || got >= maxRetryHintSeconds {
-		t.Fatalf("half-queue hint %d, want strictly between 1 and %d", got, maxRetryHintSeconds)
+	if got := sv.RetryHint(); got <= 1 || got >= MaxRetryHintSeconds {
+		t.Fatalf("half-queue hint %d, want strictly between 1 and %d", got, MaxRetryHintSeconds)
 	}
 	<-s.sem
 }

@@ -36,55 +36,6 @@ import (
 	"repro/internal/simulator"
 )
 
-// RefitMode selects how a job's models are refitted at checkpoint
-// boundaries. It is part of JobSpec (and therefore of the wire format, the
-// write-ahead log, and snapshots), so recovery rebuilds every job's models
-// with exactly the strategy the live server used.
-type RefitMode uint8
-
-const (
-	// RefitModeDefault defers to the server's Config.RefitMode at
-	// registration; StartJob resolves it before the spec is logged or
-	// snapshotted, so durable state always carries a concrete mode.
-	RefitModeDefault RefitMode = 0
-	// RefitScratch retrains from scratch at every checkpoint — the paper's
-	// Table 3 path, bit-identical to the offline replay.
-	RefitScratch RefitMode = 1
-	// RefitWarm warm-starts each checkpoint's latency model from the
-	// previous checkpoint's ensemble (gbt.Model.Extend): several times
-	// cheaper per refit, seed-trace accuracy within a small epsilon of
-	// scratch (test-enforced).
-	RefitWarm RefitMode = 2
-)
-
-// String renders the mode as its CLI spelling.
-func (m RefitMode) String() string {
-	switch m {
-	case RefitModeDefault:
-		return "default"
-	case RefitScratch:
-		return "scratch"
-	case RefitWarm:
-		return "warm"
-	default:
-		return fmt.Sprintf("refit-mode-%d", uint8(m))
-	}
-}
-
-// ParseRefitMode parses a CLI spelling of a refit mode.
-func ParseRefitMode(s string) (RefitMode, error) {
-	switch s {
-	case "", "default":
-		return RefitModeDefault, nil
-	case "scratch":
-		return RefitScratch, nil
-	case "warm":
-		return RefitWarm, nil
-	default:
-		return 0, fmt.Errorf("serve: unknown refit mode %q (want scratch or warm)", s)
-	}
-}
-
 // refitCounter is implemented by predictors that can report how many of
 // their refits warm-started the underlying model vs fitted it from scratch
 // (predictor.NURDPredictor does); the pipeline reads it for Stats.

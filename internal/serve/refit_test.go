@@ -2,10 +2,7 @@ package serve
 
 import (
 	"bytes"
-	"encoding/json"
 	"math"
-	"net/http"
-	"net/http/httptest"
 	"reflect"
 	"sync"
 	"testing"
@@ -207,73 +204,6 @@ func TestRefitAppliesAtNextBoundary(t *testing.T) {
 	for id, k := range rep.PredictedAt {
 		if k != 1 {
 			t.Fatalf("task %d flagged at %d, want boundary 1", id, k)
-		}
-	}
-}
-
-// TestStatsHTTPRefitFields covers the /stats JSON surface of the pipeline:
-// the new fields are present, and on a drained server the gauges are zero
-// while the warm/scratch split accounts for every refit.
-func TestStatsHTTPRefitFields(t *testing.T) {
-	jobs, sims := smallJobs(t, 2, 83)
-	sv := NewServer(Config{Shards: 2, RefitMode: RefitWarm})
-	for i := range jobs {
-		s, _ := nurdSeed(t, 83, i)
-		if err := sv.StartJob(SpecFor(sims[i], s), nil); err != nil {
-			t.Fatal(err)
-		}
-		if err := sv.IngestBatch(JobEvents(jobs[i], sims[i])); err != nil {
-			t.Fatal(err)
-		}
-	}
-	ts := httptest.NewServer(NewHandler(sv))
-	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var got map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
-		t.Fatal(err)
-	}
-	for _, field := range []string{"RefitQueue", "RefitInflight", "RefitLag", "WarmFits", "ScratchFits", "Refits"} {
-		if _, ok := got[field]; !ok {
-			t.Errorf("/stats missing field %q", field)
-		}
-	}
-	for _, gauge := range []string{"RefitQueue", "RefitInflight", "RefitLag"} {
-		if v := got[gauge].(float64); v != 0 {
-			t.Errorf("drained server reports %s=%v", gauge, v)
-		}
-	}
-	warm, scratch := got["WarmFits"].(float64), got["ScratchFits"].(float64)
-	refits := got["Refits"].(float64)
-	if warm == 0 {
-		t.Error("warm-mode server recorded no warm fits")
-	}
-	if scratch == 0 {
-		t.Error("warm-mode server recorded no scratch fits (each job's first fit is scratch)")
-	}
-	// Refit cycles the predictor's own MinFinishedFrac gate declines fit no
-	// model, so the strategy split bounds but need not equal the cycle count.
-	if warm+scratch > refits {
-		t.Errorf("warm %v + scratch %v exceeds refits %v", warm, scratch, refits)
-	}
-	// Per-job reports expose the same accounting.
-	for i := range jobs {
-		rep, err := sv.Report(jobs[i].ID)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if rep.Generation != rep.Refits || rep.PendingRefits != 0 {
-			t.Errorf("job %d: generation=%d refits=%d pending=%d", i, rep.Generation, rep.Refits, rep.PendingRefits)
-		}
-		if int(rep.WarmFits+rep.ScratchFits) > rep.Refits {
-			t.Errorf("job %d: warm %d + scratch %d exceeds refits %d", i, rep.WarmFits, rep.ScratchFits, rep.Refits)
-		}
-		if rep.Spec.RefitMode != RefitWarm {
-			t.Errorf("job %d: spec mode %v, want warm (stamped from server config)", i, rep.Spec.RefitMode)
 		}
 	}
 }

@@ -25,15 +25,6 @@ func (r *registry) shardFor(jobID uint64) *shard {
 	return r.shards[mix64(jobID)%uint64(len(r.shards))]
 }
 
-// mix64 is the splitmix64 finalizer (Steele et al., "Fast Splittable
-// Pseudorandom Number Generators").
-func mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
 // each visits every shard.
 func (r *registry) each(f func(*shard)) {
 	for _, s := range r.shards {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/simulator"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // testJobs generates n jobs plus their prepared replays.
@@ -351,19 +352,19 @@ func TestSpecValidation(t *testing.T) {
 	base := JobSpec{JobID: 1, Schema: []string{"a"}, NumTasks: 10, TauStra: 5, Horizon: 100}
 	bad := []func(*JobSpec){
 		func(s *JobSpec) { s.NumTasks = 0 },
-		func(s *JobSpec) { s.NumTasks = maxSnapTasks + 1 },
+		func(s *JobSpec) { s.NumTasks = wire.MaxSnapTasks + 1 },
 		// Within the count cap but too many tasks for one snapshot frame.
 		func(s *JobSpec) { s.NumTasks = 1 << 20 },
 		// Fits a snapshot frame, but tasks x checkpoints exceeds the
 		// history-retention cap.
 		func(s *JobSpec) { s.NumTasks = 400000; s.Checkpoints = 10 },
 		func(s *JobSpec) { s.Schema = nil },
-		func(s *JobSpec) { s.Schema = make([]string, maxSchemaCols+1) },
-		func(s *JobSpec) { s.Schema = []string{strings.Repeat("x", maxSchemaName+1)} },
+		func(s *JobSpec) { s.Schema = make([]string, wire.MaxSchemaCols+1) },
+		func(s *JobSpec) { s.Schema = []string{strings.Repeat("x", wire.MaxSchemaName+1)} },
 		func(s *JobSpec) { s.TauStra = 0 },
 		func(s *JobSpec) { s.Horizon = -1 },
 		func(s *JobSpec) { s.Checkpoints = -1 },
-		func(s *JobSpec) { s.Checkpoints = maxSnapCheckpoints + 1 },
+		func(s *JobSpec) { s.Checkpoints = wire.MaxSnapCheckpoints + 1 },
 		func(s *JobSpec) { s.WarmFrac = 0.9 },
 	}
 	for i, mut := range bad {

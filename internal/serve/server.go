@@ -200,9 +200,9 @@ func NewServer(cfg Config) *Server {
 
 // RetryHint derives the transient back-off hint (seconds) attached to 429
 // responses from live load: 1s when queues are idle, rising toward
-// maxRetryHintSeconds as the fullest shard's ingest or refit queue
+// MaxRetryHintSeconds as the fullest shard's ingest or refit queue
 // approaches its bound. Unbounded queues contribute nothing. Outage (503)
-// responses use the fixed, longer retryAfterOutageSeconds instead — a
+// responses use the fixed, longer RetryAfterOutageSeconds instead — a
 // wedged WAL clears on operator timescales, not queue-drain timescales.
 func (sv *Server) RetryHint() int {
 	var occ float64
@@ -222,7 +222,7 @@ func (sv *Server) RetryHint() int {
 	if occ > 1 {
 		occ = 1
 	}
-	return 1 + int(occ*float64(maxRetryHintSeconds-1)+0.5)
+	return 1 + int(occ*float64(MaxRetryHintSeconds-1)+0.5)
 }
 
 // reserve claims budget for one numTasks-task job, failing with
@@ -274,7 +274,10 @@ func (sv *Server) release(numTasks int) {
 func (sv *Server) attachWAL(w *WAL) {
 	sv.wal = w
 	sv.reg.each(func(s *shard) { s.wal = w })
-	w.startAutoCheckpoint(sv)
+	w.StartAutoCheckpoint(func() error {
+		_, _, err := sv.CheckpointWAL()
+		return err
+	})
 }
 
 // WAL returns the attached write-ahead log, nil when the server runs
@@ -283,6 +286,18 @@ func (sv *Server) WAL() *WAL { return sv.wal }
 
 // NumShards reports the shard count.
 func (sv *Server) NumShards() int { return len(sv.reg.shards) }
+
+// Budget returns the admission-budget counters — registered jobs and the
+// sum of their task counts — as atomically maintained by StartJob and
+// DropJob. They are intentionally independent of the registry's own
+// accounting (Stats.Jobs), so recovery tests can cross-check the two and
+// catch a double-applied WAL record.
+func (sv *Server) Budget() (jobs, tasks int64) { return sv.jobs.Load(), sv.tasks.Load() }
+
+// Config returns the server's resolved configuration (after defaulting).
+// Transport front ends read it to mirror the node's admission policy —
+// e.g. the HTTP front builds its per-client rate limiter from ClientRate.
+func (sv *Server) Config() Config { return sv.cfg }
 
 // JobIDs lists every registered (not yet dropped) job in ascending ID
 // order. The listing is a point-in-time view: jobs registered or dropped

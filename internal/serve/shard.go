@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"repro/internal/wire"
+
 	"errors"
 	"fmt"
 	"sync"
@@ -113,7 +115,7 @@ func (s *shard) startJob(spec JobSpec, pred simulator.Predictor) error {
 	j.pool = s.pool
 	j.staleEnabled = s.degradedAfter > 0
 	if s.wal != nil {
-		lsn, err := s.wal.appendSpec(&spec)
+		lsn, err := s.wal.AppendSpec(&spec)
 		if err != nil {
 			return fmt.Errorf("serve: job %d: %w", spec.JobID, err)
 		}
@@ -152,9 +154,9 @@ func (s *shard) ingest(e Event) error {
 	// any state. Only the in-process path can produce them (the decoder
 	// bounds features already), and applying such an event while refusing
 	// to log it would fork the live state from the recoverable state.
-	if len(e.Features) > maxWireFeatures {
+	if len(e.Features) > wire.MaxWireFeatures {
 		return fmt.Errorf("serve: event %s for job %d: %d features exceed the wire cap %d",
-			e.Kind, e.JobID, len(e.Features), maxWireFeatures)
+			e.Kind, e.JobID, len(e.Features), wire.MaxWireFeatures)
 	}
 	j.mu.Lock()
 	if j.defunct {
@@ -186,7 +188,7 @@ func (s *shard) ingest(e Event) error {
 	var walErr error
 	if s.wal != nil && accepted {
 		var lsn uint64
-		if lsn, walErr = s.wal.appendEvent(&e); walErr == nil {
+		if lsn, walErr = s.wal.AppendEvent(&e); walErr == nil {
 			j.lsn = lsn
 		}
 	}
@@ -308,7 +310,7 @@ func (s *shard) dropJob(jobID uint64) (int, error) {
 		return 0, fmt.Errorf("serve: job %d still streaming; finish it before dropping", jobID)
 	}
 	if s.wal != nil {
-		if _, err := s.wal.appendDrop(jobID); err != nil {
+		if _, err := s.wal.AppendDrop(jobID); err != nil {
 			return 0, fmt.Errorf("serve: drop of job %d: %w", jobID, err)
 		}
 	}

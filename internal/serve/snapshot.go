@@ -1,9 +1,9 @@
 package serve
 
 // snapshot.go makes a Server's in-memory serving state durable. A snapshot
-// is a wire stream (wire.go) of per-job sections: one FrameSnapJob carrying
+// is a wire stream (wire.go) of per-job sections: one wire.FrameSnapJob carrying
 // the job's spec, counters, and full per-task state (including the
-// terminated set), followed by one FrameSnapCheckpoint per gated checkpoint
+// terminated set), followed by one wire.FrameSnapCheckpoint per gated checkpoint
 // boundary the job's predictor has seen.
 //
 // Restore rebuilds each job's predictor through Config.NewPredictor and
@@ -16,6 +16,8 @@ package serve
 // server that never died (see TestSnapshotRestoreEquivalence).
 
 import (
+	"repro/internal/wire"
+
 	"fmt"
 	"io"
 	"time"
@@ -66,9 +68,9 @@ func (sv *Server) snapshotWithFloor(w io.Writer) (uint64, error) {
 	}
 	// Emit the header even for a job-less server: an empty snapshot is a
 	// valid stream that restores to an empty server, not a decode error.
-	var e wireEnc
-	appendLSNMarkPayload(&e, floor)
-	if _, err := w.Write(appendFrame(AppendHeader(nil), FrameLSNMark, e.b)); err != nil {
+	var e wire.Enc
+	wire.AppendLSNMarkPayload(&e, floor)
+	if _, err := w.Write(wire.AppendFrame(AppendHeader(nil), wire.FrameLSNMark, e.B)); err != nil {
 		return floor, err
 	}
 	var buf, payload []byte
@@ -92,7 +94,7 @@ func (sv *Server) snapshotWithFloor(w io.Writer) (uint64, error) {
 		}
 		for _, cp := range history {
 			payload = appendCheckpointPayload(payload[:0], cp)
-			if buf, err = appendCheckedFrame(buf[:0], FrameSnapCheckpoint, payload); err != nil {
+			if buf, err = wire.AppendCheckedFrame(buf[:0], wire.FrameSnapCheckpoint, payload); err != nil {
 				return floor, fmt.Errorf("serve: snapshot job %d: %w", id, err)
 			}
 			if _, err := w.Write(buf); err != nil {
@@ -103,7 +105,7 @@ func (sv *Server) snapshotWithFloor(w io.Writer) (uint64, error) {
 	return floor, nil
 }
 
-// appendSnapJobFrame appends one job's FrameSnapJob frame to dst; the caller
+// appendSnapJobFrame appends one job's wire.FrameSnapJob frame to dst; the caller
 // holds j.mu and is responsible for emitting the len(j.history) checkpoint
 // frames the job frame announces. The format's size caps (frame payload,
 // retained checkpoints, refits) are enforced here on the write side,
@@ -112,19 +114,19 @@ func (sv *Server) snapshotWithFloor(w io.Writer) (uint64, error) {
 // within [0,ntasks], non-negative durations — remain restore-side only:
 // they guard against hostile streams, not states a live job can reach.)
 func appendSnapJobFrame(dst []byte, j *jobState) ([]byte, error) {
-	if len(j.history) > maxSnapCheckpoints {
-		return dst, fmt.Errorf("serve: %d retained checkpoints above the snapshot cap %d", len(j.history), maxSnapCheckpoints)
+	if len(j.history) > wire.MaxSnapCheckpoints {
+		return dst, fmt.Errorf("serve: %d retained checkpoints above the snapshot cap %d", len(j.history), wire.MaxSnapCheckpoints)
 	}
-	if j.refits > maxSnapCheckpoints {
-		return dst, fmt.Errorf("serve: %d refits above the snapshot cap %d", j.refits, maxSnapCheckpoints)
+	if j.refits > wire.MaxSnapCheckpoints {
+		return dst, fmt.Errorf("serve: %d refits above the snapshot cap %d", j.refits, wire.MaxSnapCheckpoints)
 	}
-	var e wireEnc
-	if err := appendSpecPayload(&e, &j.spec); err != nil {
+	var e wire.Enc
+	if err := wire.AppendSpecPayload(&e, &j.spec); err != nil {
 		return dst, err
 	}
-	e.f64(j.clock)
-	e.i64(int64(j.nextCP))
-	e.i64(int64(j.checkpoint))
+	e.F64(j.clock)
+	e.I64(int64(j.nextCP))
+	e.I64(int64(j.checkpoint))
 	var flags uint8
 	if j.done {
 		flags |= snapDone
@@ -132,20 +134,20 @@ func appendSnapJobFrame(dst []byte, j *jobState) ([]byte, error) {
 	if j.failed {
 		flags |= snapFailed
 	}
-	e.u8(flags)
-	e.i64(int64(j.started))
-	e.i64(int64(j.finished))
-	e.i64(int64(j.terminated))
-	e.i64(int64(j.refits))
-	e.i64(int64(j.refitDur))
-	e.i64(int64(j.refitMax))
-	e.u64(j.events)
-	e.u64(j.dropped)
-	e.u64(j.queries)
-	e.u64(j.lsn)
-	e.u64(j.warmFits)
-	e.u64(j.scratchFits)
-	e.u32(uint32(len(j.tasks)))
+	e.U8(flags)
+	e.I64(int64(j.started))
+	e.I64(int64(j.finished))
+	e.I64(int64(j.terminated))
+	e.I64(int64(j.refits))
+	e.I64(int64(j.refitDur))
+	e.I64(int64(j.refitMax))
+	e.U64(j.events)
+	e.U64(j.dropped)
+	e.U64(j.queries)
+	e.U64(j.lsn)
+	e.U64(j.warmFits)
+	e.U64(j.scratchFits)
+	e.U32(uint32(len(j.tasks)))
 	for i := range j.tasks {
 		ts := &j.tasks[i]
 		var tf uint8
@@ -161,71 +163,71 @@ func appendSnapJobFrame(dst []byte, j *jobState) ([]byte, error) {
 		if ts.features != nil {
 			tf |= snapFeatures
 		}
-		e.u8(tf)
-		e.f64(ts.start)
-		e.f64(ts.latency)
-		e.i64(int64(ts.flaggedAt))
+		e.U8(tf)
+		e.F64(ts.start)
+		e.F64(ts.latency)
+		e.I64(int64(ts.flaggedAt))
 		if ts.features != nil {
-			e.floats(ts.features)
+			e.Floats(ts.features)
 		}
 	}
-	e.u32(uint32(len(j.history)))
-	return appendCheckedFrame(dst, FrameSnapJob, e.b)
+	e.U32(uint32(len(j.history)))
+	return wire.AppendCheckedFrame(dst, wire.FrameSnapJob, e.B)
 }
 
 func appendCheckpointPayload(dst []byte, cp *simulator.Checkpoint) []byte {
-	e := wireEnc{b: dst}
-	e.i64(int64(cp.Index))
-	e.f64(cp.Norm)
-	e.f64(cp.TauRun)
-	e.f64(cp.TauStra)
-	e.f64(cp.StragglerQuantile)
-	e.u32(uint32(len(cp.FinishedIDs)))
+	e := wire.Enc{B: dst}
+	e.I64(int64(cp.Index))
+	e.F64(cp.Norm)
+	e.F64(cp.TauRun)
+	e.F64(cp.TauStra)
+	e.F64(cp.StragglerQuantile)
+	e.U32(uint32(len(cp.FinishedIDs)))
 	for i, id := range cp.FinishedIDs {
-		e.i64(int64(id))
-		e.f64(cp.FinishedY[i])
-		e.floats(cp.FinishedX[i])
+		e.I64(int64(id))
+		e.F64(cp.FinishedY[i])
+		e.Floats(cp.FinishedX[i])
 	}
-	e.u32(uint32(len(cp.RunningIDs)))
+	e.U32(uint32(len(cp.RunningIDs)))
 	for i, id := range cp.RunningIDs {
-		e.i64(int64(id))
-		e.f64(cp.RunningElapsed[i])
-		e.floats(cp.RunningX[i])
+		e.I64(int64(id))
+		e.F64(cp.RunningElapsed[i])
+		e.Floats(cp.RunningX[i])
 	}
-	return e.b
+	return e.B
 }
 
 func decodeCheckpointPayload(p []byte) (*simulator.Checkpoint, error) {
-	d := wireDec{b: p}
+	d := wire.Dec{B: p}
 	cp := &simulator.Checkpoint{
-		Index:             int(d.i64()),
-		Norm:              d.f64(),
-		TauRun:            d.f64(),
-		TauStra:           d.f64(),
-		StragglerQuantile: d.f64(),
+		Index:             int(d.I64()),
+		Norm:              d.F64(),
+		TauRun:            d.F64(),
+		TauStra:           d.F64(),
+		StragglerQuantile: d.F64(),
 	}
-	nfin := d.count(maxSnapRows, "finished rows")
-	for i := 0; i < nfin && d.err == nil; i++ {
-		cp.FinishedIDs = append(cp.FinishedIDs, int(d.i64()))
-		cp.FinishedY = append(cp.FinishedY, d.f64())
-		cp.FinishedX = append(cp.FinishedX, d.floats(maxWireFeatures, "features"))
+	nfin := d.Count(wire.MaxSnapRows, "finished rows")
+	for i := 0; i < nfin && d.Err() == nil; i++ {
+		cp.FinishedIDs = append(cp.FinishedIDs, int(d.I64()))
+		cp.FinishedY = append(cp.FinishedY, d.F64())
+		cp.FinishedX = append(cp.FinishedX, d.Floats(wire.MaxWireFeatures, "features"))
 	}
-	nrun := d.count(maxSnapRows, "running rows")
-	for i := 0; i < nrun && d.err == nil; i++ {
-		cp.RunningIDs = append(cp.RunningIDs, int(d.i64()))
-		cp.RunningElapsed = append(cp.RunningElapsed, d.f64())
-		cp.RunningX = append(cp.RunningX, d.floats(maxWireFeatures, "features"))
+	nrun := d.Count(wire.MaxSnapRows, "running rows")
+	for i := 0; i < nrun && d.Err() == nil; i++ {
+		cp.RunningIDs = append(cp.RunningIDs, int(d.I64()))
+		cp.RunningElapsed = append(cp.RunningElapsed, d.F64())
+		cp.RunningX = append(cp.RunningX, d.Floats(wire.MaxWireFeatures, "features"))
 	}
-	return cp, d.finish()
+	return cp, d.Finish()
 }
 
 // decodeSnapJob rebuilds a jobState (predictor not yet attached) and
 // returns how many checkpoint frames follow it.
 func decodeSnapJob(p []byte) (*jobState, int, error) {
-	d := wireDec{b: p}
-	sp := decodeSpec(&d)
-	if d.err != nil {
-		return nil, 0, d.err
+	d := wire.Dec{B: p}
+	sp := wire.DecodeSpec(&d)
+	if d.Err() != nil {
+		return nil, 0, d.Err()
 	}
 	if err := sp.Validate(); err != nil {
 		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -234,52 +236,52 @@ func decodeSnapJob(p []byte) (*jobState, int, error) {
 		spec: sp,
 		warm: simulator.WarmCount(sp.NumTasks, sp.WarmFrac),
 	}
-	j.clock = d.f64()
-	j.nextCP = int(d.i64())
-	j.checkpoint = int(d.i64())
-	flags := d.u8()
+	j.clock = d.F64()
+	j.nextCP = int(d.I64())
+	j.checkpoint = int(d.I64())
+	flags := d.U8()
 	j.done = flags&snapDone != 0
 	j.failed = flags&snapFailed != 0
-	j.started = int(d.i64())
-	j.finished = int(d.i64())
-	j.terminated = int(d.i64())
-	j.refits = int(d.i64())
-	j.refitDur = time.Duration(d.i64())
-	j.refitMax = time.Duration(d.i64())
-	j.events = d.u64()
-	j.dropped = d.u64()
-	j.queries = d.u64()
-	j.lsn = d.u64()
-	j.warmFits = d.u64()
-	j.scratchFits = d.u64()
-	ntasks := d.count(maxSnapTasks, "tasks")
-	if d.err == nil && ntasks != sp.NumTasks {
+	j.started = int(d.I64())
+	j.finished = int(d.I64())
+	j.terminated = int(d.I64())
+	j.refits = int(d.I64())
+	j.refitDur = time.Duration(d.I64())
+	j.refitMax = time.Duration(d.I64())
+	j.events = d.U64()
+	j.dropped = d.U64()
+	j.queries = d.U64()
+	j.lsn = d.U64()
+	j.warmFits = d.U64()
+	j.scratchFits = d.U64()
+	ntasks := d.Count(wire.MaxSnapTasks, "tasks")
+	if d.Err() == nil && ntasks != sp.NumTasks {
 		return nil, 0, fmt.Errorf("%w: job %d: %d serialized tasks for a %d-task spec",
 			ErrCorrupt, sp.JobID, ntasks, sp.NumTasks)
 	}
 	j.tasks = make([]taskState, ntasks)
-	for i := 0; i < ntasks && d.err == nil; i++ {
+	for i := 0; i < ntasks && d.Err() == nil; i++ {
 		ts := &j.tasks[i]
-		tf := d.u8()
+		tf := d.U8()
 		ts.started = tf&snapStarted != 0
 		ts.finished = tf&snapFinished != 0
 		ts.terminated = tf&snapTerminated != 0
-		ts.start = d.f64()
-		ts.latency = d.f64()
-		ts.flaggedAt = int(d.i64())
+		ts.start = d.F64()
+		ts.latency = d.F64()
+		ts.flaggedAt = int(d.I64())
 		if tf&snapFeatures != 0 {
-			ts.features = d.floats(maxWireFeatures, "features")
+			ts.features = d.Floats(wire.MaxWireFeatures, "features")
 			// The live ingest path enforces len(features) == len(Schema)
 			// per heartbeat; a snapshot violating it must fail here, not as
 			// a predictor dimension error checkpoints later.
-			if d.err == nil && len(ts.features) != len(sp.Schema) {
+			if d.Err() == nil && len(ts.features) != len(sp.Schema) {
 				return nil, 0, fmt.Errorf("%w: job %d task %d: %d features for schema of %d",
 					ErrCorrupt, sp.JobID, i, len(ts.features), len(sp.Schema))
 			}
 		}
 	}
-	ncps := d.count(maxSnapCheckpoints, "checkpoints")
-	if err := d.finish(); err != nil {
+	ncps := d.Count(wire.MaxSnapCheckpoints, "checkpoints")
+	if err := d.Finish(); err != nil {
 		return nil, 0, err
 	}
 	if j.nextCP < 1 || j.nextCP > sp.Checkpoints+1 {
@@ -300,7 +302,7 @@ func decodeSnapJob(p []byte) (*jobState, int, error) {
 		{"started", j.started, ntasks},
 		{"finished", j.finished, ntasks},
 		{"terminated", j.terminated, ntasks},
-		{"refits", j.refits, maxSnapCheckpoints},
+		{"refits", j.refits, wire.MaxSnapCheckpoints},
 	} {
 		if c.v < 0 || c.v > c.max {
 			return nil, 0, fmt.Errorf("%w: job %d: %s count %d outside [0,%d]",
@@ -345,22 +347,22 @@ func restoreServer(r io.Reader, cfg Config) (*Server, uint64, error) {
 	var floor uint64
 	first := true
 	for {
-		kind, payload, err := wr.next()
+		kind, payload, err := wr.NextFrame()
 		if err == io.EOF {
 			return sv, floor, nil
 		}
 		if err != nil {
 			return nil, 0, fmt.Errorf("serve: restore: %w", err)
 		}
-		if first && kind == FrameLSNMark {
+		if first && kind == wire.FrameLSNMark {
 			first = false
-			if floor, err = decodeLSNMarkPayload(payload); err != nil {
+			if floor, err = wire.DecodeLSNMarkPayload(payload); err != nil {
 				return nil, 0, fmt.Errorf("serve: restore: %w", err)
 			}
 			continue
 		}
 		first = false
-		if kind != FrameSnapJob {
+		if kind != wire.FrameSnapJob {
 			return nil, 0, fmt.Errorf("serve: restore: %w: frame kind %d where a snapshot job section was expected", ErrCorrupt, kind)
 		}
 		j, ncps, err := decodeSnapJob(payload)
@@ -376,11 +378,11 @@ func restoreServer(r io.Reader, cfg Config) (*Server, uint64, error) {
 		}
 		j.history = make([]*simulator.Checkpoint, ncps)
 		for i := range j.history {
-			kind, payload, err := wr.next()
+			kind, payload, err := wr.NextFrame()
 			if err != nil {
 				return nil, 0, fmt.Errorf("serve: restore job %d: checkpoint %d/%d: %w", j.spec.JobID, i+1, ncps, err)
 			}
-			if kind != FrameSnapCheckpoint {
+			if kind != wire.FrameSnapCheckpoint {
 				return nil, 0, fmt.Errorf("serve: restore job %d: %w: frame kind %d where checkpoint %d/%d was expected",
 					j.spec.JobID, ErrCorrupt, kind, i+1, ncps)
 			}

@@ -1,0 +1,68 @@
+package serve
+
+// FuzzSnapshotRestore covers the decode surface that stayed in serve when
+// the frame codec moved to internal/wire: the snapshot payload decoders
+// (decodeSnapJob, decodeCheckpointPayload) and the whole-stream
+// RestoreServer path. The invariants mirror wire's FuzzWireDecode — no
+// panic on any input, and an accepted checkpoint payload re-encodes to
+// exactly the consumed bytes — plus restore's own contract: a server or an
+// error, never a half-built registry.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func FuzzSnapshotRestore(f *testing.F) {
+	// The cheap flag-all predictor keeps each exec's restore at decode cost:
+	// checkpoint history and frame layout are identical to a NURD server's
+	// (the serving core records history, not the model), so the decoders see
+	// the same bytes without paying a model refit per fuzz input.
+	jobs, sims := smallJobs(f, 2, 53)
+	sv := NewServer(cheapCfg(2))
+	for i := range jobs {
+		if err := sv.StartJob(SpecFor(sims[i], uint64(i+1)), nil); err != nil {
+			f.Fatal(err)
+		}
+		if err := sv.IngestBatch(JobEvents(jobs[i], sims[i])); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := sv.Snapshot(&snap); err != nil {
+		f.Fatal(err)
+	}
+	enc := snap.Bytes()
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	f.Add(enc[wire.HeaderLen:])
+	mut := append([]byte(nil), enc...)
+	mut[len(mut)/2] ^= 0x40
+	f.Add(mut)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Stream layer: restore terminates with a server or an error.
+		if sv, err := RestoreServer(bytes.NewReader(data), cheapCfg(1)); err == nil && sv == nil {
+			t.Fatal("RestoreServer returned nil server with nil error")
+		}
+
+		// Frame layer: canonical re-encode when a snapshot payload decodes.
+		kind, payload, n, err := wire.DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case wire.FrameSnapCheckpoint:
+			if cp, err := decodeCheckpointPayload(payload); err == nil {
+				if re := appendCheckpointPayload(nil, cp); !bytes.Equal(wire.AppendFrame(nil, kind, re), data[:n]) {
+					t.Fatalf("checkpoint re-encode diverges from input")
+				}
+			}
+		case wire.FrameSnapJob:
+			_, _, _ = decodeSnapJob(payload) // must not panic
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/simulator"
+	"repro/internal/wire"
 )
 
 // allTaskIDs returns 0..n-1 plus one out-of-range probe.
@@ -351,7 +352,7 @@ func TestRestoreRejectsBadStreams(t *testing.T) {
 
 	// Restoring the same snapshot twice into one reader sequence works, but
 	// two copies of the same job in one stream must be rejected.
-	doubled := append(append([]byte(nil), snap.Bytes()...), snap.Bytes()[headerLen:]...)
+	doubled := append(append([]byte(nil), snap.Bytes()...), snap.Bytes()[wire.HeaderLen:]...)
 	if _, err := RestoreServer(bytes.NewReader(doubled), DefaultConfig()); err == nil {
 		t.Error("snapshot with a duplicated job section restored silently")
 	}

@@ -1,0 +1,118 @@
+package servehttp
+
+// helpers_test.go carries the workload and oracle helpers the HTTP suites
+// shared with the serve package's white-box tests before the front end was
+// split out. They are duplicated rather than imported: the originals live
+// inside package serve's own test files, which this package cannot reach.
+//
+// The serve package is dot-imported throughout the servehttp test files so
+// the protocol tests keep reading the way they did when front end and core
+// were one package: JobSpec, Event, NewServer, Recover and friends resolve
+// unqualified.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/predictor"
+
+	. "repro/internal/serve"
+	"repro/internal/simulator"
+	"repro/internal/trace"
+)
+
+// testJobs generates n jobs plus their prepared replays.
+func testJobs(t testing.TB, cfg trace.GenConfig, n int) ([]*trace.Job, []*simulator.Sim) {
+	t.Helper()
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := gen.Jobs(n)
+	sims := make([]*simulator.Sim, n)
+	for i, j := range jobs {
+		s, err := simulator.New(j, simulator.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sims[i] = s
+	}
+	return jobs, sims
+}
+
+func smallJobs(t testing.TB, n int, seed uint64) ([]*trace.Job, []*simulator.Sim) {
+	t.Helper()
+	cfg := trace.DefaultGoogleConfig(seed)
+	cfg.MinTasks, cfg.MaxTasks = 30, 60
+	return testJobs(t, cfg, n)
+}
+
+// flagAll flags every running task at every checkpoint (a trivially cheap
+// predictor for protocol tests).
+type flagAll struct{ calls int }
+
+func (f *flagAll) Name() string { return "flag-all" }
+func (f *flagAll) Reset()       { f.calls = 0 }
+func (f *flagAll) Predict(cp *simulator.Checkpoint) ([]bool, error) {
+	f.calls++
+	out := make([]bool, len(cp.RunningIDs))
+	for i := range out {
+		out[i] = true
+	}
+	return out, nil
+}
+
+// cheapCfg is a 1-predictor config for protocol tests where model quality
+// is irrelevant.
+func cheapCfg(shards int) Config {
+	return Config{Shards: shards, NewPredictor: func(JobSpec) simulator.Predictor { return &flagAll{} }}
+}
+
+// pipelineSpec is a hand-built job whose checkpoint boundaries sit at known
+// times (boundary k at time 10k), for deterministic refit-pipeline tests.
+func pipelineSpec(id uint64) JobSpec {
+	return JobSpec{
+		JobID: id, Schema: []string{"a", "b"}, NumTasks: 8, TauStra: 50,
+		StragglerQuantile: 0.9, Horizon: 100, Checkpoints: 10, WarmFrac: 0.1,
+	}
+}
+
+// allTaskIDs returns 0..n-1 plus one out-of-range probe.
+func allTaskIDs(n int) []int {
+	ids := make([]int, n+1)
+	for i := range ids {
+		ids[i] = i - 1
+	}
+	return ids
+}
+
+// reportCore strips the wall-clock timing fields from a JobReport, leaving
+// exactly the deterministic outcome of a serving run.
+type reportCore struct {
+	Spec                          JobSpec
+	Done, Failed                  bool
+	Checkpoint                    int
+	Started, Finished, Terminated int
+	Refits                        int
+	PredictedAt                   map[int]int
+}
+
+func coreOf(r *JobReport) reportCore {
+	return reportCore{
+		Spec: r.Spec, Done: r.Done, Failed: r.Failed, Checkpoint: r.Checkpoint,
+		Started: r.Started, Finished: r.Finished, Terminated: r.Terminated,
+		Refits: r.Refits, PredictedAt: r.PredictedAt,
+	}
+}
+
+// nurdSeed applies experiments.Run's per-(job, method) seed derivation to
+// the NURD row, so the serving path builds the very same predictor the
+// offline Table 3 pass would.
+func nurdSeed(t testing.TB, base uint64, ji int) (uint64, predictor.Factory) {
+	t.Helper()
+	mi, fac, ok := predictor.FindFactory("NURD")
+	if !ok {
+		t.Fatal("NURD factory not found")
+	}
+	return experiments.UnitSeed(base, ji, mi), fac
+}

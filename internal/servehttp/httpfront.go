@@ -1,10 +1,10 @@
-package serve
+package servehttp
 
 // httpfront.go is the network ingestion front end: a plain net/http handler
 // that speaks the wire format (wire.go) on the write path and JSON on the
-// read path, so external monitoring pipelines can feed a Server over TCP
+// read path, so external monitoring pipelines can feed a serve.Server over TCP
 // and operators can query it with curl. The handler is stateless — every
-// route delegates straight to the Server, whose sharded registry already
+// route delegates straight to the serve.Server, whose sharded registry already
 // serializes concurrent access — so any number of requests may be in flight
 // at once (test-enforced under the race detector).
 //
@@ -24,16 +24,16 @@ package serve
 //	                (restorable with RestoreServer).
 //
 // Error mapping: malformed wire bodies and unparseable parameters are 400;
-// events or queries for unregistered jobs are 404 (ErrUnknownJob);
+// events or queries for unregistered jobs are 404 (serve.ErrUnknownJob);
 // registrations beyond the server's job/task budget, and requests refused
 // by per-client rate limiting (Config.ClientRate), are 429; a wedged or
-// closed write-ahead log is 503 (ErrWALFailed/ErrWALClosed — retry after
+// closed write-ahead log is 503 (serve.ErrWALFailed/serve.ErrWALClosed — retry after
 // the operator intervenes). 429 and 503 responses carry a Retry-After
-// header (seconds) — 429 hints are load-aware (Server.RetryHint tracks
+// header (seconds) — 429 hints are load-aware (serve.Server.RetryHint tracks
 // queue occupancy; rate-limit refusals hint the client's own bucket
-// deficit), while 503 carries the fixed, longer retryAfterOutageSeconds
+// deficit), while 503 carries the fixed, longer serve.RetryAfterOutageSeconds
 // because an outage clears on operator timescales. Heartbeat frames shed
-// under overload (ErrShed, or an empty rate-limit bucket) do NOT fail the
+// under overload (serve.ErrShed, or an empty rate-limit bucket) do NOT fail the
 // batch: they are counted in IngestResult.Shed and the batch continues —
 // shedding is policy, not an error. Protocol violations the server rejects
 // (duplicate registration, out-of-range tasks, schema mismatches) are 422.
@@ -43,6 +43,9 @@ package serve
 // /stats and the process's own stderr instead).
 
 import (
+	"repro/internal/serve"
+	"repro/internal/simulator"
+
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,6 +54,27 @@ import (
 	"strconv"
 	"strings"
 )
+
+// Backend is the serving surface the HTTP front (and the replay drivers)
+// consume: exactly the job-scoped operations plus the cluster-aggregatable
+// reads. *serve.Server implements it for one node; *cluster.Cluster routes
+// the same calls across many. The front stays transport-only either way.
+type Backend interface {
+	StartJob(spec serve.JobSpec, pred simulator.Predictor) error
+	Ingest(e serve.Event) error
+	Query(jobID uint64, taskIDs []int) ([]serve.TaskVerdict, error)
+	Report(jobID uint64) (*serve.JobReport, error)
+	Stats() serve.Stats
+	RetryHint() int
+	Config() serve.Config
+}
+
+// snapshotter is the optional single-stream snapshot surface: single-node
+// backends expose it and GET /snapshot streams it; a cluster's snapshots
+// are per node (cluster.Cluster.Snapshot), so its front answers 501.
+type snapshotter interface {
+	Snapshot(w io.Writer) error
+}
 
 // wireContentType labels wire-format request and response bodies.
 const wireContentType = "application/x-nurd-wire"
@@ -73,12 +97,13 @@ type IngestResult struct {
 	Error string `json:"error,omitempty"`
 }
 
-// NewHandler exposes sv over HTTP. See the package comment at the top of
+// NewHandler exposes a backend — a single *serve.Server or a
+// *cluster.Cluster — over HTTP. See the package comment at the top of
 // httpfront.go for routes and error mapping.
-func NewHandler(sv *Server) http.Handler {
+func NewHandler(sv Backend) http.Handler {
 	f := &front{sv: sv}
-	if sv.cfg.ClientRate > 0 {
-		f.limits = newClientLimiter(sv.cfg.ClientRate, sv.cfg.ClientBurst)
+	if sv.Config().ClientRate > 0 {
+		f.limits = newClientLimiter(sv.Config().ClientRate, sv.Config().ClientBurst)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", f.ingest)
@@ -90,9 +115,9 @@ func NewHandler(sv *Server) http.Handler {
 }
 
 type front struct {
-	sv *Server
+	sv Backend
 	// limits is the per-client token-bucket rate limiter, nil unless
-	// Config.ClientRate is set. It lives on the front, not the Server: rate
+	// Config.ClientRate is set. It lives on the front, not the serve.Server: rate
 	// limiting is a transport-edge policy (in-process callers are trusted).
 	limits *clientLimiter
 }
@@ -125,7 +150,7 @@ func (f *front) retryHint(code int) int {
 	case http.StatusTooManyRequests:
 		return f.sv.RetryHint()
 	case http.StatusServiceUnavailable:
-		return retryAfterOutageSeconds
+		return serve.RetryAfterOutageSeconds
 	}
 	return 0
 }
@@ -152,19 +177,19 @@ func errBody(code int, err error) string {
 func errCode(err error, decodeErr bool) int {
 	var tooBig *http.MaxBytesError
 	switch {
-	case errors.Is(err, ErrUnknownJob):
+	case errors.Is(err, serve.ErrUnknownJob):
 		return http.StatusNotFound
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, serve.ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrWALFailed), errors.Is(err, ErrWALClosed):
+	case errors.Is(err, serve.ErrWALFailed), errors.Is(err, serve.ErrWALClosed):
 		// A wedged write-ahead log is a server-side outage (disk full,
 		// I/O error, shutdown), not a client fault: 503 tells pipelines
 		// to retry/alert instead of discarding the batch as malformed.
 		return http.StatusServiceUnavailable
 	case errors.As(err, &tooBig):
 		return http.StatusRequestEntityTooLarge
-	case errors.Is(err, ErrBadMagic), errors.Is(err, ErrVersion),
-		errors.Is(err, ErrTruncated), errors.Is(err, ErrCorrupt):
+	case errors.Is(err, serve.ErrBadMagic), errors.Is(err, serve.ErrVersion),
+		errors.Is(err, serve.ErrTruncated), errors.Is(err, serve.ErrCorrupt):
 		return http.StatusBadRequest
 	case decodeErr:
 		return http.StatusBadRequest
@@ -195,13 +220,13 @@ func (f *front) ingest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	wr := NewWireReader(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	wr := serve.NewWireReader(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	var res IngestResult
-	// One Event reused across the batch; NextInto draws its feature slices
-	// from the ingest observation pool and recycleAfterIngest returns each
+	// One serve.Event reused across the batch; NextInto draws its feature slices
+	// from the ingest observation pool and serve.RecycleAfterIngest returns each
 	// one the server did not retain, so a steady heartbeat stream ingests
 	// without per-event heap allocation.
-	var ev Event
+	var ev serve.Event
 	for {
 		sp, err := wr.NextInto(&ev)
 		if err == io.EOF {
@@ -217,18 +242,18 @@ func (f *front) ingest(w http.ResponseWriter, r *http.Request) {
 					continue
 				}
 			} else {
-				if ev.Kind == EventHeartbeat {
+				if ev.Kind == serve.EventHeartbeat {
 					if !f.charge(client, true) {
 						res.Shed++
-						recycleAfterIngest(&ev, ErrShed) // never ingested
+						serve.RecycleAfterIngest(&ev, serve.ErrShed) // never ingested
 						continue
 					}
 				} else {
 					f.charge(client, false)
 				}
 				err = f.sv.Ingest(ev)
-				recycleAfterIngest(&ev, err)
-				if errors.Is(err, ErrShed) {
+				serve.RecycleAfterIngest(&ev, err)
+				if errors.Is(err, serve.ErrShed) {
 					// Shed by the shard's ingest queue: counted, batch
 					// continues. Shedding is the overload policy working,
 					// not a failure.
@@ -342,9 +367,18 @@ func (sw *snapshotWriter) Write(p []byte) (int, error) {
 }
 
 func (f *front) snapshot(w http.ResponseWriter, r *http.Request) {
+	snap, ok := f.sv.(snapshotter)
+	if !ok {
+		// A cluster front: snapshots are per node, not one stream. 501
+		// (not 404) tells the caller the route exists but this backend
+		// cannot serve it.
+		writeJSON(w, http.StatusNotImplemented,
+			IngestResult{Error: "snapshot is per node on a cluster front; snapshot each node's WAL directory instead"})
+		return
+	}
 	w.Header().Set("Content-Type", wireContentType)
 	sw := &snapshotWriter{w: w}
-	if err := f.sv.Snapshot(sw); err == nil {
+	if err := snap.Snapshot(sw); err == nil {
 		return
 	} else if !sw.wrote {
 		// Clean failure: nothing reached the wire, so a real status code

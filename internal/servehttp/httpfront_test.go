@@ -1,4 +1,4 @@
-package serve
+package servehttp
 
 import (
 	"bytes"
@@ -12,6 +12,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	. "repro/internal/serve"
+	"repro/internal/wal/waltest"
 )
 
 // wireBody assembles one ingest request body.
@@ -411,7 +414,7 @@ func TestSnapshotMidStreamAbort(t *testing.T) {
 // no filesystem paths, no wrapped internal error text — while client-fault
 // responses (404 here) keep the typed detail the caller needs.
 func TestServerFaultBodiesRedacted(t *testing.T) {
-	fs := newMemFS()
+	fs := waltest.NewMemFS()
 	sv, wal, _, err := Recover("wal", cheapCfg(1), WALOptions{FS: fs})
 	if err != nil {
 		t.Fatal(err)
@@ -422,7 +425,7 @@ func TestServerFaultBodiesRedacted(t *testing.T) {
 	if err := sv.StartJob(spec, nil); err != nil {
 		t.Fatal(err)
 	}
-	fs.setBudget(fs.totalWritten()) // every further WAL write fails: wedged log
+	fs.SetBudget(fs.TotalWritten()) // every further WAL write fails: wedged log
 	ts := httptest.NewServer(NewHandler(sv))
 	defer ts.Close()
 

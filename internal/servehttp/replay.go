@@ -1,16 +1,18 @@
-package serve
+package servehttp
 
 // replay.go is the file/replay ingestion backend: recorded trace dumps —
-// wire streams of JobSpec registrations followed by their jobs' merged,
+// wire streams of serve.JobSpec registrations followed by their jobs' merged,
 // time-ordered event feeds (cmd/tracegen -format wire emits them) — are
-// streamed back into a Server at a configurable multiple of recorded time,
-// either through in-process Ingest calls or through a Server's HTTP front
+// streamed back into a serve.Server at a configurable multiple of recorded time,
+// either through in-process Ingest calls or through a serve.Server's HTTP front
 // end. Because the serving clock is virtual (state changes order by event
 // Time, not arrival time), the replay speedup affects only wall-clock
 // pacing: the same dump produces identical final per-job reports at any
 // speedup (test-enforced by TestReplayDeterminism).
 
 import (
+	"repro/internal/serve"
+
 	"bytes"
 	"errors"
 	"fmt"
@@ -19,37 +21,14 @@ import (
 	"time"
 )
 
-// WriteDump records a serving workload: every spec first (registration
-// precedes traffic, exactly as StartJob must precede Ingest), then the
-// event stream in feed order. events is typically a MergeStreams result.
-func WriteDump(w io.Writer, specs []JobSpec, events []Event) error {
-	ww := NewWireWriter(w)
-	// An empty dump is still a valid stream (header only), not zero bytes.
-	ww.head()
-	if err := ww.writeBuf(); err != nil {
-		return err
-	}
-	for _, sp := range specs {
-		if err := ww.WriteSpec(sp); err != nil {
-			return err
-		}
-	}
-	for _, ev := range events {
-		if err := ww.WriteEvent(ev); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // ReplayStats summarizes one replay pass.
 type ReplayStats struct {
 	// Specs and Events count the dump elements applied: for Replay, accepted
-	// by the Server; for ReplayHTTP, carried by a batch the front end
+	// by the serve.Server; for ReplayHTTP, carried by a batch the front end
 	// acknowledged with 200 (elements queued in a failed flush are not
 	// counted).
 	Specs, Events int
-	// Shed counts heartbeats the server refused under overload (ErrShed);
+	// Shed counts heartbeats the server refused under overload (serve.ErrShed);
 	// the replay continues past them — shedding is load policy, not a dump
 	// error. Only possible when replaying into a server that is also
 	// taking other traffic: a lone replayer can never saturate the ingest
@@ -137,7 +116,7 @@ func (p *pacer) wall(fallback time.Time) time.Duration {
 // non-positive value) replays as fast as the server can ingest. The first
 // error — a corrupt frame, an unknown job, a protocol violation — aborts
 // the replay.
-func Replay(sv *Server, r io.Reader, speedup float64) (ReplayStats, error) {
+func Replay(sv Backend, r io.Reader, speedup float64) (ReplayStats, error) {
 	return ReplayFrom(sv, r, speedup, 0)
 }
 
@@ -147,15 +126,15 @@ func Replay(sv *Server, r io.Reader, speedup float64) (ReplayStats, error) {
 // (RecoveryStats.NextLSN-1); passing that as skip continues the same dump
 // without double-applying a single element (each accepted dump element is
 // exactly one WAL record).
-func ReplayFrom(sv *Server, r io.Reader, speedup float64, skip int) (ReplayStats, error) {
+func ReplayFrom(sv Backend, r io.Reader, speedup float64, skip int) (ReplayStats, error) {
 	var st ReplayStats
-	wr := NewWireReader(r)
+	wr := serve.NewWireReader(r)
 	start := time.Now()
 	pc := pacer{speedup: speedup}
-	// Pooled decode, as in the HTTP ingest loop: one Event reused across
+	// Pooled decode, as in the HTTP ingest loop: one serve.Event reused across
 	// the dump, feature slices drawn from (and, when not retained,
 	// returned to) the ingest observation pool.
-	var ev Event
+	var ev serve.Event
 	for {
 		sp, err := wr.NextInto(&ev)
 		if err == io.EOF {
@@ -168,7 +147,7 @@ func ReplayFrom(sv *Server, r io.Reader, speedup float64, skip int) (ReplayStats
 		}
 		if skip > 0 {
 			skip--
-			recycleAfterIngest(&ev, errSkipped)
+			serve.RecycleAfterIngest(&ev, errSkipped)
 			continue
 		}
 		if sp != nil {
@@ -180,9 +159,9 @@ func ReplayFrom(sv *Server, r io.Reader, speedup float64, skip int) (ReplayStats
 		}
 		pc.sleep(pc.schedule(ev.Time))
 		err = sv.Ingest(ev)
-		recycleAfterIngest(&ev, err)
+		serve.RecycleAfterIngest(&ev, err)
 		if err != nil {
-			if errors.Is(err, ErrShed) {
+			if errors.Is(err, serve.ErrShed) {
 				st.Shed++
 				continue
 			}
@@ -218,8 +197,8 @@ func ReplayHTTPFrom(client *http.Client, baseURL string, r io.Reader, speedup fl
 		batch = 1024
 	}
 	var st ReplayStats
-	wr := NewWireReader(r)
-	body := AppendHeader(nil)
+	wr := serve.NewWireReader(r)
+	body := serve.AppendHeader(nil)
 	// Queued-but-unacknowledged elements are tracked separately and folded
 	// into st only when their flush succeeds, so the returned stats never
 	// over-report what the front end actually applied.
@@ -240,14 +219,14 @@ func ReplayHTTPFrom(client *http.Client, baseURL string, r io.Reader, speedup fl
 		st.Specs += qSpecs
 		st.Events += qEvents
 		qSpecs, qEvents = 0, 0
-		body = AppendHeader(body[:0])
+		body = serve.AppendHeader(body[:0])
 		return nil
 	}
 	start := time.Now()
 	pc := pacer{speedup: speedup}
 	// Pooled decode: events are re-encoded into the request body (copied),
 	// never retained, so every observation goes straight back to the pool.
-	var ev Event
+	var ev serve.Event
 	for {
 		sp, err := wr.NextInto(&ev)
 		if err == io.EOF {
@@ -263,11 +242,11 @@ func ReplayHTTPFrom(client *http.Client, baseURL string, r io.Reader, speedup fl
 		}
 		if skip > 0 {
 			skip--
-			recycleAfterIngest(&ev, errSkipped)
+			serve.RecycleAfterIngest(&ev, errSkipped)
 			continue
 		}
 		if sp != nil {
-			if body, err = EncodeSpec(body, *sp); err != nil {
+			if body, err = serve.EncodeSpec(body, *sp); err != nil {
 				return st, err
 			}
 			qSpecs++
@@ -280,8 +259,8 @@ func ReplayHTTPFrom(client *http.Client, baseURL string, r io.Reader, speedup fl
 				}
 				pc.sleep(ahead)
 			}
-			body, err = EncodeEvent(body, ev)
-			recycleAfterIngest(&ev, errSkipped)
+			body, err = serve.EncodeEvent(body, ev)
+			serve.RecycleAfterIngest(&ev, errSkipped)
 			if err != nil {
 				return st, err
 			}

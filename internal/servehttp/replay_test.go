@@ -1,4 +1,4 @@
-package serve
+package servehttp
 
 import (
 	"bytes"
@@ -8,6 +8,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	. "repro/internal/serve"
 )
 
 // scaledWorkload shrinks a real trace job's virtual timeline by factor c so
@@ -296,5 +298,102 @@ func TestReplayStatsRate(t *testing.T) {
 	}
 	if r := st.Rate(); math.IsInf(r, 0) || math.IsNaN(r) || r < 0 {
 		t.Errorf("single-event dump Rate() = %v: not a finite non-negative rate", r)
+	}
+}
+
+// TestPooledReplayMatchesDirectIngest streams a workload with several
+// heartbeats per checkpoint interval — so tasks' current observations are
+// repeatedly replaced between boundaries, exercising recycle-on-replace of
+// never-captured slices while captured ones feed refit history — once
+// through the pooled Replay path and once through in-process IngestBatch
+// with freshly allocated events. Reports and verdicts must be identical:
+// pooling moves allocations, never bytes.
+func TestPooledReplayMatchesDirectIngest(t *testing.T) {
+	jobs, sims := smallJobs(t, 2, 137)
+	var specs []JobSpec
+	var streams [][]Event
+	for i := range jobs {
+		sp := SpecFor(sims[i], uint64(700+i))
+		specs = append(specs, sp)
+		evs := JobEvents(jobs[i], sims[i])
+		for k := range evs {
+			evs[k].JobID = sp.JobID
+		}
+		// Interleave an extra mid-interval heartbeat after each original
+		// one: same task, same tick, slightly later time, perturbed copy of
+		// the features. The later observation replaces the earlier in both
+		// servers; only the pooled server recycles the replaced slice.
+		var dense []Event
+		for _, e := range evs {
+			dense = append(dense, e)
+			// No extras on the final tick: they would sort after the
+			// job-finish event, which rejects the stream.
+			if e.Kind != EventHeartbeat || e.Features == nil || e.Tick >= sp.Checkpoints {
+				continue
+			}
+			extra := e
+			extra.Time += 1e-9
+			extra.Features = append([]float64(nil), e.Features...)
+			for j := range extra.Features {
+				extra.Features[j] *= 1.0000001
+			}
+			dense = append(dense, extra)
+		}
+		streams = append(streams, dense)
+	}
+	events := MergeStreams(streams...)
+
+	var dump bytes.Buffer
+	if err := WriteDump(&dump, specs, events); err != nil {
+		t.Fatal(err)
+	}
+	pooledSv := NewServer(Config{Shards: 2})
+	if _, err := Replay(pooledSv, bytes.NewReader(dump.Bytes()), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	directSv := NewServer(Config{Shards: 2})
+	for _, sp := range specs {
+		if err := directSv.StartJob(sp, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// IngestBatch events carry caller-allocated slices (pooled tag unset);
+	// clone the features so the two servers share no memory at all.
+	fresh := make([]Event, len(events))
+	for i, e := range events {
+		if e.Features != nil {
+			e.Features = append([]float64(nil), e.Features...)
+		}
+		fresh[i] = e
+	}
+	if err := directSv.IngestBatch(fresh); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sp := range specs {
+		want, err := directSv.Report(sp.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pooledSv.Report(sp.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(coreOf(want), coreOf(got)) {
+			t.Fatalf("job %d: pooled replay diverges from direct ingest:\n direct %+v\n pooled %+v",
+				sp.JobID, coreOf(want), coreOf(got))
+		}
+		wantV, err := directSv.Query(sp.JobID, allTaskIDs(sp.NumTasks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotV, err := pooledSv.Query(sp.JobID, allTaskIDs(sp.NumTasks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantV, gotV) {
+			t.Fatalf("job %d: pooled replay verdicts diverge from direct ingest", sp.JobID)
+		}
 	}
 }

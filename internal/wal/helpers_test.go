@@ -1,0 +1,85 @@
+package wal_test
+
+// helpers_test.go carries the workload and oracle helpers the WAL suites
+// shared with the serve package's white-box tests before the storage layer
+// was split out. They are duplicated rather than imported: the originals
+// live inside package serve's own test files, which an external test
+// package cannot reach.
+
+import (
+	"testing"
+
+	"repro/internal/simulator"
+	"repro/internal/trace"
+
+	serve "repro/internal/serve"
+)
+
+// testJobs generates n jobs plus their prepared replays.
+func testJobs(t testing.TB, cfg trace.GenConfig, n int) ([]*trace.Job, []*simulator.Sim) {
+	t.Helper()
+	gen, err := trace.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := gen.Jobs(n)
+	sims := make([]*simulator.Sim, n)
+	for i, j := range jobs {
+		s, err := simulator.New(j, simulator.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sims[i] = s
+	}
+	return jobs, sims
+}
+
+func smallJobs(t testing.TB, n int, seed uint64) ([]*trace.Job, []*simulator.Sim) {
+	t.Helper()
+	cfg := trace.DefaultGoogleConfig(seed)
+	cfg.MinTasks, cfg.MaxTasks = 30, 60
+	return testJobs(t, cfg, n)
+}
+
+// flagAll flags every running task at every checkpoint (a trivially cheap
+// predictor for protocol and concurrency tests).
+type flagAll struct{ calls int }
+
+func (f *flagAll) Name() string { return "flag-all" }
+func (f *flagAll) Reset()       { f.calls = 0 }
+func (f *flagAll) Predict(cp *simulator.Checkpoint) ([]bool, error) {
+	f.calls++
+	out := make([]bool, len(cp.RunningIDs))
+	for i := range out {
+		out[i] = true
+	}
+	return out, nil
+}
+
+// allTaskIDs returns 0..n-1 plus one out-of-range probe.
+func allTaskIDs(n int) []int {
+	ids := make([]int, n+1)
+	for i := range ids {
+		ids[i] = i - 1
+	}
+	return ids
+}
+
+// reportCore strips the wall-clock timing fields from a JobReport, leaving
+// exactly the deterministic outcome of a serving run.
+type reportCore struct {
+	Spec                          serve.JobSpec
+	Done, Failed                  bool
+	Checkpoint                    int
+	Started, Finished, Terminated int
+	Refits                        int
+	PredictedAt                   map[int]int
+}
+
+func coreOf(r *serve.JobReport) reportCore {
+	return reportCore{
+		Spec: r.Spec, Done: r.Done, Failed: r.Failed, Checkpoint: r.Checkpoint,
+		Started: r.Started, Finished: r.Finished, Terminated: r.Terminated,
+		Refits: r.Refits, PredictedAt: r.PredictedAt,
+	}
+}

@@ -1,6 +1,6 @@
 //go:build !race
 
-package serve
+package wal_test
 
 // raceEnabled: see race_enabled_test.go.
 const raceEnabled = false

@@ -1,6 +1,6 @@
 //go:build race
 
-package serve
+package wal_test
 
 // raceEnabled reports that the race detector is active; the torture sweeps
 // sample their crash points instead of visiting every one, since each

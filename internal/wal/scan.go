@@ -1,4 +1,4 @@
-package serve
+package wal
 
 // walrecover.go rebuilds a Server from a WAL directory: the newest valid
 // snapshot file (snap-<lsn>.snap, written by Server.CheckpointWAL or the
@@ -6,14 +6,14 @@ package serve
 // WAL record replayed in global LSN order.
 //
 // The log has two on-disk generations. Legacy single-stream segments
-// (wal-<base>.seg) carry implicit LSNs — each opens with a FrameLSNMark
+// (wal-<base>.seg) carry implicit LSNs — each opens with a wire.FrameLSNMark
 // declaring its first record's LSN and record i has LSN base+i — and are
 // replayed first, exactly as the pre-sharding code did, so old directories
 // recover unchanged. Per-shard segments (wal-<shard>-<stamp>.seg) carry
-// explicit per-record LSNs (FrameRecord) because the shard streams
+// explicit per-record LSNs (wire.FrameRecord) because the shard streams
 // interleave the global sequence; recovery reads each shard's stream
 // through a cursor (validating the per-segment chain links in its
-// FrameSegHeader frames) and k-way merges the cursors by LSN, so records
+// wire.FrameSegHeader frames) and k-way merges the cursors by LSN, so records
 // apply in exactly the order the live server acknowledged them — budget
 // admission, per-job ordering, and counter evolution replay faithfully.
 //
@@ -24,7 +24,7 @@ package serve
 // (the tail a crash can legitimately leave), never applying anything beyond
 // it. A gap in the log — segments missing between the snapshot floor and
 // the retained tail, detected per stream through the chain links — fails
-// typed with ErrWALGap rather than silently skipping history.
+// typed with ErrGap rather than silently skipping history.
 //
 // Cross-stream holes are the one legitimately non-prefix crash shape:
 // group-committed streams fsync independently, so a power loss can drop an
@@ -35,6 +35,8 @@ package serve
 // leaving them would collide with the LSNs the reopened log assigns next.
 
 import (
+	"repro/internal/wire"
+
 	"errors"
 	"fmt"
 	"io"
@@ -80,94 +82,12 @@ func (r RecoveryStats) String() string {
 		r.RecordsTrimmed, r.TornTail, r.NextLSN)
 }
 
-// Recover rebuilds a server from dir (point-in-time recovery: newest valid
-// snapshot + WAL replay), reopens the log for appending at the recovered
-// position, and attaches it, so the returned server logs every subsequent
-// mutation (and, when WALOptions arms the checkpoint policy, checkpoints
-// itself). dir must exist; a fresh empty directory recovers to an empty
-// server (first boot). cfg follows NewServer's defaulting and must carry a
-// predictor factory equivalent to the crashed server's (see
-// Config.NewPredictor). The caller owns Close on the returned WAL.
-func Recover(dir string, cfg Config, opts WALOptions) (*Server, *WAL, RecoveryStats, error) {
-	opts = opts.withDefaults()
-	var rst RecoveryStats
-
-	snaps, err := listSorted(opts.FS, dir, snapPrefix, snapSuffix)
-	if err != nil {
-		return nil, nil, rst, fmt.Errorf("serve: recover: wal dir %s: %w", dir, err)
-	}
-
-	// Newest restorable snapshot wins; a corrupt one (crash while its
-	// predecessor segments were already retired would lose data, which is
-	// why checkpoints retain one older generation) falls back to the next.
-	// No snapshot at all means a full-log replay from LSN 1.
-	sv := (*Server)(nil)
-	var floor uint64
-	for i := len(snaps) - 1; i >= 0 && sv == nil; i-- {
-		path := filepath.Join(dir, snaps[i].name)
-		rc, err := opts.FS.Open(path)
-		if err != nil {
-			continue
-		}
-		restored, fl, err := restoreServer(rc, cfg)
-		rc.Close()
-		if err != nil {
-			continue
-		}
-		sv, floor = restored, fl
-		rst.SnapshotPath, rst.SnapshotLSN = path, fl
-	}
-	if sv == nil {
-		sv = NewServer(cfg)
-	}
-
-	scan, err := scanWALDir(opts.FS, dir, floor, true, &rst, func(lsn uint64, kind FrameKind, payload []byte) error {
-		return applyWALRecord(sv, kind, payload, lsn, floor, &rst)
-	})
-	if err != nil {
-		return nil, nil, rst, err
-	}
-	rst.NextLSN = scan.next
-
-	// Segment files are created lazily on each stream's first append, so
-	// probe writability now: an unwritable directory must fail recovery
-	// with a clear error at startup, not wedge the first mutation with a
-	// 503 after the server is already serving.
-	probe := filepath.Join(dir, "wal-probe"+tmpSuffix)
-	if f, err := opts.FS.Create(probe); err != nil {
-		return nil, nil, rst, fmt.Errorf("serve: recover: wal dir %s is not writable: %w", dir, err)
-	} else {
-		f.Close()
-		opts.FS.Remove(probe)
-	}
-
-	streams := opts.streamCount(sv.NumShards())
-	rst.Streams = streams
-	ro := make(map[int]*roSegGroup)
-	if len(scan.legacySegs) > 0 {
-		ro[legacyGroup] = &roSegGroup{segs: scan.legacySegs, end: scan.legacyEnd}
-	}
-	streamSegs := make(map[int][]walEntry)
-	streamLast := make(map[int]uint64)
-	for shard, g := range scan.groups {
-		if shard < streams {
-			streamSegs[shard] = g.segs
-			streamLast[shard] = g.last
-		} else {
-			ro[shard] = &roSegGroup{segs: g.segs, end: g.last}
-		}
-	}
-	w := newWAL(dir, scan.next, streams, streamLast, streamSegs, ro, opts)
-	sv.attachWAL(w)
-	return sv, w, rst, nil
-}
-
-// walScan is what scanning a WAL directory yields: the contiguous end of
+// Scan is what scanning a WAL directory yields: the contiguous end of
 // the durable history and the surviving segment inventory the reopened
 // writer takes over.
-type walScan struct {
+type Scan struct {
 	next       uint64 // one past the last contiguously recovered record
-	legacySegs []walEntry
+	legacySegs []Entry
 	legacyEnd  uint64 // last legacy record LSN (0: none)
 	legacyRecs int
 	legacyTorn bool
@@ -176,28 +96,28 @@ type walScan struct {
 }
 
 type shardGroup struct {
-	segs []walEntry
+	segs []Entry
 	last uint64 // last retained record LSN of the stream (post-trim)
 	recs int    // records consumed from the stream by the merge
 	torn bool
 }
 
-// scanWALDir replays dir's whole retained log in global LSN order, feeding
+// ScanDir replays dir's whole retained log in global LSN order, feeding
 // every record at or above the contiguity cursor to visit (records below it
 // are counted as skipped). It validates legacy chains by segment base and
-// per-shard chains by FrameSegHeader links and fails typed ErrWALGap on
+// per-shard chains by wire.FrameSegHeader links and fails typed ErrGap on
 // holes in synced history. With repair set (Recover), the cross-stream
 // orphans a power loss can leave beyond the first missing LSN are
-// physically trimmed; without it (VerifyWAL) the directory is only read.
-func scanWALDir(fs WALFS, dir string, floor uint64, repair bool, rst *RecoveryStats,
-	visit func(lsn uint64, kind FrameKind, payload []byte) error) (walScan, error) {
-	var scan walScan
+// physically trimmed; without it (Verify) the directory is only read.
+func ScanDir(fs FS, dir string, floor uint64, repair bool, rst *RecoveryStats,
+	visit func(lsn uint64, kind wire.FrameKind, payload []byte) error) (Scan, error) {
+	var scan Scan
 
-	legacy, err := listSorted(fs, dir, segPrefix, segSuffix)
+	legacy, err := ListSorted(fs, dir, SegPrefix, SegSuffix)
 	if err != nil {
 		return scan, fmt.Errorf("serve: recover: wal dir %s: %w", dir, err)
 	}
-	groups, err := listShardSegs(fs, dir)
+	groups, err := ListShardSegs(fs, dir)
 	if err != nil {
 		return scan, fmt.Errorf("serve: recover: wal dir %s: %w", dir, err)
 	}
@@ -211,13 +131,13 @@ func scanWALDir(fs WALFS, dir string, floor uint64, repair bool, rst *RecoverySt
 		cursor = 1
 	}
 	for _, seg := range legacy {
-		if seg.seq > cursor {
+		if seg.Seq > cursor {
 			return scan, fmt.Errorf(
 				"serve: recover: %w: segment %s starts at LSN %d but records from %d are missing",
-				ErrWALGap, seg.name, seg.seq, cursor)
+				ErrGap, seg.Name, seg.Seq, cursor)
 		}
-		end, torn, err := walkLegacySegment(fs, filepath.Join(dir, seg.name), seg.seq,
-			func(lsn uint64, kind FrameKind, payload []byte) error {
+		end, torn, err := walkLegacySegment(fs, filepath.Join(dir, seg.Name), seg.Seq,
+			func(lsn uint64, kind wire.FrameKind, payload []byte) error {
 				scan.legacyRecs++
 				if lsn < cursor {
 					rst.RecordsSkipped++ // shadowed by an earlier segment's replay
@@ -279,7 +199,7 @@ func scanWALDir(fs WALFS, dir string, floor uint64, repair bool, rst *RecoverySt
 				best = c
 			} else if c.headLSN == best.headLSN {
 				return scan, fmt.Errorf("serve: recover: %w: LSN %d appears in both shard %d and shard %d streams",
-					ErrCorrupt, c.headLSN, best.shard, c.shard)
+					wire.ErrCorrupt, c.headLSN, best.shard, c.shard)
 			}
 		}
 		if best == nil {
@@ -337,19 +257,19 @@ func scanWALDir(fs WALFS, dir string, floor uint64, repair bool, rst *RecoverySt
 // (rotation syncs a segment before its successor exists) and fails typed;
 // corruption in the final segment is the torn tail a crash leaves.
 type shardCursor struct {
-	fs           WALFS
+	fs           FS
 	dir          string
 	shard        int
-	segs         []walEntry
+	segs         []Entry
 	coveredBelow uint64 // first retained segment's prevEnd must be below this
 
 	segIdx      int
 	rc          io.ReadCloser
-	wr          *WireReader
+	wr          *wire.Reader
 	chained     bool   // a previous segment of this stream was fully read
 	last        uint64 // last record LSN read from this stream
 	headLSN     uint64
-	headKind    FrameKind
+	headKind    wire.FrameKind
 	headPayload []byte
 	headOK      bool
 	torn        bool
@@ -359,7 +279,7 @@ type shardCursor struct {
 // gapf fails the cursor's stream typed.
 func (c *shardCursor) gapf(format string, args ...any) error {
 	c.close()
-	return fmt.Errorf("serve: recover: shard %d stream: %w: %s", c.shard, ErrWALGap, fmt.Sprintf(format, args...))
+	return fmt.Errorf("serve: recover: shard %d stream: %w: %s", c.shard, ErrGap, fmt.Sprintf(format, args...))
 }
 
 func (c *shardCursor) close() {
@@ -376,7 +296,7 @@ func (c *shardCursor) tornHere(what string, err error) error {
 	final := c.segIdx == len(c.segs)-1
 	c.close()
 	if !final {
-		return c.gapf("segment %s: %s (%v) but later segments exist", c.segs[c.segIdx].name, what, err)
+		return c.gapf("segment %s: %s (%v) but later segments exist", c.segs[c.segIdx].Name, what, err)
 	}
 	c.torn = true
 	c.headOK = false
@@ -395,14 +315,14 @@ func (c *shardCursor) advance() error {
 				return nil
 			}
 			seg := c.segs[c.segIdx]
-			rc, err := c.fs.Open(filepath.Join(c.dir, seg.name))
+			rc, err := c.fs.Open(filepath.Join(c.dir, seg.Name))
 			if err != nil {
 				return fmt.Errorf("serve: recover: %w", err)
 			}
-			c.rc, c.wr = rc, NewWireReader(rc)
+			c.rc, c.wr = rc, wire.NewReader(rc)
 			c.segsScanned++
-			kind, payload, err := c.wr.next()
-			if isTornErr(err) || (err == nil && kind != FrameSegHeader) || err == io.EOF {
+			kind, payload, err := c.wr.NextFrame()
+			if isTornErr(err) || (err == nil && kind != wire.FrameSegHeader) || err == io.EOF {
 				// A segment that does not open with its own header cannot be
 				// placed in the stream; treat it as wholly torn.
 				if err := c.tornHere("unreadable segment header", err); err != nil {
@@ -412,26 +332,26 @@ func (c *shardCursor) advance() error {
 			}
 			if err != nil {
 				c.close()
-				return fmt.Errorf("serve: recover: %s: %w", seg.name, err)
+				return fmt.Errorf("serve: recover: %s: %w", seg.Name, err)
 			}
-			h, err := decodeSegHeaderPayload(payload)
-			if err != nil || h.stamp != seg.seq || h.shard != c.shard {
+			h, err := wire.DecodeSegHeaderPayload(payload)
+			if err != nil || h.Stamp != seg.Seq || h.Shard != c.shard {
 				if err := c.tornHere("segment header does not match its name", err); err != nil {
 					return err
 				}
 				continue
 			}
 			if c.chained {
-				if h.prevEnd != c.last {
+				if h.PrevEnd != c.last {
 					return c.gapf("segment %s chains to LSN %d but the stream's previous segment ended at %d — a segment is missing or damaged",
-						seg.name, h.prevEnd, c.last)
+						seg.Name, h.PrevEnd, c.last)
 				}
-			} else if h.prevEnd >= c.coveredBelow {
+			} else if h.PrevEnd >= c.coveredBelow {
 				return c.gapf("first retained segment %s chains to LSN %d, beyond the covered history below %d — earlier segments of this stream are missing",
-					seg.name, h.prevEnd, c.coveredBelow)
+					seg.Name, h.PrevEnd, c.coveredBelow)
 			}
 		}
-		kind, payload, err := c.wr.next()
+		kind, payload, err := c.wr.NextFrame()
 		if err == io.EOF {
 			// Clean end of segment: move to the next one.
 			c.close()
@@ -446,18 +366,18 @@ func (c *shardCursor) advance() error {
 			continue
 		}
 		if err != nil {
-			name := c.segs[c.segIdx].name
+			name := c.segs[c.segIdx].Name
 			c.close()
 			return fmt.Errorf("serve: recover: %s: %w", name, err)
 		}
-		if kind != FrameRecord {
+		if kind != wire.FrameRecord {
 			if err := c.tornHere(fmt.Sprintf("frame kind %d where a record was expected", kind), nil); err != nil {
 				return err
 			}
 			continue
 		}
-		lsn, inner, innerPayload, err := decodeRecordPayload(payload)
-		if err != nil || lsn <= c.last || lsn < c.segs[c.segIdx].seq {
+		lsn, inner, innerPayload, err := wire.DecodeRecordPayload(payload)
+		if err != nil || lsn <= c.last || lsn < c.segs[c.segIdx].Seq {
 			if err := c.tornHere("record with out-of-order LSN", err); err != nil {
 				return err
 			}
@@ -471,8 +391,8 @@ func (c *shardCursor) advance() error {
 
 // isTornErr classifies the read errors a crash tail legitimately produces.
 func isTornErr(err error) bool {
-	return errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt) ||
-		errors.Is(err, ErrBadMagic) || errors.Is(err, ErrVersion)
+	return errors.Is(err, wire.ErrTruncated) || errors.Is(err, wire.ErrCorrupt) ||
+		errors.Is(err, wire.ErrBadMagic) || errors.Is(err, wire.ErrVersion)
 }
 
 // trimBeyond physically removes every per-shard record at or above cut:
@@ -482,24 +402,24 @@ func isTornErr(err error) bool {
 // place with only its sub-cut records, via a temp file renamed over the
 // original. Idempotent: a crash mid-trim leaves either the original or the
 // trimmed file, and the next recovery computes the same cut.
-func trimBeyond(fs WALFS, dir string, groups map[int]*shardGroup, cut uint64) (int, error) {
+func trimBeyond(fs FS, dir string, groups map[int]*shardGroup, cut uint64) (int, error) {
 	trimmed := 0
 	for _, g := range groups {
 		kept := g.segs[:0]
 		for _, seg := range g.segs {
-			if seg.seq >= cut {
+			if seg.Seq >= cut {
 				// Every record in a stamp>=cut segment is an orphan; count
 				// them before the file goes, so RecordsTrimmed reports what
 				// was actually discarded.
 				trimmed += countSegmentRecords(fs, dir, seg)
-				if err := fs.Remove(filepath.Join(dir, seg.name)); err != nil {
+				if err := fs.Remove(filepath.Join(dir, seg.Name)); err != nil {
 					return trimmed, err
 				}
 				continue
 			}
 			kept = append(kept, seg)
 		}
-		g.segs = append([]walEntry(nil), kept...)
+		g.segs = append([]Entry(nil), kept...)
 		if len(g.segs) == 0 {
 			continue
 		}
@@ -514,20 +434,20 @@ func trimBeyond(fs WALFS, dir string, groups map[int]*shardGroup, cut uint64) (i
 
 // countSegmentRecords counts the decodable records in one segment (0 on
 // any read problem — the file is about to be removed either way).
-func countSegmentRecords(fs WALFS, dir string, seg walEntry) int {
-	rc, err := fs.Open(filepath.Join(dir, seg.name))
+func countSegmentRecords(fs FS, dir string, seg Entry) int {
+	rc, err := fs.Open(filepath.Join(dir, seg.Name))
 	if err != nil {
 		return 0
 	}
 	defer rc.Close()
-	wr := NewWireReader(rc)
+	wr := wire.NewReader(rc)
 	n := 0
 	for {
-		kind, _, err := wr.next()
+		kind, _, err := wr.NextFrame()
 		if err != nil {
 			return n
 		}
-		if kind == FrameRecord {
+		if kind == wire.FrameRecord {
 			n++
 		}
 	}
@@ -535,18 +455,18 @@ func countSegmentRecords(fs WALFS, dir string, seg walEntry) int {
 
 // trimSegment rewrites seg without its records at or above cut (a no-op if
 // it has none).
-func trimSegment(fs WALFS, dir string, seg walEntry, cut uint64) (int, error) {
-	path := filepath.Join(dir, seg.name)
+func trimSegment(fs FS, dir string, seg Entry, cut uint64) (int, error) {
+	path := filepath.Join(dir, seg.Name)
 	rc, err := fs.Open(path)
 	if err != nil {
 		return 0, err
 	}
-	wr := NewWireReader(rc)
+	wr := wire.NewReader(rc)
 	var keep []byte
 	dropped := 0
 	readErr := error(nil)
 	for {
-		kind, payload, err := wr.next()
+		kind, payload, err := wr.NextFrame()
 		if err == io.EOF {
 			break
 		}
@@ -557,16 +477,16 @@ func trimSegment(fs WALFS, dir string, seg walEntry, cut uint64) (int, error) {
 			readErr = err
 			break
 		}
-		if kind == FrameRecord {
-			if lsn, _, _, derr := decodeRecordPayload(payload); derr == nil && lsn >= cut {
+		if kind == wire.FrameRecord {
+			if lsn, _, _, derr := wire.DecodeRecordPayload(payload); derr == nil && lsn >= cut {
 				dropped++
 				continue
 			}
 		}
 		if keep == nil {
-			keep = AppendHeader(nil)
+			keep = wire.AppendHeader(nil)
 		}
-		keep = appendFrame(keep, kind, payload)
+		keep = wire.AppendFrame(keep, kind, payload)
 	}
 	rc.Close()
 	if readErr != nil {
@@ -575,7 +495,7 @@ func trimSegment(fs WALFS, dir string, seg walEntry, cut uint64) (int, error) {
 	if dropped == 0 {
 		return 0, nil
 	}
-	tmp := path + tmpSuffix
+	tmp := path + TmpSuffix
 	f, err := fs.Create(tmp)
 	if err != nil {
 		return dropped, err
@@ -599,21 +519,21 @@ func trimSegment(fs WALFS, dir string, seg walEntry, cut uint64) (int, error) {
 
 // walkLegacySegment walks one legacy single-stream segment: base is the LSN
 // the file name claims for the first record (cross-checked against the
-// segment's FrameLSNMark header), and record i of the segment visits with
+// segment's wire.FrameLSNMark header), and record i of the segment visits with
 // LSN base+i. Returns the LSN one past the last decodable record and
 // whether the segment ended in a torn/corrupt frame instead of a clean EOF.
-func walkLegacySegment(fs WALFS, path string, base uint64,
-	visit func(lsn uint64, kind FrameKind, payload []byte) error) (uint64, bool, error) {
+func walkLegacySegment(fs FS, path string, base uint64,
+	visit func(lsn uint64, kind wire.FrameKind, payload []byte) error) (uint64, bool, error) {
 	rc, err := fs.Open(path)
 	if err != nil {
 		return base, false, fmt.Errorf("serve: recover: %w", err)
 	}
 	defer rc.Close()
-	wr := NewWireReader(rc)
+	wr := wire.NewReader(rc)
 	lsn := base
 	first := true
 	for {
-		kind, payload, err := wr.next()
+		kind, payload, err := wr.NextFrame()
 		if err == io.EOF {
 			return lsn, false, nil
 		}
@@ -628,8 +548,8 @@ func walkLegacySegment(fs WALFS, path string, base uint64,
 		}
 		if first {
 			first = false
-			declared, err := decodeLSNMarkPayload(payload)
-			if kind != FrameLSNMark || err != nil || declared != base {
+			declared, err := wire.DecodeLSNMarkPayload(payload)
+			if kind != wire.FrameLSNMark || err != nil || declared != base {
 				// A segment that does not open with its own base LSN cannot
 				// be placed in the sequence; treat it as wholly torn.
 				return lsn, true, nil
@@ -643,165 +563,4 @@ func walkLegacySegment(fs WALFS, path string, base uint64,
 				filepath.Base(path), recLSN, err)
 		}
 	}
-}
-
-// applyWALRecord applies one decoded WAL record to sv, enforcing the
-// exact-once rules: records below the snapshot floor are skipped wholesale
-// (the floor proof in snapshotWithFloor guarantees they are reflected), and
-// records at or above it are skipped per job when the job's snapshot
-// section already carries an LSN at least as new (the mid-traffic snapshot
-// case). Mutations that decode but cannot apply cleanly mean the log and
-// the snapshot disagree — recovery fails typed instead of guessing.
-// Recovery is single-threaded, so the jobState resolved once per record
-// stays valid across the apply (only a FrameDrop removes it, and that is
-// the record being applied).
-func applyWALRecord(sv *Server, kind FrameKind, payload []byte, lsn, floor uint64, rst *RecoveryStats) error {
-	if lsn < floor {
-		rst.RecordsSkipped++
-		return nil
-	}
-	switch kind {
-	case FrameSpec:
-		sp, err := decodeSpecPayload(payload)
-		if err != nil {
-			return err
-		}
-		if j, ok := sv.reg.shardFor(sp.JobID).lookup(sp.JobID); ok {
-			if j.lsn >= lsn {
-				rst.RecordsSkipped++
-				return nil
-			}
-			return fmt.Errorf("%w: job %d re-registered at LSN %d while live since LSN %d",
-				ErrCorrupt, sp.JobID, lsn, j.lsn)
-		}
-		if err := sv.StartJob(sp, nil); err != nil {
-			return err
-		}
-		if j, ok := sv.reg.shardFor(sp.JobID).lookup(sp.JobID); ok {
-			j.lsn = lsn
-		}
-		rst.RecordsApplied++
-		return nil
-	case FrameEvent, FrameFinish:
-		var ev Event
-		var err error
-		if kind == FrameEvent {
-			ev, err = decodeEventPayload(payload)
-		} else {
-			ev.Kind = EventJobFinish
-			ev.JobID, ev.Time, err = decodeFinishPayload(payload)
-		}
-		if err != nil {
-			return err
-		}
-		j, ok := sv.reg.shardFor(ev.JobID).lookup(ev.JobID)
-		if !ok {
-			// The job's drop landed before the snapshot cut; its late events
-			// (a benign race the live server drains as drops) have nothing
-			// left to apply to.
-			rst.RecordsOrphaned++
-			return nil
-		}
-		if j.lsn >= lsn {
-			rst.RecordsSkipped++
-			return nil
-		}
-		if err := sv.Ingest(ev); err != nil {
-			return err
-		}
-		j.lsn = lsn
-		rst.RecordsApplied++
-		return nil
-	case FrameDrop:
-		jobID, err := decodeDropPayload(payload)
-		if err != nil {
-			return err
-		}
-		j, ok := sv.reg.shardFor(jobID).lookup(jobID)
-		if !ok {
-			rst.RecordsOrphaned++
-			return nil
-		}
-		if j.lsn >= lsn {
-			rst.RecordsSkipped++
-			return nil
-		}
-		if err := sv.DropJob(jobID); err != nil {
-			return err
-		}
-		rst.RecordsApplied++
-		return nil
-	default:
-		return fmt.Errorf("%w: frame kind %d in a WAL segment", ErrCorrupt, kind)
-	}
-}
-
-// CheckpointWAL writes a durable snapshot into the WAL directory (stamped
-// with its floor LSN, via a temp file renamed into place) and retires every
-// WAL segment wholly below the floor, per stream. One older snapshot
-// generation is kept so a crash that corrupts the newest file cannot orphan
-// the log; older ones and stale temp files are pruned. The automatic
-// checkpoint policy (WALOptions.CheckpointEvery / CheckpointBytes) calls
-// this on its triggers; explicit calls remain available and serialize with
-// it. Returns the snapshot path and how many segments were retired.
-func (sv *Server) CheckpointWAL() (string, int, error) {
-	w := sv.wal
-	if w == nil {
-		return "", 0, fmt.Errorf("serve: checkpoint: no WAL attached")
-	}
-	fs, dir := w.opts.FS, w.dir
-	// The snapshot itself runs outside the stream mutexes (it takes job
-	// locks; appends take job locks before a stream's — holding both here
-	// would deadlock against ingest). ckptMu serializes whole checkpoints,
-	// so an automatic and an explicit call can never interleave writes into
-	// one temp file or race the prune/retire bookkeeping.
-	w.ckptMu.Lock()
-	defer w.ckptMu.Unlock()
-	tmp := filepath.Join(dir, "checkpoint"+tmpSuffix)
-	f, err := fs.Create(tmp)
-	if err != nil {
-		return "", 0, fmt.Errorf("serve: checkpoint: %w", err)
-	}
-	floor, err := sv.snapshotWithFloor(f)
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		fs.Remove(tmp)
-		return "", 0, fmt.Errorf("serve: checkpoint: %w", err)
-	}
-	path := filepath.Join(dir, snapName(floor))
-	if err := fs.Rename(tmp, path); err != nil {
-		fs.Remove(tmp)
-		return "", 0, fmt.Errorf("serve: checkpoint: %w", err)
-	}
-	// The rename must be durable before anything it supersedes is removed;
-	// the prune/retire unlinks below need no dir sync of their own — a
-	// forgotten unlink only leaves an extra file recovery tolerates.
-	if err := fs.SyncDir(dir); err != nil {
-		return "", 0, fmt.Errorf("serve: checkpoint: sync dir: %w", err)
-	}
-	w.checkpointDone(floor)
-	// Prune snapshots beyond the newest two, then retire segments only up
-	// to the oldest *kept* snapshot's floor — both kept generations must
-	// still chain to the retained log, or the fallback snapshot would be
-	// useless exactly when it is needed.
-	retireFloor := floor
-	snaps, err := listSorted(fs, dir, snapPrefix, snapSuffix)
-	if err == nil {
-		for i := 0; i+2 < len(snaps); i++ {
-			fs.Remove(filepath.Join(dir, snaps[i].name))
-		}
-		if len(snaps) >= 2 && snaps[len(snaps)-2].seq < retireFloor {
-			retireFloor = snaps[len(snaps)-2].seq
-		}
-	}
-	retired, err := w.RetireBelow(retireFloor)
-	if err != nil {
-		return path, retired, fmt.Errorf("serve: checkpoint: retire: %w", err)
-	}
-	return path, retired, nil
 }

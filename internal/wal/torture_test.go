@@ -1,4 +1,4 @@
-package serve
+package wal_test
 
 // torture_test.go is the crash-injection harness for the WAL. It drives a
 // recorded multi-job replay once, uninterrupted, over an in-memory
@@ -13,235 +13,22 @@ package serve
 // crash instant without re-driving the server thousands of times.
 
 import (
-	"bytes"
+	. "repro/internal/serve"
+	walpkg "repro/internal/wal"
+	"repro/internal/wal/waltest"
+	"repro/internal/wire"
+
 	"fmt"
-	"io"
 	"math/rand"
 	"reflect"
 	"sort"
 	"strings"
-	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/simulator"
 	"repro/internal/trace"
 )
-
-// --- fault-injecting in-memory filesystem ---
-
-const (
-	fsOpCreate = iota
-	fsOpWrite
-	fsOpRename
-	fsOpRemove
-	fsOpSync
-)
-
-type fsOp struct {
-	op         int
-	name, dest string
-	data       []byte
-}
-
-// memFS implements WALFS in memory. While recording it journals every
-// operation; setBudget arms the crash: once the cumulative written bytes
-// reach the budget, the write fails mid-call (a partial write, like a
-// process killed inside write(2)) and every later operation fails too.
-type memFS struct {
-	mu      sync.Mutex
-	files   map[string][]byte
-	synced  map[string]int
-	journal []fsOp
-	written int64
-	budget  int64 // < 0: unlimited
-	dead    bool
-}
-
-func newMemFS() *memFS {
-	return &memFS{files: make(map[string][]byte), synced: make(map[string]int), budget: -1}
-}
-
-var errCrashed = fmt.Errorf("memfs: crashed")
-
-func (m *memFS) setBudget(n int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.budget = n
-	m.dead = false
-}
-
-func (m *memFS) totalWritten() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.written
-}
-
-func (m *memFS) Create(name string) (WALFile, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.dead {
-		return nil, errCrashed
-	}
-	m.files[name] = nil
-	m.synced[name] = 0
-	m.journal = append(m.journal, fsOp{op: fsOpCreate, name: name})
-	return &memFile{fs: m, name: name}, nil
-}
-
-func (m *memFS) Open(name string) (io.ReadCloser, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	b, ok := m.files[name]
-	if !ok {
-		return nil, fmt.Errorf("memfs: open %s: no such file", name)
-	}
-	return io.NopCloser(bytes.NewReader(append([]byte(nil), b...))), nil
-}
-
-func (m *memFS) ReadDir(dir string) ([]string, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	prefix := dir + "/"
-	var names []string
-	for name := range m.files {
-		if strings.HasPrefix(name, prefix) {
-			names = append(names, strings.TrimPrefix(name, prefix))
-		}
-	}
-	sort.Strings(names)
-	return names, nil
-}
-
-func (m *memFS) Rename(oldname, newname string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.dead {
-		return errCrashed
-	}
-	b, ok := m.files[oldname]
-	if !ok {
-		return fmt.Errorf("memfs: rename %s: no such file", oldname)
-	}
-	m.files[newname] = b
-	m.synced[newname] = m.synced[oldname]
-	delete(m.files, oldname)
-	delete(m.synced, oldname)
-	m.journal = append(m.journal, fsOp{op: fsOpRename, name: oldname, dest: newname})
-	return nil
-}
-
-func (m *memFS) Remove(name string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.dead {
-		return errCrashed
-	}
-	if _, ok := m.files[name]; !ok {
-		return fmt.Errorf("memfs: remove %s: no such file", name)
-	}
-	delete(m.files, name)
-	delete(m.synced, name)
-	m.journal = append(m.journal, fsOp{op: fsOpRemove, name: name})
-	return nil
-}
-
-// SyncDir is a durability no-op here: memFS models directory metadata
-// (creates, renames, removes) as journaled by the OS and thus durable at
-// the operation itself, which is the strictest-ordering interpretation the
-// crash reconstruction in fsAt applies too.
-func (m *memFS) SyncDir(string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.dead {
-		return errCrashed
-	}
-	return nil
-}
-
-type memFile struct {
-	fs   *memFS
-	name string
-}
-
-func (f *memFile) Write(p []byte) (int, error) {
-	m := f.fs
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.dead {
-		return 0, errCrashed
-	}
-	n := len(p)
-	if m.budget >= 0 && m.written+int64(n) > m.budget {
-		n = int(m.budget - m.written)
-		m.dead = true
-	}
-	m.files[f.name] = append(m.files[f.name], p[:n]...)
-	m.written += int64(n)
-	m.journal = append(m.journal, fsOp{op: fsOpWrite, name: f.name, data: append([]byte(nil), p[:n]...)})
-	if n < len(p) {
-		return n, errCrashed
-	}
-	return n, nil
-}
-
-func (f *memFile) Sync() error {
-	m := f.fs
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.dead {
-		return errCrashed
-	}
-	m.synced[f.name] = len(m.files[f.name])
-	m.journal = append(m.journal, fsOp{op: fsOpSync, name: f.name})
-	return nil
-}
-
-func (f *memFile) Close() error { return nil }
-
-// fsAt rebuilds the filesystem a crash at byte offset crash of the journal
-// would have left: every operation before the crashing write applies
-// (metadata operations are free — the OS journals them), the crashing
-// write is cut mid-byte-stream, and nothing after it exists. With
-// powerLoss, bytes written after each file's last fsync are dropped too —
-// the stricter storage model where only synced data survives.
-func fsAt(journal []fsOp, crash int64, powerLoss bool) *memFS {
-	fs := newMemFS()
-	var written int64
-	for _, op := range journal {
-		switch op.op {
-		case fsOpCreate:
-			fs.files[op.name] = nil
-			fs.synced[op.name] = 0
-		case fsOpWrite:
-			n := int64(len(op.data))
-			if written+n > crash {
-				fs.files[op.name] = append(fs.files[op.name], op.data[:crash-written]...)
-				written = crash
-				goto done
-			}
-			fs.files[op.name] = append(fs.files[op.name], op.data...)
-			written += n
-		case fsOpRename:
-			fs.files[op.dest] = fs.files[op.name]
-			fs.synced[op.dest] = fs.synced[op.name]
-			delete(fs.files, op.name)
-			delete(fs.synced, op.name)
-		case fsOpRemove:
-			delete(fs.files, op.name)
-			delete(fs.synced, op.name)
-		case fsOpSync:
-			fs.synced[op.name] = len(fs.files[op.name])
-		}
-	}
-done:
-	if powerLoss {
-		for name := range fs.files {
-			fs.files[name] = fs.files[name][:fs.synced[name]]
-		}
-	}
-	return fs
-}
 
 // --- deterministic torture workload ---
 
@@ -256,7 +43,7 @@ func (p *torturePred) Reset()       {}
 func (p *torturePred) Predict(cp *simulator.Checkpoint) ([]bool, error) {
 	out := make([]bool, len(cp.RunningIDs))
 	for i, id := range cp.RunningIDs {
-		out[i] = mix64(p.salt^(uint64(id)*0x9e3779b9+uint64(cp.Index)<<32))%5 == 0
+		out[i] = wire.Mix64(p.salt^(uint64(id)*0x9e3779b9+uint64(cp.Index)<<32))%5 == 0
 	}
 	return out, nil
 }
@@ -360,14 +147,14 @@ func (a tortureState) diff(b tortureState) string {
 }
 
 // tortureRun drives the uninterrupted reference: the whole feed through a
-// WAL on the journaling memFS, with periodic checkpoints (so crash points
+// WAL on the journaling waltest.MemFS, with periodic checkpoints (so crash points
 // land before, during, and after snapshot writes and segment retirements).
 // Returns the filesystem (with its journal), the reference state, and the
 // cumulative write offset after each accepted mutation — the frame
 // boundaries of the crash sweep.
-func tortureRun(t testing.TB, feed []tortureMutation, specs []JobSpec, opts WALOptions, checkpoints int, syncStride int) (*memFS, tortureState, []int64) {
+func tortureRun(t testing.TB, feed []tortureMutation, specs []JobSpec, opts WALOptions, checkpoints int, syncStride int) (*waltest.MemFS, tortureState, []int64) {
 	t.Helper()
-	fs := newMemFS()
+	fs := waltest.NewMemFS()
 	opts.FS = fs
 	sv, wal, _, err := Recover("wal", tortureCfg(4), opts)
 	if err != nil {
@@ -382,7 +169,7 @@ func tortureRun(t testing.TB, feed []tortureMutation, specs []JobSpec, opts WALO
 		if err := feed[i].apply(sv); err != nil {
 			t.Fatalf("mutation %d: %v", i, err)
 		}
-		boundaries = append(boundaries, fs.totalWritten())
+		boundaries = append(boundaries, fs.TotalWritten())
 		if (i+1)%ckptEvery == 0 {
 			if _, _, err := sv.CheckpointWAL(); err != nil {
 				t.Fatalf("checkpoint after mutation %d: %v", i, err)
@@ -401,7 +188,7 @@ func tortureRun(t testing.TB, feed []tortureMutation, specs []JobSpec, opts WALO
 
 // recoverAndResume rebuilds from fs, resumes the feed at the recovered
 // LSN, and returns the final state plus the recovery stats.
-func recoverAndResume(t testing.TB, fs *memFS, feed []tortureMutation, specs []JobSpec, opts WALOptions) (tortureState, RecoveryStats) {
+func recoverAndResume(t testing.TB, fs *waltest.MemFS, feed []tortureMutation, specs []JobSpec, opts WALOptions) (tortureState, RecoveryStats) {
 	t.Helper()
 	opts.FS = fs
 	sv, wal, rst, err := Recover("wal", tortureCfg(3), opts)
@@ -458,11 +245,11 @@ func TestWALTortureEveryFrameBoundary(t *testing.T) {
 	if testing.Short() || raceEnabled {
 		stride = 13 // sampled sweep; the full one needs the plain build
 	}
-	crashes := make([]int64, 0, len(fs.journal))
+	crashes := make([]int64, 0, len(fs.Journal))
 	var off int64
-	for _, op := range fs.journal {
-		if op.op == fsOpWrite {
-			off += int64(len(op.data))
+	for _, op := range fs.Journal {
+		if op.Kind == waltest.OpWrite {
+			off += int64(len(op.Data))
 			crashes = append(crashes, off)
 		}
 	}
@@ -471,7 +258,7 @@ func TestWALTortureEveryFrameBoundary(t *testing.T) {
 	}
 	for i := 0; i < len(crashes); i += stride {
 		x := crashes[i]
-		got, rst := recoverAndResume(t, fsAt(fs.journal, x, false), feed, specs, opts)
+		got, rst := recoverAndResume(t, waltest.FSAt(fs.Journal, x, false), feed, specs, opts)
 		// Every acknowledged mutation must be recovered. One *more* is
 		// legal: a crash between a record's frame write and its
 		// acknowledgment (e.g. before the rotation header that follows)
@@ -499,7 +286,7 @@ func TestWALTortureMidFrame(t *testing.T) {
 	feed, specs := tortureFeed(t, 20, 101)
 	opts := WALOptions{SegmentBytes: 16 << 10, Streams: 4}
 	fs, ref, boundaries := tortureRun(t, feed, specs, opts, 3, 0)
-	total := fs.totalWritten()
+	total := fs.TotalWritten()
 	rng := rand.New(rand.NewSource(101))
 	points := 120
 	if testing.Short() || raceEnabled {
@@ -507,7 +294,7 @@ func TestWALTortureMidFrame(t *testing.T) {
 	}
 	for i := 0; i < points; i++ {
 		x := 1 + rng.Int63n(total-1)
-		got, rst := recoverAndResume(t, fsAt(fs.journal, x, false), feed, specs, opts)
+		got, rst := recoverAndResume(t, waltest.FSAt(fs.Journal, x, false), feed, specs, opts)
 		if want := expectedLSN(boundaries, x); rst.NextLSN < want || rst.NextLSN > want+1 {
 			t.Fatalf("mid-frame crash at byte %d: recovered LSN %d, want %d or %d (%v)",
 				x, rst.NextLSN, want, want+1, rst)
@@ -534,16 +321,16 @@ func TestWALTortureBitFlips(t *testing.T) {
 		flips = 25
 	}
 	var segNames []string
-	for name := range fs.files {
-		if strings.Contains(name, segPrefix) {
+	for name := range fs.Files {
+		if strings.Contains(name, walpkg.SegPrefix) {
 			segNames = append(segNames, name)
 		}
 	}
 	sort.Strings(segNames)
 	for i := 0; i < flips; i++ {
-		crashed := fsAt(fs.journal, fs.totalWritten(), false)
+		crashed := waltest.FSAt(fs.Journal, fs.TotalWritten(), false)
 		name := segNames[rng.Intn(len(segNames))]
-		b := crashed.files[name]
+		b := crashed.Files[name]
 		if len(b) == 0 {
 			continue
 		}
@@ -576,14 +363,14 @@ func TestWALTorturePowerLoss(t *testing.T) {
 
 	// Synced LSN at each journal position: scan sync ops.
 	rng := rand.New(rand.NewSource(107))
-	total := fs.totalWritten()
+	total := fs.TotalWritten()
 	points := 100
 	if testing.Short() || raceEnabled {
 		points = 20
 	}
 	for i := 0; i < points; i++ {
 		x := 1 + rng.Int63n(total-1)
-		got, rst := recoverAndResume(t, fsAt(fs.journal, x, true), feed, specs, opts)
+		got, rst := recoverAndResume(t, waltest.FSAt(fs.Journal, x, true), feed, specs, opts)
 		durable := expectedLSN(boundaries, x)
 		if rst.NextLSN > durable {
 			t.Fatalf("power loss at byte %d: recovered LSN %d beyond the written prefix %d", x, rst.NextLSN, durable)
@@ -611,14 +398,14 @@ func TestWALTortureLiveCrash(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(109))
 	for i := 0; i < 8; i++ {
-		fs := newMemFS()
+		fs := waltest.NewMemFS()
 		o := opts
 		o.FS = fs
 		sv, wal, _, err := Recover("wal", tortureCfg(2), o)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fs.setBudget(1 + rng.Int63n(60_000))
+		fs.SetBudget(1 + rng.Int63n(60_000))
 		acked := 0
 		for j := range feed {
 			if err := feed[j].apply(sv); err != nil {
@@ -630,7 +417,7 @@ func TestWALTortureLiveCrash(t *testing.T) {
 		if acked == len(feed) {
 			continue // budget outlived the feed
 		}
-		fs.setBudget(-1) // the new process image writes freely
+		fs.SetBudget(-1) // the new process image writes freely
 		got, rst := recoverAndResume(t, fs, feed, specs, opts)
 		if int(rst.NextLSN)-1 < acked {
 			t.Fatalf("live crash after %d acked mutations: recovery has only %d — acknowledged data lost",
@@ -653,7 +440,7 @@ func TestWALBudgetAfterRecovery(t *testing.T) {
 	}
 	for round := 0; round < rounds; round++ {
 		rng := rand.New(rand.NewSource(int64(200 + round)))
-		fs := newMemFS()
+		fs := waltest.NewMemFS()
 		opts := WALOptions{SegmentBytes: 8 << 10, Streams: 4, FS: fs}
 		cfg := tortureCfg(2)
 		cfg.MaxJobs = 6
@@ -719,8 +506,8 @@ func TestWALBudgetAfterRecovery(t *testing.T) {
 		}
 		wal.Close()
 
-		crash := rng.Int63n(fs.totalWritten()) + 1
-		opts2 := WALOptions{SegmentBytes: 8 << 10, Streams: 4, FS: fsAt(fs.journal, crash, false)}
+		crash := rng.Int63n(fs.TotalWritten()) + 1
+		opts2 := WALOptions{SegmentBytes: 8 << 10, Streams: 4, FS: waltest.FSAt(fs.Journal, crash, false)}
 		sv2, wal2, rst, err := Recover("wal", cfg, opts2)
 		if err != nil {
 			t.Fatalf("round %d: recover at byte %d: %v", round, crash, err)
@@ -728,19 +515,20 @@ func TestWALBudgetAfterRecovery(t *testing.T) {
 		ids := sv2.JobIDs()
 		var wantTasks int64
 		for _, id := range ids {
-			j, ok := sv2.reg.shardFor(id).lookup(id)
-			if !ok {
-				t.Fatalf("round %d: listed job %d vanished", round, id)
+			r, err := sv2.Report(id)
+			if err != nil {
+				t.Fatalf("round %d: listed job %d vanished: %v", round, id, err)
 			}
-			wantTasks += int64(j.spec.NumTasks)
+			wantTasks += int64(r.Spec.NumTasks)
 		}
-		if got := sv2.jobs.Load(); got != int64(len(ids)) {
+		jobs, tasks := sv2.Budget()
+		if jobs != int64(len(ids)) {
 			t.Fatalf("round %d crash %d (recovery %v): job budget %d, %d jobs registered",
-				round, crash, rst, got, len(ids))
+				round, crash, rst, jobs, len(ids))
 		}
-		if got := sv2.tasks.Load(); got != wantTasks {
+		if tasks != wantTasks {
 			t.Fatalf("round %d crash %d (recovery %v): task budget %d, registered jobs hold %d",
-				round, crash, rst, got, wantTasks)
+				round, crash, rst, tasks, wantTasks)
 		}
 		wal2.Close()
 	}
@@ -749,21 +537,21 @@ func TestWALBudgetAfterRecovery(t *testing.T) {
 // --- upgrade path: old single-stream directories under the new recovery ---
 
 // legacyWAL writes the pre-sharding single-stream WAL layout byte for byte:
-// wal-<base>.seg segments opening with a FrameLSNMark base header, records
+// wal-<base>.seg segments opening with a wire.FrameLSNMark base header, records
 // as bare frames with implicit LSNs (record i of a segment is base+i), and
 // rotation at the byte threshold. The torture upgrade sweep uses it to
 // manufacture the directories old deployments leave behind.
 type legacyWAL struct {
 	t        testing.TB
-	fs       *memFS
+	fs       *waltest.MemFS
 	dir      string
 	segBytes int64
-	f        *memFile
+	f        walpkg.File
 	seq      uint64 // next LSN
 	written  int64
 }
 
-func newLegacyWAL(t testing.TB, fs *memFS, dir string, segBytes int64) *legacyWAL {
+func newLegacyWAL(t testing.TB, fs *waltest.MemFS, dir string, segBytes int64) *legacyWAL {
 	lw := &legacyWAL{t: t, fs: fs, dir: dir, segBytes: segBytes, seq: 1}
 	lw.rotate()
 	return lw
@@ -776,14 +564,14 @@ func (lw *legacyWAL) rotate() {
 			lw.t.Fatal(err)
 		}
 	}
-	f, err := lw.fs.Create(lw.dir + "/" + segName(lw.seq))
+	f, err := lw.fs.Create(lw.dir + "/" + walpkg.LegacySegName(lw.seq))
 	if err != nil {
 		lw.t.Fatal(err)
 	}
-	lw.f = f.(*memFile)
-	var e wireEnc
-	appendLSNMarkPayload(&e, lw.seq)
-	hdr := appendFrame(AppendHeader(nil), FrameLSNMark, e.b)
+	lw.f = f
+	var e wire.Enc
+	wire.AppendLSNMarkPayload(&e, lw.seq)
+	hdr := wire.AppendFrame(AppendHeader(nil), wire.FrameLSNMark, e.B)
 	if _, err := lw.f.Write(hdr); err != nil {
 		lw.t.Fatal(err)
 	}
@@ -791,24 +579,24 @@ func (lw *legacyWAL) rotate() {
 }
 
 // append logs one mutation exactly as the old writer did (job-finish events
-// compact to FrameFinish) and syncs it, consuming one LSN.
+// compact to wire.FrameFinish) and syncs it, consuming one LSN.
 func (lw *legacyWAL) append(mu tortureMutation) {
 	lw.t.Helper()
-	var e wireEnc
-	kind := FrameEvent
+	var e wire.Enc
+	kind := wire.FrameEvent
 	switch {
 	case mu.spec != nil:
-		kind = FrameSpec
-		if err := appendSpecPayload(&e, mu.spec); err != nil {
+		kind = wire.FrameSpec
+		if err := wire.AppendSpecPayload(&e, mu.spec); err != nil {
 			lw.t.Fatal(err)
 		}
 	case mu.ev.Kind == EventJobFinish:
-		kind = FrameFinish
-		appendFinishPayload(&e, mu.ev.JobID, mu.ev.Time)
+		kind = wire.FrameFinish
+		wire.AppendFinishPayload(&e, mu.ev.JobID, mu.ev.Time)
 	default:
-		appendEventPayload(&e, mu.ev)
+		wire.AppendEventPayload(&e, mu.ev)
 	}
-	frame := appendFrame(nil, kind, e.b)
+	frame := wire.AppendFrame(nil, kind, e.B)
 	if _, err := lw.f.Write(frame); err != nil {
 		lw.t.Fatal(err)
 	}
@@ -837,30 +625,30 @@ func TestWALUpgradeFromSingleStream(t *testing.T) {
 	}
 	ref := captureState(t, plain, specs)
 
-	fs := newMemFS()
+	fs := waltest.NewMemFS()
 	lw := newLegacyWAL(t, fs, "wal", 16<<10)
 	boundaries := make([]int64, 0, len(feed))
 	for i := range feed {
 		lw.append(feed[i])
-		boundaries = append(boundaries, fs.totalWritten())
+		boundaries = append(boundaries, fs.TotalWritten())
 	}
 
 	stride := 7
 	if testing.Short() || raceEnabled {
 		stride = 41
 	}
-	crashes := make([]int64, 0, len(fs.journal))
+	crashes := make([]int64, 0, len(fs.Journal))
 	var off int64
-	for _, op := range fs.journal {
-		if op.op == fsOpWrite {
-			off += int64(len(op.data))
+	for _, op := range fs.Journal {
+		if op.Kind == waltest.OpWrite {
+			off += int64(len(op.Data))
 			crashes = append(crashes, off)
 		}
 	}
 	opts := WALOptions{SegmentBytes: 16 << 10, Streams: 4}
 	for i := 0; i < len(crashes); i += stride {
 		x := crashes[i]
-		got, rst := recoverAndResume(t, fsAt(fs.journal, x, false), feed, specs, opts)
+		got, rst := recoverAndResume(t, waltest.FSAt(fs.Journal, x, false), feed, specs, opts)
 		want := expectedLSN(boundaries, x)
 		if rst.NextLSN < want || rst.NextLSN > want+1 {
 			t.Fatalf("upgrade crash at byte %d: recovered LSN %d, want %d or %d (%v)",
@@ -877,7 +665,7 @@ func TestWALUpgradeFromSingleStream(t *testing.T) {
 	// bit-identical and (b) the checkpoint retired the legacy segments —
 	// their extent is known, so an upgraded server does not hoard them.
 	half := len(feed) / 2
-	fsHalf := newMemFS()
+	fsHalf := waltest.NewMemFS()
 	lwHalf := newLegacyWAL(t, fsHalf, "wal", 16<<10)
 	for i := 0; i < half; i++ {
 		lwHalf.append(feed[i])
@@ -897,8 +685,8 @@ func TestWALUpgradeFromSingleStream(t *testing.T) {
 	}
 	legacyLeft := func() int {
 		n := 0
-		for name := range fsHalf.files {
-			if _, ok := parseSeq(strings.TrimPrefix(name, "wal/"), segPrefix, segSuffix); ok {
+		for name := range fsHalf.Files {
+			if _, ok := walpkg.ParseSeq(strings.TrimPrefix(name, "wal/"), walpkg.SegPrefix, walpkg.SegSuffix); ok {
 				n++
 			}
 		}
@@ -933,7 +721,7 @@ func TestWALUpgradeFromSingleStream(t *testing.T) {
 // record appends interleave in the journal exactly as they raced live.
 func TestWALTortureAutoCheckpoint(t *testing.T) {
 	feed, specs := tortureFeed(t, 20, 127)
-	fs := newMemFS()
+	fs := waltest.NewMemFS()
 	opts := WALOptions{SegmentBytes: 16 << 10, CheckpointBytes: 64 << 10, Streams: 4, FS: fs}
 	sv, wal, _, err := Recover("wal", tortureCfg(4), opts)
 	if err != nil {
@@ -944,7 +732,7 @@ func TestWALTortureAutoCheckpoint(t *testing.T) {
 		if err := feed[i].apply(sv); err != nil {
 			t.Fatalf("mutation %d: %v", i, err)
 		}
-		boundaries = append(boundaries, fs.totalWritten())
+		boundaries = append(boundaries, fs.TotalWritten())
 	}
 	// The policy runs on its own goroutine; give the last poke a moment to
 	// land, then stop it (Close waits the policy out) and check it really
@@ -962,7 +750,7 @@ func TestWALTortureAutoCheckpoint(t *testing.T) {
 	if st.RetiredSegments == 0 {
 		t.Error("automatic checkpoints retired no segments")
 	}
-	snaps, err := listSorted(fs, "wal", snapPrefix, snapSuffix)
+	snaps, err := walpkg.ListSorted(fs, "wal", walpkg.SnapPrefix, walpkg.SnapSuffix)
 	if err != nil || len(snaps) == 0 || len(snaps) > 2 {
 		t.Fatalf("automatic checkpoints left %d snapshot generations (want 1-2): %v", len(snaps), err)
 	}
@@ -971,11 +759,11 @@ func TestWALTortureAutoCheckpoint(t *testing.T) {
 	if testing.Short() || raceEnabled {
 		stride = 47
 	}
-	crashes := make([]int64, 0, len(fs.journal))
+	crashes := make([]int64, 0, len(fs.Journal))
 	var off int64
-	for _, op := range fs.journal {
-		if op.op == fsOpWrite {
-			off += int64(len(op.data))
+	for _, op := range fs.Journal {
+		if op.Kind == waltest.OpWrite {
+			off += int64(len(op.Data))
 			crashes = append(crashes, off)
 		}
 	}
@@ -984,7 +772,7 @@ func TestWALTortureAutoCheckpoint(t *testing.T) {
 	sweepOpts := WALOptions{SegmentBytes: 16 << 10, Streams: 4}
 	for i := 0; i < len(crashes); i += stride {
 		x := crashes[i]
-		got, rst := recoverAndResume(t, fsAt(fs.journal, x, false), feed, specs, sweepOpts)
+		got, rst := recoverAndResume(t, waltest.FSAt(fs.Journal, x, false), feed, specs, sweepOpts)
 		// A checkpoint may be writing concurrently with a mutation's ack,
 		// so the boundary map is exact on the lower bound (no acknowledged
 		// mutation may be lost) and one-loose above, as everywhere else.
@@ -1017,7 +805,7 @@ func TestWALTortureCrossStreamPowerLoss(t *testing.T) {
 	// durable, maximizing cross-stream skew. No explicit Sync calls.
 	opts := WALOptions{SegmentBytes: 8 << 10, SyncEvery: time.Hour, Streams: 4}
 	fs, ref, boundaries := tortureRun(t, feed, specs, opts, 0, 0)
-	total := fs.totalWritten()
+	total := fs.TotalWritten()
 	rng := rand.New(rand.NewSource(131))
 	points := 60
 	if testing.Short() || raceEnabled {
@@ -1026,7 +814,7 @@ func TestWALTortureCrossStreamPowerLoss(t *testing.T) {
 	trimmedTotal := 0
 	for i := 0; i < points; i++ {
 		x := 1 + rng.Int63n(total-1)
-		crashed := fsAt(fs.journal, x, true)
+		crashed := waltest.FSAt(fs.Journal, x, true)
 		got, rst := recoverAndResume(t, crashed, feed, specs, opts)
 		durable := expectedLSN(boundaries, x)
 		if rst.NextLSN > durable {
@@ -1045,7 +833,7 @@ func TestWALTortureCrossStreamPowerLoss(t *testing.T) {
 	// Idempotent repair: recover the final power-lost image once (which
 	// trims), then recover the *trimmed* directory again without re-feeding
 	// and require the same state and LSN.
-	crashed := fsAt(fs.journal, total*2/3, true)
+	crashed := waltest.FSAt(fs.Journal, total*2/3, true)
 	sv1, wal1, rst1, err := Recover("wal", tortureCfg(2), WALOptions{SegmentBytes: 8 << 10, Streams: 4, FS: crashed})
 	if err != nil {
 		t.Fatal(err)

@@ -1,4 +1,4 @@
-package serve
+package wal
 
 // walverify.go is the offline WAL inspector behind `nurdserve -wal-verify`:
 // it walks a WAL directory — single-stream or per-shard layout, or the
@@ -10,14 +10,16 @@ package serve
 // missing segments on cold storage.
 
 import (
+	"repro/internal/wire"
+
 	"fmt"
 	"io"
 	"path/filepath"
 	"sort"
 )
 
-// WALVerifyStream summarizes one segment stream of a verified directory.
-type WALVerifyStream struct {
+// VerifyStream summarizes one segment stream of a verified directory.
+type VerifyStream struct {
 	// Shard is the stream index; LegacyStream (-1) marks the old
 	// single-stream log retained from before a per-shard upgrade.
 	Shard int
@@ -32,12 +34,12 @@ type WALVerifyStream struct {
 	Torn bool
 }
 
-// LegacyStream is the WALVerifyStream.Shard value of the old single-stream
+// LegacyStream is the VerifyStream.Shard value of the old single-stream
 // log.
 const LegacyStream = -1
 
-// WALVerifyReport is VerifyWAL's result.
-type WALVerifyReport struct {
+// VerifyReport is Verify's result.
+type VerifyReport struct {
 	// SnapshotPath is the newest snapshot whose frames all decode (""
 	// without one); SnapshotLSN its floor stamp. Verification is
 	// structural: a frame-clean snapshot that fails semantic restore would
@@ -46,7 +48,7 @@ type WALVerifyReport struct {
 	SnapshotPath string
 	SnapshotLSN  uint64
 	// Streams lists the directory's segment streams, legacy first.
-	Streams []WALVerifyStream
+	Streams []VerifyStream
 	// Records counts decodable WAL records across all streams; Segments
 	// the segment files scanned.
 	Records, Segments int
@@ -62,7 +64,7 @@ type WALVerifyReport struct {
 }
 
 // String renders the report the way `nurdserve -wal-verify` prints it.
-func (r WALVerifyReport) String() string {
+func (r VerifyReport) String() string {
 	out := ""
 	if r.SnapshotPath == "" {
 		out = "snapshot: none (full-log replay)\n"
@@ -89,32 +91,32 @@ func (r WALVerifyReport) String() string {
 	return out
 }
 
-// VerifyWAL inspects the WAL directory at dir without starting a server:
+// Verify inspects the WAL directory at dir without starting a server:
 // it frame-checks the newest structurally valid snapshot for the floor,
 // walks every retained segment stream with the same chain and torn-tail
 // rules Recover applies, and reports the recoverable LSN per stream and
-// overall. Typed failures (ErrWALGap on missing mid-history segments)
+// overall. Typed failures (ErrGap on missing mid-history segments)
 // surface exactly as a recovery would surface them. The directory is never
 // written.
-func VerifyWAL(dir string, opts WALOptions) (WALVerifyReport, error) {
-	opts = opts.withDefaults()
+func Verify(dir string, opts Options) (VerifyReport, error) {
+	opts = opts.WithDefaults()
 	fs := opts.FS
-	var rep WALVerifyReport
+	var rep VerifyReport
 
-	snaps, err := listSorted(fs, dir, snapPrefix, snapSuffix)
+	snaps, err := ListSorted(fs, dir, SnapPrefix, SnapSuffix)
 	if err != nil {
 		return rep, fmt.Errorf("serve: wal-verify: %s: %w", dir, err)
 	}
 	for i := len(snaps) - 1; i >= 0 && rep.SnapshotPath == ""; i-- {
-		path := filepath.Join(dir, snaps[i].name)
+		path := filepath.Join(dir, snaps[i].Name)
 		if floor, ok := snapshotFloor(fs, path); ok {
 			rep.SnapshotPath, rep.SnapshotLSN = path, floor
 		}
 	}
 
 	var rst RecoveryStats
-	scan, err := scanWALDir(fs, dir, rep.SnapshotLSN, false, &rst,
-		func(lsn uint64, kind FrameKind, payload []byte) error { return nil })
+	scan, err := ScanDir(fs, dir, rep.SnapshotLSN, false, &rst,
+		func(lsn uint64, kind wire.FrameKind, payload []byte) error { return nil })
 	if err != nil {
 		return rep, err
 	}
@@ -123,7 +125,7 @@ func VerifyWAL(dir string, opts WALOptions) (WALVerifyReport, error) {
 	rep.TornTail = rst.TornTail
 	rep.Hole = scan.hole
 	if len(scan.legacySegs) > 0 {
-		rep.Streams = append(rep.Streams, WALVerifyStream{
+		rep.Streams = append(rep.Streams, VerifyStream{
 			Shard:    LegacyStream,
 			Segments: len(scan.legacySegs),
 			Records:  scan.legacyRecs,
@@ -139,7 +141,7 @@ func VerifyWAL(dir string, opts WALOptions) (WALVerifyReport, error) {
 	sort.Ints(shards)
 	for _, shard := range shards {
 		g := scan.groups[shard]
-		rep.Streams = append(rep.Streams, WALVerifyStream{
+		rep.Streams = append(rep.Streams, VerifyStream{
 			Shard:    shard,
 			Segments: len(g.segs),
 			Records:  g.recs,
@@ -152,18 +154,18 @@ func VerifyWAL(dir string, opts WALOptions) (WALVerifyReport, error) {
 }
 
 // snapshotFloor frame-scans one snapshot file: every frame must decode
-// (length, checksum) and the first must be the FrameLSNMark floor stamp.
-func snapshotFloor(fs WALFS, path string) (uint64, bool) {
+// (length, checksum) and the first must be the wire.FrameLSNMark floor stamp.
+func snapshotFloor(fs FS, path string) (uint64, bool) {
 	rc, err := fs.Open(path)
 	if err != nil {
 		return 0, false
 	}
 	defer rc.Close()
-	wr := NewWireReader(rc)
+	wr := wire.NewReader(rc)
 	var floor uint64
 	first := true
 	for {
-		kind, payload, err := wr.next()
+		kind, payload, err := wr.NextFrame()
 		if err == io.EOF {
 			return floor, !first
 		}
@@ -171,10 +173,10 @@ func snapshotFloor(fs WALFS, path string) (uint64, bool) {
 			return 0, false
 		}
 		if first {
-			if kind != FrameLSNMark {
+			if kind != wire.FrameLSNMark {
 				return 0, false
 			}
-			if floor, err = decodeLSNMarkPayload(payload); err != nil {
+			if floor, err = wire.DecodeLSNMarkPayload(payload); err != nil {
 				return 0, false
 			}
 			first = false

@@ -1,4 +1,4 @@
-package serve
+package wal
 
 // wal.go is the serving layer's write-ahead log: every accepted mutation —
 // StartJob, Ingest (including the benignly dropped late events, which still
@@ -11,11 +11,11 @@ package serve
 // only on the stream of the shard that already owns the job — there is no
 // global WAL mutex on the hot path. Log sequence numbers stay global (one
 // atomic counter), and because per-shard streams interleave that sequence,
-// every record carries its LSN explicitly (FrameRecord); each segment opens
-// with a FrameSegHeader declaring its name stamp and the stream's previous
+// every record carries its LSN explicitly (wire.FrameRecord); each segment opens
+// with a wire.FrameSegHeader declaring its name stamp and the stream's previous
 // end LSN, the chain link recovery uses to detect missing segments.
 // Directories written by the old single-stream layout (wal-<base>.seg,
-// implicit LSNs from a FrameLSNMark header) recover unchanged; new appends
+// implicit LSNs from a wire.FrameLSNMark header) recover unchanged; new appends
 // always land in per-shard streams.
 //
 // Durability model: a record is written to its segment file (one Write
@@ -26,23 +26,25 @@ package serve
 // == 0, synced) — so a crash can never leave a hole in the log *below* an
 // acknowledged record; the hole a crash can leave holds only
 // unacknowledged records, which is exactly what recovery truncates. fsync
-// is group-committed: with WALOptions.SyncEvery == 0 every append syncs
+// is group-committed: with Options.SyncEvery == 0 every append syncs
 // before it returns (full power-loss durability, slowest); with SyncEvery
 // > 0 a background flusher syncs all streams at that interval, so at most
 // one interval of acknowledged records is exposed to power loss. Rotation
 // and Close always sync.
 //
-// Checkpointing is automatic: WALOptions.CheckpointEvery (wall clock) and
+// Checkpointing is automatic: Options.CheckpointEvery (wall clock) and
 // CheckpointBytes (appended bytes since the last checkpoint) arm a
 // background policy that stamps a snapshot into the directory and retires
 // covered segments per stream — Server.CheckpointWAL remains for explicit
 // control, but operators no longer have to remember to call it.
 //
-// The filesystem is abstracted behind WALFS so the crash-injection torture
+// The filesystem is abstracted behind FS so the crash-injection torture
 // harness can kill the log at every byte offset; production code uses the
 // default OS-backed implementation.
 
 import (
+	"repro/internal/wire"
+
 	"errors"
 	"fmt"
 	"io"
@@ -57,32 +59,32 @@ import (
 	"time"
 )
 
-// ErrWALClosed reports an append to a closed WAL.
-var ErrWALClosed = errors.New("serve/wal: closed")
+// ErrClosed reports an append to a closed WAL.
+var ErrClosed = errors.New("serve/wal: closed")
 
-// ErrWALFailed reports an append after a previous write error: the log is
+// ErrFailed reports an append after a previous write error: the log is
 // wedged (likely mid-crash or out of disk) and the server must be treated
 // as failed — recover from snapshot + WAL instead of continuing.
-var ErrWALFailed = errors.New("serve/wal: failed")
+var ErrFailed = errors.New("serve/wal: failed")
 
-// ErrWALGap reports a recovery that found WAL segments missing between the
+// ErrGap reports a recovery that found WAL segments missing between the
 // snapshot floor and the retained log — externally deleted or misplaced
 // segments. Recovery refuses to silently skip the hole.
-var ErrWALGap = errors.New("serve/wal: gap in log")
+var ErrGap = errors.New("serve/wal: gap in log")
 
-// WALFile is the writable half of a WAL segment.
-type WALFile interface {
+// File is the writable half of a WAL segment.
+type File interface {
 	io.Writer
 	Sync() error
 	Close() error
 }
 
-// WALFS is the filesystem surface the WAL and its recovery need. Paths are
+// FS is the filesystem surface the WAL and its recovery need. Paths are
 // regular slash-joined file paths; ReadDir returns base names. The default
 // is the operating system (osFS); tests inject fault-carrying fakes.
-type WALFS interface {
+type FS interface {
 	// Create opens name for writing, truncating any existing file.
-	Create(name string) (WALFile, error)
+	Create(name string) (File, error)
 	// Open opens name for reading.
 	Open(name string) (io.ReadCloser, error)
 	// ReadDir lists the base names inside dir.
@@ -98,10 +100,15 @@ type WALFS interface {
 	SyncDir(dir string) error
 }
 
-// osFS is the production WALFS.
+// OSFS is the production filesystem (the WithDefaults fallback), exported
+// so tests and tools can list a real directory with the package's naming
+// helpers.
+var OSFS FS = osFS{}
+
+// osFS is the production FS.
 type osFS struct{}
 
-func (osFS) Create(name string) (WALFile, error) { return os.Create(name) }
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
 func (osFS) Open(name string) (io.ReadCloser, error) {
 	return os.Open(name)
 }
@@ -132,8 +139,8 @@ func (osFS) SyncDir(dir string) error {
 	return err
 }
 
-// WALOptions sizes a WAL.
-type WALOptions struct {
+// Options sizes a WAL.
+type Options struct {
 	// SegmentBytes is the per-stream rotation threshold: once a stream's
 	// open segment holds at least this many bytes the next append lands in
 	// a fresh segment. 0 means the 4 MiB default; segments bound both the
@@ -147,7 +154,7 @@ type WALOptions struct {
 	SyncEvery time.Duration
 	// Streams is how many per-shard segment streams appends fan across.
 	// 0 means the recovering server's shard count, additionally capped at
-	// GOMAXPROCS (and MaxWALStreams): only that many appends can contend at
+	// GOMAXPROCS (and MaxStreams): only that many appends can contend at
 	// once, while every stream dirty inside a group-commit window costs its
 	// own fsync — fanning out past the CPU count buys no parallelism and
 	// multiplies flush load on the log device. The count is a concurrency
@@ -165,21 +172,21 @@ type WALOptions struct {
 	// size under sustained traffic. 0 disables the size trigger.
 	CheckpointBytes int64
 	// FS overrides the filesystem (fault injection in tests). nil = OS.
-	FS WALFS
+	FS FS
 }
 
-// DefaultWALSegmentBytes is the segment rotation threshold when
-// WALOptions.SegmentBytes is 0.
-const DefaultWALSegmentBytes = 4 << 20
+// DefaultSegmentBytes is the segment rotation threshold when
+// Options.SegmentBytes is 0.
+const DefaultSegmentBytes = 4 << 20
 
-// MaxWALStreams caps the per-shard stream fan-out (file handles, segment
+// MaxStreams caps the per-shard stream fan-out (file handles, segment
 // churn). Shard counts above it share streams, which is only a contention
 // matter, never a correctness one.
-const MaxWALStreams = 64
+const MaxStreams = 64
 
-func (o WALOptions) withDefaults() WALOptions {
+func (o Options) WithDefaults() Options {
 	if o.SegmentBytes <= 0 {
-		o.SegmentBytes = DefaultWALSegmentBytes
+		o.SegmentBytes = DefaultSegmentBytes
 	}
 	if o.FS == nil {
 		o.FS = osFS{}
@@ -188,9 +195,9 @@ func (o WALOptions) withDefaults() WALOptions {
 }
 
 // streamCount resolves the fan-out: the explicit option, or the recovering
-// server's shard count capped at GOMAXPROCS (see WALOptions.Streams for
-// why), always within [1, MaxWALStreams].
-func (o WALOptions) streamCount(shards int) int {
+// server's shard count capped at GOMAXPROCS (see Options.Streams for
+// why), always within [1, MaxStreams].
+func (o Options) streamCount(shards int) int {
 	n := o.Streams
 	if n <= 0 {
 		n = shards
@@ -201,15 +208,15 @@ func (o WALOptions) streamCount(shards int) int {
 	if n < 1 {
 		n = 1
 	}
-	if n > MaxWALStreams {
-		n = MaxWALStreams
+	if n > MaxStreams {
+		n = MaxStreams
 	}
 	return n
 }
 
-// WALStreamStats reports one per-shard stream's counters.
-type WALStreamStats struct {
-	// Shard is the stream index (appends route by mix64(jobID) % streams).
+// StreamStats reports one per-shard stream's counters.
+type StreamStats struct {
+	// Shard is the stream index (appends route by wire.Mix64(jobID) % streams).
 	Shard int `json:"shard"`
 	// Segments counts the stream's live segment files.
 	Segments int `json:"segments"`
@@ -225,9 +232,9 @@ type WALStreamStats struct {
 	PendingBytes int64  `json:"pending_bytes"`
 }
 
-// WALStats reports a WAL's counters; /stats serves them as the "wal"
+// Stats reports a WAL's counters; /stats serves them as the "wal"
 // object.
-type WALStats struct {
+type Stats struct {
 	// Segments counts live segment files across all streams (including any
 	// legacy single-stream segments retained from before an upgrade).
 	Segments int `json:"segments"`
@@ -255,7 +262,7 @@ type WALStats struct {
 	CheckpointFailures uint64 `json:"checkpoint_failures"`
 	// PerStream breaks the counters down by stream so operators can spot a
 	// hot shard's durability lag.
-	PerStream []WALStreamStats `json:"per_stream,omitempty"`
+	PerStream []StreamStats `json:"per_stream,omitempty"`
 }
 
 // WAL is an append-only, sharded log of serving mutations. Appends are
@@ -263,7 +270,7 @@ type WALStats struct {
 // with a WAL through Recover, Server.CheckpointWAL, Stats, Sync, and Close.
 type WAL struct {
 	dir  string
-	opts WALOptions
+	opts Options
 
 	// seq is the next global LSN to assign; streams interleave it. Reading
 	// it (NextLSN, the snapshot floor) needs no locks.
@@ -332,13 +339,13 @@ type walStream struct {
 
 	syncMu       sync.Mutex
 	mu           sync.Mutex
-	f            WALFile // open segment; nil until the first append (lazy)
-	stamp        uint64  // open segment's name stamp
-	lastLSN      uint64  // last LSN appended to this stream (recovered or live)
-	written      int64   // bytes in the open segment
-	pending      int64   // bytes appended since the last sync
+	f            File   // open segment; nil until the first append (lazy)
+	stamp        uint64 // open segment's name stamp
+	lastLSN      uint64 // last LSN appended to this stream (recovered or live)
+	written      int64  // bytes in the open segment
+	pending      int64  // bytes appended since the last sync
 	pendingSince time.Time
-	segs         []walEntry // live segments of this stream, ascending stamp
+	segs         []Entry // live segments of this stream, ascending stamp
 	appends      uint64
 	bytes        uint64
 	syncs        uint64
@@ -348,26 +355,26 @@ type walStream struct {
 
 // segment / snapshot file naming inside the WAL directory.
 const (
-	segPrefix  = "wal-"
-	segSuffix  = ".seg"
-	snapPrefix = "snap-"
-	snapSuffix = ".snap"
-	tmpSuffix  = ".tmp"
+	SegPrefix  = "wal-"
+	SegSuffix  = ".seg"
+	SnapPrefix = "snap-"
+	SnapSuffix = ".snap"
+	TmpSuffix  = ".tmp"
 )
 
-// segName is the legacy single-stream segment name (wal-<base>.seg); new
-// segments are named by walSegName. Both parse distinctly: the legacy hex
+// LegacySegName is the legacy single-stream segment name (wal-<base>.seg); new
+// segments are named by SegName. Both parse distinctly: the legacy hex
 // field is exactly 16 digits, the per-shard form carries a 4-digit shard.
-func segName(base uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, base, segSuffix) }
+func LegacySegName(base uint64) string { return fmt.Sprintf("%s%016x%s", SegPrefix, base, SegSuffix) }
 
-// walSegName names a per-shard segment: wal-<shard>-<stamp>.seg.
-func walSegName(shard int, stamp uint64) string {
-	return fmt.Sprintf("%s%04x-%016x%s", segPrefix, shard, stamp, segSuffix)
+// SegName names a per-shard segment: wal-<shard>-<stamp>.seg.
+func SegName(shard int, stamp uint64) string {
+	return fmt.Sprintf("%s%04x-%016x%s", SegPrefix, shard, stamp, SegSuffix)
 }
 
-func snapName(lsn uint64) string { return fmt.Sprintf("%s%016x%s", snapPrefix, lsn, snapSuffix) }
+func SnapName(lsn uint64) string { return fmt.Sprintf("%s%016x%s", SnapPrefix, lsn, SnapSuffix) }
 
-func parseSeq(name, prefix, suffix string) (uint64, bool) {
+func ParseSeq(name, prefix, suffix string) (uint64, bool) {
 	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
 		return 0, false
 	}
@@ -379,12 +386,12 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 	return v, err == nil
 }
 
-// parseShardSeg parses a per-shard segment name (wal-<shard>-<stamp>.seg).
-func parseShardSeg(name string) (shard int, stamp uint64, ok bool) {
-	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+// ParseShardSeg parses a per-shard segment name (wal-<shard>-<stamp>.seg).
+func ParseShardSeg(name string) (shard int, stamp uint64, ok bool) {
+	if !strings.HasPrefix(name, SegPrefix) || !strings.HasSuffix(name, SegSuffix) {
 		return 0, 0, false
 	}
-	mid := name[len(segPrefix) : len(name)-len(segSuffix)]
+	mid := name[len(SegPrefix) : len(name)-len(SegSuffix)]
 	if len(mid) != 4+1+16 || mid[4] != '-' {
 		return 0, 0, false
 	}
@@ -399,54 +406,54 @@ func parseShardSeg(name string) (shard int, stamp uint64, ok bool) {
 	return int(s), v, true
 }
 
-// listSorted returns the (name, sequence) pairs in dir matching
+// ListSorted returns the (name, sequence) pairs in dir matching
 // prefix/suffix, in ascending sequence order. Per-shard segment names do
 // not match the legacy segment pattern (their hex field is 21 characters),
 // so listing legacy segments never picks them up, and vice versa.
-func listSorted(fs WALFS, dir, prefix, suffix string) ([]walEntry, error) {
+func ListSorted(fs FS, dir, prefix, suffix string) ([]Entry, error) {
 	names, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var out []walEntry
+	var out []Entry
 	for _, n := range names {
-		if seq, ok := parseSeq(n, prefix, suffix); ok {
-			out = append(out, walEntry{name: n, seq: seq})
+		if seq, ok := ParseSeq(n, prefix, suffix); ok {
+			out = append(out, Entry{Name: n, Seq: seq})
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
 	return out, nil
 }
 
-// listShardSegs groups dir's per-shard segments by shard, each group in
+// ListShardSegs groups dir's per-shard segments by shard, each group in
 // ascending stamp order.
-func listShardSegs(fs WALFS, dir string) (map[int][]walEntry, error) {
+func ListShardSegs(fs FS, dir string) (map[int][]Entry, error) {
 	names, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	groups := make(map[int][]walEntry)
+	groups := make(map[int][]Entry)
 	for _, n := range names {
-		if shard, stamp, ok := parseShardSeg(n); ok {
-			groups[shard] = append(groups[shard], walEntry{name: n, seq: stamp})
+		if shard, stamp, ok := ParseShardSeg(n); ok {
+			groups[shard] = append(groups[shard], Entry{Name: n, Seq: stamp})
 		}
 	}
 	for _, segs := range groups {
-		sort.Slice(segs, func(a, b int) bool { return segs[a].seq < segs[b].seq })
+		sort.Slice(segs, func(a, b int) bool { return segs[a].Seq < segs[b].Seq })
 	}
 	return groups, nil
 }
 
-type walEntry struct {
-	name string
-	seq  uint64
+type Entry struct {
+	Name string
+	Seq  uint64
 }
 
 // roSegGroup is a read-only segment group: its files are retained only
 // until a checkpoint floor covers them. end is the group's last record LSN
 // (0 when the group holds no records).
 type roSegGroup struct {
-	segs []walEntry
+	segs []Entry
 	end  uint64
 }
 
@@ -460,7 +467,7 @@ const legacyGroup = -1
 // stream's first append (recovery never appends to a possibly-torn tail,
 // and idle streams leave no empty files).
 func newWAL(dir string, seq uint64, streams int, streamLast map[int]uint64,
-	streamSegs map[int][]walEntry, ro map[int]*roSegGroup, opts WALOptions) *WAL {
+	streamSegs map[int][]Entry, ro map[int]*roSegGroup, opts Options) *WAL {
 	if seq < 1 {
 		seq = 1
 	}
@@ -487,17 +494,19 @@ func newWAL(dir string, seq uint64, streams int, streamLast map[int]uint64,
 	return w
 }
 
-// startAutoCheckpoint arms the background checkpoint policy against sv.
-// Called by Server.attachWAL before the server takes traffic.
-func (w *WAL) startAutoCheckpoint(sv *Server) {
+// StartAutoCheckpoint arms the background checkpoint policy. run is the
+// owner's checkpoint procedure (the serving node's CheckpointWAL); the WAL
+// only decides *when* to fire it — the layering keeps this package ignorant
+// of what a checkpoint contains. Called by the owner before taking traffic.
+func (w *WAL) StartAutoCheckpoint(run func() error) {
 	if w.opts.CheckpointEvery <= 0 && w.opts.CheckpointBytes <= 0 {
 		return
 	}
 	w.bg.Add(1)
-	go w.checkpointLoop(sv)
+	go w.checkpointLoop(run)
 }
 
-func (w *WAL) checkpointLoop(sv *Server) {
+func (w *WAL) checkpointLoop(run func() error) {
 	defer w.bg.Done()
 	var tick <-chan time.Time
 	if w.opts.CheckpointEvery > 0 {
@@ -526,7 +535,7 @@ func (w *WAL) checkpointLoop(sv *Server) {
 		// of appends (resetting the accumulator doubles as backoff, so a
 		// persistently failing disk is not hammered once per append). The
 		// failure counter surfaces the condition in /stats.
-		if _, _, err := sv.CheckpointWAL(); err != nil {
+		if err := run(); err != nil {
 			w.ckptFails.Add(1)
 			w.sinceCkpt.Store(0)
 			w.ckptArmed.Store(false)
@@ -560,7 +569,7 @@ func (w *WAL) checkpointDone(floor uint64) {
 
 // err reports the latched failure, if any. Lock-free: the hot append path
 // calls this once per record.
-func (w *WAL) err() error {
+func (w *WAL) Err() error {
 	if p := w.failed.Load(); p != nil {
 		return *p
 	}
@@ -568,11 +577,11 @@ func (w *WAL) err() error {
 }
 
 // fail latches the WAL's first write error and returns the latched,
-// ErrWALFailed-wrapped form, so the very first failing append classifies
+// ErrFailed-wrapped form, so the very first failing append classifies
 // the same way every later one does (the HTTP front answers 503, not 422,
 // from the first wedged write onward).
 func (w *WAL) fail(err error) error {
-	wrapped := fmt.Errorf("%w: %v", ErrWALFailed, err)
+	wrapped := fmt.Errorf("%w: %v", ErrFailed, err)
 	w.failed.CompareAndSwap(nil, &wrapped)
 	return *w.failed.Load()
 }
@@ -601,16 +610,16 @@ retry:
 	}
 }
 
-// waitDurable blocks until the watermark covers lsn (every lower LSN
+// WaitDurable blocks until the watermark covers lsn (every lower LSN
 // written) or the log wedges. The wait is normally zero — out-of-order
 // completion needs a sibling stream preempted inside its microseconds-long
 // write — so a brief spin beats parking.
-func (w *WAL) waitDurable(lsn uint64) error {
+func (w *WAL) WaitDurable(lsn uint64) error {
 	for i := 0; ; i++ {
 		if w.watermark() >= lsn {
 			return nil
 		}
-		if err := w.err(); err != nil {
+		if err := w.Err(); err != nil {
 			// A lower record's write failed and will never complete; this
 			// record is in the log but must not be acknowledged (recovery
 			// truncates at the hole the failed write left).
@@ -628,7 +637,7 @@ func (w *WAL) waitDurable(lsn uint64) error {
 // registry uses, so with Streams == Config.Shards a job's WAL stream is
 // owned by the same index as its registry shard.
 func (w *WAL) streamFor(jobID uint64) *walStream {
-	return w.streams[mix64(jobID)%uint64(len(w.streams))]
+	return w.streams[wire.Mix64(jobID)%uint64(len(w.streams))]
 }
 
 // createSegmentLocked opens a fresh segment for s: name stamp from the
@@ -637,7 +646,7 @@ func (w *WAL) streamFor(jobID uint64) *walStream {
 func (s *walStream) createSegmentLocked() error {
 	w := s.w
 	stamp := w.seq.Load()
-	name := filepath.Join(w.dir, walSegName(s.shard, stamp))
+	name := filepath.Join(w.dir, SegName(s.shard, stamp))
 	f, err := w.opts.FS.Create(name)
 	if err != nil {
 		return w.fail(fmt.Errorf("serve/wal: create segment: %w", err))
@@ -651,9 +660,9 @@ func (s *walStream) createSegmentLocked() error {
 	}
 	// A fresh buffer, not the stream scratch: lazy creation runs mid-append
 	// with the record payload already encoded into s.buf.
-	var e wireEnc
-	appendSegHeaderPayload(&e, stamp, s.lastLSN, s.shard, len(w.streams))
-	hdr := appendFrame(AppendHeader(nil), FrameSegHeader, e.b)
+	var e wire.Enc
+	wire.AppendSegHeaderPayload(&e, stamp, s.lastLSN, s.shard, len(w.streams))
+	hdr := wire.AppendFrame(wire.AppendHeader(nil), wire.FrameSegHeader, e.B)
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return w.fail(fmt.Errorf("serve/wal: segment header: %w", err))
@@ -668,10 +677,10 @@ func (s *walStream) createSegmentLocked() error {
 	// A recovered header-only segment (created, then crashed before its
 	// first record) can share this stamp: Create truncated that file, so
 	// replace its inventory entry instead of double-listing the name.
-	if n := len(s.segs); n > 0 && s.segs[n-1].seq == stamp {
+	if n := len(s.segs); n > 0 && s.segs[n-1].Seq == stamp {
 		s.segs = s.segs[:n-1]
 	}
-	s.segs = append(s.segs, walEntry{name: walSegName(s.shard, stamp), seq: stamp})
+	s.segs = append(s.segs, Entry{Name: SegName(s.shard, stamp), Seq: stamp})
 	return nil
 }
 
@@ -689,7 +698,7 @@ func (s *walStream) rotateLocked() error {
 	return s.createSegmentLocked()
 }
 
-// recordPad reserves the FrameRecord prefix (lsn u64 + wrapped kind u8) at
+// recordPad reserves the wire.FrameRecord prefix (lsn u64 + wrapped kind u8) at
 // the front of the payload scratch so the inner payload encodes in place.
 var recordPad [9]byte
 
@@ -699,19 +708,19 @@ var recordPad [9]byte
 // encode error aborts before any byte is written or an LSN consumed: a
 // record that cannot round-trip must never reach the log, where it would
 // poison every future recovery.
-func (w *WAL) append(jobID uint64, kind FrameKind, encode func(*wireEnc) error) (uint64, error) {
+func (w *WAL) append(jobID uint64, kind wire.FrameKind, encode func(*wire.Enc) error) (uint64, error) {
 	s := w.streamFor(jobID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if w.closed.Load() {
-		return 0, ErrWALClosed
+		return 0, ErrClosed
 	}
-	if err := w.err(); err != nil {
+	if err := w.Err(); err != nil {
 		return 0, err
 	}
-	e := wireEnc{b: append(s.buf[:0], recordPad[:]...)}
+	e := wire.Enc{B: append(s.buf[:0], recordPad[:]...)}
 	err := encode(&e)
-	s.buf = e.b[:0] // retain the (possibly grown) payload scratch
+	s.buf = e.B[:0] // retain the (possibly grown) payload scratch
 	if err != nil {
 		return 0, err
 	}
@@ -732,12 +741,12 @@ func (w *WAL) append(jobID uint64, kind FrameKind, encode func(*wireEnc) error) 
 	lsn := w.seq.Add(1) - 1
 	w.inflight[s.shard].Store(lsn)
 	for i := 0; i < 8; i++ {
-		e.b[i] = byte(lsn >> (8 * i))
+		e.B[i] = byte(lsn >> (8 * i))
 	}
-	e.b[8] = byte(kind)
+	e.B[8] = byte(kind)
 	// Separate persistent scratch for the frame: once both arrays have
 	// grown to the workload's record size, the hot path stops allocating.
-	frame := appendFrame(s.frameBuf[:0], FrameRecord, e.b)
+	frame := wire.AppendFrame(s.frameBuf[:0], wire.FrameRecord, e.B)
 	s.frameBuf = frame[:0]
 	if _, err := s.f.Write(frame); err != nil {
 		return 0, w.fail(fmt.Errorf("serve/wal: append: %w", err))
@@ -782,39 +791,39 @@ func (w *WAL) append(jobID uint64, kind FrameKind, encode func(*wireEnc) error) 
 	// past that in-flight record would let a crash produce a hole *below*
 	// acknowledged data — which recovery's hole truncation would then
 	// discard.
-	if err := w.waitDurable(lsn); err != nil {
+	if err := w.WaitDurable(lsn); err != nil {
 		return 0, err
 	}
 	return lsn, nil
 }
 
 // appendSpec logs an accepted StartJob (the defaulted, validated spec).
-func (w *WAL) appendSpec(sp *JobSpec) (uint64, error) {
-	return w.append(sp.JobID, FrameSpec, func(e *wireEnc) error { return appendSpecPayload(e, sp) })
+func (w *WAL) AppendSpec(sp *wire.JobSpec) (uint64, error) {
+	return w.append(sp.JobID, wire.FrameSpec, func(e *wire.Enc) error { return wire.AppendSpecPayload(e, sp) })
 }
 
 // appendEvent logs an accepted Ingest. Job-finish events compact to a
-// FrameFinish record; everything else is a full event frame.
-func (w *WAL) appendEvent(ev *Event) (uint64, error) {
-	if ev.Kind == EventJobFinish {
-		return w.append(ev.JobID, FrameFinish, func(e *wireEnc) error {
-			appendFinishPayload(e, ev.JobID, ev.Time)
+// wire.FrameFinish record; everything else is a full event frame.
+func (w *WAL) AppendEvent(ev *wire.Event) (uint64, error) {
+	if ev.Kind == wire.EventJobFinish {
+		return w.append(ev.JobID, wire.FrameFinish, func(e *wire.Enc) error {
+			wire.AppendFinishPayload(e, ev.JobID, ev.Time)
 			return nil
 		})
 	}
-	return w.append(ev.JobID, FrameEvent, func(e *wireEnc) error {
-		if len(ev.Features) > maxWireFeatures {
-			return fmt.Errorf("serve/wal: %d features exceed %d", len(ev.Features), maxWireFeatures)
+	return w.append(ev.JobID, wire.FrameEvent, func(e *wire.Enc) error {
+		if len(ev.Features) > wire.MaxWireFeatures {
+			return fmt.Errorf("serve/wal: %d features exceed %d", len(ev.Features), wire.MaxWireFeatures)
 		}
-		appendEventPayload(e, ev)
+		wire.AppendEventPayload(e, ev)
 		return nil
 	})
 }
 
 // appendDrop logs an accepted DropJob.
-func (w *WAL) appendDrop(jobID uint64) (uint64, error) {
-	return w.append(jobID, FrameDrop, func(e *wireEnc) error {
-		appendDropPayload(e, jobID)
+func (w *WAL) AppendDrop(jobID uint64) (uint64, error) {
+	return w.append(jobID, wire.FrameDrop, func(e *wire.Enc) error {
+		wire.AppendDropPayload(e, jobID)
 		return nil
 	})
 }
@@ -917,8 +926,8 @@ func (w *WAL) Dir() string { return w.dir }
 func (w *WAL) Streams() int { return len(w.streams) }
 
 // Stats reports the WAL's counters.
-func (w *WAL) Stats() WALStats {
-	st := WALStats{
+func (w *WAL) Stats() Stats {
+	st := Stats{
 		Streams:            len(w.streams),
 		NextLSN:            w.seq.Load(),
 		RetiredSegments:    w.retired.Load(),
@@ -928,7 +937,7 @@ func (w *WAL) Stats() WALStats {
 	var oldest time.Time
 	for _, s := range w.streams {
 		s.mu.Lock()
-		ss := WALStreamStats{
+		ss := StreamStats{
 			Shard:        s.shard,
 			Segments:     len(s.segs),
 			LastLSN:      s.lastLSN,
@@ -998,20 +1007,20 @@ func (w *WAL) RetireBelow(floor uint64) (int, error) {
 // end LSN is known — a final entry wholly below the floor. open, when
 // non-nil, protects the stream's open segment. The caller holds the lock
 // covering segs.
-func retireGroup(w *WAL, segs *[]walEntry, end, floor uint64, open *walStream) (int, error) {
+func retireGroup(w *WAL, segs *[]Entry, end, floor uint64, open *walStream) (int, error) {
 	removed := 0
 	for len(*segs) > 0 {
 		seg := (*segs)[0]
 		covered := false
 		if len(*segs) > 1 {
-			covered = (*segs)[1].seq <= floor
+			covered = (*segs)[1].Seq <= floor
 		} else {
 			covered = end > 0 && end < floor
 		}
-		if !covered || (open != nil && open.f != nil && seg.seq == open.stamp) {
+		if !covered || (open != nil && open.f != nil && seg.Seq == open.stamp) {
 			break
 		}
-		if err := w.opts.FS.Remove(filepath.Join(w.dir, seg.name)); err != nil {
+		if err := w.opts.FS.Remove(filepath.Join(w.dir, seg.Name)); err != nil {
 			return removed, err
 		}
 		*segs = (*segs)[1:]
@@ -1022,7 +1031,7 @@ func retireGroup(w *WAL, segs *[]walEntry, end, floor uint64, open *walStream) (
 }
 
 // Close syncs and closes the log. Appends after Close fail with
-// ErrWALClosed.
+// ErrClosed.
 func (w *WAL) Close() error {
 	if !w.closed.CompareAndSwap(false, true) {
 		return nil

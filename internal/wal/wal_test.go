@@ -1,6 +1,12 @@
-package serve
+package wal_test
 
 import (
+	. "repro/internal/serve"
+	"repro/internal/servehttp"
+	walpkg "repro/internal/wal"
+	"repro/internal/wal/waltest"
+	"repro/internal/wire"
+
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -100,21 +106,22 @@ func TestWALLogsAndRecovers(t *testing.T) {
 		t.Errorf("recovered stats diverge:\n crashed   %v\n recovered %v", refStats, st2)
 	}
 	// The recovered log keeps appending where the old one stopped.
-	dropped, _ := sv2.reg.shardFor(specs[0].JobID).lookup(specs[0].JobID)
 	if err := sv2.DropJob(specs[0].JobID); err != nil {
 		t.Fatal(err)
 	}
 	if got := wal2.NextLSN(); got != uint64(want)+2 {
 		t.Errorf("NextLSN %d after drop, want %d", got, want+2)
 	}
-	// A latecomer that looked the job up before the drop must observe the
-	// defunct mark under the job lock — the guard that keeps an event from
-	// being acknowledged after its job's drop record is already logged.
-	dropped.mu.Lock()
-	defunct := dropped.defunct
-	dropped.mu.Unlock()
-	if !defunct {
-		t.Error("dropped job not marked defunct; a racing ingest could log past the drop record")
+	// A latecomer event for the dropped job must be refused (the defunct
+	// mark serve's drop path sets under the job lock) and must never
+	// consume an LSN — nothing may be acknowledged after its job's drop
+	// record is already logged.
+	late := Event{Kind: EventHeartbeat, JobID: specs[0].JobID, Tick: 1, Features: []float64{1}}
+	if err := sv2.Ingest(late); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("ingest after drop: err %v, want ErrUnknownJob", err)
+	}
+	if got := wal2.NextLSN(); got != uint64(want)+2 {
+		t.Errorf("NextLSN %d after refused late event, want %d", got, want+2)
 	}
 }
 
@@ -244,11 +251,11 @@ func TestRecoverErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	wal.Close()
-	groups, err := listShardSegs(osFS{}, dir)
+	groups, err := walpkg.ListShardSegs(walpkg.OSFS, dir)
 	if err != nil || len(groups[0]) < 3 {
 		t.Fatalf("want >= 3 segments in stream 0 for the gap test, have %d (%v)", len(groups[0]), err)
 	}
-	if err := os.Remove(filepath.Join(dir, groups[0][1].name)); err != nil {
+	if err := os.Remove(filepath.Join(dir, groups[0][1].Name)); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, _, err := Recover(dir, cheapCfg(1), WALOptions{}); !errors.Is(err, ErrWALGap) {
@@ -384,7 +391,7 @@ func TestWALStatsHTTP(t *testing.T) {
 			if tc.prep != nil {
 				tc.prep(t)
 			}
-			m := fetch(t, NewHandler(tc.sv))
+			m := fetch(t, servehttp.NewHandler(tc.sv))
 			w, ok := m["WAL"].(map[string]any)
 			if ok != tc.wantWAL {
 				t.Fatalf("WAL object present=%v, want %v (stats: %v)", ok, tc.wantWAL, m)
@@ -448,7 +455,7 @@ func TestIngestRejectsUnloggableEvent(t *testing.T) {
 	}
 	before, lsnBefore := sv.Stats(), wal.NextLSN()
 	huge := Event{Kind: EventHeartbeat, JobID: specs[0].JobID, TaskID: 0, Time: 1e9,
-		Features: make([]float64, maxWireFeatures+1)}
+		Features: make([]float64, wire.MaxWireFeatures+1)}
 	if err := sv.Ingest(huge); err == nil {
 		t.Fatal("oversized-features event was accepted")
 	}
@@ -475,12 +482,12 @@ func TestReplayFromSkips(t *testing.T) {
 
 	// Reference: the whole dump into a fresh server.
 	ref := NewServer(cheapCfg(1))
-	if _, err := Replay(ref, bytes.NewReader(dump.Bytes()), 0); err != nil {
+	if _, err := servehttp.Replay(ref, bytes.NewReader(dump.Bytes()), 0); err != nil {
 		t.Fatal(err)
 	}
 
 	// Interrupted: half the dump under a WAL, crash, recover, resume with
-	// ReplayFrom at the recovered position.
+	// servehttp.ReplayFrom at the recovered position.
 	dir := t.TempDir()
 	sv, wal, _, err := Recover(dir, cheapCfg(1), WALOptions{})
 	if err != nil {
@@ -504,7 +511,7 @@ func TestReplayFromSkips(t *testing.T) {
 	if got := int(rst.NextLSN) - 1; got != half {
 		t.Fatalf("recovered %d mutations, want %d", got, half)
 	}
-	st, err := ReplayFrom(sv2, bytes.NewReader(dump.Bytes()), 0, int(rst.NextLSN)-1)
+	st, err := servehttp.ReplayFrom(sv2, bytes.NewReader(dump.Bytes()), 0, int(rst.NextLSN)-1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -536,7 +543,7 @@ func FuzzWALRecover(f *testing.F) {
 	// matters: the engine minimizes interesting mutations with O(len)
 	// executions, so a kilobyte seed keeps the fuzz loop productive where a
 	// full trace job's 45 KB segment would stall it.
-	seedFS := newMemFS()
+	seedFS := waltest.NewMemFS()
 	sv, wal, _, err := Recover("wal", cheapCfg(1), WALOptions{FS: seedFS})
 	if err != nil {
 		f.Fatal(err)
@@ -563,31 +570,31 @@ func FuzzWALRecover(f *testing.F) {
 		f.Fatal(err)
 	}
 	wal.Close()
-	seed := seedFS.files["wal/"+walSegName(0, 1)]
+	seed := seedFS.Files["wal/"+walpkg.SegName(0, 1)]
 	if len(seed) == 0 {
 		f.Fatal("no seed segment bytes")
 	}
 	// The same records in legacy form: implicit LSNs under an LSN-mark
-	// header, derived by unwrapping each FrameRecord envelope.
+	// header, derived by unwrapping each wire.FrameRecord envelope.
 	legacySeed := func() []byte {
-		var e wireEnc
-		appendLSNMarkPayload(&e, 1)
-		out := appendFrame(AppendHeader(nil), FrameLSNMark, e.b)
-		rest := seed[headerLen:]
+		var e wire.Enc
+		wire.AppendLSNMarkPayload(&e, 1)
+		out := wire.AppendFrame(AppendHeader(nil), wire.FrameLSNMark, e.B)
+		rest := seed[wire.HeaderLen:]
 		for len(rest) > 0 {
-			kind, payload, n, err := DecodeFrame(rest)
+			kind, payload, n, err := wire.DecodeFrame(rest)
 			if err != nil {
 				f.Fatal(err)
 			}
 			rest = rest[n:]
-			if kind != FrameRecord {
+			if kind != wire.FrameRecord {
 				continue
 			}
-			_, inner, innerPayload, err := decodeRecordPayload(payload)
+			_, inner, innerPayload, err := wire.DecodeRecordPayload(payload)
 			if err != nil {
 				f.Fatal(err)
 			}
-			out = appendFrame(out, inner, innerPayload)
+			out = wire.AppendFrame(out, inner, innerPayload)
 		}
 		return out
 	}()
@@ -605,16 +612,16 @@ func FuzzWALRecover(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// An in-memory filesystem keeps each exec free of disk syscalls.
-		fs := newMemFS()
-		name := "wal/" + walSegName(0, 1)
+		fs := waltest.NewMemFS()
+		name := "wal/" + walpkg.SegName(0, 1)
 		if len(data) > 0 && data[0]&1 == 1 {
-			name = "wal/" + segName(1)
+			name = "wal/" + walpkg.LegacySegName(1)
 		}
 		if len(data) > 0 {
 			data = data[1:]
 		}
-		fs.files[name] = append([]byte(nil), data...)
-		fs.synced[name] = len(data)
+		fs.Files[name] = append([]byte(nil), data...)
+		fs.Synced[name] = len(data)
 		// A tight task budget keeps hostile-but-valid spec frames from
 		// allocating real memory; rejections surface as typed errors.
 		cfg := cheapCfg(1)
@@ -632,17 +639,18 @@ func FuzzWALRecover(f *testing.F) {
 		}
 		// No double-apply: budget counters must equal the recovered job set.
 		ids := sv.JobIDs()
-		if got := sv.jobs.Load(); got != int64(len(ids)) {
-			t.Fatalf("job budget %d, %d jobs registered", got, len(ids))
+		jobs, tasks := sv.Budget()
+		if jobs != int64(len(ids)) {
+			t.Fatalf("job budget %d, %d jobs registered", jobs, len(ids))
 		}
-		var tasks int64
+		var wantTasks int64
 		for _, id := range ids {
-			if j, ok := sv.reg.shardFor(id).lookup(id); ok {
-				tasks += int64(j.spec.NumTasks)
+			if r, err := sv.Report(id); err == nil {
+				wantTasks += int64(r.Spec.NumTasks)
 			}
 		}
-		if got := sv.tasks.Load(); got != tasks {
-			t.Fatalf("task budget %d, registered jobs hold %d", got, tasks)
+		if tasks != wantTasks {
+			t.Fatalf("task budget %d, registered jobs hold %d", tasks, wantTasks)
 		}
 	})
 }
@@ -673,7 +681,7 @@ func TestWALAutoCheckpointTimer(t *testing.T) {
 	}
 	refVerdicts, _ := sv.Query(specs[0].JobID, allTaskIDs(specs[0].NumTasks))
 	wal.Close()
-	snaps, err := listSorted(osFS{}, dir, snapPrefix, snapSuffix)
+	snaps, err := walpkg.ListSorted(walpkg.OSFS, dir, walpkg.SnapPrefix, walpkg.SnapSuffix)
 	if err != nil || len(snaps) == 0 {
 		t.Fatalf("no snapshot files after automatic checkpoints (%v)", err)
 	}
@@ -775,7 +783,7 @@ func TestWALStreamsSpread(t *testing.T) {
 // only looks.
 func TestVerifyWALReadOnly(t *testing.T) {
 	specs, streams := walWorkload(t, 4, 101)
-	fs := newMemFS()
+	fs := waltest.NewMemFS()
 	opts := WALOptions{SegmentBytes: 1 << 10, SyncEvery: time.Hour, Streams: 4, FS: fs}
 	sv, wal, _, err := Recover("wal", cheapCfg(4), opts)
 	if err != nil {
@@ -813,10 +821,10 @@ func TestVerifyWALReadOnly(t *testing.T) {
 
 	// Power loss dropping unsynced tails at each stream's last rotation:
 	// the classic cross-stream skew.
-	crashed := fsAt(fs.journal, fs.totalWritten(), true)
-	snapshotFiles := func(m *memFS) map[string]string {
-		out := make(map[string]string, len(m.files))
-		for name, b := range m.files {
+	crashed := waltest.FSAt(fs.Journal, fs.TotalWritten(), true)
+	snapshotFiles := func(m *waltest.MemFS) map[string]string {
+		out := make(map[string]string, len(m.Files))
+		for name, b := range m.Files {
 			out[name] = string(b)
 		}
 		return out
@@ -829,8 +837,8 @@ func TestVerifyWALReadOnly(t *testing.T) {
 	if !reflect.DeepEqual(before, snapshotFiles(crashed)) {
 		t.Fatal("VerifyWAL modified the directory")
 	}
-	if len(crashed.journal) != 0 {
-		t.Fatalf("VerifyWAL performed %d write operations", len(crashed.journal))
+	if len(crashed.Journal) != 0 {
+		t.Fatalf("VerifyWAL performed %d write operations", len(crashed.Journal))
 	}
 	if rep.SnapshotPath == "" || rep.Records == 0 || len(rep.Streams) == 0 {
 		t.Fatalf("empty verify report: %+v", rep)
@@ -905,21 +913,21 @@ func (f *gatedFile) Write(p []byte) (int, error) {
 // sibling append on stream B (a higher LSN) must stay unacknowledged until
 // A's write completes.
 func TestWALAckWaitsForLowerLSNs(t *testing.T) {
-	mem := newMemFS()
+	mem := waltest.NewMemFS()
 	gate := make(chan struct{})
 	var once sync.Once
 	release := func() { once.Do(func() { close(gate) }) }
 	// Job IDs landing on distinct streams of a 2-stream WAL.
 	jobA, jobB := uint64(0), uint64(0)
 	for id := uint64(1); jobA == 0 || jobB == 0; id++ {
-		if mix64(id)%2 == 0 && jobA == 0 {
+		if wire.Mix64(id)%2 == 0 && jobA == 0 {
 			jobA = id
 		}
-		if mix64(id)%2 == 1 && jobB == 0 {
+		if wire.Mix64(id)%2 == 1 && jobB == 0 {
 			jobB = id
 		}
 	}
-	streamA := fmt.Sprintf("wal/wal-%04x-", mix64(jobA)%2)
+	streamA := fmt.Sprintf("wal/wal-%04x-", wire.Mix64(jobA)%2)
 	fs := &gateFS{WALFS: mem, gate: gate, arrived: make(chan struct{}, 1),
 		match: func(name string) bool { return strings.HasPrefix(name, streamA) }}
 	sv, wal, _, err := Recover("wal", cheapCfg(2), WALOptions{Streams: 2, SyncEvery: time.Hour, FS: fs})
@@ -982,7 +990,7 @@ func (roFS) Create(string) (WALFile, error) {
 // startup, not wedge the first mutation with a 503 after the server is
 // already serving traffic.
 func TestRecoverUnwritableDir(t *testing.T) {
-	mem := newMemFS()
+	mem := waltest.NewMemFS()
 	// A valid existing log that recovery can read.
 	sv, wal, _, err := Recover("wal", cheapCfg(1), WALOptions{FS: mem})
 	if err != nil {

@@ -1,17 +1,11 @@
-// Package serve turns the repository's offline replay machinery into an
-// online, multi-job streaming prediction service. A Server ingests per-task
-// lifecycle events (start / heartbeat-with-features / finish) for many jobs
-// at once, keeps one straggler predictor per job behind a sharded registry
-// (no global lock), refits each job's models when its event clock crosses a
-// checkpoint boundary — the same boundaries package simulator replays — and
-// answers batched Predict/IsStraggler queries against per-job tau_stra
-// thresholds.
-//
-// The protocol is deliberately bit-compatible with simulator.Evaluate: a job
-// streamed through a Server and the same job replayed offline produce
-// identical terminated sets (see TestServerMatchesOffline), so the paper's
-// accuracy numbers carry over unchanged to the serving path.
-package serve
+// Package wire is the serving stack's bottom layer: the versioned,
+// length-prefixed, checksummed binary frame format plus the plain data
+// types that travel in it (Event, JobSpec, RefitMode) and the ingest
+// observation pool the pooled decode path draws from. It imports no other
+// internal package — everything above (WAL segments, the serving node, the
+// HTTP front, the cluster tier) speaks this format, and the layering test
+// pins the independence.
+package wire
 
 import "fmt"
 
@@ -73,18 +67,18 @@ type Event struct {
 	// task's current observation until the next heartbeat, so callers must
 	// not reuse or mutate it afterwards (allocate per event, as
 	// trace.Job.ObservedFeatures does, or draw from the ingest observation
-	// pool via WireReader.NextInto, which tags the Event so the Server can
+	// pool via Reader.NextInto, which tags the Event so the Server can
 	// recycle the slice once it provably has no readers).
 	Features []float64
 	// Latency is the finished task's true execution duration (TaskFinish).
 	Latency float64
-	// pooled marks Features as drawn from the package observation pool
-	// (set only by the pooled wire-decode path). Only pooled slices are
-	// ever recycled: in-process callers keep the documented
-	// allocate-per-event contract and their slices are never returned to
-	// the pool, so a caller that (illegally or historically) reuses its own
-	// buffers cannot corrupt pooled memory.
-	pooled bool
+	// Pooled marks Features as drawn from the package observation pool
+	// (set only by the pooled wire-decode path, never by callers). Only
+	// pooled slices are ever recycled: in-process callers keep the
+	// documented allocate-per-event contract and their slices are never
+	// returned to the pool, so a caller that (illegally or historically)
+	// reuses its own buffers cannot corrupt pooled memory.
+	Pooled bool
 }
 
 // JobSpec declares a job to the Server before any of its events arrive.
@@ -144,11 +138,11 @@ func (sp *JobSpec) Validate() error {
 	// validates is always serializable (task state sized by NumTasks,
 	// retained history bounded by Checkpoints), and a registration cannot
 	// demand an arbitrarily large task-slice allocation.
-	if sp.NumTasks > maxSnapTasks {
-		return fmt.Errorf("serve: job %d: NumTasks %d above the serving cap %d", sp.JobID, sp.NumTasks, maxSnapTasks)
+	if sp.NumTasks > MaxSnapTasks {
+		return fmt.Errorf("serve: job %d: NumTasks %d above the serving cap %d", sp.JobID, sp.NumTasks, MaxSnapTasks)
 	}
 	// Serializability needs more than the count caps: the job's snapshot
-	// frame must fit maxFramePayload. Each task encodes to at most
+	// frame must fit MaxFramePayload. Each task encodes to at most
 	// 29+8*len(Schema) bytes (flags, start, latency, flaggedAt, feature
 	// count, features); checkpoint rows are strictly smaller (20+8*cols),
 	// so this one bound covers every frame the job can ever emit. The 4 KiB
@@ -158,9 +152,9 @@ func (sp *JobSpec) Validate() error {
 	for _, c := range sp.Schema {
 		overhead += int64(2 + len(c))
 	}
-	if int64(sp.NumTasks)*perTask+overhead > maxFramePayload {
+	if int64(sp.NumTasks)*perTask+overhead > MaxFramePayload {
 		return fmt.Errorf("serve: job %d: %d tasks with a %d-column schema cannot fit a %d-byte snapshot frame",
-			sp.JobID, sp.NumTasks, len(sp.Schema), maxFramePayload)
+			sp.JobID, sp.NumTasks, len(sp.Schema), MaxFramePayload)
 	}
 	// Bound worst-case history retention too: without this, one validated
 	// job near the frame-fit cap could pair a huge task count with tens of
@@ -172,12 +166,12 @@ func (sp *JobSpec) Validate() error {
 	if len(sp.Schema) == 0 {
 		return fmt.Errorf("serve: job %d: empty schema", sp.JobID)
 	}
-	if len(sp.Schema) > maxSchemaCols {
-		return fmt.Errorf("serve: job %d: schema of %d columns above the serving cap %d", sp.JobID, len(sp.Schema), maxSchemaCols)
+	if len(sp.Schema) > MaxSchemaCols {
+		return fmt.Errorf("serve: job %d: schema of %d columns above the serving cap %d", sp.JobID, len(sp.Schema), MaxSchemaCols)
 	}
 	for _, c := range sp.Schema {
-		if len(c) > maxSchemaName {
-			return fmt.Errorf("serve: job %d: schema column name of %d bytes above the serving cap %d", sp.JobID, len(c), maxSchemaName)
+		if len(c) > MaxSchemaName {
+			return fmt.Errorf("serve: job %d: schema column name of %d bytes above the serving cap %d", sp.JobID, len(c), MaxSchemaName)
 		}
 	}
 	if sp.TauStra <= 0 {
@@ -189,8 +183,8 @@ func (sp *JobSpec) Validate() error {
 	if sp.Checkpoints < 1 {
 		return fmt.Errorf("serve: job %d: need >= 1 checkpoint, got %d", sp.JobID, sp.Checkpoints)
 	}
-	if sp.Checkpoints > maxSnapCheckpoints {
-		return fmt.Errorf("serve: job %d: Checkpoints %d above the serving cap %d", sp.JobID, sp.Checkpoints, maxSnapCheckpoints)
+	if sp.Checkpoints > MaxSnapCheckpoints {
+		return fmt.Errorf("serve: job %d: Checkpoints %d above the serving cap %d", sp.JobID, sp.Checkpoints, MaxSnapCheckpoints)
 	}
 	if sp.WarmFrac <= 0 || sp.WarmFrac >= 0.5 {
 		return fmt.Errorf("serve: job %d: WarmFrac must be in (0, 0.5), got %v", sp.JobID, sp.WarmFrac)
@@ -201,7 +195,7 @@ func (sp *JobSpec) Validate() error {
 	return nil
 }
 
-// tauRun returns the wall-clock horizon of checkpoint k (1..Checkpoints).
-func (sp *JobSpec) tauRun(k int) float64 {
+// TauRun returns the wall-clock horizon of checkpoint k (1..Checkpoints).
+func (sp *JobSpec) TauRun(k int) float64 {
 	return sp.Horizon * float64(k) / float64(sp.Checkpoints)
 }

@@ -1,0 +1,14 @@
+package wire
+
+// Mix64 is the splitmix64 finalizer: a cheap, high-quality bijective bit
+// mixer. Every placement decision in the stack routes through it — the
+// serving registry picks a job's shard from Mix64(jobID), the WAL fans
+// appends across streams with it, and the cluster ring hashes virtual
+// nodes and job IDs with it — so placement is deterministic across
+// processes and runs (no per-process map seed, no randomness).
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

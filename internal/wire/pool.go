@@ -1,9 +1,6 @@
-package serve
+package wire
 
-import (
-	"errors"
-	"sync"
-)
+import "sync"
 
 // Ingest allocation discipline.
 //
@@ -12,7 +9,7 @@ import (
 // heartbeat replaced it — at serving rates that is one short-lived
 // allocation per event on the hottest path in the system. The observation
 // pool closes the loop: the wire front ends (HTTP ingest, in-process
-// replay) draw feature slices from obsPool via WireReader.NextInto, and a
+// replay) draw feature slices from obsPool via Reader.NextInto, and a
 // slice is returned exactly when it provably has no readers:
 //
 //   - at the front end, when Ingest did not retain it (a rejected
@@ -28,16 +25,16 @@ import (
 // finishes reading under the job lock before the replacement that would
 // recycle the slice can run.
 
-// maxPooledObs bounds the capacity of slices kept by the pool so one
+// MaxPooledObs bounds the capacity of slices kept by the pool so one
 // oversized (yet wire-legal) frame cannot pin large buffers for the
 // lifetime of the process.
-const maxPooledObs = 4096
+const MaxPooledObs = 4096
 
 var obsPool = sync.Pool{}
 
-// getObservation returns a pooled slice of length n, or a fresh one when
+// GetObservation returns a pooled slice of length n, or a fresh one when
 // the pool is empty or its buffer is too small.
-func getObservation(n int) []float64 {
+func GetObservation(n int) []float64 {
 	if v := obsPool.Get(); v != nil {
 		if s := *(v.(*[]float64)); cap(s) >= n {
 			return s[:n]
@@ -46,30 +43,12 @@ func getObservation(n int) []float64 {
 	return make([]float64, n)
 }
 
-// putObservation returns a slice to the pool. Callers must guarantee no
-// remaining readers; the next getObservation will overwrite it.
-func putObservation(s []float64) {
-	if cap(s) == 0 || cap(s) > maxPooledObs {
+// PutObservation returns a slice to the pool. Callers must guarantee no
+// remaining readers; the next GetObservation will overwrite it.
+func PutObservation(s []float64) {
+	if cap(s) == 0 || cap(s) > MaxPooledObs {
 		return
 	}
 	s = s[:0]
 	obsPool.Put(&s)
-}
-
-// recycleAfterIngest settles ownership of ev's feature slice after the
-// Ingest that consumed it returned err. The pooled slice is recycled when
-// the server did not retain it: heartbeats hand their slice to the task
-// state on success (and on WAL append failures, the one rejection that
-// retains the in-memory observation), every other kind never retains
-// features, and a rejected event of any kind was never stored. Either way
-// ev is stripped of the slice and its pool tag, so a reused loop Event can
-// never carry a stale reference into a later recycle decision.
-func recycleAfterIngest(ev *Event, err error) {
-	retained := ev.Kind == EventHeartbeat && (err == nil ||
-		errors.Is(err, ErrWALFailed) || errors.Is(err, ErrWALClosed))
-	if ev.pooled && ev.Features != nil && !retained {
-		putObservation(ev.Features)
-	}
-	ev.Features = nil
-	ev.pooled = false
 }

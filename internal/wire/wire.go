@@ -1,4 +1,4 @@
-package serve
+package wire
 
 // wire.go is the serving layer's durable binary format: a versioned,
 // length-prefixed, checksummed frame stream carrying JobSpec registrations
@@ -29,7 +29,7 @@ import (
 	"math"
 )
 
-// WireVersion is the current wire-format version. Readers reject streams
+// Version is the current wire-format version. Readers reject streams
 // written by any other version (no silent cross-version decoding).
 //
 // v2 (the WAL release): streams may carry FrameLSNMark / FrameFinish /
@@ -48,13 +48,13 @@ import (
 // snapshots for recovery to replay refits identically), and the FrameSnapJob
 // payload carries the job's warm/scratch fit counters. v2 streams are
 // rejected with a typed ErrVersion, not misdecoded.
-const WireVersion uint16 = 3
+const Version uint16 = 3
 
 // wireMagic opens every wire stream.
 var wireMagic = [8]byte{'N', 'U', 'R', 'D', 'W', 'I', 'R', 'E'}
 
-// headerLen is the encoded size of the stream header.
-const headerLen = len(wireMagic) + 2
+// HeaderLen is the encoded size of the stream header.
+const HeaderLen = len(wireMagic) + 2
 
 // FrameKind discriminates wire frames.
 type FrameKind uint8
@@ -98,7 +98,7 @@ var (
 	// ErrBadMagic reports a stream that does not open with the wire magic.
 	ErrBadMagic = errors.New("serve/wire: bad magic")
 	// ErrVersion reports a version-skewed stream (written by a different
-	// WireVersion).
+	// Version).
 	ErrVersion = errors.New("serve/wire: unsupported version")
 	// ErrTruncated reports a stream or frame cut short mid-element.
 	ErrTruncated = errors.New("serve/wire: truncated")
@@ -112,118 +112,122 @@ var (
 // and rejecting them before allocating keeps a 12-byte hostile frame from
 // requesting gigabytes.
 const (
-	maxFramePayload    = 16 << 20
-	maxWireFeatures    = 1 << 16
-	maxSchemaCols      = 1 << 12
-	maxSchemaName      = 1 << 10
-	maxSnapTasks       = 1 << 22
-	maxSnapCheckpoints = 1 << 16
-	maxSnapRows        = 1 << 22
+	MaxFramePayload    = 16 << 20
+	MaxWireFeatures    = 1 << 16
+	MaxSchemaCols      = 1 << 12
+	MaxSchemaName      = 1 << 10
+	MaxSnapTasks       = 1 << 22
+	MaxSnapCheckpoints = 1 << 16
+	MaxSnapRows        = 1 << 22
 )
 
 // --- primitive encoder ---
 
-// wireEnc appends fixed-width little-endian primitives to a buffer.
-type wireEnc struct{ b []byte }
+// Enc appends fixed-width little-endian primitives to a buffer.
+type Enc struct{ B []byte }
 
-func (e *wireEnc) u8(v uint8)   { e.b = append(e.b, v) }
-func (e *wireEnc) u16(v uint16) { e.b = append(e.b, byte(v), byte(v>>8)) }
-func (e *wireEnc) u32(v uint32) {
-	e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+func (e *Enc) U8(v uint8)   { e.B = append(e.B, v) }
+func (e *Enc) U16(v uint16) { e.B = append(e.B, byte(v), byte(v>>8)) }
+func (e *Enc) U32(v uint32) {
+	e.B = append(e.B, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
-func (e *wireEnc) u64(v uint64) {
-	e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+func (e *Enc) U64(v uint64) {
+	e.B = append(e.B, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
 		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 }
-func (e *wireEnc) i64(v int64)   { e.u64(uint64(v)) }
-func (e *wireEnc) f64(v float64) { e.u64(math.Float64bits(v)) }
-func (e *wireEnc) floats(v []float64) {
-	e.u32(uint32(len(v)))
+func (e *Enc) I64(v int64)   { e.U64(uint64(v)) }
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+func (e *Enc) Floats(v []float64) {
+	e.U32(uint32(len(v)))
 	for _, f := range v {
-		e.f64(f)
+		e.F64(f)
 	}
 }
-func (e *wireEnc) str(s string) {
-	e.u16(uint16(len(s)))
-	e.b = append(e.b, s...)
+func (e *Enc) Str(s string) {
+	e.U16(uint16(len(s)))
+	e.B = append(e.B, s...)
 }
 
 // --- primitive decoder ---
 
-// wireDec consumes a payload with sticky-error semantics: the first failure
+// Dec consumes a payload with sticky-error semantics: the first failure
 // latches, subsequent reads return zero values, and finish reports it.
-type wireDec struct {
-	b   []byte
+type Dec struct {
+	B   []byte
 	off int
 	err error
 }
 
-func (d *wireDec) fail(err error) {
+// Err reports the latched decode error (nil while the payload is still
+// decoding cleanly); Finish additionally demands full consumption.
+func (d *Dec) Err() error { return d.err }
+
+func (d *Dec) Fail(err error) {
 	if d.err == nil {
 		d.err = err
 	}
 }
 
-func (d *wireDec) need(n int) bool {
+func (d *Dec) Need(n int) bool {
 	if d.err != nil {
 		return false
 	}
-	if len(d.b)-d.off < n {
-		d.fail(fmt.Errorf("%w: need %d payload bytes, have %d", ErrTruncated, n, len(d.b)-d.off))
+	if len(d.B)-d.off < n {
+		d.Fail(fmt.Errorf("%w: need %d payload bytes, have %d", ErrTruncated, n, len(d.B)-d.off))
 		return false
 	}
 	return true
 }
 
-func (d *wireDec) u8() uint8 {
-	if !d.need(1) {
+func (d *Dec) U8() uint8 {
+	if !d.Need(1) {
 		return 0
 	}
-	v := d.b[d.off]
+	v := d.B[d.off]
 	d.off++
 	return v
 }
 
-func (d *wireDec) u16() uint16 {
-	if !d.need(2) {
+func (d *Dec) U16() uint16 {
+	if !d.Need(2) {
 		return 0
 	}
-	v := uint16(d.b[d.off]) | uint16(d.b[d.off+1])<<8
+	v := uint16(d.B[d.off]) | uint16(d.B[d.off+1])<<8
 	d.off += 2
 	return v
 }
 
-func (d *wireDec) u32() uint32 {
-	if !d.need(4) {
+func (d *Dec) U32() uint32 {
+	if !d.Need(4) {
 		return 0
 	}
-	b := d.b[d.off:]
+	b := d.B[d.off:]
 	d.off += 4
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
-func (d *wireDec) u64() uint64 {
-	if !d.need(8) {
+func (d *Dec) U64() uint64 {
+	if !d.Need(8) {
 		return 0
 	}
-	b := d.b[d.off:]
+	b := d.B[d.off:]
 	d.off += 8
 	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
 		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
 }
 
-func (d *wireDec) i64() int64   { return int64(d.u64()) }
-func (d *wireDec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *Dec) I64() int64   { return int64(d.U64()) }
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
 
 // count decodes a u32 element count, rejecting values above max before any
 // allocation happens.
-func (d *wireDec) count(max int, what string) int {
-	n := d.u32()
+func (d *Dec) Count(max int, what string) int {
+	n := d.U32()
 	if d.err != nil {
 		return 0
 	}
 	if int64(n) > int64(max) {
-		d.fail(fmt.Errorf("%w: %s count %d exceeds %d", ErrCorrupt, what, n, max))
+		d.Fail(fmt.Errorf("%w: %s count %d exceeds %d", ErrCorrupt, what, n, max))
 		return 0
 	}
 	return int(n)
@@ -231,138 +235,138 @@ func (d *wireDec) count(max int, what string) int {
 
 // floats decodes a counted float64 slice (nil for an empty count, matching
 // the in-memory convention for absent feature vectors).
-func (d *wireDec) floats(max int, what string) []float64 {
-	n := d.count(max, what)
-	if n == 0 || !d.need(8*n) {
+func (d *Dec) Floats(max int, what string) []float64 {
+	n := d.Count(max, what)
+	if n == 0 || !d.Need(8*n) {
 		return nil
 	}
 	out := make([]float64, n)
 	for i := range out {
-		out[i] = d.f64()
+		out[i] = d.F64()
 	}
 	return out
 }
 
-func (d *wireDec) str(maxLen int) string {
-	n := int(d.u16())
+func (d *Dec) Str(maxLen int) string {
+	n := int(d.U16())
 	if d.err != nil {
 		return ""
 	}
 	if n > maxLen {
-		d.fail(fmt.Errorf("%w: string length %d exceeds %d", ErrCorrupt, n, maxLen))
+		d.Fail(fmt.Errorf("%w: string length %d exceeds %d", ErrCorrupt, n, maxLen))
 		return ""
 	}
-	if !d.need(n) {
+	if !d.Need(n) {
 		return ""
 	}
-	s := string(d.b[d.off : d.off+n])
+	s := string(d.B[d.off : d.off+n])
 	d.off += n
 	return s
 }
 
 // finish reports the latched error, or corruption if payload bytes remain
 // unconsumed (encodings are canonical: a valid payload is read exactly).
-func (d *wireDec) finish() error {
+func (d *Dec) Finish() error {
 	if d.err != nil {
 		return d.err
 	}
-	if d.off != len(d.b) {
-		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(d.b)-d.off)
+	if d.off != len(d.B) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(d.B)-d.off)
 	}
 	return nil
 }
 
 // --- payload encodings ---
 
-func appendEventPayload(e *wireEnc, ev *Event) {
-	e.u8(uint8(ev.Kind))
-	e.u64(ev.JobID)
-	e.i64(int64(ev.TaskID))
-	e.f64(ev.Time)
-	e.i64(int64(ev.Tick))
-	e.f64(ev.Latency)
-	e.floats(ev.Features)
+func AppendEventPayload(e *Enc, ev *Event) {
+	e.U8(uint8(ev.Kind))
+	e.U64(ev.JobID)
+	e.I64(int64(ev.TaskID))
+	e.F64(ev.Time)
+	e.I64(int64(ev.Tick))
+	e.F64(ev.Latency)
+	e.Floats(ev.Features)
 }
 
-func decodeEventPayload(p []byte) (Event, error) {
+func DecodeEventPayload(p []byte) (Event, error) {
 	var ev Event
-	err := decodeEventInto(p, &ev, false)
+	err := DecodeEventInto(p, &ev, false)
 	return ev, err
 }
 
-// decodeEventInto decodes an event payload into *ev. With pooled set the
+// DecodeEventInto decodes an event payload into *ev. With pooled set the
 // feature slice is drawn from the ingest observation pool and the event is
 // tagged for recycling (see pool.go); otherwise it is allocated fresh.
-func decodeEventInto(p []byte, ev *Event, pooled bool) error {
-	d := wireDec{b: p}
+func DecodeEventInto(p []byte, ev *Event, pooled bool) error {
+	d := Dec{B: p}
 	*ev = Event{}
-	k := d.u8()
+	k := d.U8()
 	if d.err == nil && k > uint8(EventJobFinish) {
 		return fmt.Errorf("%w: unknown event kind %d", ErrCorrupt, k)
 	}
 	ev.Kind = EventKind(k)
-	ev.JobID = d.u64()
-	ev.TaskID = int(d.i64())
-	ev.Time = d.f64()
-	ev.Tick = int(d.i64())
-	ev.Latency = d.f64()
-	if n := d.count(maxWireFeatures, "features"); n > 0 && d.need(8*n) {
+	ev.JobID = d.U64()
+	ev.TaskID = int(d.I64())
+	ev.Time = d.F64()
+	ev.Tick = int(d.I64())
+	ev.Latency = d.F64()
+	if n := d.Count(MaxWireFeatures, "features"); n > 0 && d.Need(8*n) {
 		if pooled {
-			ev.Features = getObservation(n)
-			ev.pooled = true
+			ev.Features = GetObservation(n)
+			ev.Pooled = true
 		} else {
 			ev.Features = make([]float64, n)
 		}
 		for i := range ev.Features {
-			ev.Features[i] = d.f64()
+			ev.Features[i] = d.F64()
 		}
 	}
-	return d.finish()
+	return d.Finish()
 }
 
-func appendSpecPayload(e *wireEnc, sp *JobSpec) error {
-	if len(sp.Schema) > maxSchemaCols {
-		return fmt.Errorf("serve/wire: schema of %d columns exceeds %d", len(sp.Schema), maxSchemaCols)
+func AppendSpecPayload(e *Enc, sp *JobSpec) error {
+	if len(sp.Schema) > MaxSchemaCols {
+		return fmt.Errorf("serve/wire: schema of %d columns exceeds %d", len(sp.Schema), MaxSchemaCols)
 	}
 	// Mirror the decoder's bounds so an undecodable spec fails at encode
 	// time, not when the stream is read back.
-	if sp.NumTasks < 1 || sp.NumTasks > maxSnapTasks {
-		return fmt.Errorf("serve/wire: NumTasks %d outside [1,%d]", sp.NumTasks, maxSnapTasks)
+	if sp.NumTasks < 1 || sp.NumTasks > MaxSnapTasks {
+		return fmt.Errorf("serve/wire: NumTasks %d outside [1,%d]", sp.NumTasks, MaxSnapTasks)
 	}
-	if sp.Checkpoints < 0 || sp.Checkpoints > maxSnapCheckpoints {
-		return fmt.Errorf("serve/wire: Checkpoints %d outside [0,%d]", sp.Checkpoints, maxSnapCheckpoints)
+	if sp.Checkpoints < 0 || sp.Checkpoints > MaxSnapCheckpoints {
+		return fmt.Errorf("serve/wire: Checkpoints %d outside [0,%d]", sp.Checkpoints, MaxSnapCheckpoints)
 	}
-	e.u64(sp.JobID)
-	e.u32(uint32(len(sp.Schema)))
+	e.U64(sp.JobID)
+	e.U32(uint32(len(sp.Schema)))
 	for _, col := range sp.Schema {
-		if len(col) > maxSchemaName {
-			return fmt.Errorf("serve/wire: schema column name of %d bytes exceeds %d", len(col), maxSchemaName)
+		if len(col) > MaxSchemaName {
+			return fmt.Errorf("serve/wire: schema column name of %d bytes exceeds %d", len(col), MaxSchemaName)
 		}
-		e.str(col)
+		e.Str(col)
 	}
-	e.i64(int64(sp.NumTasks))
-	e.f64(sp.TauStra)
-	e.f64(sp.StragglerQuantile)
-	e.f64(sp.Horizon)
-	e.i64(int64(sp.Checkpoints))
-	e.f64(sp.WarmFrac)
-	e.u64(sp.Seed)
+	e.I64(int64(sp.NumTasks))
+	e.F64(sp.TauStra)
+	e.F64(sp.StragglerQuantile)
+	e.F64(sp.Horizon)
+	e.I64(int64(sp.Checkpoints))
+	e.F64(sp.WarmFrac)
+	e.U64(sp.Seed)
 	if sp.RefitMode > RefitWarm {
 		return fmt.Errorf("serve/wire: unknown refit mode %d", sp.RefitMode)
 	}
-	e.u8(uint8(sp.RefitMode))
+	e.U8(uint8(sp.RefitMode))
 	return nil
 }
 
-// decodeSpec consumes one JobSpec (the exact field order appendSpecPayload
+// DecodeSpec consumes one JobSpec (the exact field order AppendSpecPayload
 // writes) from d; snapshot job sections embed the same prefix.
-func decodeSpec(d *wireDec) JobSpec {
+func DecodeSpec(d *Dec) JobSpec {
 	var sp JobSpec
-	sp.JobID = d.u64()
-	if n := d.count(maxSchemaCols, "schema"); n > 0 {
+	sp.JobID = d.U64()
+	if n := d.Count(MaxSchemaCols, "schema"); n > 0 {
 		sp.Schema = make([]string, 0, n)
 		for i := 0; i < n && d.err == nil; i++ {
-			sp.Schema = append(sp.Schema, d.str(maxSchemaName))
+			sp.Schema = append(sp.Schema, d.Str(MaxSchemaName))
 		}
 	}
 	// NumTasks sizes a per-job task-state slice the moment the spec reaches
@@ -371,62 +375,62 @@ func decodeSpec(d *wireDec) JobSpec {
 	// Bound it (and Checkpoints, which sizes restore-time history) before the
 	// spec leaves the wire layer. Checkpoints 0 is legal on the wire —
 	// StartJob fills in the monitoring defaults.
-	nt := d.i64()
-	if d.err == nil && (nt < 1 || nt > maxSnapTasks) {
-		d.fail(fmt.Errorf("%w: NumTasks %d outside [1,%d]", ErrCorrupt, nt, maxSnapTasks))
+	nt := d.I64()
+	if d.err == nil && (nt < 1 || nt > MaxSnapTasks) {
+		d.Fail(fmt.Errorf("%w: NumTasks %d outside [1,%d]", ErrCorrupt, nt, MaxSnapTasks))
 	}
 	sp.NumTasks = int(nt)
-	sp.TauStra = d.f64()
-	sp.StragglerQuantile = d.f64()
-	sp.Horizon = d.f64()
-	cps := d.i64()
-	if d.err == nil && (cps < 0 || cps > maxSnapCheckpoints) {
-		d.fail(fmt.Errorf("%w: Checkpoints %d outside [0,%d]", ErrCorrupt, cps, maxSnapCheckpoints))
+	sp.TauStra = d.F64()
+	sp.StragglerQuantile = d.F64()
+	sp.Horizon = d.F64()
+	cps := d.I64()
+	if d.err == nil && (cps < 0 || cps > MaxSnapCheckpoints) {
+		d.Fail(fmt.Errorf("%w: Checkpoints %d outside [0,%d]", ErrCorrupt, cps, MaxSnapCheckpoints))
 	}
 	sp.Checkpoints = int(cps)
-	sp.WarmFrac = d.f64()
-	sp.Seed = d.u64()
-	mode := d.u8()
+	sp.WarmFrac = d.F64()
+	sp.Seed = d.U64()
+	mode := d.U8()
 	if d.err == nil && mode > uint8(RefitWarm) {
-		d.fail(fmt.Errorf("%w: unknown refit mode %d", ErrCorrupt, mode))
+		d.Fail(fmt.Errorf("%w: unknown refit mode %d", ErrCorrupt, mode))
 	}
 	sp.RefitMode = RefitMode(mode)
 	return sp
 }
 
-func decodeSpecPayload(p []byte) (JobSpec, error) {
-	d := wireDec{b: p}
-	sp := decodeSpec(&d)
-	return sp, d.finish()
+func DecodeSpecPayload(p []byte) (JobSpec, error) {
+	d := Dec{B: p}
+	sp := DecodeSpec(&d)
+	return sp, d.Finish()
 }
 
-// appendLSNMarkPayload / decodeLSNMarkPayload carry a bare log sequence
+// AppendLSNMarkPayload / DecodeLSNMarkPayload carry a bare log sequence
 // number (FrameLSNMark).
-func appendLSNMarkPayload(e *wireEnc, lsn uint64) { e.u64(lsn) }
+func AppendLSNMarkPayload(e *Enc, lsn uint64) { e.U64(lsn) }
 
-func decodeLSNMarkPayload(p []byte) (uint64, error) {
-	d := wireDec{b: p}
-	lsn := d.u64()
-	return lsn, d.finish()
+func DecodeLSNMarkPayload(p []byte) (uint64, error) {
+	d := Dec{B: p}
+	lsn := d.U64()
+	return lsn, d.Finish()
 }
 
-// appendRecordPayload / decodeRecordPayload carry one per-shard WAL record
+// AppendRecordPayload / DecodeRecordPayload carry one per-shard WAL record
 // (FrameRecord): the record's global LSN, the wrapped record kind, and the
 // wrapped record's payload verbatim. The returned inner payload aliases p.
-func appendRecordPayload(e *wireEnc, lsn uint64, kind FrameKind, inner []byte) {
-	e.u64(lsn)
-	e.u8(uint8(kind))
-	e.b = append(e.b, inner...)
+func AppendRecordPayload(e *Enc, lsn uint64, kind FrameKind, inner []byte) {
+	e.U64(lsn)
+	e.U8(uint8(kind))
+	e.B = append(e.B, inner...)
 }
 
-func decodeRecordPayload(p []byte) (uint64, FrameKind, []byte, error) {
+func DecodeRecordPayload(p []byte) (uint64, FrameKind, []byte, error) {
 	if len(p) < 9 {
 		return 0, 0, nil, fmt.Errorf("%w: %d bytes for a 9-byte record prefix", ErrTruncated, len(p))
 	}
-	d := wireDec{b: p[:9]}
-	lsn := d.u64()
-	kind := FrameKind(d.u8())
-	if err := d.finish(); err != nil {
+	d := Dec{B: p[:9]}
+	lsn := d.U64()
+	kind := FrameKind(d.U8())
+	if err := d.Finish(); err != nil {
 		return 0, 0, nil, err
 	}
 	if kind < FrameSpec || kind > FrameDrop {
@@ -435,68 +439,68 @@ func decodeRecordPayload(p []byte) (uint64, FrameKind, []byte, error) {
 	return lsn, kind, p[9:], nil
 }
 
-// appendSegHeaderPayload / decodeSegHeaderPayload carry the opening frame of
+// AppendSegHeaderPayload / DecodeSegHeaderPayload carry the opening frame of
 // a per-shard WAL segment (FrameSegHeader): the segment's stamp (every
 // record inside has an LSN at or above it, and the file name repeats it),
 // the last LSN the stream held before this segment (0 for a stream's first
 // segment ever), the shard index, and the writer's stream count.
-func appendSegHeaderPayload(e *wireEnc, stamp, prevEnd uint64, shard, streams int) {
-	e.u64(stamp)
-	e.u64(prevEnd)
-	e.u32(uint32(shard))
-	e.u32(uint32(streams))
+func AppendSegHeaderPayload(e *Enc, stamp, prevEnd uint64, shard, streams int) {
+	e.U64(stamp)
+	e.U64(prevEnd)
+	e.U32(uint32(shard))
+	e.U32(uint32(streams))
 }
 
-type segHeader struct {
-	stamp, prevEnd uint64
-	shard, streams int
+type SegHeader struct {
+	Stamp, PrevEnd uint64
+	Shard, Streams int
 }
 
-func decodeSegHeaderPayload(p []byte) (segHeader, error) {
-	d := wireDec{b: p}
-	h := segHeader{
-		stamp:   d.u64(),
-		prevEnd: d.u64(),
-		shard:   int(d.u32()),
-		streams: int(d.u32()),
+func DecodeSegHeaderPayload(p []byte) (SegHeader, error) {
+	d := Dec{B: p}
+	h := SegHeader{
+		Stamp:   d.U64(),
+		PrevEnd: d.U64(),
+		Shard:   int(d.U32()),
+		Streams: int(d.U32()),
 	}
-	return h, d.finish()
+	return h, d.Finish()
 }
 
-// appendFinishPayload / decodeFinishPayload carry a job-finish WAL record
+// AppendFinishPayload / DecodeFinishPayload carry a job-finish WAL record
 // (FrameFinish): the job and the close timestamp.
-func appendFinishPayload(e *wireEnc, jobID uint64, t float64) {
-	e.u64(jobID)
-	e.f64(t)
+func AppendFinishPayload(e *Enc, jobID uint64, t float64) {
+	e.U64(jobID)
+	e.F64(t)
 }
 
-func decodeFinishPayload(p []byte) (uint64, float64, error) {
-	d := wireDec{b: p}
-	jobID := d.u64()
-	t := d.f64()
-	return jobID, t, d.finish()
+func DecodeFinishPayload(p []byte) (uint64, float64, error) {
+	d := Dec{B: p}
+	jobID := d.U64()
+	t := d.F64()
+	return jobID, t, d.Finish()
 }
 
-// appendDropPayload / decodeDropPayload carry a DropJob WAL record
+// AppendDropPayload / DecodeDropPayload carry a DropJob WAL record
 // (FrameDrop): just the job ID.
-func appendDropPayload(e *wireEnc, jobID uint64) { e.u64(jobID) }
+func AppendDropPayload(e *Enc, jobID uint64) { e.U64(jobID) }
 
-func decodeDropPayload(p []byte) (uint64, error) {
-	d := wireDec{b: p}
-	jobID := d.u64()
-	return jobID, d.finish()
+func DecodeDropPayload(p []byte) (uint64, error) {
+	d := Dec{B: p}
+	jobID := d.U64()
+	return jobID, d.Finish()
 }
 
 // --- framing ---
 
-// appendFrame wraps a payload in the frame envelope.
-func appendFrame(dst []byte, kind FrameKind, payload []byte) []byte {
-	e := wireEnc{b: dst}
-	e.u8(uint8(kind))
-	e.u32(uint32(len(payload)))
-	e.b = append(e.b, payload...)
-	e.u32(crc32.ChecksumIEEE(payload))
-	return e.b
+// AppendFrame wraps a payload in the frame envelope.
+func AppendFrame(dst []byte, kind FrameKind, payload []byte) []byte {
+	e := Enc{B: dst}
+	e.U8(uint8(kind))
+	e.U32(uint32(len(payload)))
+	e.B = append(e.B, payload...)
+	e.U32(crc32.ChecksumIEEE(payload))
+	return e.B
 }
 
 // DecodeFrame parses one frame from the front of b, returning its kind,
@@ -510,8 +514,8 @@ func DecodeFrame(b []byte) (FrameKind, []byte, int, error) {
 		return 0, nil, 0, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, b[0])
 	}
 	n := uint32(b[1]) | uint32(b[2])<<8 | uint32(b[3])<<16 | uint32(b[4])<<24
-	if n > maxFramePayload {
-		return 0, nil, 0, fmt.Errorf("%w: frame payload of %d bytes exceeds %d", ErrCorrupt, n, maxFramePayload)
+	if n > MaxFramePayload {
+		return 0, nil, 0, fmt.Errorf("%w: frame payload of %d bytes exceeds %d", ErrCorrupt, n, MaxFramePayload)
 	}
 	total := 5 + int(n) + 4
 	if len(b) < total {
@@ -527,35 +531,35 @@ func DecodeFrame(b []byte) (FrameKind, []byte, int, error) {
 
 // EncodeEvent appends ev to dst as one complete frame.
 func EncodeEvent(dst []byte, ev Event) ([]byte, error) {
-	if len(ev.Features) > maxWireFeatures {
-		return dst, fmt.Errorf("serve/wire: %d features exceed %d", len(ev.Features), maxWireFeatures)
+	if len(ev.Features) > MaxWireFeatures {
+		return dst, fmt.Errorf("serve/wire: %d features exceed %d", len(ev.Features), MaxWireFeatures)
 	}
-	var e wireEnc
-	appendEventPayload(&e, &ev)
-	return appendFrame(dst, FrameEvent, e.b), nil
+	var e Enc
+	AppendEventPayload(&e, &ev)
+	return AppendFrame(dst, FrameEvent, e.B), nil
 }
 
 // EncodeSpec appends sp to dst as one complete frame.
 func EncodeSpec(dst []byte, sp JobSpec) ([]byte, error) {
-	var e wireEnc
-	if err := appendSpecPayload(&e, &sp); err != nil {
+	var e Enc
+	if err := AppendSpecPayload(&e, &sp); err != nil {
 		return dst, err
 	}
-	return appendFrame(dst, FrameSpec, e.b), nil
+	return AppendFrame(dst, FrameSpec, e.B), nil
 }
 
 // AppendHeader appends the stream header (magic + version) to dst.
 func AppendHeader(dst []byte) []byte {
-	e := wireEnc{b: append(dst, wireMagic[:]...)}
-	e.u16(WireVersion)
-	return e.b
+	e := Enc{B: append(dst, wireMagic[:]...)}
+	e.U16(Version)
+	return e.B
 }
 
 // DecodeHeader validates the stream header at the front of b and returns
 // the bytes consumed.
 func DecodeHeader(b []byte) (int, error) {
-	if len(b) < headerLen {
-		return 0, fmt.Errorf("%w: %d bytes for a %d-byte header", ErrTruncated, len(b), headerLen)
+	if len(b) < HeaderLen {
+		return 0, fmt.Errorf("%w: %d bytes for a %d-byte header", ErrTruncated, len(b), HeaderLen)
 	}
 	for i, m := range wireMagic {
 		if b[i] != m {
@@ -563,32 +567,32 @@ func DecodeHeader(b []byte) (int, error) {
 		}
 	}
 	v := uint16(b[8]) | uint16(b[9])<<8
-	if v != WireVersion {
-		return 0, fmt.Errorf("%w: stream version %d, this reader speaks %d", ErrVersion, v, WireVersion)
+	if v != Version {
+		return 0, fmt.Errorf("%w: stream version %d, this reader speaks %d", ErrVersion, v, Version)
 	}
-	return headerLen, nil
+	return HeaderLen, nil
 }
 
 // --- streaming writer / reader ---
 
-// WireWriter emits a wire stream. The header is written before the first
+// Writer emits a wire stream. The header is written before the first
 // frame; a writer that never writes a frame emits nothing.
-type WireWriter struct {
+type Writer struct {
 	w      io.Writer
 	buf    []byte
 	headed bool
 }
 
-// NewWireWriter wraps w.
-func NewWireWriter(w io.Writer) *WireWriter { return &WireWriter{w: w} }
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
 
-func (ww *WireWriter) writeBuf() error {
+func (ww *Writer) writeBuf() error {
 	_, err := ww.w.Write(ww.buf)
 	ww.buf = ww.buf[:0]
 	return err
 }
 
-func (ww *WireWriter) head() {
+func (ww *Writer) head() {
 	if !ww.headed {
 		ww.buf = AppendHeader(ww.buf)
 		ww.headed = true
@@ -596,7 +600,7 @@ func (ww *WireWriter) head() {
 }
 
 // WriteSpec emits one JobSpec frame.
-func (ww *WireWriter) WriteSpec(sp JobSpec) error {
+func (ww *Writer) WriteSpec(sp JobSpec) error {
 	ww.head()
 	var err error
 	// On encode failure the buffer is returned unchanged — anything already
@@ -608,7 +612,7 @@ func (ww *WireWriter) WriteSpec(sp JobSpec) error {
 }
 
 // WriteEvent emits one Event frame.
-func (ww *WireWriter) WriteEvent(ev Event) error {
+func (ww *Writer) WriteEvent(ev Event) error {
 	ww.head()
 	var err error
 	if ww.buf, err = EncodeEvent(ww.buf, ev); err != nil {
@@ -617,33 +621,33 @@ func (ww *WireWriter) WriteEvent(ev Event) error {
 	return ww.writeBuf()
 }
 
-// appendCheckedFrame appends a raw frame (snapshot sections) to dst. The
+// AppendCheckedFrame appends a raw frame (snapshot sections) to dst. The
 // payload cap is enforced on the write side too: a frame the decoder would
 // reject as corrupt must fail loudly here, at snapshot time, not at restore
 // time.
-func appendCheckedFrame(dst []byte, kind FrameKind, payload []byte) ([]byte, error) {
-	if len(payload) > maxFramePayload {
+func AppendCheckedFrame(dst []byte, kind FrameKind, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFramePayload {
 		return dst, fmt.Errorf("serve/wire: frame payload of %d bytes exceeds %d — "+
-			"the job is too large for a single snapshot frame", len(payload), maxFramePayload)
+			"the job is too large for a single snapshot frame", len(payload), MaxFramePayload)
 	}
-	return appendFrame(dst, kind, payload), nil
+	return AppendFrame(dst, kind, payload), nil
 }
 
-// WireReader consumes a wire stream. The header is validated before the
+// Reader consumes a wire stream. The header is validated before the
 // first frame is returned.
-type WireReader struct {
+type Reader struct {
 	r       *bufio.Reader
 	headed  bool
 	scratch []byte
 }
 
-// NewWireReader wraps r.
-func NewWireReader(r io.Reader) *WireReader {
-	return &WireReader{r: bufio.NewReader(r)}
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
 }
 
-func (wr *WireReader) readHeader() error {
-	var hdr [headerLen]byte
+func (wr *Reader) readHeader() error {
+	var hdr [HeaderLen]byte
 	if _, err := io.ReadFull(wr.r, hdr[:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return fmt.Errorf("%w: stream header", ErrTruncated)
@@ -661,7 +665,7 @@ func (wr *WireReader) readHeader() error {
 // frame boundary); a cut mid-frame is ErrTruncated. Frame validation (kind,
 // length, checksum) is DecodeFrame's — this only sizes and fills the read
 // buffer, so the streaming and byte-slice decode paths cannot diverge.
-func (wr *WireReader) next() (FrameKind, []byte, error) {
+func (wr *Reader) NextFrame() (FrameKind, []byte, error) {
 	if !wr.headed {
 		if err := wr.readHeader(); err != nil {
 			return 0, nil, err
@@ -680,8 +684,8 @@ func (wr *WireReader) next() (FrameKind, []byte, error) {
 	// The length cap must hold before the buffer is sized — the one check
 	// that cannot be deferred to DecodeFrame.
 	n := uint32(hdr[1]) | uint32(hdr[2])<<8 | uint32(hdr[3])<<16 | uint32(hdr[4])<<24
-	if n > maxFramePayload {
-		return 0, nil, fmt.Errorf("%w: frame payload of %d bytes exceeds %d", ErrCorrupt, n, maxFramePayload)
+	if n > MaxFramePayload {
+		return 0, nil, fmt.Errorf("%w: frame payload of %d bytes exceeds %d", ErrCorrupt, n, MaxFramePayload)
 	}
 	total := 5 + int(n) + 4
 	if cap(wr.scratch) < total {
@@ -706,24 +710,24 @@ func (wr *WireReader) next() (FrameKind, []byte, error) {
 // ingest body): exactly one of the two results is non-nil. io.EOF marks a
 // clean end of stream. Snapshot frames are a different stream type and are
 // rejected here (use RestoreServer for those).
-func (wr *WireReader) Next() (*JobSpec, *Event, error) {
-	kind, payload, err := wr.next()
+func (wr *Reader) Next() (*JobSpec, *Event, error) {
+	kind, payload, err := wr.NextFrame()
 	if err != nil {
 		return nil, nil, err
 	}
 	switch kind {
 	case FrameSpec:
-		sp, err := decodeSpecPayload(payload)
+		sp, err := DecodeSpecPayload(payload)
 		if err != nil {
 			return nil, nil, err
 		}
 		return &sp, nil, nil
 	case FrameEvent:
-		// decodeEventPayload allocates the feature slice fresh (it never
+		// DecodeEventPayload allocates the feature slice fresh (it never
 		// aliases the reader's scratch buffer), so the Event is safe to hand
 		// to a Server, which retains Features as the task's observation.
 		// NextInto is the pooled variant for ingest loops.
-		ev, err := decodeEventPayload(payload)
+		ev, err := DecodeEventPayload(payload)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -743,25 +747,25 @@ func (wr *WireReader) Next() (*JobSpec, *Event, error) {
 // before the next NextInto call: pass it to Ingest and then
 // recycleAfterIngest (the in-package ingest loops), or recycle it directly
 // when it is not ingested.
-func (wr *WireReader) NextInto(ev *Event) (*JobSpec, error) {
-	kind, payload, err := wr.next()
+func (wr *Reader) NextInto(ev *Event) (*JobSpec, error) {
+	kind, payload, err := wr.NextFrame()
 	if err != nil {
 		return nil, err
 	}
 	switch kind {
 	case FrameSpec:
-		sp, err := decodeSpecPayload(payload)
+		sp, err := DecodeSpecPayload(payload)
 		if err != nil {
 			return nil, err
 		}
 		return &sp, nil
 	case FrameEvent:
-		if err := decodeEventInto(payload, ev, true); err != nil {
+		if err := DecodeEventInto(payload, ev, true); err != nil {
 			// A payload that fails validation after the feature draw (e.g.
 			// trailing bytes) must not strand the pooled slice on an event
 			// the caller will discard.
-			if ev.pooled && ev.Features != nil {
-				putObservation(ev.Features)
+			if ev.Pooled && ev.Features != nil {
+				PutObservation(ev.Features)
 			}
 			*ev = Event{}
 			return nil, err
@@ -770,4 +774,33 @@ func (wr *WireReader) NextInto(ev *Event) (*JobSpec, error) {
 	default:
 		return nil, fmt.Errorf("%w: frame kind %d in a spec/event stream", ErrCorrupt, kind)
 	}
+}
+
+// WriteHeader forces the stream header out immediately (an empty dump is
+// still a valid stream — header only, not zero bytes). Writing a first
+// frame later does not repeat it.
+func (ww *Writer) WriteHeader() error {
+	ww.head()
+	return ww.writeBuf()
+}
+
+// WriteDump records a serving workload: every spec first (registration
+// precedes traffic, exactly as StartJob must precede Ingest), then the
+// event stream in feed order. events is typically a MergeStreams result.
+func WriteDump(w io.Writer, specs []JobSpec, events []Event) error {
+	ww := NewWriter(w)
+	if err := ww.WriteHeader(); err != nil {
+		return err
+	}
+	for _, sp := range specs {
+		if err := ww.WriteSpec(sp); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		if err := ww.WriteEvent(ev); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,4 +1,4 @@
-package serve
+package wire
 
 import (
 	"bytes"
@@ -49,12 +49,12 @@ func encodeStream(t testing.TB, specs []JobSpec, events []Event) []byte {
 }
 
 func goldenPath() string {
-	return filepath.Join("testdata", fmt.Sprintf("wire_v%d.golden", WireVersion))
+	return filepath.Join("testdata", fmt.Sprintf("wire_v%d.golden", Version))
 }
 
 // TestWireGolden pins the byte-level format: today's encoder must reproduce
 // the committed golden stream exactly (any diff is a silent format break —
-// bump WireVersion instead), and decoding the golden bytes must yield the
+// bump Version instead), and decoding the golden bytes must yield the
 // original elements.
 func TestWireGolden(t *testing.T) {
 	specs, events := goldenElements()
@@ -73,10 +73,10 @@ func TestWireGolden(t *testing.T) {
 	}
 	if !bytes.Equal(enc, want) {
 		t.Fatalf("encoder output diverged from golden file: %d vs %d bytes — "+
-			"a byte-level format change requires a WireVersion bump", len(enc), len(want))
+			"a byte-level format change requires a Version bump", len(enc), len(want))
 	}
 
-	wr := NewWireReader(bytes.NewReader(want))
+	wr := NewReader(bytes.NewReader(want))
 	var gotSpecs []JobSpec
 	var gotEvents []Event
 	for {
@@ -118,7 +118,7 @@ func TestWireRoundTrip(t *testing.T) {
 		}
 		switch kind {
 		case FrameSpec:
-			sp, err := decodeSpecPayload(payload)
+			sp, err := DecodeSpecPayload(payload)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -126,7 +126,7 @@ func TestWireRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 		case FrameEvent:
-			ev, err := decodeEventPayload(payload)
+			ev, err := DecodeEventPayload(payload)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -145,7 +145,7 @@ func TestWireRoundTrip(t *testing.T) {
 
 // decodeAll consumes a stream, returning the element count and first error.
 func decodeAll(b []byte) (int, error) {
-	wr := NewWireReader(bytes.NewReader(b))
+	wr := NewReader(bytes.NewReader(b))
 	n := 0
 	for {
 		_, _, err := wr.Next()
@@ -213,7 +213,7 @@ func TestWireCorruption(t *testing.T) {
 func TestWireVersionSkew(t *testing.T) {
 	specs, events := goldenElements()
 	enc := encodeStream(t, specs, events)
-	for _, v := range []uint16{0, WireVersion - 1, WireVersion + 1, 255, math.MaxUint16} {
+	for _, v := range []uint16{0, Version - 1, Version + 1, 255, math.MaxUint16} {
 		mut := append([]byte(nil), enc...)
 		mut[8] = byte(v)
 		mut[9] = byte(v >> 8)
@@ -231,15 +231,15 @@ func TestWireVersionSkew(t *testing.T) {
 // allocation) rather than attempt them.
 func TestWireHostileCounts(t *testing.T) {
 	// An event frame claiming 2^32-1 features in a 50-byte payload.
-	var e wireEnc
-	e.u8(uint8(EventHeartbeat))
-	e.u64(1)
-	e.i64(0)
-	e.f64(0)
-	e.i64(1)
-	e.f64(0)
-	e.u32(math.MaxUint32)
-	frame := appendFrame(AppendHeader(nil), FrameEvent, e.b)
+	var e Enc
+	e.U8(uint8(EventHeartbeat))
+	e.U64(1)
+	e.I64(0)
+	e.F64(0)
+	e.I64(1)
+	e.F64(0)
+	e.U32(math.MaxUint32)
+	frame := AppendFrame(AppendHeader(nil), FrameEvent, e.B)
 	if _, err := decodeAll(frame); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("hostile feature count: %v (want ErrCorrupt)", err)
 	}
@@ -253,18 +253,18 @@ func TestWireHostileCounts(t *testing.T) {
 	// allocations (StartJob builds a task slice per spec) must be rejected
 	// in the wire layer, before the spec can reach a Server.
 	hostileSpec := func(numTasks, checkpoints int64) []byte {
-		var e wireEnc
-		e.u64(9)
-		e.u32(1)
-		e.str("x")
-		e.i64(numTasks)
-		e.f64(1)
-		e.f64(0.9)
-		e.f64(100)
-		e.i64(checkpoints)
-		e.f64(0.04)
-		e.u64(0)
-		return appendFrame(AppendHeader(nil), FrameSpec, e.b)
+		var e Enc
+		e.U64(9)
+		e.U32(1)
+		e.Str("x")
+		e.I64(numTasks)
+		e.F64(1)
+		e.F64(0.9)
+		e.F64(100)
+		e.I64(checkpoints)
+		e.F64(0.04)
+		e.U64(0)
+		return AppendFrame(AppendHeader(nil), FrameSpec, e.B)
 	}
 	for _, tc := range []struct {
 		name    string
@@ -281,10 +281,10 @@ func TestWireHostileCounts(t *testing.T) {
 	}
 	// Trailing garbage inside a checksummed payload (CRC valid, extra
 	// bytes after the last field) must be rejected as non-canonical.
-	var e2 wireEnc
-	appendEventPayload(&e2, &Event{Kind: EventTaskStart, JobID: 3})
-	e2.u8(0xAA)
-	frame = appendFrame(AppendHeader(nil), FrameEvent, e2.b)
+	var e2 Enc
+	AppendEventPayload(&e2, &Event{Kind: EventTaskStart, JobID: 3})
+	e2.U8(0xAA)
+	frame = AppendFrame(AppendHeader(nil), FrameEvent, e2.B)
 	if _, err := decodeAll(frame); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("trailing payload bytes: %v (want ErrCorrupt)", err)
 	}
@@ -302,7 +302,7 @@ func FuzzWireDecode(f *testing.F) {
 	enc := buf.Bytes()
 	f.Add(enc)
 	f.Add(enc[:len(enc)/2])
-	f.Add(enc[headerLen:])
+	f.Add(enc[HeaderLen:])
 	mut := append([]byte(nil), enc...)
 	mut[len(mut)/2] ^= 0x40
 	f.Add(mut)
@@ -311,7 +311,7 @@ func FuzzWireDecode(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Stream layer: must terminate with EOF or an error, no panics.
-		if n, err := decodeAll(data); err == nil && n > 0 && len(data) < headerLen {
+		if n, err := decodeAll(data); err == nil && n > 0 && len(data) < HeaderLen {
 			t.Fatalf("decoded %d elements from %d bytes", n, len(data))
 		}
 
@@ -320,12 +320,12 @@ func FuzzWireDecode(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if re := appendFrame(nil, kind, payload); !bytes.Equal(re, data[:n]) {
+		if re := AppendFrame(nil, kind, payload); !bytes.Equal(re, data[:n]) {
 			t.Fatalf("frame re-encode diverges from input")
 		}
 		switch kind {
 		case FrameSpec:
-			if sp, err := decodeSpecPayload(payload); err == nil {
+			if sp, err := DecodeSpecPayload(payload); err == nil {
 				re, err := EncodeSpec(nil, sp)
 				if err != nil {
 					t.Fatalf("re-encoding decoded spec: %v", err)
@@ -335,7 +335,7 @@ func FuzzWireDecode(f *testing.F) {
 				}
 			}
 		case FrameEvent:
-			if ev, err := decodeEventPayload(payload); err == nil {
+			if ev, err := DecodeEventPayload(payload); err == nil {
 				re, err := EncodeEvent(nil, ev)
 				if err != nil {
 					t.Fatalf("re-encoding decoded event: %v", err)
@@ -344,51 +344,43 @@ func FuzzWireDecode(f *testing.F) {
 					t.Fatalf("event re-encode diverges from input")
 				}
 			}
-		case FrameSnapCheckpoint:
-			if cp, err := decodeCheckpointPayload(payload); err == nil {
-				if re := appendCheckpointPayload(nil, cp); !bytes.Equal(appendFrame(nil, kind, re), data[:n]) {
-					t.Fatalf("checkpoint re-encode diverges from input")
-				}
-			}
-		case FrameSnapJob:
-			_, _, _ = decodeSnapJob(payload) // must not panic
 		case FrameLSNMark:
-			if lsn, err := decodeLSNMarkPayload(payload); err == nil {
-				var e wireEnc
-				appendLSNMarkPayload(&e, lsn)
-				if !bytes.Equal(appendFrame(nil, kind, e.b), data[:n]) {
+			if lsn, err := DecodeLSNMarkPayload(payload); err == nil {
+				var e Enc
+				AppendLSNMarkPayload(&e, lsn)
+				if !bytes.Equal(AppendFrame(nil, kind, e.B), data[:n]) {
 					t.Fatalf("LSN mark re-encode diverges from input")
 				}
 			}
 		case FrameFinish:
-			if jobID, at, err := decodeFinishPayload(payload); err == nil {
-				var e wireEnc
-				appendFinishPayload(&e, jobID, at)
-				if !bytes.Equal(appendFrame(nil, kind, e.b), data[:n]) {
+			if jobID, at, err := DecodeFinishPayload(payload); err == nil {
+				var e Enc
+				AppendFinishPayload(&e, jobID, at)
+				if !bytes.Equal(AppendFrame(nil, kind, e.B), data[:n]) {
 					t.Fatalf("finish record re-encode diverges from input")
 				}
 			}
 		case FrameDrop:
-			if jobID, err := decodeDropPayload(payload); err == nil {
-				var e wireEnc
-				appendDropPayload(&e, jobID)
-				if !bytes.Equal(appendFrame(nil, kind, e.b), data[:n]) {
+			if jobID, err := DecodeDropPayload(payload); err == nil {
+				var e Enc
+				AppendDropPayload(&e, jobID)
+				if !bytes.Equal(AppendFrame(nil, kind, e.B), data[:n]) {
 					t.Fatalf("drop record re-encode diverges from input")
 				}
 			}
 		case FrameRecord:
-			if lsn, inner, innerPayload, err := decodeRecordPayload(payload); err == nil {
-				var e wireEnc
-				appendRecordPayload(&e, lsn, inner, innerPayload)
-				if !bytes.Equal(appendFrame(nil, kind, e.b), data[:n]) {
+			if lsn, inner, innerPayload, err := DecodeRecordPayload(payload); err == nil {
+				var e Enc
+				AppendRecordPayload(&e, lsn, inner, innerPayload)
+				if !bytes.Equal(AppendFrame(nil, kind, e.B), data[:n]) {
 					t.Fatalf("WAL record re-encode diverges from input")
 				}
 			}
 		case FrameSegHeader:
-			if h, err := decodeSegHeaderPayload(payload); err == nil {
-				var e wireEnc
-				appendSegHeaderPayload(&e, h.stamp, h.prevEnd, h.shard, h.streams)
-				if !bytes.Equal(appendFrame(nil, kind, e.b), data[:n]) {
+			if h, err := DecodeSegHeaderPayload(payload); err == nil {
+				var e Enc
+				AppendSegHeaderPayload(&e, h.Stamp, h.PrevEnd, h.Shard, h.Streams)
+				if !bytes.Equal(AppendFrame(nil, kind, e.B), data[:n]) {
 					t.Fatalf("segment header re-encode diverges from input")
 				}
 			}

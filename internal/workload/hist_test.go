@@ -66,10 +66,10 @@ func TestHistEdges(t *testing.T) {
 	if h.Quantile(0.5) != 0 {
 		t.Error("empty histogram quantile should be 0")
 	}
-	h.RecordSeconds(-1)            // underflow (negative)
-	h.RecordSeconds(math.NaN())    // underflow (NaN guards)
-	h.RecordSeconds(1e-9)          // underflow (below 1µs)
-	h.RecordSeconds(5e4)           // overflow (above 1000s)
+	h.RecordSeconds(-1)         // underflow (negative)
+	h.RecordSeconds(math.NaN()) // underflow (NaN guards)
+	h.RecordSeconds(1e-9)       // underflow (below 1µs)
+	h.RecordSeconds(5e4)        // overflow (above 1000s)
 	h.Record(10 * time.Millisecond)
 	if h.Count() != 5 {
 		t.Fatalf("Count = %d, want 5", h.Count())

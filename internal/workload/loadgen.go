@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/servehttp"
 )
 
 // Options shape one load run.
@@ -164,7 +165,7 @@ func (t *HTTPTarget) Post(client string, body []byte) (PostResult, error) {
 		return PostResult{}, err
 	}
 	defer resp.Body.Close()
-	var res serve.IngestResult
+	var res servehttp.IngestResult
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	_ = json.Unmarshal(msg, &res) // non-JSON bodies leave zero counts
 	return PostResult{

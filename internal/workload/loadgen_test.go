@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/servehttp"
 )
 
 // finite fails the test if v is Inf or NaN.
@@ -30,7 +31,7 @@ func runScenario(t *testing.T, name string, speedup float64) *Report {
 		t.Fatal(err)
 	}
 	sv := serve.NewServer(serve.Config{Shards: 4})
-	ts := httptest.NewServer(serve.NewHandler(sv))
+	ts := httptest.NewServer(servehttp.NewHandler(sv))
 	defer ts.Close()
 	rep, err := Run(wl, &HTTPTarget{Client: ts.Client(), BaseURL: ts.URL}, Options{Speedup: speedup})
 	if err != nil {
@@ -100,7 +101,7 @@ func TestLoadgenHostile(t *testing.T) {
 		t.Fatal("hostile scenario injected nothing")
 	}
 	sv := serve.NewServer(serve.Config{Shards: 4})
-	ts := httptest.NewServer(serve.NewHandler(sv))
+	ts := httptest.NewServer(servehttp.NewHandler(sv))
 	defer ts.Close()
 	rep, err := Run(wl, &HTTPTarget{Client: ts.Client(), BaseURL: ts.URL}, Options{Speedup: 8})
 	if err != nil {
@@ -133,7 +134,7 @@ func TestLoadgenOverload(t *testing.T) {
 		t.Skip("smoke synthesized fewer than 2 jobs")
 	}
 	sv := serve.NewServer(serve.Config{Shards: 1, MaxJobs: 1})
-	ts := httptest.NewServer(serve.NewHandler(sv))
+	ts := httptest.NewServer(servehttp.NewHandler(sv))
 	defer ts.Close()
 	rep, err := Run(wl, &HTTPTarget{Client: ts.Client(), BaseURL: ts.URL}, Options{Speedup: 16})
 	if err != nil {
@@ -195,7 +196,7 @@ func TestRetryWait(t *testing.T) {
 	}{
 		{"2", 5 * time.Second, 2 * time.Second},
 		{" 3 ", 5 * time.Second, 3 * time.Second},
-		{"30", time.Second, time.Second},     // capped
+		{"30", time.Second, time.Second}, // capped
 		{"0", time.Second, 100 * time.Millisecond},
 		{"-1", time.Second, 100 * time.Millisecond},
 		{"soon", time.Second, 100 * time.Millisecond},
@@ -254,7 +255,7 @@ func TestLoadgenShedTaxonomy(t *testing.T) {
 		t.Fatal(err)
 	}
 	sv := serve.NewServer(serve.Config{Shards: 1, ClientRate: 150})
-	ts := httptest.NewServer(serve.NewHandler(sv))
+	ts := httptest.NewServer(servehttp.NewHandler(sv))
 	defer ts.Close()
 	tgt := &HTTPTarget{Client: ts.Client(), BaseURL: ts.URL}
 	rep, err := Run(wl, tgt, Options{Speedup: 4, Retry429: true, QueryRate: 10})

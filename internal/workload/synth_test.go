@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/serve"
+	"repro/internal/servehttp"
 )
 
 // synthWire synthesizes the named builtin and renders its full hostile wire
@@ -87,7 +88,7 @@ func TestSynthesizeStructure(t *testing.T) {
 			t.Errorf("%s: timeline not sorted by At", name)
 		}
 		specs, events, malformed := 0, 0, 0
-		seen := map[uint64]bool{}      // job registered before its events?
+		seen := map[uint64]bool{}        // job registered before its events?
 		lastTime := map[uint64]float64{} // per-job event times non-decreasing?
 		for i := range wl.Items {
 			it := &wl.Items[i]
@@ -136,7 +137,7 @@ func TestCleanWireReplayable(t *testing.T) {
 		t.Fatal(err)
 	}
 	sv := serve.NewServer(serve.Config{Shards: 2})
-	st, err := serve.Replay(sv, bytes.NewReader(buf.Bytes()), 0)
+	st, err := servehttp.Replay(sv, bytes.NewReader(buf.Bytes()), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

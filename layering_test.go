@@ -1,0 +1,85 @@
+package repro
+
+// layering_test.go enforces the serving stack's package layering with the
+// toolchain itself instead of convention: `go list -deps` computes each
+// layer's full transitive dependency closure, and the test fails if a
+// lower layer ever grows an edge to a higher one. The one-way order is
+//
+//	wire  <-  wal  <-  serve  <-  servehttp
+//	                   serve  <-  cluster
+//
+// wire (the frame codec) imports no sibling internal package at all; wal
+// (storage) may see only wire; serve (the node core) must not reach back
+// up into its fronts (servehttp, cluster). Without this test the layering
+// would be aspirational — one convenient import away from a cycle the
+// refactor existed to remove.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// transitiveDeps returns the package's full import closure (including
+// itself), as `go list -deps` reports it.
+func transitiveDeps(t *testing.T, pkg string) map[string]bool {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-deps", pkg).Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			t.Fatalf("go list -deps %s: %v\n%s", pkg, err, ee.Stderr)
+		}
+		t.Fatalf("go list -deps %s: %v", pkg, err)
+	}
+	deps := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			deps[line] = true
+		}
+	}
+	return deps
+}
+
+func TestLayeringWireImportsNoSiblings(t *testing.T) {
+	for dep := range transitiveDeps(t, "repro/internal/wire") {
+		if strings.HasPrefix(dep, "repro/") && dep != "repro/internal/wire" {
+			t.Errorf("internal/wire depends on %s; the codec layer must import no sibling internal package", dep)
+		}
+	}
+}
+
+func TestLayeringWALBelowServe(t *testing.T) {
+	deps := transitiveDeps(t, "repro/internal/wal")
+	for _, forbidden := range []string{
+		"repro/internal/serve",
+		"repro/internal/servehttp",
+		"repro/internal/cluster",
+	} {
+		if deps[forbidden] {
+			t.Errorf("internal/wal depends on %s; storage sits below the node core", forbidden)
+		}
+	}
+	for dep := range deps {
+		if strings.HasPrefix(dep, "repro/") && dep != "repro/internal/wal" && dep != "repro/internal/wire" {
+			t.Errorf("internal/wal depends on %s; only internal/wire is below the storage layer", dep)
+		}
+	}
+}
+
+func TestLayeringServeBelowFronts(t *testing.T) {
+	deps := transitiveDeps(t, "repro/internal/serve")
+	for _, forbidden := range []string{"repro/internal/servehttp", "repro/internal/cluster"} {
+		if deps[forbidden] {
+			t.Errorf("internal/serve depends on %s; the node core must not reach up into its fronts", forbidden)
+		}
+	}
+}
+
+func TestLayeringWaltestBelowServe(t *testing.T) {
+	// The crash-injection test filesystem is part of the storage layer's
+	// toolkit: usable from every layer's tests without dragging serve in.
+	deps := transitiveDeps(t, "repro/internal/wal/waltest")
+	if deps["repro/internal/serve"] {
+		t.Error("internal/wal/waltest depends on internal/serve")
+	}
+}
