@@ -20,7 +20,10 @@
 // (-wal-streams; 0 follows the shard count) — and checkpoints itself on a
 // time and/or size policy (-wal-checkpoint-every / -wal-checkpoint-bytes),
 // so the retained log and recovery time stay bounded without operator
-// action. A -replay after a recovery resumes the dump exactly where the
+// action. -wal-commit-batch switches durability to the batched group
+// commit: each fsync window stages every dirty stream's tail into one
+// shared commit file and syncs only that, so flush cost stays O(1) in the
+// stream count; recovery understands both layouts either way. A -replay after a recovery resumes the dump exactly where the
 // crashed process stopped — kill -9 mid-replay, rerun the same command,
 // and no event is lost or applied twice. That resume math requires the
 // dump to be the only mutation source, so with -wal the -listen front end
@@ -98,7 +101,8 @@ func main() {
 		walStream = flag.Int("wal-streams", 0, "per-shard WAL segment streams (0 = the server's shard count)")
 		ckptEvery = flag.Duration("wal-checkpoint-every", time.Minute, "automatic WAL checkpoint period (0 disables the time trigger)")
 		ckptBytes = flag.Int64("wal-checkpoint-bytes", 64<<20, "automatic WAL checkpoint once this many bytes were appended since the last one (0 disables the size trigger)")
-		walVerify = flag.String("wal-verify", "", "offline: replay the WAL directory's structure and print the recoverable LSN per shard, then exit (no server is started)")
+		walBatch  = flag.Bool("wal-commit-batch", false, "batched cross-stream group commit: fsync one shared commit file per window instead of every dirty stream's segment (with -wal-streams 0 the fan-out then follows the shard count, not GOMAXPROCS)")
+		walVerify = flag.String("wal-verify", "", "offline: replay the WAL directory's structure (either fsync layout, including commit files a batched writer left) and print the recoverable LSN per shard, then exit (no server is started)")
 		refitMode = flag.String("refit-mode", "scratch", "checkpoint refit strategy: scratch (bit-identical to the offline Table 3 path) or warm (warm-started incremental boosting, several times cheaper per refit)")
 		refitWork = flag.Int("refit-workers", 0, "background refit workers per shard (0 = default); model fits run on these, off the ingest path")
 
@@ -120,6 +124,7 @@ func main() {
 		Streams:         *walStream,
 		CheckpointEvery: *ckptEvery,
 		CheckpointBytes: *ckptBytes,
+		CommitBatch:     *walBatch,
 	}
 	scfg := servingConfig{
 		shards: *shards, refitMode: mode, refitWorkers: *refitWork,

@@ -1,0 +1,863 @@
+package wal_test
+
+// commit_test.go covers the batched cross-stream group commit
+// (WALOptions.CommitBatch): the O(1)-fsync-per-window contract, the
+// torture sweeps specific to the commit-file layout (crashes at commit
+// file byte prefixes, power loss between commit-fsync and absorb, bit
+// flips in batch records), the per-stream <-> batched upgrade and
+// downgrade paths, the read-only Verify reconciliation, and the /stats
+// surface. The two Sync-machinery regression tests (error joining across
+// failing streams, the flusher exiting once the log wedges) live here too
+// because their fixtures share the fault-injecting filesystems.
+
+import (
+	. "repro/internal/serve"
+	"repro/internal/servehttp"
+	walpkg "repro/internal/wal"
+	"repro/internal/wal/waltest"
+	"repro/internal/wire"
+
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// commitSpec builds a minimal valid job spec for tests that drive the WAL
+// directly with hand-picked job IDs (stream routing is wire.Mix64(id) %
+// streams, so the IDs select their streams).
+func commitSpec(id uint64) JobSpec {
+	return JobSpec{JobID: id, Schema: []string{"c"}, NumTasks: 2, TauStra: 10,
+		Horizon: 100, Checkpoints: 4, WarmFrac: 0.25, Seed: id}
+}
+
+// jobIDsCoveringStreams returns n job IDs routing to n distinct streams.
+func jobIDsCoveringStreams(n int) []uint64 {
+	ids := make([]uint64, 0, n)
+	seen := make(map[uint64]bool, n)
+	for id := uint64(1); len(ids) < n; id++ {
+		if sh := wire.Mix64(id) % uint64(n); !seen[sh] {
+			seen[sh] = true
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// commitFileNames lists fs's live commit files, sorted for deterministic
+// random selection.
+func commitFileNames(fs *waltest.MemFS) []string {
+	var names []string
+	for name := range fs.Files {
+		if strings.HasPrefix(filepath.Base(name), walpkg.CommitPrefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- Sync error aggregation across streams ---
+
+// failSyncFS makes every segment file's fsync fail with an error naming
+// the file, so a multi-stream Sync failure is distinguishable per stream.
+// The writability probe (wal-probe.tmp) and snapshot/commit files pass
+// through untouched.
+type failSyncFS struct {
+	WALFS
+}
+
+func (fs *failSyncFS) Create(name string) (WALFile, error) {
+	f, err := fs.WALFS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	base := filepath.Base(name)
+	if strings.HasPrefix(base, walpkg.SegPrefix) && strings.HasSuffix(base, walpkg.SegSuffix) {
+		return failSyncFile{WALFile: f, name: base}, nil
+	}
+	return f, nil
+}
+
+type failSyncFile struct {
+	WALFile
+	name string
+}
+
+func (f failSyncFile) Sync() error {
+	return fmt.Errorf("injected sync failure on %s", f.name)
+}
+
+// TestWALSyncJoinsStreamErrors: when several streams' flushes fail in one
+// group commit, Sync must report every stream's own failure, not just the
+// first latched one — operators diagnosing a dying device need to see
+// which streams it took down.
+func TestWALSyncJoinsStreamErrors(t *testing.T) {
+	fs := &failSyncFS{WALFS: waltest.NewMemFS()}
+	sv, wal, _, err := Recover("wal", cheapCfg(2), WALOptions{Streams: 2, SyncEvery: time.Hour, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range jobIDsCoveringStreams(2) {
+		if err := sv.StartJob(commitSpec(id), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = wal.Sync()
+	if err == nil {
+		t.Fatal("Sync with two failing streams returned nil")
+	}
+	if !errors.Is(err, ErrWALFailed) {
+		t.Errorf("Sync error is not ErrWALFailed: %v", err)
+	}
+	msg := err.Error()
+	for _, stream := range []string{"wal-0000-", "wal-0001-"} {
+		if !strings.Contains(msg, stream) {
+			t.Errorf("joined Sync error omits stream %s*: %q", stream, msg)
+		}
+	}
+	wal.Close() // wedged close may error; it must not panic
+}
+
+// --- flusher lifecycle on a wedged log ---
+
+// wedgeFS counts every fsync attempt and can be switched to fail them
+// all, modeling a log device that dies under a running server.
+type wedgeFS struct {
+	WALFS
+	syncs  atomic.Int32
+	broken atomic.Bool
+}
+
+func (fs *wedgeFS) Create(name string) (WALFile, error) {
+	f, err := fs.WALFS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &wedgeFile{WALFile: f, fs: fs}, nil
+}
+
+type wedgeFile struct {
+	WALFile
+	fs *wedgeFS
+}
+
+func (f *wedgeFile) Sync() error {
+	f.fs.syncs.Add(1)
+	if f.fs.broken.Load() {
+		return fmt.Errorf("injected: log device gone")
+	}
+	return f.WALFile.Sync()
+}
+
+// TestWALFlushLoopExitsWhenWedged: once the first flush failure wedges the
+// log, the background flusher must stop ticking instead of hammering the
+// dead device with a doomed fsync every SyncEvery. The per-stream subtest
+// carries the real regression — a live per-stream loop attempts stream
+// fsyncs every tick, while a wedged batched commitFlush early-returns
+// before touching a file either way.
+func TestWALFlushLoopExitsWhenWedged(t *testing.T) {
+	const tick = 2 * time.Millisecond
+	for _, tc := range []struct {
+		name  string
+		batch bool
+	}{
+		{"per-stream", false},
+		{"batched", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := &wedgeFS{WALFS: waltest.NewMemFS()}
+			sv, wal, _, err := Recover("wal", cheapCfg(1),
+				WALOptions{Streams: 1, SyncEvery: tick, CommitBatch: tc.batch, FS: fs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sv.StartJob(commitSpec(1), nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := sv.Ingest(Event{Kind: EventTaskStart, JobID: 1, TaskID: 0, Time: 1}); err != nil {
+				t.Fatal(err)
+			}
+			fs.broken.Store(true)
+			// Keep the stream dirty with heartbeats until a flusher tick hits
+			// the broken device and the wedge latches.
+			deadline := time.Now().Add(5 * time.Second)
+			for tm := 2.0; ; tm++ {
+				err := sv.Ingest(Event{Kind: EventHeartbeat, JobID: 1, TaskID: 0,
+					Time: tm, Features: []float64{tm}})
+				if errors.Is(err, ErrWALFailed) {
+					break
+				}
+				if err != nil {
+					t.Fatalf("pre-wedge ingest: %v", err)
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("flusher never wedged the log")
+				}
+				time.Sleep(tick)
+			}
+			// Drain any tick already in flight, then require silence: a
+			// flusher that kept running would attempt ~50 more fsyncs.
+			time.Sleep(5 * tick)
+			before := fs.syncs.Load()
+			time.Sleep(50 * tick)
+			if after := fs.syncs.Load(); after != before {
+				t.Fatalf("wedged log saw %d fsync attempts after the wedge settled; the flusher is still ticking", after-before)
+			}
+			wal.Close()
+		})
+	}
+}
+
+// --- the O(1) fsync contract ---
+
+// TestWALBatchedCommitOneFsyncPerWindow is the tentpole's measurable
+// claim, pinned at GOMAXPROCS=1 where the old coupling bit hardest: a
+// group-commit window over 8 dirty streams costs 8 fsyncs per-stream and
+// exactly 1 batched — and the default stream fan-out tracks the shard
+// count under batching instead of being capped at the CPU count.
+func TestWALBatchedCommitOneFsyncPerWindow(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	ids := jobIDsCoveringStreams(8)
+	for _, tc := range []struct {
+		name      string
+		batch     bool
+		wantDelta uint64
+	}{
+		{"per-stream", false, 8},
+		{"batched", true, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sv, wal, _, err := Recover("wal", cheapCfg(8),
+				WALOptions{Streams: 8, SyncEvery: time.Hour, CommitBatch: tc.batch, FS: waltest.NewMemFS()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer wal.Close()
+			syncDelta := func(dirty string) uint64 {
+				t.Helper()
+				before := wal.Stats().Syncs
+				if err := wal.Sync(); err != nil {
+					t.Fatal(err)
+				}
+				delta := wal.Stats().Syncs - before
+				if delta != tc.wantDelta {
+					t.Fatalf("window with %s dirty: %d fsyncs, want %d", dirty, delta, tc.wantDelta)
+				}
+				return delta
+			}
+			// Window 1: one spec per stream — all 8 streams dirty.
+			for _, id := range ids {
+				if err := sv.StartJob(commitSpec(id), nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			syncDelta("8 streams (specs)")
+			// Window 2: one event per stream — all 8 dirty again.
+			for _, id := range ids {
+				if err := sv.Ingest(Event{Kind: EventTaskStart, JobID: id, TaskID: 0, Time: 1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			syncDelta("8 streams (events)")
+			if tc.batch {
+				st := wal.Stats()
+				if !st.CommitBatched {
+					t.Error("Stats.CommitBatched is false on a batched writer")
+				}
+				if st.CommitWindows != 2 || st.CommitRecords != 16 {
+					t.Errorf("windows=%d records=%d, want 2 and 16 (8 streams x 2 windows)",
+						st.CommitWindows, st.CommitRecords)
+				}
+			}
+		})
+	}
+
+	// Default fan-out: unset Streams resolves to the shard count under
+	// batching, but stays capped at GOMAXPROCS (pinned to 1 above) when
+	// every dirty stream pays its own fsync.
+	for _, tc := range []struct {
+		batch bool
+		want  int
+	}{
+		{true, 8},
+		{false, 1},
+	} {
+		_, wal, _, err := Recover("wal", cheapCfg(8),
+			WALOptions{CommitBatch: tc.batch, FS: waltest.NewMemFS()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := wal.Streams(); got != tc.want {
+			t.Errorf("CommitBatch=%v, 8 shards, GOMAXPROCS=1: default fan-out %d, want %d",
+				tc.batch, got, tc.want)
+		}
+		wal.Close()
+	}
+}
+
+// --- torture sweeps over the batched layout ---
+
+// TestWALTortureBatchedEveryFrameBoundary is the boundary sweep of the
+// batched writer: crash at sampled write boundaries (segment appends,
+// commit batches, snapshot frames), recover, resume, and require the
+// per-stream acceptance bar unchanged — plus the batched-only invariant
+// that a recovered-and-closed directory is always a plain per-stream
+// layout (repair materializes patches and removes the commit files).
+func TestWALTortureBatchedEveryFrameBoundary(t *testing.T) {
+	feed, specs := tortureFeed(t, 20, 137)
+	opts := WALOptions{SegmentBytes: 16 << 10, Streams: 4, CommitBatch: true}
+	fs, ref, boundaries := tortureRun(t, feed, specs, opts, 4, 0)
+
+	// Sanity: batching is pure durability mechanics — the run must match a
+	// WAL-less server bit for bit.
+	plain := NewServer(tortureCfg(2))
+	for i := range feed {
+		if err := feed[i].apply(plain); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := ref.diff(captureState(t, plain, specs)); d != "" {
+		t.Fatalf("batched WAL run diverges from WAL-less run: %s", d)
+	}
+
+	stride := 5
+	if testing.Short() || raceEnabled {
+		stride = 17
+	}
+	crashes := make([]int64, 0, len(fs.Journal))
+	var off int64
+	for _, op := range fs.Journal {
+		if op.Kind == waltest.OpWrite {
+			off += int64(len(op.Data))
+			crashes = append(crashes, off)
+		}
+	}
+	for i := 0; i < len(crashes); i += stride {
+		x := crashes[i]
+		crashed := waltest.FSAt(fs.Journal, x, false)
+		got, rst := recoverAndResume(t, crashed, feed, specs, opts)
+		want := expectedLSN(boundaries, x)
+		if rst.NextLSN < want {
+			t.Fatalf("crash at byte %d: recovered LSN %d < %d — an acknowledged mutation was lost (%v)",
+				x, rst.NextLSN, want, rst)
+		}
+		if rst.NextLSN > want+1 {
+			t.Fatalf("crash at byte %d: recovered LSN %d, acked %d — phantom records invented (%v)",
+				x, rst.NextLSN, want, rst)
+		}
+		if d := ref.diff(got); d != "" {
+			t.Fatalf("crash at byte %d (recovery %v): %s", x, rst, d)
+		}
+		// recoverAndResume closed its WAL; repair plus Close's absorb must
+		// leave no commit file behind.
+		if names := commitFileNames(crashed); len(names) != 0 {
+			t.Fatalf("crash at byte %d: %v survive recovery and close; repaired directories must be plain per-stream layout",
+				x, names)
+		}
+	}
+}
+
+// TestWALTortureBatchedCommitPrefixes crashes at every sampled byte prefix
+// of the commit-file appends themselves — the adversarial case the commit
+// file introduces, where the window's batch is partially persisted. The
+// recovered LSN must sit between the last completed commit fsync's floor
+// (no durable window lost) and the written prefix (no phantom records),
+// and the resumed run must stay bit-identical.
+func TestWALTortureBatchedCommitPrefixes(t *testing.T) {
+	feed, specs := tortureFeed(t, 12, 163)
+	const syncStride = 8
+	opts := WALOptions{SegmentBytes: 16 << 10, SyncEvery: time.Hour, Streams: 4, CommitBatch: true}
+	fs, ref, boundaries := tortureRun(t, feed, specs, opts, 0, syncStride)
+
+	// Durability floors: at each commit-file fsync, every mutation written
+	// before it was staged in some completed window (the harness is
+	// single-threaded, so capture -> write -> sync never interleaves a
+	// mutation), hence durable from then on — even after an absorb later
+	// migrates the bytes into segment files and removes the commit file.
+	type syncFloor struct {
+		off int64
+		lsn uint64
+	}
+	var floors []syncFloor
+	type prefixCand struct {
+		op  int   // journal index of the commit-file write
+		off int64 // cumulative written bytes before it
+		k   int   // persisted prefix length of the write
+	}
+	var cands []prefixCand
+	var off int64
+	for i, op := range fs.Journal {
+		isCommit := strings.HasPrefix(filepath.Base(op.Name), walpkg.CommitPrefix)
+		switch op.Kind {
+		case waltest.OpWrite:
+			if isCommit {
+				for k := 1; k <= len(op.Data); k++ {
+					cands = append(cands, prefixCand{op: i, off: off, k: k})
+				}
+			}
+			off += int64(len(op.Data))
+		case waltest.OpSync:
+			if isCommit {
+				floors = append(floors, syncFloor{off: off, lsn: expectedLSN(boundaries, off)})
+			}
+		}
+	}
+	if len(floors) == 0 || len(cands) == 0 {
+		t.Fatalf("run produced %d commit fsyncs and %d prefix candidates; the batched path never engaged", len(floors), len(cands))
+	}
+
+	stride := len(cands)/1000 + 1
+	if testing.Short() || raceEnabled {
+		stride = len(cands)/60 + 1
+	}
+	commitFiles := 0
+	for i := 0; i < len(cands); i += stride {
+		c := cands[i]
+		// Power loss at the candidate write, with the first k bytes of the
+		// in-flight batch persisted anyway — the torn commit tail.
+		crashed := waltest.FSAt(fs.Journal, c.off, true)
+		wop := fs.Journal[c.op]
+		crashed.Files[wop.Name] = append(crashed.Files[wop.Name], wop.Data[:c.k]...)
+		crashed.Synced[wop.Name] = len(crashed.Files[wop.Name])
+		got, rst := recoverAndResume(t, crashed, feed, specs, opts)
+		commitFiles += rst.CommitFiles
+		lower := uint64(1)
+		for _, fl := range floors {
+			if fl.off <= c.off && fl.lsn > lower {
+				lower = fl.lsn
+			}
+		}
+		if rst.NextLSN < lower {
+			t.Fatalf("commit prefix %d+%dB: recovered LSN %d < %d — a completed commit window was lost (%v)",
+				c.off, c.k, rst.NextLSN, lower, rst)
+		}
+		if upper := expectedLSN(boundaries, c.off); rst.NextLSN > upper {
+			t.Fatalf("commit prefix %d+%dB: recovered LSN %d beyond the written prefix %d (%v)",
+				c.off, c.k, rst.NextLSN, upper, rst)
+		}
+		if d := ref.diff(got); d != "" {
+			t.Fatalf("commit prefix %d+%dB (recovery %v): %s", c.off, c.k, rst, d)
+		}
+	}
+	if commitFiles == 0 {
+		t.Error("no sweep point recovered through a commit file; the reconciliation path went unexercised")
+	}
+}
+
+// TestWALTortureBatchedPowerLoss is the power-loss model over the batched
+// writer with periodic checkpoints, so crash points land before, between,
+// and after the commit fsync and the absorb that hardens segments: only
+// unsynced windows may be lost, never more than one, and the re-fed run
+// stays bit-identical.
+func TestWALTortureBatchedPowerLoss(t *testing.T) {
+	feed, specs := tortureFeed(t, 20, 139)
+	const syncStride = 16
+	opts := WALOptions{SegmentBytes: 16 << 10, SyncEvery: time.Hour, Streams: 4, CommitBatch: true}
+	fs, ref, boundaries := tortureRun(t, feed, specs, opts, 3, syncStride)
+
+	rng := rand.New(rand.NewSource(139))
+	total := fs.TotalWritten()
+	points := 100
+	if testing.Short() || raceEnabled {
+		points = 20
+	}
+	for i := 0; i < points; i++ {
+		x := 1 + rng.Int63n(total-1)
+		got, rst := recoverAndResume(t, waltest.FSAt(fs.Journal, x, true), feed, specs, opts)
+		durable := expectedLSN(boundaries, x)
+		if rst.NextLSN > durable {
+			t.Fatalf("power loss at byte %d: recovered LSN %d beyond the written prefix %d (%v)",
+				x, rst.NextLSN, durable, rst)
+		}
+		if durable-rst.NextLSN > syncStride+1 {
+			t.Fatalf("power loss at byte %d: lost %d mutations, more than one %d-wide commit window",
+				x, durable-rst.NextLSN, syncStride)
+		}
+		if d := ref.diff(got); d != "" {
+			t.Fatalf("power loss at byte %d (recovery %v): %s", x, rst, d)
+		}
+	}
+}
+
+// TestWALTortureBatchedBitFlips corrupts single bits under the batched
+// layout. A flip in a batch record fails its CRC and ends the trustable
+// patch sequence — reconciliation must fall back to the durable prefix,
+// never patch garbage. A flip in a segment file inside a commit-covered
+// extent is *healed*: reconciliation rewrites the extent from the commit
+// image. Either way the re-fed run must converge bit-identically.
+func TestWALTortureBatchedBitFlips(t *testing.T) {
+	feed, specs := tortureFeed(t, 20, 149)
+	// A large segment threshold suppresses rotation (and so absorb; no
+	// checkpoints either), keeping every commit file alive to the end —
+	// under power loss the never-fsynced segments truncate to nothing and
+	// every durable byte lives only in the commit files.
+	const syncStride = 8
+	opts := WALOptions{SegmentBytes: 1 << 20, SyncEvery: time.Hour, Streams: 4, CommitBatch: true}
+	fs, ref, boundaries := tortureRun(t, feed, specs, opts, 0, syncStride)
+	// Cut one byte short of the end: Close's absorb (segment fsyncs,
+	// commit-file removes) sits past the last write, and FSAt only stops
+	// replaying metadata when a write exceeds the cut.
+	cut := boundaries[len(boundaries)-1] - 1
+
+	base := waltest.FSAt(fs.Journal, cut, true)
+	commitNames := commitFileNames(base)
+	if len(commitNames) == 0 {
+		t.Fatal("no live commit files at end of run; the flip sweep has nothing to corrupt")
+	}
+
+	flips := 80
+	segFlips := 60
+	if testing.Short() || raceEnabled {
+		flips, segFlips = 20, 15
+	}
+	rng := rand.New(rand.NewSource(149))
+	for i := 0; i < flips; i++ {
+		crashed := waltest.FSAt(fs.Journal, cut, true)
+		name := commitNames[rng.Intn(len(commitNames))]
+		b := crashed.Files[name]
+		if len(b) == 0 {
+			continue
+		}
+		pos := rng.Intn(len(b))
+		b[pos] ^= 1 << uint(rng.Intn(8))
+		got, rst := recoverAndResume(t, crashed, feed, specs, opts)
+		if rst.NextLSN > uint64(len(feed))+1 {
+			t.Fatalf("flip in %s at %d: recovered LSN %d beyond the %d-mutation feed", name, pos, rst.NextLSN, len(feed))
+		}
+		if d := ref.diff(got); d != "" {
+			t.Fatalf("flip in %s at %d (recovery %v): %s", name, pos, rst, d)
+		}
+	}
+
+	// Segment flips under the process-crash model (all written bytes
+	// survive): commit extents overwrite the flipped byte wherever a window
+	// staged it, so most flips recover the full feed; a flip in the
+	// unstaged tail truncates there like any torn frame.
+	var segNames []string
+	crashed0 := waltest.FSAt(fs.Journal, cut, false)
+	for name := range crashed0.Files {
+		if strings.HasPrefix(filepath.Base(name), walpkg.SegPrefix) &&
+			strings.HasSuffix(name, walpkg.SegSuffix) {
+			segNames = append(segNames, name)
+		}
+	}
+	sort.Strings(segNames)
+	for i := 0; i < segFlips; i++ {
+		crashed := waltest.FSAt(fs.Journal, cut, false)
+		name := segNames[rng.Intn(len(segNames))]
+		b := crashed.Files[name]
+		if len(b) == 0 {
+			continue
+		}
+		pos := rng.Intn(len(b))
+		b[pos] ^= 1 << uint(rng.Intn(8))
+		got, rst := recoverAndResume(t, crashed, feed, specs, opts)
+		if rst.NextLSN > uint64(len(feed))+1 {
+			t.Fatalf("segment flip in %s at %d: recovered LSN %d beyond the %d-mutation feed", name, pos, rst.NextLSN, len(feed))
+		}
+		if d := ref.diff(got); d != "" {
+			t.Fatalf("segment flip in %s at %d (recovery %v): %s", name, pos, rst, d)
+		}
+	}
+}
+
+// --- upgrade and downgrade between layouts ---
+
+// TestWALUpgradePerStreamToBatched recovers a directory written by the
+// per-stream-fsync writer with the batched writer enabled, finishes the
+// feed, and requires bit-identical state — then recovers the resulting
+// (checkpointed, absorbed) directory with the per-stream writer again.
+// Both generations must be able to open what the other leaves behind.
+func TestWALUpgradePerStreamToBatched(t *testing.T) {
+	feed, specs := tortureFeed(t, 20, 151)
+	plain := NewServer(tortureCfg(2))
+	for i := range feed {
+		if err := feed[i].apply(plain); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := captureState(t, plain, specs)
+
+	half := len(feed) / 2
+	fs := waltest.NewMemFS()
+	optsPS := WALOptions{SegmentBytes: 16 << 10, Streams: 4, FS: fs}
+	sv1, wal1, _, err := Recover("wal", tortureCfg(4), optsPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < half; i++ {
+		if err := feed[i].apply(sv1); err != nil {
+			t.Fatalf("per-stream mutation %d: %v", i, err)
+		}
+	}
+	wal1.Close()
+
+	optsB := optsPS
+	optsB.CommitBatch = true
+	sv2, wal2, rst, err := Recover("wal", tortureCfg(4), optsB)
+	if err != nil {
+		t.Fatalf("batched recovery of per-stream dir: %v (%v)", err, rst)
+	}
+	if int(rst.NextLSN)-1 != half {
+		t.Fatalf("per-stream dir recovered %d mutations under the batched writer, want %d", rst.NextLSN-1, half)
+	}
+	if rst.CommitFiles != 0 {
+		t.Fatalf("per-stream dir reported %d commit files", rst.CommitFiles)
+	}
+	for i := half; i < len(feed); i++ {
+		if err := feed[i].apply(sv2); err != nil {
+			t.Fatalf("batched mutation %d: %v", i, err)
+		}
+	}
+	if _, _, err := sv2.CheckpointWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if d := ref.diff(captureState(t, sv2, specs)); d != "" {
+		t.Fatalf("upgraded run diverges: %s", d)
+	}
+	wal2.Close()
+	if names := commitFileNames(fs); len(names) != 0 {
+		t.Fatalf("checkpointed+closed batched dir still holds %v", names)
+	}
+
+	// Downgrade the clean directory: the per-stream writer reopens it and
+	// the state is still bit-identical (nothing left to resume).
+	got, rst3 := recoverAndResume(t, fs, feed, specs, optsPS)
+	if d := ref.diff(got); d != "" {
+		t.Fatalf("per-stream recovery of the upgraded dir (%v): %s", rst3, d)
+	}
+}
+
+// TestWALDowngradeBatchedToPerStream crashes a batched writer with live
+// commit files and recovers with the per-stream writer: recovery's repair
+// re-materializes the segments from the commit image and removes the
+// commit files, so the old generation reads a directory it fully
+// understands — including under power loss.
+func TestWALDowngradeBatchedToPerStream(t *testing.T) {
+	feed, specs := tortureFeed(t, 20, 157)
+	const syncStride = 8
+	optsB := WALOptions{SegmentBytes: 1 << 20, SyncEvery: time.Hour, Streams: 4, CommitBatch: true}
+	fs, ref, boundaries := tortureRun(t, feed, specs, optsB, 0, syncStride)
+	cut := boundaries[len(boundaries)-1] - 1 // before Close's absorb; see bit-flip sweep
+
+	optsPS := WALOptions{SegmentBytes: 1 << 20, Streams: 4}
+	crashed := waltest.FSAt(fs.Journal, cut, false)
+	live := len(commitFileNames(crashed))
+	if live == 0 {
+		t.Fatal("no live commit files at the crash point")
+	}
+	got, rst := recoverAndResume(t, crashed, feed, specs, optsPS)
+	if rst.CommitFiles != live {
+		t.Errorf("per-stream recovery reconciled %d commit files, %d were live", rst.CommitFiles, live)
+	}
+	// The cut clipped one byte off the final mutation's segment append; the
+	// torn frame may cost exactly that one unacked-boundary record.
+	if rst.NextLSN < uint64(len(feed)) {
+		t.Fatalf("per-stream recovery of batched dir reached LSN %d of %d mutations (%v)", rst.NextLSN, len(feed), rst)
+	}
+	if d := ref.diff(got); d != "" {
+		t.Fatalf("downgrade recovery (%v): %s", rst, d)
+	}
+	if names := commitFileNames(crashed); len(names) != 0 {
+		t.Fatalf("commit files %v survive a per-stream recovery; repair must remove them", names)
+	}
+
+	// Power-loss points recovered by the old generation: the group-commit
+	// window bound holds across the downgrade too.
+	rng := rand.New(rand.NewSource(157))
+	for i := 0; i < 10; i++ {
+		x := 1 + rng.Int63n(cut-1)
+		got, rst := recoverAndResume(t, waltest.FSAt(fs.Journal, x, true), feed, specs, optsPS)
+		durable := expectedLSN(boundaries, x)
+		if rst.NextLSN > durable {
+			t.Fatalf("downgrade power loss at byte %d: recovered LSN %d beyond the written prefix %d (%v)",
+				x, rst.NextLSN, durable, rst)
+		}
+		if durable-rst.NextLSN > syncStride+1 {
+			t.Fatalf("downgrade power loss at byte %d: lost %d mutations, more than one %d-wide window",
+				x, durable-rst.NextLSN, syncStride)
+		}
+		if d := ref.diff(got); d != "" {
+			t.Fatalf("downgrade power loss at byte %d (recovery %v): %s", x, rst, d)
+		}
+	}
+}
+
+// --- read-only verification ---
+
+// TestVerifyWALBatchedReadOnly: -wal-verify on a crashed batched directory
+// where every durable byte lives only in the commit file (segments never
+// fsynced, power loss truncated them to nothing) must report the exact
+// recoverable LSN through a read-only reconciliation overlay — no write,
+// no repair — and agree with what Recover then actually rebuilds.
+func TestVerifyWALBatchedReadOnly(t *testing.T) {
+	specs, streams := walWorkload(t, 4, 103)
+	fs := waltest.NewMemFS()
+	opts := WALOptions{SegmentBytes: 1 << 20, SyncEvery: time.Hour, Streams: 4, CommitBatch: true, FS: fs}
+	sv, wal, _, err := Recover("wal", cheapCfg(4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	for i := range specs {
+		if err := sv.StartJob(specs[i], nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := sv.IngestBatch(streams[i]); err != nil {
+			t.Fatal(err)
+		}
+		events += len(streams[i])
+		if err := wal.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Acknowledged but never synced: the group-commit contract loses these
+	// four registrations at power loss, and Verify must say so.
+	for i := 0; i < 4; i++ {
+		if err := sv.StartJob(commitSpec(9001+uint64(i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashed := waltest.FSAt(fs.Journal, fs.TotalWritten(), true)
+	wal.Close()
+
+	snapshot := make(map[string][]byte, len(crashed.Files))
+	for name, b := range crashed.Files {
+		snapshot[name] = append([]byte(nil), b...)
+	}
+	rep, err := VerifyWAL("wal", WALOptions{Streams: 4, FS: crashed})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if rep.CommitFiles == 0 || rep.CommitRecords == 0 {
+		t.Fatalf("verify saw %d commit files, %d batch records; the crashed dir holds both", rep.CommitFiles, rep.CommitRecords)
+	}
+	wantLSN := uint64(1 + len(specs) + events)
+	if rep.NextLSN != wantLSN {
+		t.Fatalf("verify reports recoverable LSN %d, want %d (synced specs+events only)", rep.NextLSN, wantLSN)
+	}
+	if !strings.Contains(rep.String(), "commit files:") {
+		t.Errorf("report omits the commit-file line:\n%s", rep.String())
+	}
+	if len(snapshot) != len(crashed.Files) {
+		t.Fatalf("verify changed the file set: %d files, was %d", len(crashed.Files), len(snapshot))
+	}
+	for name, want := range snapshot {
+		if got, ok := crashed.Files[name]; !ok || !bytes.Equal(got, want) {
+			t.Fatalf("verify modified %s", name)
+		}
+	}
+	if len(crashed.Journal) != 0 {
+		t.Fatalf("verify wrote to the filesystem: %d ops journaled", len(crashed.Journal))
+	}
+
+	// The report must match what a real recovery finds.
+	_, wal2, rst, err := Recover("wal", cheapCfg(4),
+		WALOptions{SegmentBytes: 1 << 20, SyncEvery: time.Hour, Streams: 4, CommitBatch: true, FS: crashed})
+	if err != nil {
+		t.Fatalf("recover after verify: %v (%v)", err, rst)
+	}
+	defer wal2.Close()
+	if rst.NextLSN != rep.NextLSN || rst.CommitFiles != rep.CommitFiles {
+		t.Errorf("recovery found LSN %d / %d commit files, verify predicted %d / %d",
+			rst.NextLSN, rst.CommitFiles, rep.NextLSN, rep.CommitFiles)
+	}
+}
+
+// --- observability ---
+
+// TestWALBatchedStatsSurface pins the /stats JSON names and the Stats
+// string for the commit counters: present (and advancing) exactly when the
+// batched writer runs, absent otherwise.
+func TestWALBatchedStatsSurface(t *testing.T) {
+	fetchStats := func(t *testing.T, h http.Handler) map[string]any {
+		t.Helper()
+		srv := httptest.NewServer(h)
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	specs, streams := walWorkload(t, 2, 211)
+
+	t.Run("batched", func(t *testing.T) {
+		sv, wal, _, err := Recover(t.TempDir(), cheapCfg(2),
+			WALOptions{Streams: 2, SyncEvery: time.Hour, CommitBatch: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer wal.Close()
+		for i := range specs {
+			if err := sv.StartJob(specs[i], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sv.IngestBatch(streams[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := wal.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		w, ok := fetchStats(t, servehttp.NewHandler(sv))["WAL"].(map[string]any)
+		if !ok {
+			t.Fatal("stats carry no WAL object")
+		}
+		if got, _ := w["commit_batched"].(bool); !got {
+			t.Errorf("commit_batched = %v, want true", w["commit_batched"])
+		}
+		if got, _ := w["commit_windows"].(float64); got != 1 {
+			t.Errorf("commit_windows = %v, want 1", w["commit_windows"])
+		}
+		for _, key := range []string{"commit_records", "commit_bytes"} {
+			if got, _ := w[key].(float64); got <= 0 {
+				t.Errorf("%s = %v, want > 0", key, w[key])
+			}
+		}
+		if got, _ := w["commit_files"].(float64); got != 1 {
+			t.Errorf("commit_files = %v, want 1", w["commit_files"])
+		}
+		// The O(1) claim as operators see it: one window, one data fsync.
+		if got, _ := w["syncs"].(float64); got != 1 {
+			t.Errorf("syncs = %v, want 1 (one commit fsync for the whole window)", w["syncs"])
+		}
+		if s := sv.Stats().String(); !strings.Contains(s, "wal_commit_windows=1") {
+			t.Errorf("Stats string omits commit counters: %s", s)
+		}
+	})
+
+	t.Run("per-stream omits commit keys", func(t *testing.T) {
+		sv, wal, _, err := Recover(t.TempDir(), cheapCfg(2), WALOptions{Streams: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer wal.Close()
+		if err := sv.StartJob(specs[0], nil); err != nil {
+			t.Fatal(err)
+		}
+		w, ok := fetchStats(t, servehttp.NewHandler(sv))["WAL"].(map[string]any)
+		if !ok {
+			t.Fatal("stats carry no WAL object")
+		}
+		if _, present := w["commit_batched"]; present {
+			t.Errorf("per-stream writer exposes commit_batched: %v", w)
+		}
+	})
+}

@@ -33,6 +33,13 @@ package wal
 // are physically trimmed from their segments — they were inside the
 // group-commit window (the loss the SyncEvery contract already admits) and
 // leaving them would collide with the LSNs the reopened log assigns next.
+//
+// A third on-disk shape comes from the batched commit path
+// (Options.CommitBatch): segment files may lag the commit files that
+// actually acknowledged the last windows. reconcileCommitFiles
+// (commit.go) runs before everything above and patches the segments back
+// to what the commit fsyncs guaranteed, so the scan itself never needs to
+// know which writer produced the directory.
 
 import (
 	"repro/internal/wire"
@@ -63,6 +70,11 @@ type RecoveryStats struct {
 	// depended on, so they are discarded exactly as the group-commit
 	// contract allows.
 	RecordsTrimmed int
+	// CommitFiles counts the batched group-commit files
+	// (commit-<stamp>.seg) found in the directory, and CommitRecords the
+	// batch records replayed from them to re-materialize segment bytes
+	// before the scan. Both are 0 for a per-stream-fsync directory.
+	CommitFiles, CommitRecords int
 	// TornTail reports that replay stopped at a torn or corrupt frame — the
 	// expected signature of a crash mid-append; everything acknowledged
 	// before it was recovered.
@@ -77,9 +89,13 @@ func (r RecoveryStats) String() string {
 	if r.SnapshotPath != "" {
 		snap = fmt.Sprintf("%s (floor %d)", filepath.Base(r.SnapshotPath), r.SnapshotLSN)
 	}
-	return fmt.Sprintf("snapshot %s, %d segments, %d streams, %d applied, %d skipped, %d orphaned, %d trimmed, torn=%v, next LSN %d",
+	commit := ""
+	if r.CommitFiles > 0 {
+		commit = fmt.Sprintf(", %d commit files (%d batch records reconciled)", r.CommitFiles, r.CommitRecords)
+	}
+	return fmt.Sprintf("snapshot %s, %d segments, %d streams, %d applied, %d skipped, %d orphaned, %d trimmed%s, torn=%v, next LSN %d",
 		snap, r.SegmentsScanned, r.Streams, r.RecordsApplied, r.RecordsSkipped, r.RecordsOrphaned,
-		r.RecordsTrimmed, r.TornTail, r.NextLSN)
+		r.RecordsTrimmed, commit, r.TornTail, r.NextLSN)
 }
 
 // Scan is what scanning a WAL directory yields: the contiguous end of
@@ -106,12 +122,26 @@ type shardGroup struct {
 // every record at or above the contiguity cursor to visit (records below it
 // are counted as skipped). It validates legacy chains by segment base and
 // per-shard chains by wire.FrameSegHeader links and fails typed ErrGap on
-// holes in synced history. With repair set (Recover), the cross-stream
-// orphans a power loss can leave beyond the first missing LSN are
-// physically trimmed; without it (Verify) the directory is only read.
+// holes in synced history. Directories left by a batched-commit writer
+// are reconciled first: surviving commit files re-materialize the segment
+// bytes their fsyncs acknowledged. With repair set (Recover), the
+// cross-stream orphans a power loss can leave beyond the first missing LSN
+// are physically trimmed and the commit files are absorbed and removed;
+// without it (Verify) the directory is only read.
 func ScanDir(fs FS, dir string, floor uint64, repair bool, rst *RecoveryStats,
 	visit func(lsn uint64, kind wire.FrameKind, payload []byte) error) (Scan, error) {
 	var scan Scan
+
+	// A batched-commit writer may have left commit files whose fsyncs — not
+	// the segments' — acknowledged the last windows. Re-materialize the
+	// segment bytes they guarantee before anything reads a segment: with
+	// repair the directory itself is patched back to a plain per-stream
+	// layout, otherwise (Verify) the patches live in a read-only overlay
+	// the rest of this scan reads through.
+	fs, err := reconcileCommitFiles(fs, dir, repair, rst)
+	if err != nil {
+		return scan, err
+	}
 
 	legacy, err := ListSorted(fs, dir, SegPrefix, SegSuffix)
 	if err != nil {

@@ -61,6 +61,12 @@ type VerifyReport struct {
 	// the orphans).
 	TornTail bool
 	Hole     bool
+	// CommitFiles counts batched group-commit files (commit-<stamp>.seg)
+	// found in the directory; CommitRecords the batch records reconciled
+	// from them. Non-zero means a batched-commit writer crashed here and
+	// the figures above were computed over the reconciled image — Recover
+	// would materialize it; Verify leaves the directory untouched.
+	CommitFiles, CommitRecords int
 }
 
 // String renders the report the way `nurdserve -wal-verify` prints it.
@@ -82,6 +88,10 @@ func (r VerifyReport) String() string {
 		}
 		out += fmt.Sprintf("%s: %d segments, %d records, last LSN %d%s\n",
 			name, s.Segments, s.Records, s.LastLSN, torn)
+	}
+	if r.CommitFiles > 0 {
+		out += fmt.Sprintf("commit files: %d (%d batch records; batched-commit layout, reconciled read-only)\n",
+			r.CommitFiles, r.CommitRecords)
 	}
 	hole := ""
 	if r.Hole {
@@ -124,6 +134,8 @@ func Verify(dir string, opts Options) (VerifyReport, error) {
 	rep.Segments = rst.SegmentsScanned
 	rep.TornTail = rst.TornTail
 	rep.Hole = scan.hole
+	rep.CommitFiles = rst.CommitFiles
+	rep.CommitRecords = rst.CommitRecords
 	if len(scan.legacySegs) > 0 {
 		rep.Streams = append(rep.Streams, VerifyStream{
 			Shard:    LegacyStream,
